@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+The expensive artifacts (the full comparison study, the frequency
+sweeps) are computed once per session and shared by the figure
+benchmarks; each benchmark then times one representative unit of work
+and asserts the paper-shape properties of the shared artifact.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core.configs import bench_configs, sweep_configs
+from repro.core.study import run_study
+from repro.hardware.specs import Precision
+
+
+@pytest.fixture(scope="session")
+def study():
+    """The full Figures 8/9 study at bench scale (projection mode)."""
+    return run_study(ALL_APPS, paper_scale=True, configs=bench_configs())
+
+
+@pytest.fixture(scope="session")
+def configs():
+    return bench_configs()
+
+
+@pytest.fixture(scope="session")
+def sweep_cfgs():
+    return sweep_configs()
+
+
+def speedup_of(study, app, model, apu, precision=Precision.SINGLE, kernel_only=False):
+    entry = study.get(app, model, apu, precision)
+    return entry.kernel_speedup if kernel_only else entry.speedup

@@ -1,0 +1,72 @@
+"""Ablation: Heterogeneous Compute (Sec. VII), 'the best of both worlds'.
+
+HC = C++ AMP's single-source productivity + OpenCL's explicit
+transfers and tuning surface.  The paper introduces it as the fix for
+everything Sec. VI measured; this bench quantifies the claim on the
+read-memory benchmark (the only workload with ports in all four
+models) and at the lowering level for the other kernels.
+"""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.readmem import ReadMemConfig
+from repro.core.study import run_port
+from repro.hardware.specs import Precision
+from repro.models.hc import HC_PROFILE
+from repro.models.registry import PROFILES
+from repro.sloc.report import measure_lines_added
+
+READMEM = APPS_BY_NAME["read-benchmark"]
+CONFIG = ReadMemConfig(size=1 << 24)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    out = {}
+    for apu in (True, False):
+        out[apu] = {
+            model: run_port(READMEM, model, apu, Precision.SINGLE, CONFIG, projection=True)
+            for model in ("OpenCL", "C++ AMP", "OpenACC", "Heterogeneous Compute")
+        }
+    return out
+
+
+def test_run_hc(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_port(READMEM, "Heterogeneous Compute", False, Precision.SINGLE, CONFIG, projection=True),
+        rounds=1, iterations=1,
+    )
+    assert result.seconds > 0
+
+
+class TestBestOfBothWorlds:
+    def test_hc_close_to_opencl_performance(self, runs):
+        """HC keeps explicit transfers: within ~15% of OpenCL end to
+        end on both platforms."""
+        for apu in (True, False):
+            hc = runs[apu]["Heterogeneous Compute"].seconds
+            ocl = runs[apu]["OpenCL"].seconds
+            assert hc < 1.15 * ocl
+
+    def test_hc_beats_emerging_models_on_dgpu(self, runs):
+        hc = runs[False]["Heterogeneous Compute"].seconds
+        assert hc < runs[False]["C++ AMP"].seconds
+        assert hc < runs[False]["OpenACC"].seconds
+
+    def test_hc_beats_opencl_on_apu(self, runs):
+        """On the APU, HC's HSA dispatch + raw pointers skip OpenCL's
+        cl_mem mapping toll."""
+        assert runs[True]["Heterogeneous Compute"].seconds < runs[True]["OpenCL"].seconds
+
+    def test_hc_productivity_close_to_cppamp(self):
+        """Single source: the HC port costs far fewer changed lines
+        than OpenCL's host boilerplate."""
+        lines = measure_lines_added(READMEM, models=("OpenCL", "C++ AMP", "Heterogeneous Compute"))
+        assert lines["Heterogeneous Compute"] < 0.8 * lines["OpenCL"]
+
+    def test_hc_profile_has_full_capability(self):
+        from repro.models.base import Capability
+
+        assert HC_PROFILE.capabilities == Capability.all()
+        assert PROFILES["Heterogeneous Compute"] is HC_PROFILE

@@ -1,0 +1,62 @@
+"""Ablation: the CLAMP LULESH compiler bug (27 of 28 kernels).
+
+Sec. VI-A: one LULESH kernel 'was implemented on the CPU which led to
+data-transfer overhead'.  The toolchain model exposes the bug as a
+knob; fixing it quantifies what the paper's C++ AMP numbers lost.
+"""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.lulesh import LuleshConfig
+from repro.core.ablation import lulesh_compiler_bug_ablation
+from repro.hardware.specs import Precision
+
+LULESH = APPS_BY_NAME["LULESH"]
+CONFIG = LuleshConfig(size=48, iterations=10)
+
+
+@pytest.fixture(scope="module")
+def ablation():
+    return lulesh_compiler_bug_ablation(CONFIG, Precision.SINGLE)
+
+
+@pytest.fixture(scope="module")
+def buggy(ablation):
+    return ablation[0]
+
+
+@pytest.fixture(scope="module")
+def fixed(ablation):
+    return ablation[1]
+
+
+def test_run_with_bug(benchmark):
+    result = benchmark.pedantic(
+        lambda: lulesh_compiler_bug_ablation(CONFIG, Precision.SINGLE)[0],
+        rounds=1, iterations=1,
+    )
+    assert result.seconds > 0
+
+
+class TestBugCost:
+    def test_fixed_compiler_is_faster(self, buggy, fixed):
+        assert fixed.seconds < buggy.seconds
+
+    def test_bug_costs_transfers(self, buggy, fixed):
+        """The CPU fallback forces its seven arrays across PCIe every
+        iteration."""
+        assert buggy.counters.transfer_seconds > fixed.counters.transfer_seconds
+        extra_bytes = (
+            buggy.counters.bytes_to_device + buggy.counters.bytes_to_host
+            - fixed.counters.bytes_to_device - fixed.counters.bytes_to_host
+        )
+        assert extra_bytes > 0
+
+    def test_bug_explains_large_share_of_gap_to_opencl(self, buggy, fixed):
+        from repro.core.study import run_port
+
+        opencl = run_port(LULESH, "OpenCL", False, Precision.SINGLE, CONFIG, projection=True)
+        gap_with_bug = buggy.seconds / opencl.seconds
+        gap_fixed = fixed.seconds / opencl.seconds
+        assert gap_fixed < gap_with_bug

@@ -1,0 +1,68 @@
+"""Ablation: C++ AMP tiling (tile_static) on the CoMD force kernel.
+
+Sec. VI-C: 'exposing parallelism in the form of tiles improved the
+performance of CoMD by almost 3x.'  We lower the same force kernel
+through the CLAMP profile with and without the LDS capability and
+price it on both devices.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.apps.comd import CoMDConfig, kernel_specs
+from repro.engine.timing import time_gpu_kernel
+from repro.hardware.device import make_apu_platform, make_dgpu_platform
+from repro.hardware.specs import Precision
+from repro.models.base import Capability
+from repro.models.cppamp.compiler import CPPAMP_PROFILE
+
+#: CLAMP without tiling: LDS and the tile barrier are unavailable.
+UNTILED_PROFILE = dataclasses.replace(
+    CPPAMP_PROFILE,
+    capabilities=CPPAMP_PROFILE.capabilities & ~(Capability.LDS | Capability.FINE_SYNC),
+)
+
+CONFIG = CoMDConfig(nx=24, ny=24, nz=24, steps=1)
+
+
+def force_spec():
+    return kernel_specs(CONFIG, Precision.SINGLE)["comd.lj_force"]
+
+
+def time_with(profile, platform):
+    lowered = profile.lower(force_spec())
+    return time_gpu_kernel(lowered, platform.gpu, Precision.SINGLE).seconds
+
+
+def test_tiled_lowering(benchmark):
+    platform = make_dgpu_platform()
+    seconds = benchmark(time_with, CPPAMP_PROFILE, platform)
+    assert seconds > 0
+
+
+class TestTilingEffect:
+    def test_tiling_speeds_up_comd_force(self):
+        """The tiled lowering must clearly beat the untiled one (the
+        paper measured ~3x end-to-end)."""
+        platform = make_dgpu_platform()
+        tiled = time_with(CPPAMP_PROFILE, platform)
+        untiled = time_with(UNTILED_PROFILE, platform)
+        assert 1.3 < untiled / tiled < 5.0
+
+    def test_tiling_helps_on_apu_too(self):
+        platform = make_apu_platform()
+        tiled = time_with(CPPAMP_PROFILE, platform)
+        untiled = time_with(UNTILED_PROFILE, platform)
+        assert untiled > tiled
+
+    def test_untiled_lowering_reports_fallback(self):
+        lowered = UNTILED_PROFILE.lower(force_spec())
+        assert not lowered.uses_lds
+        assert any("LDS" in note for note in lowered.notes)
+
+    def test_untiled_moves_more_dram_traffic(self):
+        tiled = CPPAMP_PROFILE.lower(force_spec())
+        untiled = UNTILED_PROFILE.lower(force_spec())
+        cache = make_dgpu_platform().gpu.spec.l2_cache.size_bytes
+        assert untiled.dram_traffic_bytes(cache) > 1.5 * tiled.dram_traffic_bytes(cache)

@@ -1,0 +1,73 @@
+"""Ablation: explicit vs compiler-managed transfers on the dGPU.
+
+Sec. VI-A: 'The requirement to rely on the compiler for data-transfers
+was the single biggest reason for poor performance with C++ AMP and
+OpenACC.'  We isolate the effect by decomposing each model's simulated
+time into kernel vs transfer components on the same workload.
+"""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.lulesh import LuleshConfig
+from repro.core.study import run_port
+from repro.hardware.specs import Precision
+
+LULESH = APPS_BY_NAME["LULESH"]
+CONFIG = LuleshConfig(size=48, iterations=100)
+
+
+@pytest.fixture(scope="module")
+def runs():
+    return {
+        model: run_port(LULESH, model, False, Precision.SINGLE, CONFIG, projection=True)
+        for model in ("OpenCL", "C++ AMP", "OpenACC")
+    }
+
+
+def test_run_decomposition(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_port(LULESH, "C++ AMP", False, Precision.SINGLE, CONFIG, projection=True),
+        rounds=1, iterations=1,
+    )
+    assert result.counters.transfer_seconds > 0
+
+
+class TestTransferShares:
+    def test_opencl_transfers_are_minor(self, runs):
+        """Explicit staging: one upload plus per-iteration constraint
+        readbacks only."""
+        counters = runs["OpenCL"].counters
+        assert counters.transfer_seconds < 0.5 * counters.kernel_seconds
+
+    def test_cppamp_transfers_dominate(self, runs):
+        """Per-launch write-back + the CPU-fallback round trips swamp
+        the kernels."""
+        counters = runs["C++ AMP"].counters
+        assert counters.transfer_seconds > counters.kernel_seconds
+
+    def test_data_region_rescues_openacc(self, runs):
+        """The `acc data` region hoists OpenACC's transfers: its
+        absolute transfer time sits between OpenCL's (minimal explicit
+        copies) and C++ AMP's (per-launch write-backs)."""
+        seconds = {
+            model: runs[model].counters.transfer_seconds for model in runs
+        }
+        assert seconds["OpenCL"] < seconds["OpenACC"] < seconds["C++ AMP"]
+
+    def test_bytes_moved_ordering(self, runs):
+        moved = {
+            model: runs[model].counters.bytes_to_device + runs[model].counters.bytes_to_host
+            for model in runs
+        }
+        assert moved["OpenCL"] < moved["OpenACC"] < moved["C++ AMP"]
+
+
+class TestKernelTimeParity:
+    def test_gap_is_transfers_not_kernels(self, runs):
+        """Kernel-only, C++ AMP is within ~1.6x of OpenCL; the dGPU
+        loss comes from data movement (plus the fallback kernel)."""
+        ratio = runs["C++ AMP"].kernel_seconds / runs["OpenCL"].kernel_seconds
+        total_ratio = runs["C++ AMP"].seconds / runs["OpenCL"].seconds
+        assert ratio < 2.5
+        assert total_ratio > 1.5 * ratio

@@ -1,0 +1,80 @@
+"""Figure 10: productivity (Eq. 1), double precision, both platforms.
+
+productivity = (time_OMP / time_model) / (lines_model / lines_OMP)
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core.productivity import compute_productivity
+from repro.core.report import render_figure10
+
+FIGURE_APPS = tuple(app.name for app in ALL_APPS)
+
+
+@pytest.fixture(scope="module")
+def productivity(study):
+    return {
+        apu: compute_productivity(study, ALL_APPS, apu=apu)
+        for apu in (True, False)
+    }
+
+
+def test_compute_productivity(benchmark, study):
+    result = benchmark(compute_productivity, study, ALL_APPS, True)
+    assert len(result.entries) == len(ALL_APPS) * 3
+
+
+def test_print_figure10(productivity):
+    for apu in (True, False):
+        print("\n" + render_figure10(productivity[apu], FIGURE_APPS))
+
+
+class TestFigure10a:
+    """APU: the emerging models give the biggest bang for the buck."""
+
+    def test_cppamp_best_harmonic_mean(self, productivity):
+        means = productivity[True].harmonic_means()
+        assert means["C++ AMP"] > means["OpenCL"]
+
+    def test_cppamp_xsbench_advantage(self, productivity):
+        """'C++ AMP ... is 3x more productive for XSBench on the APU'
+        (shape: a clear multiple over OpenCL)."""
+        result = productivity[True]
+        amp = result.get("XSBench", "C++ AMP").productivity
+        ocl = result.get("XSBench", "OpenCL").productivity
+        assert amp > 1.5 * ocl
+
+    def test_emerging_models_beat_opencl_on_multiple_apps(self, productivity):
+        """'The emerging programming models are more productive than
+        OpenCL on multiple occasions on the APU.'"""
+        result = productivity[True]
+        wins = 0
+        for app in FIGURE_APPS:
+            ocl = result.get(app, "OpenCL").productivity
+            if result.get(app, "C++ AMP").productivity > ocl:
+                wins += 1
+            if result.get(app, "OpenACC").productivity > ocl:
+                wins += 1
+        assert wins >= 3
+
+
+class TestFigure10b:
+    """dGPU: OpenCL's speedups justify its verbosity."""
+
+    def test_opencl_productivity_rises_on_dgpu(self, productivity):
+        apu_means = productivity[True].harmonic_means()
+        dgpu_means = productivity[False].harmonic_means()
+        assert dgpu_means["OpenCL"] > apu_means["OpenCL"]
+
+    def test_opencl_competitive_on_dgpu(self, productivity):
+        means = productivity[False].harmonic_means()
+        assert means["OpenCL"] > 0.5 * max(means.values())
+
+
+class TestEquationSanity:
+    def test_all_positive(self, productivity):
+        for result in productivity.values():
+            for entry in result.entries:
+                assert entry.productivity > 0
+                assert entry.lines_ratio >= 1.0

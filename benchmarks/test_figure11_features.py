@@ -1,0 +1,17 @@
+"""Figure 11: optimizations allowed by each programming model."""
+
+from repro.core.features import PAPER_FIGURE11, feature_matrix
+from repro.core.report import render_figure11
+
+
+def test_matrix_matches_paper(benchmark):
+    matrix = benchmark(feature_matrix)
+    print("\n" + render_figure11())
+    assert matrix == PAPER_FIGURE11
+
+
+def test_feature_counts():
+    matrix = feature_matrix()
+    assert sum(matrix["OpenCL"].values()) == 5
+    assert sum(matrix["C++ AMP"].values()) == 3
+    assert sum(matrix["OpenACC"].values()) == 1

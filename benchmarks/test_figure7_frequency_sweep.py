@@ -1,0 +1,87 @@
+"""Figure 7: normalized performance vs core and memory frequency.
+
+Regenerates all five subplots on the paper's full 9x8 frequency grid
+and asserts each application's scaling shape.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, APPS_BY_NAME
+from repro.core.report import render_figure7
+from repro.core.sweep import run_sweep
+from repro.hardware.frequency import PAPER_CORE_SWEEP_MHZ, PAPER_MEMORY_SWEEP_MHZ
+
+
+@pytest.fixture(scope="module")
+def sweeps(sweep_cfgs):
+    return {
+        app.name: run_sweep(app, sweep_cfgs[app.name])
+        for app in ALL_APPS
+    }
+
+
+def test_run_figure7_sweep(benchmark, sweep_cfgs):
+    """Time one full-grid sweep (CoMD) and print all subplots."""
+    app = APPS_BY_NAME["CoMD"]
+    result = benchmark.pedantic(
+        lambda: run_sweep(app, sweep_cfgs["CoMD"]), rounds=1, iterations=1
+    )
+    assert len(result.points) == len(PAPER_CORE_SWEEP_MHZ) * len(PAPER_MEMORY_SWEEP_MHZ)
+
+
+def test_print_all_subplots(sweeps):
+    for name in ("read-benchmark", "LULESH", "CoMD", "XSBench", "miniFE"):
+        print("\n" + render_figure7(sweeps[name]))
+
+
+class TestSubplotShapes:
+    def test_7a_readmem_memory_scaling(self, sweeps):
+        """Fig. 7a: performance scales with memory frequency; best at
+        1250 MHz; core frequency does not matter."""
+        sweep = sweeps["read-benchmark"]
+        assert sweep.classify() == "Memory"
+        best = max(p.normalized_performance for p in sweep.points)
+        assert best == max(p.normalized_performance for p in sweep.series(1250))
+        assert sweep.core_sensitivity() < 1.2
+
+    def test_7b_lulesh_balanced(self, sweeps):
+        """Fig. 7b: 'LULESH is a balanced application; its performance
+        scales with both memory and core frequencies.'"""
+        sweep = sweeps["LULESH"]
+        assert sweep.classify() == "Balanced"
+        assert sweep.core_sensitivity() > 1.3
+        assert sweep.memory_sensitivity() > 1.3
+
+    def test_7c_comd_core_scaling(self, sweeps):
+        """Fig. 7c: 'performance of CoMD scales almost linearly with
+        the increase in core frequency ... change in memory frequency
+        does not affect its performance.'"""
+        sweep = sweeps["CoMD"]
+        assert sweep.classify() == "Compute"
+        assert sweep.core_sensitivity() > 2.0
+        assert sweep.memory_sensitivity() < 1.25
+
+    def test_7d_xsbench_core_scaling_with_low_memory_caveat(self, sweeps):
+        """Fig. 7d: 'steady increase in performance with the increase
+        in core frequency, except at extremely low memory frequencies
+        at which the memory requests are not optimally serviced.'"""
+        sweep = sweeps["XSBench"]
+        assert sweep.classify() == "Compute"
+        assert sweep.core_sensitivity() > 1.5
+        # The caveat: at the lowest memory clock, core scaling saturates
+        # earlier than at the highest.
+        low_memory = sweep.series(480)[-1].normalized_performance
+        high_memory = sweep.series(1250)[-1].normalized_performance
+        assert high_memory > 1.15 * low_memory
+
+    def test_7e_minife_memory_scaling(self, sweeps):
+        """Fig. 7e: memory-bandwidth bound once compute suffices."""
+        sweep = sweeps["miniFE"]
+        assert sweep.classify() == "Memory"
+        assert sweep.memory_sensitivity() > 1.8
+
+    def test_all_performances_normalized_to_slowest(self, sweeps):
+        for sweep in sweeps.values():
+            slowest = sweep.get(200, 480)
+            assert slowest.normalized_performance == pytest.approx(1.0)
+            assert max(p.normalized_performance for p in sweep.points) < 6.0

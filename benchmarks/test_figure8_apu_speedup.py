@@ -1,0 +1,108 @@
+"""Figure 8: speedup over 4-core OpenMP on the AMD A10-7850K APU.
+
+Regenerates all five subplots in both precisions and asserts the
+paper's findings: the APU levels the field — the emerging models match
+(and for XSBench beat) OpenCL.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, APPS_BY_NAME
+from repro.core.report import render_speedups
+from repro.core.study import run_port
+from repro.hardware.specs import Precision
+
+from conftest import speedup_of
+
+FIGURE_APPS = tuple(app.name for app in ALL_APPS)
+
+
+def test_run_one_port(benchmark, configs):
+    """Time one projected port run (CoMD OpenCL on the APU)."""
+    app = APPS_BY_NAME["CoMD"]
+    benchmark.pedantic(
+        lambda: run_port(app, "OpenCL", True, Precision.SINGLE, configs["CoMD"], projection=True),
+        rounds=1, iterations=1,
+    )
+
+
+def test_print_figure8(study):
+    print("\n" + render_speedups(study, FIGURE_APPS, apu=True,
+                                 title="Figure 8: speedup over 4-core OpenMP on the APU"))
+
+
+class TestSubplot8a:
+    """read-benchmark (kernel time only, as in the paper)."""
+
+    def test_opencl_best_with_paper_ratios(self, study):
+        ocl = speedup_of(study, "read-benchmark", "OpenCL", apu=True, kernel_only=True)
+        amp = speedup_of(study, "read-benchmark", "C++ AMP", apu=True, kernel_only=True)
+        acc = speedup_of(study, "read-benchmark", "OpenACC", apu=True, kernel_only=True)
+        assert ocl / amp == pytest.approx(1.3, abs=0.25)
+        assert ocl / acc == pytest.approx(2.0, abs=0.4)
+
+    def test_magnitude_within_figure_axis(self, study):
+        ocl = speedup_of(study, "read-benchmark", "OpenCL", apu=True, kernel_only=True)
+        assert 1.5 < ocl < 6.0
+
+
+class TestSubplot8b:
+    def test_lulesh_opencl_best_amp_close(self, study):
+        """'OpenCL performed the best ... Both C++ AMP and OpenACC
+        achieved similar performance on the APU.'"""
+        ocl = speedup_of(study, "LULESH", "OpenCL", apu=True)
+        amp = speedup_of(study, "LULESH", "C++ AMP", apu=True)
+        acc = speedup_of(study, "LULESH", "OpenACC", apu=True)
+        assert ocl >= 0.95 * amp
+        assert ocl > acc
+
+
+class TestSubplot8c:
+    def test_comd_openacc_worst(self, study):
+        ocl = speedup_of(study, "CoMD", "OpenCL", apu=True)
+        amp = speedup_of(study, "CoMD", "C++ AMP", apu=True)
+        acc = speedup_of(study, "CoMD", "OpenACC", apu=True)
+        assert acc < amp < ocl
+
+    def test_comd_double_precision_collapses(self, study):
+        """'1/16th [DP throughput] on the APU': DP loses to OpenMP."""
+        sp = speedup_of(study, "CoMD", "OpenCL", apu=True, precision=Precision.SINGLE)
+        dp = speedup_of(study, "CoMD", "OpenCL", apu=True, precision=Precision.DOUBLE)
+        assert sp > 3.0
+        assert dp < 1.0
+
+
+class TestSubplot8d:
+    def test_xsbench_cppamp_best_on_apu(self, study):
+        """'C++ AMP resulted in the best performance on the APU.'"""
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            amp = speedup_of(study, "XSBench", "C++ AMP", apu=True, precision=precision)
+            ocl = speedup_of(study, "XSBench", "OpenCL", apu=True, precision=precision)
+            acc = speedup_of(study, "XSBench", "OpenACC", apu=True, precision=precision)
+            assert amp > ocl
+            assert amp > acc
+
+
+class TestSubplot8e:
+    def test_minife_opencl_and_amp_near_openmp(self, study):
+        """'OpenCL and C++ AMP just match OpenMP's performance' —
+        bounded above by the shared-DRAM ceiling."""
+        ocl = speedup_of(study, "miniFE", "OpenCL", apu=True, precision=Precision.DOUBLE)
+        amp = speedup_of(study, "miniFE", "C++ AMP", apu=True, precision=Precision.DOUBLE)
+        assert 0.8 < ocl < 2.5
+        assert 0.8 < amp < 2.5
+
+    def test_minife_openacc_slowdown(self, study):
+        """'The OpenACC implementation results in a slowdown.'"""
+        acc = speedup_of(study, "miniFE", "OpenACC", apu=True, precision=Precision.DOUBLE)
+        assert acc < 1.0
+
+
+class TestFigureWideClaims:
+    def test_emerging_models_competitive_on_apu(self, study):
+        """'The emerging programming models ... match performance of
+        OpenCL on an APU': C++ AMP within 2x of OpenCL everywhere."""
+        for app in FIGURE_APPS:
+            ocl = speedup_of(study, app, "OpenCL", apu=True)
+            amp = speedup_of(study, app, "C++ AMP", apu=True)
+            assert amp > 0.5 * ocl, app

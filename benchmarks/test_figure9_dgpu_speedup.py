@@ -1,0 +1,132 @@
+"""Figure 9: speedup over 4-core OpenMP on the AMD Radeon R9 280X.
+
+Regenerates all five subplots in both precisions and asserts the
+paper's headline: OpenCL wins on the discrete GPU because explicit
+transfers beat compiler-managed ones.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS, APPS_BY_NAME
+from repro.core.report import render_speedups
+from repro.core.study import run_port
+from repro.hardware.specs import Precision
+
+from conftest import speedup_of
+
+FIGURE_APPS = tuple(app.name for app in ALL_APPS)
+
+
+def test_run_one_port(benchmark, configs):
+    """Time one projected port run (LULESH OpenCL on the dGPU)."""
+    app = APPS_BY_NAME["LULESH"]
+    benchmark.pedantic(
+        lambda: run_port(app, "OpenCL", False, Precision.SINGLE, configs["LULESH"], projection=True),
+        rounds=1, iterations=1,
+    )
+
+
+def test_print_figure9(study):
+    print("\n" + render_speedups(study, FIGURE_APPS, apu=False,
+                                 title="Figure 9: speedup over 4-core OpenMP on the dGPU"))
+
+
+class TestSubplot9a:
+    def test_readmem_kernel_ratios(self, study):
+        ocl = speedup_of(study, "read-benchmark", "OpenCL", apu=False, kernel_only=True)
+        amp = speedup_of(study, "read-benchmark", "C++ AMP", apu=False, kernel_only=True)
+        acc = speedup_of(study, "read-benchmark", "OpenACC", apu=False, kernel_only=True)
+        assert ocl / amp == pytest.approx(1.3, abs=0.25)
+        assert ocl / acc == pytest.approx(2.0, abs=0.4)
+
+    def test_readmem_magnitude_fits_figure_axis(self, study):
+        """Fig. 9a's axis runs to 30; OpenCL lands in the twenties."""
+        ocl = speedup_of(study, "read-benchmark", "OpenCL", apu=False, kernel_only=True)
+        assert 12 < ocl < 32
+
+    def test_order_of_magnitude_vs_apu(self, study):
+        """'An order of magnitude more bandwidth available on the
+        discrete GPU.'"""
+        dgpu = speedup_of(study, "read-benchmark", "OpenCL", apu=False, kernel_only=True)
+        apu = speedup_of(study, "read-benchmark", "OpenCL", apu=True, kernel_only=True)
+        assert 5 < dgpu / apu < 13
+
+
+class TestSubplot9b:
+    def test_lulesh_cppamp_worst_from_compiler_bug(self, study):
+        """'C++ AMP performed poorly because we were able to implement
+        only 27 out of the 28 kernels on the GPU.'"""
+        ocl = speedup_of(study, "LULESH", "OpenCL", apu=False)
+        amp = speedup_of(study, "LULESH", "C++ AMP", apu=False)
+        acc = speedup_of(study, "LULESH", "OpenACC", apu=False)
+        assert amp < acc < ocl
+        assert amp < 0.35 * ocl
+
+
+class TestSubplot9c:
+    def test_comd_opencl_dominates(self, study):
+        """Fig. 9c: OpenCL's hand-tuned, LDS-tiled force kernel wins
+        big (58.75x in the paper; same ballpark here)."""
+        ocl = speedup_of(study, "CoMD", "OpenCL", apu=False)
+        assert 20 < ocl < 90
+
+    def test_comd_ordering_and_dp_gap(self, study):
+        ocl_sp = speedup_of(study, "CoMD", "OpenCL", apu=False)
+        amp_sp = speedup_of(study, "CoMD", "C++ AMP", apu=False)
+        acc_sp = speedup_of(study, "CoMD", "OpenACC", apu=False)
+        assert acc_sp < amp_sp < ocl_sp
+        ocl_dp = speedup_of(study, "CoMD", "OpenCL", apu=False, precision=Precision.DOUBLE)
+        assert ocl_dp < 0.6 * ocl_sp  # 1/4 DP rate shows clearly
+
+
+class TestSubplot9d:
+    def test_xsbench_opencl_up_to_2x_better(self, study):
+        """'The OpenCL implementation performed the best with an
+        improvement of up to 2x over the other programming models.'"""
+        ocl = speedup_of(study, "XSBench", "OpenCL", apu=False, precision=Precision.DOUBLE)
+        amp = speedup_of(study, "XSBench", "C++ AMP", apu=False, precision=Precision.DOUBLE)
+        acc = speedup_of(study, "XSBench", "OpenACC", apu=False, precision=Precision.DOUBLE)
+        assert ocl > amp > acc
+        assert ocl / acc == pytest.approx(2.0, abs=0.7)
+
+    def test_xsbench_magnitude_fits_axis(self, study):
+        """Fig. 9d's axis runs to 10."""
+        ocl = speedup_of(study, "XSBench", "OpenCL", apu=False, precision=Precision.DOUBLE)
+        assert 2 < ocl < 10
+
+
+class TestSubplot9e:
+    def test_minife_scales_with_bandwidth(self, study):
+        """'Both OpenCL and C++ AMP implementations scale with improved
+        memory bandwidth on the discrete GPU.'"""
+        for model in ("OpenCL", "C++ AMP"):
+            dgpu = speedup_of(study, "miniFE", model, apu=False, precision=Precision.DOUBLE)
+            apu = speedup_of(study, "miniFE", model, apu=True, precision=Precision.DOUBLE)
+            assert dgpu > 3 * apu, model
+
+    def test_minife_openacc_slowest(self, study):
+        ocl = speedup_of(study, "miniFE", "OpenACC", apu=False, precision=Precision.DOUBLE)
+        assert ocl < speedup_of(study, "miniFE", "C++ AMP", apu=False, precision=Precision.DOUBLE)
+        assert ocl < speedup_of(study, "miniFE", "OpenCL", apu=False, precision=Precision.DOUBLE)
+
+
+class TestFigureWideClaims:
+    def test_opencl_wins_every_app_on_dgpu(self, study):
+        """'On a discrete GPU, OpenCL performs substantially better
+        than both OpenACC and C++ AMP.'"""
+        for app in FIGURE_APPS:
+            ocl = speedup_of(study, app, "OpenCL", apu=False)
+            for other in ("C++ AMP", "OpenACC"):
+                assert ocl > speedup_of(study, app, other, apu=False), (app, other)
+
+    def test_performance_portability_of_emerging_models(self, study):
+        """'The performance improvement in all cases when moved from
+        APU to discrete GPU' for the unmodified emerging-model codes.
+        Kernel-level comparison, as the paper's portability argument is
+        about the generated device code (its transfer costs are the
+        separately-discussed dGPU weakness)."""
+        for app in FIGURE_APPS:
+            for model in ("C++ AMP", "OpenACC"):
+                dgpu = speedup_of(study, app, model, apu=False, kernel_only=True)
+                apu = speedup_of(study, app, model, apu=True, kernel_only=True)
+                assert dgpu > apu, (app, model)

@@ -1,0 +1,54 @@
+"""Table II / Table III: the hardware and toolchain inventory.
+
+Not a measurement — a consistency benchmark: the specs the simulator
+runs on must agree with every number the paper prints, and rendering
+must be cheap.
+"""
+
+import pytest
+
+from repro.core.report import render_table2, render_table3
+from repro.hardware.specs import A10_7850K_CPU, A10_7850K_GPU, R9_280X, table2_rows
+from repro.models.registry import table3_rows
+
+
+def test_render_table2(benchmark):
+    text = benchmark(render_table2)
+    print("\n" + text)
+    print()
+    print(render_table3())
+    assert "258 GB/s" in text
+
+
+class TestPaperNumbers:
+    def test_dgpu_column(self):
+        rows = table2_rows()[0]
+        assert rows["Stream Processors"] == "2048"
+        assert rows["Compute Units"] == "32"
+        assert rows["Core Clock Frequency"] == "925 MHz"
+        assert rows["Memory Bus type"] == "GDDR5"
+        assert rows["Device Memory"] == "3 GB"
+        assert rows["Local Memory"] == "64 KB"
+        assert rows["Peak Bandwidth"] == "258 GB/s"
+        assert rows["Peak Single Precision Perf."] == "3800 GFLOPS"
+
+    def test_apu_column(self):
+        rows = table2_rows()[1]
+        assert rows["Core Clock Frequency"] == "720 MHz"
+        assert rows["Memory Bus type"] == "DDR3"
+        assert rows["Peak Bandwidth"] == "33 GB/s"
+        assert rows["Peak Single Precision Perf."] == "738 GFLOPS"
+
+    def test_host(self):
+        assert A10_7850K_CPU.cores == 4
+        assert A10_7850K_CPU.clock_mhz == 3700.0
+
+    def test_dp_ratios(self):
+        assert R9_280X.dp_rate_ratio == pytest.approx(1 / 4)
+        assert A10_7850K_GPU.dp_rate_ratio == pytest.approx(1 / 16)
+
+    def test_table3(self):
+        compilers = {r.model: r.compiler for r in table3_rows()}
+        assert compilers["OpenCL"] == "AMD Catalyst driver v14.6"
+        assert compilers["C++ AMP"] == "CLAMP v0.6.0"
+        assert "PGI v14.10" in compilers["OpenACC"]

@@ -1,0 +1,48 @@
+"""Table IV: Source Lines of Code Changed Starting from Serial.
+
+Runs the SLOCCount-equivalent over our own ports and checks the
+paper's productivity ordering.
+"""
+
+from repro.apps import ALL_APPS
+from repro.core.report import render_table4
+from repro.sloc import PAPER_TABLE4, table4
+
+
+def test_measure_table4(benchmark):
+    measured = benchmark(table4, ALL_APPS)
+    print("\n" + render_table4(measured, PAPER_TABLE4))
+    assert set(measured) == set(PAPER_TABLE4)
+
+
+class TestOrdering:
+    def test_opencl_most_verbose_everywhere(self):
+        for app, counts in table4(ALL_APPS).items():
+            assert counts["OpenCL"] == max(counts.values()), app
+
+    def test_openmp_least_verbose_everywhere(self):
+        for app, counts in table4(ALL_APPS).items():
+            assert counts["OpenMP"] == min(counts.values()), app
+
+    def test_emerging_models_much_cheaper_than_opencl(self):
+        """read-benchmark: 'OpenCL requires 4x more lines of code than
+        both C++ AMP and OpenACC' (shape: a clear multiple)."""
+        counts = table4(ALL_APPS)["read-benchmark"]
+        assert counts["OpenCL"] >= 2 * counts["C++ AMP"]
+        assert counts["OpenCL"] >= 2 * counts["OpenACC"]
+
+    def test_lulesh_exception(self):
+        """LULESH 'required almost similar number of lines of code
+        across all the programming models'."""
+        counts = table4(ALL_APPS)["LULESH"]
+        gpu = [counts["OpenCL"], counts["C++ AMP"], counts["OpenACC"]]
+        assert max(gpu) < 3 * min(gpu)
+
+    def test_openacc_minimal_changes_on_average(self):
+        """'Among all the programming models examined, OpenACC required
+        minimal changes to the serial code' (of the GPU models)."""
+        measured = table4(ALL_APPS)
+        acc_total = sum(counts["OpenACC"] for counts in measured.values())
+        amp_total = sum(counts["C++ AMP"] for counts in measured.values())
+        ocl_total = sum(counts["OpenCL"] for counts in measured.values())
+        assert acc_total < amp_total < ocl_total

@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Sedov blast: run the LULESH hydrodynamics and watch the shock.
+
+Uses the LULESH substrate directly (no programming-model layer): the
+same 28-kernel Lagrange schedule the ports launch, driven serially,
+with the physics observable — shock radius, energy partition, the
+adaptive time step.
+
+Run:
+    python examples/sedov_blast.py
+"""
+
+import numpy as np
+
+from repro import Precision
+from repro.apps.lulesh import LuleshConfig, make_state, run_iteration
+from repro.apps.lulesh.physics import E_ZERO
+
+config = LuleshConfig(size=12, iterations=60)
+state = make_state(config, Precision.DOUBLE)
+initial_energy = E_ZERO * config.spacing**3
+
+print(f"Sedov blast on a {config.size}^3 Lagrangian hex mesh")
+print(f"blast energy deposited in the origin element: {E_ZERO:.3e}\n")
+print(f"{'iter':>4s} {'time':>12s} {'dt':>12s} {'shock radius':>13s} "
+      f"{'internal %':>10s} {'kinetic %':>9s} {'E drift %':>9s}")
+
+for iteration in range(1, config.iterations + 1):
+    run_iteration(state)
+    if iteration % 10 == 0 or iteration == 1:
+        # Shock front: outermost element whose energy is significant.
+        hot = np.argwhere(state.e > 1e-4 * E_ZERO)
+        radius = 0.0
+        if len(hot):
+            radius = float(np.max(np.linalg.norm((hot + 0.5) * config.spacing, axis=1)))
+        internal = float((state.e * state.elem_mass).sum())
+        kinetic = 0.5 * float(
+            (state.nodal_mass * (state.xd**2 + state.yd**2 + state.zd**2)).sum()
+        )
+        total = internal + kinetic
+        drift = 100.0 * (total - initial_energy) / initial_energy
+        print(
+            f"{iteration:4d} {state.time:12.4e} {state.dt:12.4e} {radius:13.4f} "
+            f"{100 * internal / total:9.1f}% {100 * kinetic / total:8.1f}% {drift:8.2f}%"
+        )
+
+print("\nThe shock expands, internal energy converts to kinetic energy,")
+print("and the Courant condition throttles dt as the sound speed rises.")

@@ -1,0 +1,72 @@
+"""repro: a full reproduction of "Exploring Parallel Programming
+Models for Heterogeneous Computing Systems" (Daga, Tschirhart &
+Freitag, IISWC 2015) as a simulated heterogeneous-computing stack.
+
+The package layers:
+
+* :mod:`repro.hardware` — the paper's testbed as device models (AMD
+  Radeon R9 280X discrete GPU, AMD A10-7850K APU, Table II).
+* :mod:`repro.engine` — kernel IR, roofline+occupancy timing, cache
+  simulation and an event-driven wavefront scheduler.
+* :mod:`repro.models` — programming-model runtimes with the paper's
+  API shapes: OpenCL, C++ AMP (CLAMP), OpenACC (PGI), OpenMP, serial
+  and Heterogeneous Compute (Sec. VII).
+* :mod:`repro.apps` — the five workloads, each implemented for real
+  (NumPy numerics) and ported to every model: read-memory, LULESH,
+  CoMD, XSBench, miniFE.
+* :mod:`repro.sloc` — the SLOCCount-equivalent behind Table IV.
+* :mod:`repro.core` — the comparison study, frequency sweeps,
+  characterization, productivity (Eq. 1) and paper-style reports.
+
+Quick start::
+
+    from repro import run_study, ALL_APPS, bench_configs, Precision
+    study = run_study(ALL_APPS, configs=bench_configs())
+    print(study.speedups("CoMD", apu=False, precision=Precision.SINGLE))
+"""
+
+from .apps import ALL_APPS, APPS_BY_NAME, PROXY_APPS, ProxyApp, RunResult
+from .core import (
+    GPU_MODELS,
+    StudyResult,
+    SweepResult,
+    bench_configs,
+    characterize,
+    compute_productivity,
+    feature_matrix,
+    harmonic_mean,
+    run_study,
+    run_sweep,
+    speedup,
+    sweep_configs,
+)
+from .hardware import Platform, Precision, make_apu_platform, make_dgpu_platform
+from .models import ExecutionContext
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_APPS",
+    "APPS_BY_NAME",
+    "ExecutionContext",
+    "GPU_MODELS",
+    "PROXY_APPS",
+    "Platform",
+    "Precision",
+    "ProxyApp",
+    "RunResult",
+    "StudyResult",
+    "SweepResult",
+    "__version__",
+    "bench_configs",
+    "characterize",
+    "compute_productivity",
+    "feature_matrix",
+    "harmonic_mean",
+    "make_apu_platform",
+    "make_dgpu_platform",
+    "run_study",
+    "run_sweep",
+    "speedup",
+    "sweep_configs",
+]

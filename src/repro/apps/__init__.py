@@ -1,0 +1,37 @@
+"""The paper's five workloads, each ported to every programming model.
+
+``ALL_APPS`` lists them in the paper's presentation order (Figures
+8-10, Table IV): the read-memory micro-benchmark, then LULESH, CoMD,
+XSBench and miniFE.
+"""
+
+from .base import Port, ProxyApp, RunResult, make_result
+from .comd import APP as COMD
+from .lulesh import APP as LULESH
+from .minife import APP as MINIFE
+from .readmem import APP as READMEM
+from .xsbench import APP as XSBENCH
+
+#: Paper presentation order.
+ALL_APPS: tuple[ProxyApp, ...] = (READMEM, LULESH, COMD, XSBENCH, MINIFE)
+
+#: Lookup by the names used in the paper's tables and figures.
+APPS_BY_NAME: dict[str, ProxyApp] = {app.name: app for app in ALL_APPS}
+
+#: The four proxy applications of Table I (without the micro-benchmark).
+PROXY_APPS: tuple[ProxyApp, ...] = (LULESH, COMD, XSBENCH, MINIFE)
+
+__all__ = [
+    "ALL_APPS",
+    "APPS_BY_NAME",
+    "COMD",
+    "LULESH",
+    "MINIFE",
+    "PROXY_APPS",
+    "Port",
+    "ProxyApp",
+    "READMEM",
+    "RunResult",
+    "XSBENCH",
+    "make_result",
+]

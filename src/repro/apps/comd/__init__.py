@@ -1,0 +1,64 @@
+"""CoMD molecular-dynamics proxy application (Sec. IV-B).
+
+Lennard-Jones forces over a link-cell neighbour structure with
+velocity-Verlet integration.  Compute-bound (Figure 7c); the force
+kernel is >90% of runtime; Table I counts 3 (LJ) kernels.
+"""
+
+from ..base import ProxyApp
+from . import port_cppamp, port_hc, port_openacc, port_opencl, port_openmp, port_serial
+from .driver import REBIN_INTERVAL, compute_forces, epochs, run_reference
+from .kernels import ATOMS_PER_CELL, advance_position, advance_velocity, kernel_specs, lj_force
+from .reference import (
+    LATTICE_A0,
+    LJ_CUTOFF,
+    CoMDConfig,
+    CoMDState,
+    bin_atoms,
+    build_neighbor_map,
+    default_config,
+    make_state,
+    needs_rebin,
+    paper_config,
+)
+
+APP = ProxyApp(
+    name="CoMD",
+    description="Lennard-Jones molecular dynamics with link cells (Sec. IV-B)",
+    command_line="./CoMD -x 60 -y 60 -z 60",
+    n_kernels=3,
+    boundedness="Compute",
+    default_config=default_config,
+    paper_config=paper_config,
+    ports={
+        port_serial.model_name: port_serial.run,
+        port_openmp.model_name: port_openmp.run,
+        port_opencl.model_name: port_opencl.run,
+        port_cppamp.model_name: port_cppamp.run,
+        port_openacc.model_name: port_openacc.run,
+        port_hc.model_name: port_hc.run,
+    },
+)
+
+__all__ = [
+    "APP",
+    "ATOMS_PER_CELL",
+    "CoMDConfig",
+    "CoMDState",
+    "LATTICE_A0",
+    "LJ_CUTOFF",
+    "REBIN_INTERVAL",
+    "advance_position",
+    "advance_velocity",
+    "bin_atoms",
+    "build_neighbor_map",
+    "compute_forces",
+    "default_config",
+    "epochs",
+    "kernel_specs",
+    "lj_force",
+    "make_state",
+    "needs_rebin",
+    "paper_config",
+    "run_reference",
+]

@@ -1,0 +1,59 @@
+"""CoMD velocity-Verlet driver (serial reference) and shared schedule.
+
+Every port runs the same schedule: an initial force evaluation, then
+velocity-Verlet steps grouped into *epochs* of ``REBIN_INTERVAL``
+steps.  The link-cell table is rebuilt on the host between epochs
+(CoMD re-sorts its atoms periodically); device ports synchronize
+positions, rebuild, and re-stage the table at those points only.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...hardware.specs import Precision
+from .kernels import advance_position, advance_velocity, lj_force
+from .reference import LJ_CUTOFF, CoMDConfig, CoMDState, bin_atoms, make_state
+
+#: Steps between link-cell rebuilds (host-side in every port).
+REBIN_INTERVAL = 20
+
+
+def epochs(total_steps: int, interval: int = REBIN_INTERVAL) -> Iterator[int]:
+    """Chunk ``total_steps`` into rebin epochs of at most ``interval``."""
+    remaining = total_steps
+    while remaining > 0:
+        chunk = min(interval, remaining)
+        yield chunk
+        remaining -= chunk
+
+
+def compute_forces(state: CoMDState) -> None:
+    """Reference force evaluation on the host arrays."""
+    lj_force(
+        state.positions,
+        state.forces,
+        state.pe_per_atom,
+        state.cell_atoms,
+        state.cell_count,
+        state.neighbor_cells,
+        state.config.box,
+        LJ_CUTOFF,
+    )
+
+
+def run_reference(config: CoMDConfig, precision: Precision) -> CoMDState:
+    """Serial velocity-Verlet integration of the LJ crystal."""
+    state = make_state(config, precision)
+    dt = config.dt
+    compute_forces(state)
+    chunks = list(epochs(config.steps))
+    for i, chunk in enumerate(chunks):
+        for _ in range(chunk):
+            advance_velocity(state.velocities, state.forces, 0.5 * dt)
+            advance_position(state.positions, state.velocities, config.box, dt)
+            compute_forces(state)
+            advance_velocity(state.velocities, state.forces, 0.5 * dt)
+        if i + 1 < len(chunks):
+            bin_atoms(state)
+    return state

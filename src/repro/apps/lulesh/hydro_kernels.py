@@ -1,0 +1,330 @@
+"""The 28 LULESH kernels.
+
+Each function is one GPU kernel of the paper's LULESH port ("LULESH
+contains a large number of parallel loops resulting in 28 different
+kernels", Sec. IV-A).  All functions are pure array transforms over the
+state arrays of :class:`~repro.apps.lulesh.physics.LuleshState`; ports
+route them through their programming-model API.
+
+Kernel schedule per iteration (names used throughout the ports):
+
+Lagrange nodal (13): init_stress, calc_face_normals, stress_force_x/y/z,
+hourglass_mean_velocity, hourglass_force_x/y/z, calc_acceleration,
+apply_acceleration_bc, calc_velocity, calc_position.
+
+Lagrange elements (13): calc_kinematics, calc_lagrange_elements,
+monotonic_q_gradients, monotonic_q_region, qstop_check,
+apply_material_properties, eos_compression, eos_energy_predict,
+eos_pressure_half, eos_energy_correct, eos_pressure_final,
+eos_sound_speed, update_volumes.
+
+Time constraints (2): courant_constraint, hydro_constraint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .physics import (
+    CFL,
+    CORNERS,
+    DVOVMAX,
+    E_MIN,
+    FACES,
+    GAMMA,
+    HGCOEF,
+    P_MIN,
+    QLC,
+    QQC,
+    U_CUT,
+    V_CUT,
+    _corner,
+    element_volumes,
+)
+
+# ----------------------------------------------------------------------
+# Lagrange nodal phase
+# ----------------------------------------------------------------------
+
+
+def init_stress(p: np.ndarray, q: np.ndarray, sig: np.ndarray) -> None:
+    """Kernel 1: total element stress magnitude sigma = p + q."""
+    np.add(p, q, out=sig)
+
+
+def calc_face_normals(x: np.ndarray, y: np.ndarray, z: np.ndarray, face_normals: np.ndarray) -> None:
+    """Kernel 2: outward area vectors of all six element faces.
+
+    Each face's area vector is half the cross product of its diagonals
+    (exact for planar quads).
+    """
+    s = x.shape[0] - 1
+    for f, (orientation, _axis, corners) in enumerate(FACES):
+        c0, c1, c2, c3 = corners
+        d1 = [_corner(w, c2, s) - _corner(w, c0, s) for w in (x, y, z)]
+        d2 = [_corner(w, c3, s) - _corner(w, c1, s) for w in (x, y, z)]
+        half = 0.5 * orientation
+        face_normals[f, 0] = half * (d1[1] * d2[2] - d1[2] * d2[1])
+        face_normals[f, 1] = half * (d1[2] * d2[0] - d1[0] * d2[2])
+        face_normals[f, 2] = half * (d1[0] * d2[1] - d1[1] * d2[0])
+
+
+def _scatter_face_force(sig: np.ndarray, face_normals: np.ndarray, force: np.ndarray, axis: int) -> None:
+    s = sig.shape[0]
+    force[:] = 0.0
+    for f, (_sign, _faxis, corners) in enumerate(FACES):
+        contribution = 0.25 * sig * face_normals[f, axis]
+        for c in corners:
+            force[c[0] : s + c[0], c[1] : s + c[1], c[2] : s + c[2]] += contribution
+
+
+def stress_force_x(sig: np.ndarray, face_normals: np.ndarray, fx: np.ndarray) -> None:
+    """Kernel 3: integrate stress over faces, scatter x-forces to nodes."""
+    _scatter_face_force(sig, face_normals, fx, 0)
+
+
+def stress_force_y(sig: np.ndarray, face_normals: np.ndarray, fy: np.ndarray) -> None:
+    """Kernel 4: y-component of the stress force."""
+    _scatter_face_force(sig, face_normals, fy, 1)
+
+
+def stress_force_z(sig: np.ndarray, face_normals: np.ndarray, fz: np.ndarray) -> None:
+    """Kernel 5: z-component of the stress force."""
+    _scatter_face_force(sig, face_normals, fz, 2)
+
+
+def hourglass_mean_velocity(xd: np.ndarray, yd: np.ndarray, zd: np.ndarray, vel_mean: np.ndarray) -> None:
+    """Kernel 6: element-mean velocity (the linear field the hourglass
+    damper preserves)."""
+    s = xd.shape[0] - 1
+    for axis, vel in enumerate((xd, yd, zd)):
+        acc = sum(_corner(vel, c, s) for c in CORNERS)
+        vel_mean[axis] = acc / 8.0
+
+
+def _scatter_hourglass_force(
+    vel: np.ndarray,
+    vel_mean_axis: np.ndarray,
+    ss: np.ndarray,
+    arealg: np.ndarray,
+    elem_mass: np.ndarray,
+    v: np.ndarray,
+    force: np.ndarray,
+) -> None:
+    s = vel.shape[0] - 1
+    # Viscous hourglass damping: c = hgcoef * rho * ss * L^2, applied to
+    # each corner's deviation from the element-mean velocity.
+    rho = elem_mass / np.maximum(v * (arealg**3), 1e-30)
+    damping = HGCOEF * 0.01 * rho * np.maximum(ss, 1e-30) * arealg**2
+    for c in CORNERS:
+        deviation = _corner(vel, c, s) - vel_mean_axis
+        force[c[0] : s + c[0], c[1] : s + c[1], c[2] : s + c[2]] -= damping * deviation
+
+
+def hourglass_force_x(
+    xd: np.ndarray, vel_mean: np.ndarray, ss: np.ndarray, arealg: np.ndarray,
+    elem_mass: np.ndarray, v: np.ndarray, fx: np.ndarray,
+) -> None:
+    """Kernel 7: hourglass damping force, x-component."""
+    _scatter_hourglass_force(xd, vel_mean[0], ss, arealg, elem_mass, v, fx)
+
+
+def hourglass_force_y(
+    yd: np.ndarray, vel_mean: np.ndarray, ss: np.ndarray, arealg: np.ndarray,
+    elem_mass: np.ndarray, v: np.ndarray, fy: np.ndarray,
+) -> None:
+    """Kernel 8: hourglass damping force, y-component."""
+    _scatter_hourglass_force(yd, vel_mean[1], ss, arealg, elem_mass, v, fy)
+
+
+def hourglass_force_z(
+    zd: np.ndarray, vel_mean: np.ndarray, ss: np.ndarray, arealg: np.ndarray,
+    elem_mass: np.ndarray, v: np.ndarray, fz: np.ndarray,
+) -> None:
+    """Kernel 9: hourglass damping force, z-component."""
+    _scatter_hourglass_force(zd, vel_mean[2], ss, arealg, elem_mass, v, fz)
+
+
+def calc_acceleration(
+    fx: np.ndarray, fy: np.ndarray, fz: np.ndarray, nodal_mass: np.ndarray,
+    xdd: np.ndarray, ydd: np.ndarray, zdd: np.ndarray,
+) -> None:
+    """Kernel 10: a = F / m at every node."""
+    np.divide(fx, nodal_mass, out=xdd)
+    np.divide(fy, nodal_mass, out=ydd)
+    np.divide(fz, nodal_mass, out=zdd)
+
+
+def apply_acceleration_bc(xdd: np.ndarray, ydd: np.ndarray, zdd: np.ndarray) -> None:
+    """Kernel 11: symmetry boundary conditions on the origin planes."""
+    xdd[0, :, :] = 0.0
+    ydd[:, 0, :] = 0.0
+    zdd[:, :, 0] = 0.0
+
+
+def calc_velocity(
+    xd: np.ndarray, yd: np.ndarray, zd: np.ndarray,
+    xdd: np.ndarray, ydd: np.ndarray, zdd: np.ndarray, dt: float,
+) -> None:
+    """Kernel 12: v += a*dt, with tiny velocities snapped to zero."""
+    for vel, acc in ((xd, xdd), (yd, ydd), (zd, zdd)):
+        vel += acc * dt
+        vel[np.abs(vel) < U_CUT] = 0.0
+
+
+def calc_position(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray,
+    xd: np.ndarray, yd: np.ndarray, zd: np.ndarray, dt: float,
+) -> None:
+    """Kernel 13: x += v*dt (the Lagrangian mesh moves)."""
+    x += xd * dt
+    y += yd * dt
+    z += zd * dt
+
+
+# ----------------------------------------------------------------------
+# Lagrange element phase
+# ----------------------------------------------------------------------
+
+
+def calc_kinematics(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray,
+    volo: np.ndarray, v: np.ndarray, delv: np.ndarray, arealg: np.ndarray,
+) -> None:
+    """Kernel 14: new relative volumes, volume change, characteristic
+    length.  (The kernel CLAMP v0.6.0 could not compile for the dGPU.)"""
+    vnew = element_volumes(x, y, z) / volo
+    np.subtract(vnew, v, out=delv)
+    v[:] = vnew
+    np.cbrt(v * volo, out=arealg)
+
+
+def calc_lagrange_elements(v: np.ndarray, delv: np.ndarray, vdov: np.ndarray, dt: float) -> None:
+    """Kernel 15: volumetric strain rate vdov = (dV/dt)/V."""
+    np.divide(delv, np.maximum(v, 1e-30) * dt, out=vdov)
+
+
+def monotonic_q_gradients(xd: np.ndarray, yd: np.ndarray, zd: np.ndarray, vel_grad: np.ndarray) -> None:
+    """Kernel 16: principal velocity gradients per element."""
+    s = xd.shape[0] - 1
+    for axis, vel in enumerate((xd, yd, zd)):
+        plus = [c for c in CORNERS if c[axis] == 1]
+        minus = [c for c in CORNERS if c[axis] == 0]
+        diff = sum(_corner(vel, c, s) for c in plus) - sum(_corner(vel, c, s) for c in minus)
+        vel_grad[axis] = diff / 4.0
+
+
+def monotonic_q_region(
+    vel_grad: np.ndarray, vdov: np.ndarray, v: np.ndarray, volo: np.ndarray,
+    elem_mass: np.ndarray, arealg: np.ndarray, ss: np.ndarray, q: np.ndarray,
+) -> None:
+    """Kernel 17: artificial viscosity for compressing elements.
+
+    von Neumann-Richtmyer form: q = rho*(qqc*du^2 + qlc*c*|du|), with
+    du the compressive velocity jump across the element.  A full
+    monotonic limiter is replaced by compression gating (simplified;
+    see DESIGN.md).
+    """
+    rho = elem_mass / np.maximum(v * volo, 1e-30)
+    du = np.minimum(vdov, 0.0) * arealg  # compressive velocity scale
+    q[:] = rho * (QQC * du * du + QLC * ss * np.abs(du))
+    q[vdov >= 0.0] = 0.0
+    # vel_grad participates as the (simplified) limiter input: elements
+    # with strongly anisotropic gradients get reduced linear q.
+    anisotropy = np.abs(vel_grad).max(axis=0) - np.abs(vel_grad).min(axis=0)
+    scale = np.abs(vel_grad).max(axis=0) + 1e-30
+    limiter = np.clip(1.0 - 0.5 * anisotropy / scale, 0.5, 1.0)
+    q *= limiter
+
+
+def qstop_check(q: np.ndarray, q_max: np.ndarray) -> None:
+    """Kernel 18: parallel max-reduction of q (host tests against
+    QSTOP).  On the GPU this is a workgroup tree reduction plus one
+    atomic; only the scalar crosses back to the host."""
+    q_max[0] = q.max()
+
+
+def apply_material_properties(v: np.ndarray) -> None:
+    """Kernel 19: clamp relative volumes to the material's EOS range.
+
+    LULESH ships with eosvmin/eosvmax effectively disabled; the very
+    wide range here only guards against numerical blow-up.
+    """
+    np.clip(v, 1e-4, 1e4, out=v)
+
+
+def eos_compression(v: np.ndarray, compression: np.ndarray) -> None:
+    """Kernel 20: compression = 1/v - 1."""
+    np.divide(1.0, np.maximum(v, 1e-30), out=compression)
+    compression -= 1.0
+
+
+def eos_energy_predict(
+    e: np.ndarray, delv: np.ndarray, p: np.ndarray, q: np.ndarray, e_pred: np.ndarray
+) -> None:
+    """Kernel 21: half-step energy from pdV work of the old stress."""
+    e_pred[:] = e - 0.5 * delv * (p + q)
+    np.maximum(e_pred, E_MIN, out=e_pred)
+
+
+def eos_pressure_half(e_pred: np.ndarray, compression: np.ndarray, p_half: np.ndarray) -> None:
+    """Kernel 22: half-step pressure p = (gamma-1)*(1+mu)*e."""
+    p_half[:] = (GAMMA - 1.0) * (1.0 + compression) * e_pred
+    np.maximum(p_half, P_MIN, out=p_half)
+
+
+def eos_energy_correct(
+    e_pred: np.ndarray, delv: np.ndarray, p_half: np.ndarray, q: np.ndarray, e: np.ndarray
+) -> None:
+    """Kernel 23: corrected energy using the half-step pressure.
+
+    Second half of the trapezoidal pdV work: the predictor already
+    applied -delv/2*(p_old+q_old); adding -delv/2*(p_half+q_new)
+    completes a second-order estimate of the work integral.
+    """
+    e[:] = e_pred - 0.5 * delv * (p_half + q)
+    np.maximum(e, E_MIN, out=e)
+
+
+def eos_pressure_final(e: np.ndarray, compression: np.ndarray, p: np.ndarray) -> None:
+    """Kernel 24: end-of-step pressure from the corrected energy."""
+    p[:] = (GAMMA - 1.0) * (1.0 + compression) * e
+    np.maximum(p, P_MIN, out=p)
+
+
+def eos_sound_speed(p: np.ndarray, v: np.ndarray, ss: np.ndarray) -> None:
+    """Kernel 25: sound speed c^2 = gamma * p * v / rho_ref."""
+    np.sqrt(np.maximum(GAMMA * p * v, 1e-30), out=ss)
+
+
+def update_volumes(v: np.ndarray) -> None:
+    """Kernel 26: snap volumes within v_cut of 1 back to exactly 1."""
+    v[np.abs(v - 1.0) < V_CUT] = 1.0
+
+
+# ----------------------------------------------------------------------
+# Time constraints
+# ----------------------------------------------------------------------
+
+
+def courant_constraint(
+    ss: np.ndarray, vdov: np.ndarray, arealg: np.ndarray,
+    dt_courant_elem: np.ndarray, dt_courant_min: np.ndarray,
+) -> None:
+    """Kernel 27: per-element Courant limit CFL*L/(c + compressive
+    term), reduced to a scalar minimum on the device."""
+    denom = np.sqrt(ss * ss + (QQC * arealg * np.minimum(vdov, 0.0)) ** 2)
+    with np.errstate(divide="ignore"):
+        dt_courant_elem[:] = np.where(denom > 1e-30, CFL * arealg / np.maximum(denom, 1e-30), np.inf)
+    dt_courant_min[0] = dt_courant_elem.min()
+
+
+def hydro_constraint(
+    vdov: np.ndarray, dt_hydro_elem: np.ndarray, dt_hydro_min: np.ndarray
+) -> None:
+    """Kernel 28: per-element hydro limit dvovmax/|vdov|, reduced to a
+    scalar minimum on the device."""
+    magnitude = np.abs(vdov)
+    with np.errstate(divide="ignore"):
+        dt_hydro_elem[:] = np.where(magnitude > 1e-30, DVOVMAX / np.maximum(magnitude, 1e-30), np.inf)
+    dt_hydro_min[0] = dt_hydro_elem.min()

@@ -1,0 +1,154 @@
+"""LULESH kernel schedule and performance characterizations.
+
+``SCHEDULE`` lists the 28 kernels of one Lagrange iteration in launch
+order, with the state arrays each touches (in the kernel function's
+parameter order) and the scalars it takes.  Ports iterate this
+schedule but wrap the arrays in their model's buffer abstraction.
+
+``kernel_specs`` characterizes each kernel for the timing model.  Op
+counts are per-launch formulas in the element/node counts, derived by
+counting the array operations of the kernel implementations (the test
+suite cross-checks a sample of them against instrumented NumPy runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ...engine.kernel import AccessKind, AccessPattern, KernelSpec, OpCount
+from ...hardware.specs import Precision
+from . import hydro_kernels as hk
+from .physics import LuleshConfig
+
+
+@dataclass(frozen=True)
+class Step:
+    """One kernel launch of the schedule."""
+
+    name: str
+    func: Callable[..., None]
+    #: State-array names in the kernel's parameter order.
+    arrays: tuple[str, ...]
+    #: Subset of ``arrays`` the kernel writes.
+    writes: tuple[str, ...]
+    #: Host scalars appended after the arrays ("dt" only, currently).
+    scalars: tuple[str, ...] = ()
+
+
+SCHEDULE: tuple[Step, ...] = (
+    # --- Lagrange nodal -------------------------------------------------
+    Step("lulesh.init_stress", hk.init_stress, ("p", "q", "sig"), ("sig",)),
+    Step("lulesh.calc_face_normals", hk.calc_face_normals, ("x", "y", "z", "face_normals"), ("face_normals",)),
+    Step("lulesh.stress_force_x", hk.stress_force_x, ("sig", "face_normals", "fx"), ("fx",)),
+    Step("lulesh.stress_force_y", hk.stress_force_y, ("sig", "face_normals", "fy"), ("fy",)),
+    Step("lulesh.stress_force_z", hk.stress_force_z, ("sig", "face_normals", "fz"), ("fz",)),
+    Step("lulesh.hourglass_mean_velocity", hk.hourglass_mean_velocity, ("xd", "yd", "zd", "vel_mean"), ("vel_mean",)),
+    Step("lulesh.hourglass_force_x", hk.hourglass_force_x, ("xd", "vel_mean", "ss", "arealg", "elem_mass", "v", "fx"), ("fx",)),
+    Step("lulesh.hourglass_force_y", hk.hourglass_force_y, ("yd", "vel_mean", "ss", "arealg", "elem_mass", "v", "fy"), ("fy",)),
+    Step("lulesh.hourglass_force_z", hk.hourglass_force_z, ("zd", "vel_mean", "ss", "arealg", "elem_mass", "v", "fz"), ("fz",)),
+    Step("lulesh.calc_acceleration", hk.calc_acceleration, ("fx", "fy", "fz", "nodal_mass", "xdd", "ydd", "zdd"), ("xdd", "ydd", "zdd")),
+    Step("lulesh.apply_acceleration_bc", hk.apply_acceleration_bc, ("xdd", "ydd", "zdd"), ("xdd", "ydd", "zdd")),
+    Step("lulesh.calc_velocity", hk.calc_velocity, ("xd", "yd", "zd", "xdd", "ydd", "zdd"), ("xd", "yd", "zd"), ("dt",)),
+    Step("lulesh.calc_position", hk.calc_position, ("x", "y", "z", "xd", "yd", "zd"), ("x", "y", "z"), ("dt",)),
+    # --- Lagrange elements ---------------------------------------------
+    Step("lulesh.calc_kinematics", hk.calc_kinematics, ("x", "y", "z", "volo", "v", "delv", "arealg"), ("v", "delv", "arealg")),
+    Step("lulesh.calc_lagrange_elements", hk.calc_lagrange_elements, ("v", "delv", "vdov"), ("vdov",), ("dt",)),
+    Step("lulesh.monotonic_q_gradients", hk.monotonic_q_gradients, ("xd", "yd", "zd", "vel_grad"), ("vel_grad",)),
+    Step("lulesh.monotonic_q_region", hk.monotonic_q_region, ("vel_grad", "vdov", "v", "volo", "elem_mass", "arealg", "ss", "q"), ("q",)),
+    Step("lulesh.qstop_check", hk.qstop_check, ("q", "q_max"), ("q_max",)),
+    Step("lulesh.apply_material_properties", hk.apply_material_properties, ("v",), ("v",)),
+    Step("lulesh.eos_compression", hk.eos_compression, ("v", "compression"), ("compression",)),
+    Step("lulesh.eos_energy_predict", hk.eos_energy_predict, ("e", "delv", "p", "q", "e_pred"), ("e_pred",)),
+    Step("lulesh.eos_pressure_half", hk.eos_pressure_half, ("e_pred", "compression", "p_half"), ("p_half",)),
+    Step("lulesh.eos_energy_correct", hk.eos_energy_correct, ("e_pred", "delv", "p_half", "q", "e"), ("e",)),
+    Step("lulesh.eos_pressure_final", hk.eos_pressure_final, ("e", "compression", "p"), ("p",)),
+    Step("lulesh.eos_sound_speed", hk.eos_sound_speed, ("p", "v", "ss"), ("ss",)),
+    Step("lulesh.update_volumes", hk.update_volumes, ("v",), ("v",)),
+    # --- time constraints ------------------------------------------------
+    Step("lulesh.courant_constraint", hk.courant_constraint, ("ss", "vdov", "arealg", "dt_courant_elem", "dt_courant_min"), ("dt_courant_elem", "dt_courant_min")),
+    Step("lulesh.hydro_constraint", hk.hydro_constraint, ("vdov", "dt_hydro_elem", "dt_hydro_min"), ("dt_hydro_elem", "dt_hydro_min")),
+)
+
+#: name -> Step, for ports that address kernels individually.
+STEPS_BY_NAME = {step.name: step for step in SCHEDULE}
+
+#: (flops_per_item, reads_per_item, writes_per_item, instructions_per_item,
+#:  kind, reuse, registers, divergence, unroll, cpu_simd) per kernel.
+#: "item" is one element (or node for nodal kernels).
+_CHARACTERIZATION: dict[str, tuple] = {
+    "lulesh.init_stress": (1, 2, 1, 5, AccessKind.STREAMING, 0.0, 16, 0.0, 0.0, 0.95),
+    "lulesh.calc_face_normals": (160, 24, 18, 280, AccessKind.STENCIL, 0.82, 84, 0.02, 0.25, 0.75),
+    "lulesh.stress_force_x": (30, 15, 8, 70, AccessKind.STENCIL, 0.8, 40, 0.03, 0.2, 0.7),
+    "lulesh.stress_force_y": (30, 15, 8, 70, AccessKind.STENCIL, 0.8, 40, 0.03, 0.2, 0.7),
+    "lulesh.stress_force_z": (30, 15, 8, 70, AccessKind.STENCIL, 0.8, 40, 0.03, 0.2, 0.7),
+    "lulesh.hourglass_mean_velocity": (27, 24, 3, 60, AccessKind.STENCIL, 0.85, 32, 0.0, 0.2, 0.8),
+    "lulesh.hourglass_force_x": (30, 13, 8, 70, AccessKind.STENCIL, 0.8, 48, 0.03, 0.2, 0.7),
+    "lulesh.hourglass_force_y": (30, 13, 8, 70, AccessKind.STENCIL, 0.8, 48, 0.03, 0.2, 0.7),
+    "lulesh.hourglass_force_z": (30, 13, 8, 70, AccessKind.STENCIL, 0.8, 48, 0.03, 0.2, 0.7),
+    "lulesh.calc_acceleration": (3, 4, 3, 14, AccessKind.STREAMING, 0.0, 16, 0.0, 0.0, 0.95),
+    "lulesh.apply_acceleration_bc": (0, 0.2, 0.2, 2, AccessKind.STREAMING, 0.0, 8, 0.0, 0.0, 0.9),
+    "lulesh.calc_velocity": (6, 6, 3, 22, AccessKind.STREAMING, 0.0, 16, 0.05, 0.0, 0.9),
+    "lulesh.calc_position": (6, 6, 3, 18, AccessKind.STREAMING, 0.0, 16, 0.0, 0.0, 0.95),
+    "lulesh.calc_kinematics": (95, 26, 3, 210, AccessKind.STENCIL, 0.82, 72, 0.02, 0.25, 0.75),
+    "lulesh.calc_lagrange_elements": (3, 2, 1, 9, AccessKind.STREAMING, 0.0, 12, 0.0, 0.0, 0.95),
+    "lulesh.monotonic_q_gradients": (30, 24, 3, 70, AccessKind.STENCIL, 0.85, 36, 0.0, 0.2, 0.8),
+    "lulesh.monotonic_q_region": (24, 8, 1, 55, AccessKind.STREAMING, 0.0, 28, 0.08, 0.1, 0.8),
+    "lulesh.qstop_check": (1, 1, 1, 4, AccessKind.STREAMING, 0.0, 8, 0.0, 0.0, 1.0),
+    "lulesh.apply_material_properties": (2, 1, 1, 5, AccessKind.STREAMING, 0.0, 8, 0.0, 0.0, 0.95),
+    "lulesh.eos_compression": (2, 1, 1, 6, AccessKind.STREAMING, 0.0, 8, 0.0, 0.0, 0.95),
+    "lulesh.eos_energy_predict": (5, 4, 1, 13, AccessKind.STREAMING, 0.0, 12, 0.02, 0.0, 0.9),
+    "lulesh.eos_pressure_half": (4, 2, 1, 10, AccessKind.STREAMING, 0.0, 10, 0.02, 0.0, 0.9),
+    "lulesh.eos_energy_correct": (5, 4, 1, 13, AccessKind.STREAMING, 0.0, 12, 0.02, 0.0, 0.9),
+    "lulesh.eos_pressure_final": (4, 2, 1, 10, AccessKind.STREAMING, 0.0, 10, 0.02, 0.0, 0.9),
+    "lulesh.eos_sound_speed": (6, 2, 1, 14, AccessKind.STREAMING, 0.0, 12, 0.0, 0.0, 0.9),
+    "lulesh.update_volumes": (2, 1, 1, 5, AccessKind.STREAMING, 0.0, 8, 0.02, 0.0, 0.9),
+    "lulesh.courant_constraint": (10, 3, 1, 22, AccessKind.STREAMING, 0.0, 14, 0.04, 0.0, 0.85),
+    "lulesh.hydro_constraint": (4, 1, 1, 10, AccessKind.STREAMING, 0.0, 10, 0.04, 0.0, 0.85),
+}
+
+#: Kernels whose work-items are nodes rather than elements.
+_NODAL_KERNELS = frozenset(
+    {
+        "lulesh.calc_acceleration",
+        "lulesh.apply_acceleration_bc",
+        "lulesh.calc_velocity",
+        "lulesh.calc_position",
+    }
+)
+
+
+def kernel_specs(config: LuleshConfig, precision: Precision) -> dict[str, KernelSpec]:
+    """Characterize all 28 kernels for one problem size and precision."""
+    ebytes = precision.bytes_per_element
+    n_elems = config.n_elems
+    n_nodes = config.n_nodes
+    specs: dict[str, KernelSpec] = {}
+    for name, char in _CHARACTERIZATION.items():
+        (flops, reads, writes, instr, kind, reuse, regs, div, unroll, simd) = char
+        items = n_nodes if name in _NODAL_KERNELS else n_elems
+        working_set = (reads + writes) * items * ebytes
+        specs[name] = KernelSpec(
+            name=name,
+            work_items=items,
+            ops=OpCount(
+                flops=float(flops * items),
+                int_ops=float(3 * items),
+                bytes_read=float(reads * items * ebytes),
+                bytes_written=float(writes * items * ebytes),
+            ),
+            access=AccessPattern(
+                kind=kind,
+                working_set_bytes=max(float(working_set), 64.0),
+                request_bytes=ebytes,
+                reuse_fraction=reuse,
+                row_buffer_efficiency=0.95 if kind is AccessKind.STREAMING else 0.85,
+            ),
+            workgroup_size=128,
+            instructions_per_item=float(instr),
+            registers_per_thread=regs,
+            divergence=div,
+            unroll_benefit=unroll,
+            cpu_simd_fraction=simd,
+        )
+    return specs

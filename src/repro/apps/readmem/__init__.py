@@ -1,0 +1,51 @@
+"""read-memory micro-benchmark (Section III).
+
+Streams a buffer, summing blocks of 64 contiguous elements.  The paper
+uses it to isolate the quality of each compiler's generated device
+code: with transfers excluded, OpenCL beats C++ AMP by 1.3x and
+OpenACC by 2x on both platforms.
+"""
+
+from ..base import ProxyApp
+from . import port_cppamp, port_hc, port_openacc, port_opencl, port_openmp, port_serial
+from .kernels import read_gpu_kernel, read_kernel_spec
+from .reference import (
+    BLOCK_SIZE,
+    ReadMemConfig,
+    default_config,
+    make_input,
+    paper_config,
+    read_serial_cpu,
+    reference_checksum,
+)
+
+APP = ProxyApp(
+    name="read-benchmark",
+    description="streams memory summing 64-element blocks (Sec. III)",
+    command_line="./read-benchmark",
+    n_kernels=1,
+    boundedness="Memory",
+    default_config=default_config,
+    paper_config=paper_config,
+    ports={
+        port_serial.model_name: port_serial.run,
+        port_openmp.model_name: port_openmp.run,
+        port_opencl.model_name: port_opencl.run,
+        port_cppamp.model_name: port_cppamp.run,
+        port_openacc.model_name: port_openacc.run,
+        port_hc.model_name: port_hc.run,
+    },
+)
+
+__all__ = [
+    "APP",
+    "BLOCK_SIZE",
+    "ReadMemConfig",
+    "default_config",
+    "make_input",
+    "paper_config",
+    "read_gpu_kernel",
+    "read_kernel_spec",
+    "read_serial_cpu",
+    "reference_checksum",
+]

@@ -1,0 +1,47 @@
+"""Read-memory device kernel and its performance characterization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...engine.kernel import AccessKind, AccessPattern, KernelSpec, OpCount
+from ...hardware.specs import Precision
+from .reference import ReadMemConfig
+
+
+def read_gpu_kernel(data: np.ndarray, out: np.ndarray, block_size: int) -> None:
+    """Figure 4b: each thread sums one block of 64 contiguous elements."""
+    out[:] = data.reshape(-1, block_size).sum(axis=1)
+
+
+def read_kernel_spec(config: ReadMemConfig, precision: Precision) -> KernelSpec:
+    """Characterize the read kernel for the timing model.
+
+    Per output element: ``block_size`` loads, ``block_size - 1`` adds
+    and one store.  The stream is perfectly coalesced and touched once,
+    making the kernel purely bandwidth-bound (Figure 7a) — which is
+    exactly why the paper uses it to isolate code-generation quality.
+    """
+    ebytes = precision.bytes_per_element
+    n = config.size
+    return KernelSpec(
+        name="readmem.block_sum",
+        work_items=config.n_blocks,
+        ops=OpCount(
+            flops=float(n - config.n_blocks),
+            int_ops=2.0 * config.n_blocks,
+            bytes_read=float(n * ebytes),
+            bytes_written=float(config.n_blocks * ebytes),
+        ),
+        access=AccessPattern(
+            kind=AccessKind.STREAMING,
+            working_set_bytes=float(n * ebytes),
+            request_bytes=ebytes,
+            row_buffer_efficiency=1.0,
+        ),
+        workgroup_size=256,
+        instructions_per_item=2.5 * config.block_size,  # load+add per element, some address math
+        registers_per_thread=12,
+        unroll_benefit=0.25,
+        cpu_simd_fraction=1.0,
+    )

@@ -1,0 +1,56 @@
+"""XSBench neutron cross-section lookup proxy application (Sec. IV-C).
+
+Unionized-energy-grid macroscopic XS lookups over the Hoogenboom-Martin
+composition.  One kernel; compute/latency-bound with appalling data
+locality (53% LLC miss rate, IPC 0.14 in Table I); the 240 MB lookup
+table makes data transfers a first-order cost on the discrete GPU.
+"""
+
+from ..base import ProxyApp
+from . import port_cppamp, port_hc, port_openacc, port_opencl, port_openmp, port_serial
+from .kernels import AVG_NUCLIDES, lookup_kernel_spec, xs_lookup
+from .reference import (
+    MATERIAL_NUCLIDE_COUNTS,
+    MATERIAL_PROBABILITIES,
+    N_XS,
+    XSBenchConfig,
+    XSBenchData,
+    compute_macro_xs_direct,
+    default_config,
+    make_data,
+    paper_config,
+)
+
+APP = ProxyApp(
+    name="XSBench",
+    description="unionized-grid neutron cross-section lookups (Sec. IV-C)",
+    command_line="./XSBench -s small",
+    n_kernels=1,
+    boundedness="Compute",
+    default_config=default_config,
+    paper_config=paper_config,
+    ports={
+        port_serial.model_name: port_serial.run,
+        port_openmp.model_name: port_openmp.run,
+        port_opencl.model_name: port_opencl.run,
+        port_cppamp.model_name: port_cppamp.run,
+        port_openacc.model_name: port_openacc.run,
+        port_hc.model_name: port_hc.run,
+    },
+)
+
+__all__ = [
+    "APP",
+    "AVG_NUCLIDES",
+    "MATERIAL_NUCLIDE_COUNTS",
+    "MATERIAL_PROBABILITIES",
+    "N_XS",
+    "XSBenchConfig",
+    "XSBenchData",
+    "compute_macro_xs_direct",
+    "default_config",
+    "lookup_kernel_spec",
+    "make_data",
+    "paper_config",
+    "xs_lookup",
+]

@@ -1,0 +1,226 @@
+"""Command-line interface: regenerate any table or figure of the paper.
+
+Examples::
+
+    repro table1            # Table I: application characteristics
+    repro table4            # Table IV: SLOC, measured vs paper
+    repro figure7 --app CoMD
+    repro figure8           # APU speedups (single + double precision)
+    repro figure9           # dGPU speedups
+    repro figure10          # productivity, Eq. 1
+    repro figure11          # optimization-feature matrix
+    repro all               # everything
+    repro figure9 --full    # exact Table I problem sizes (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .apps import ALL_APPS, APPS_BY_NAME, PROXY_APPS
+from .core import (
+    bench_configs,
+    decompose_transfers,
+    study_records,
+    sweep_records,
+    write_csv,
+    write_json,
+    characterize,
+    compute_productivity,
+    render_figure7,
+    render_figure10,
+    render_figure11,
+    render_speedups,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    run_study,
+    run_sweep,
+    sweep_configs,
+)
+from .hardware.specs import Precision
+from .sloc import PAPER_TABLE4, table4
+
+FIGURE_APPS = tuple(app.name for app in ALL_APPS)
+
+
+def _study(full: bool):
+    configs = None if full else bench_configs()
+    return run_study(ALL_APPS, paper_scale=True, configs=configs)
+
+
+def cmd_table1(args: argparse.Namespace) -> None:
+    configs = bench_configs()
+    sweeps = sweep_configs()
+    measured = [
+        characterize(app, configs[app.name], sweep_config=sweeps[app.name])
+        for app in PROXY_APPS
+    ]
+    print(render_table1(measured))
+
+
+def cmd_table2(_args: argparse.Namespace) -> None:
+    print(render_table2())
+    print()
+    print(render_table3())
+
+
+def cmd_table4(_args: argparse.Namespace) -> None:
+    print(render_table4(table4(ALL_APPS), PAPER_TABLE4))
+
+
+def cmd_figure7(args: argparse.Namespace) -> None:
+    configs = sweep_configs()
+    apps = [APPS_BY_NAME[args.app]] if args.app else ALL_APPS
+    for app in apps:
+        sweep = run_sweep(app, configs[app.name])
+        print(render_figure7(sweep))
+        print(f"classification: {sweep.classify()}")
+        print()
+
+
+def cmd_figure8(args: argparse.Namespace) -> None:
+    study = _study(args.full)
+    if args.chart:
+        from .core import figure_chart
+
+        print(figure_chart(study, FIGURE_APPS, apu=True))
+        return
+    print(render_speedups(study, FIGURE_APPS, apu=True,
+                          title="Figure 8: speedup over 4-core OpenMP on the APU"))
+
+
+def cmd_figure9(args: argparse.Namespace) -> None:
+    study = _study(args.full)
+    if args.chart:
+        from .core import figure_chart
+
+        print(figure_chart(study, FIGURE_APPS, apu=False))
+        return
+    print(render_speedups(study, FIGURE_APPS, apu=False,
+                          title="Figure 9: speedup over 4-core OpenMP on the dGPU"))
+
+
+def cmd_figure10(args: argparse.Namespace) -> None:
+    study = _study(args.full)
+    for apu in (True, False):
+        result = compute_productivity(study, ALL_APPS, apu=apu)
+        print(render_figure10(result, FIGURE_APPS))
+        print()
+
+
+def cmd_figure11(_args: argparse.Namespace) -> None:
+    print(render_figure11())
+
+
+def cmd_ablation(args: argparse.Namespace) -> None:
+    """Transfer decomposition of one app on the dGPU (Sec. VI-A)."""
+    from .core import format_table
+
+    app = APPS_BY_NAME[args.app or "LULESH"]
+    config = bench_configs()[app.name]
+    decomposition = decompose_transfers(app, config, apu=False)
+    rows = [
+        [
+            d.model,
+            f"{d.kernel_seconds * 1e3:.2f} ms",
+            f"{d.transfer_seconds * 1e3:.2f} ms",
+            f"{d.transfer_share:.0%}",
+            f"{d.bytes_moved / 1e6:.1f} MB",
+        ]
+        for d in decomposition.values()
+    ]
+    print(format_table(
+        ["Model", "Kernel time", "Transfer time", "Transfer share", "Bytes moved"],
+        rows,
+        title=f"Transfer decomposition: {app.name} on the dGPU",
+    ))
+
+
+def cmd_export(args: argparse.Namespace) -> None:
+    """Export the full study (and sweeps) to JSON or CSV."""
+    study = _study(args.full)
+    records = study_records(study)
+    if args.sweeps:
+        sweeps = sweep_configs()
+        for app in ALL_APPS:
+            records.extend(sweep_records(run_sweep(app, sweeps[app.name])))
+    out = args.out
+    if out.endswith(".csv"):
+        write_csv(records, out)
+    else:
+        write_json(records, out)
+    print(f"wrote {len(records)} records to {out}")
+
+
+def cmd_all(args: argparse.Namespace) -> None:
+    cmd_table2(args)
+    print()
+    cmd_table1(args)
+    print()
+    cmd_table4(args)
+    print()
+    cmd_figure7(args)
+    study = _study(args.full)
+    print(render_speedups(study, FIGURE_APPS, apu=True,
+                          title="Figure 8: speedup over 4-core OpenMP on the APU"))
+    print()
+    print(render_speedups(study, FIGURE_APPS, apu=False,
+                          title="Figure 9: speedup over 4-core OpenMP on the dGPU"))
+    print()
+    for apu in (True, False):
+        print(render_figure10(compute_productivity(study, ALL_APPS, apu=apu), FIGURE_APPS))
+        print()
+    cmd_figure11(args)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of 'Exploring Parallel "
+        "Programming Models for Heterogeneous Computing Systems' (IISWC 2015).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    for name, fn, needs_full, needs_app in (
+        ("table1", cmd_table1, False, False),
+        ("table2", cmd_table2, False, False),
+        ("table4", cmd_table4, False, False),
+        ("figure7", cmd_figure7, False, True),
+        ("figure8", cmd_figure8, True, False),
+        ("figure9", cmd_figure9, True, False),
+        ("figure10", cmd_figure10, True, False),
+        ("figure11", cmd_figure11, False, False),
+        ("ablation", cmd_ablation, False, True),
+        ("all", cmd_all, True, False),
+    ):
+        p = sub.add_parser(name)
+        p.set_defaults(func=fn, full=False, app=None, chart=False)
+        if needs_full:
+            p.add_argument("--full", action="store_true",
+                           help="use the exact paper problem sizes (slow)")
+        if name in ("figure8", "figure9"):
+            p.add_argument("--chart", action="store_true",
+                           help="render as bar charts instead of a table")
+        if needs_app:
+            p.add_argument("--app", choices=FIGURE_APPS, default=None)
+    export = sub.add_parser("export")
+    export.set_defaults(func=cmd_export, full=False, app=None)
+    export.add_argument("--out", default="results.json",
+                        help="output path (.json or .csv)")
+    export.add_argument("--full", action="store_true")
+    export.add_argument("--sweeps", action="store_true",
+                        help="include the Figure 7 sweep grids")
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

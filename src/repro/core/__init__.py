@@ -1,0 +1,106 @@
+"""The comparison-study framework — the paper's primary contribution
+pipeline: run apps x models x platforms, characterize workloads,
+compute productivity, and render every table and figure.
+"""
+
+from .ablation import (
+    TransferDecomposition,
+    decompose_transfers,
+    lulesh_compiler_bug_ablation,
+    tiling_ablation,
+    without_capabilities,
+)
+from .breakdown import KernelShare, kernel_breakdown, render_breakdown
+from .charts import bar, bar_chart, figure_chart, speedup_chart
+from .characterize import (
+    DOMINANT_KERNEL,
+    PAPER_TABLE1,
+    AppCharacterization,
+    characterize,
+    dominant_spec,
+    measure_ipc,
+    measure_miss_rate,
+)
+from .configs import bench_configs, sweep_configs
+from .export import load_json, study_records, sweep_records, write_csv, write_json
+from .features import FEATURE_COLUMNS, FEATURE_ROWS, PAPER_FIGURE11, feature_matrix
+from .metrics import geometric_mean, harmonic_mean, normalize, speedup
+from .productivity import ProductivityEntry, ProductivityResult, compute_productivity
+from .report import (
+    format_table,
+    render_figure7,
+    render_figure10,
+    render_figure11,
+    render_speedups,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from .study import (
+    BASELINE_MODEL,
+    GPU_MODELS,
+    StudyEntry,
+    StudyResult,
+    run_port,
+    run_study,
+)
+from .sweep import SweepPoint, SweepResult, run_sweep
+
+__all__ = [
+    "AppCharacterization",
+    "BASELINE_MODEL",
+    "DOMINANT_KERNEL",
+    "FEATURE_COLUMNS",
+    "FEATURE_ROWS",
+    "GPU_MODELS",
+    "KernelShare",
+    "PAPER_FIGURE11",
+    "PAPER_TABLE1",
+    "ProductivityEntry",
+    "ProductivityResult",
+    "StudyEntry",
+    "StudyResult",
+    "SweepPoint",
+    "SweepResult",
+    "TransferDecomposition",
+    "bar",
+    "bar_chart",
+    "bench_configs",
+    "characterize",
+    "compute_productivity",
+    "decompose_transfers",
+    "dominant_spec",
+    "feature_matrix",
+    "figure_chart",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "kernel_breakdown",
+    "load_json",
+    "lulesh_compiler_bug_ablation",
+    "measure_ipc",
+    "measure_miss_rate",
+    "normalize",
+    "render_breakdown",
+    "render_figure7",
+    "render_figure10",
+    "render_figure11",
+    "render_speedups",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "run_port",
+    "run_study",
+    "run_sweep",
+    "speedup",
+    "speedup_chart",
+    "study_records",
+    "sweep_configs",
+    "sweep_records",
+    "tiling_ablation",
+    "without_capabilities",
+    "write_csv",
+    "write_json",
+]

@@ -1,0 +1,73 @@
+"""Per-kernel time breakdown of one application run.
+
+Section IV discusses each proxy app in terms of its dominant kernels
+("Advancing the node quantities is the most computationally intensive
+part", "Computation of forces accounts for more than 90% of total
+execution time").  This module aggregates the simulator's per-launch
+records into that view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.base import ProxyApp
+from ..hardware.specs import Precision
+from .study import run_port
+
+
+@dataclass(frozen=True)
+class KernelShare:
+    """Aggregated cost of one kernel across a run."""
+
+    name: str
+    launches: int
+    seconds: float
+    share: float  # fraction of total kernel time
+    limited_by: str  # dominant limiter across its launches
+
+
+def kernel_breakdown(
+    app: ProxyApp,
+    config: object,
+    model: str = "OpenCL",
+    apu: bool = False,
+    precision: Precision = Precision.SINGLE,
+) -> list[KernelShare]:
+    """Kernel-time shares of one run, largest first."""
+    run = run_port(app, model, apu, precision, config, projection=True)
+    by_name: dict[str, dict[str, object]] = {}
+    for record in run.counters.kernels:
+        slot = by_name.setdefault(
+            record.name, {"seconds": 0.0, "launches": 0, "limits": {}}
+        )
+        slot["seconds"] += record.seconds
+        slot["launches"] += 1
+        limits = slot["limits"]
+        limits[record.limited_by] = limits.get(record.limited_by, 0) + 1
+    total = sum(slot["seconds"] for slot in by_name.values())
+    shares = [
+        KernelShare(
+            name=name,
+            launches=slot["launches"],
+            seconds=slot["seconds"],
+            share=slot["seconds"] / total if total else 0.0,
+            limited_by=max(slot["limits"], key=slot["limits"].get),
+        )
+        for name, slot in by_name.items()
+    ]
+    return sorted(shares, key=lambda s: s.seconds, reverse=True)
+
+
+def render_breakdown(shares: list[KernelShare], top: int = 10) -> str:
+    """Text table of the largest kernels."""
+    from .report import format_table
+
+    rows = [
+        [s.name, str(s.launches), f"{s.seconds * 1e3:.3f} ms", f"{s.share:.1%}", s.limited_by]
+        for s in shares[:top]
+    ]
+    return format_table(
+        ["Kernel", "Launches", "Time", "Share", "Limited by"], rows,
+        title="Per-kernel breakdown",
+    )

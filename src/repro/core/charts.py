@@ -1,0 +1,76 @@
+"""ASCII bar charts — the paper's figures, in a terminal.
+
+Figures 8-10 are grouped bar charts; these renderers draw them with
+unicode blocks so `repro figure8` output *looks* like the paper's
+subplots, not just a number table.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..hardware.specs import Precision
+from .study import GPU_MODELS, StudyResult
+
+BAR_WIDTH = 42
+FULL = "█"
+PARTIAL = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+
+
+def bar(value: float, maximum: float, width: int = BAR_WIDTH) -> str:
+    """A unicode bar proportional to ``value / maximum``."""
+    if maximum <= 0:
+        raise ValueError("maximum must be positive")
+    cells = max(0.0, value / maximum) * width
+    whole = int(cells)
+    fraction = int((cells - whole) * 8)
+    text = FULL * whole + PARTIAL[fraction]
+    return text[:width]
+
+
+def bar_chart(values: Mapping[str, float], title: str = "", unit: str = "x") -> str:
+    """A labelled horizontal bar chart of name -> value."""
+    if not values:
+        raise ValueError("nothing to chart")
+    maximum = max(values.values())
+    if maximum <= 0:
+        raise ValueError("all values non-positive")
+    label_width = max(len(name) for name in values)
+    lines = [title] if title else []
+    for name, value in values.items():
+        lines.append(
+            f"{name.ljust(label_width)}  {bar(value, maximum)} {value:.2f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def speedup_chart(
+    study: StudyResult,
+    app: str,
+    apu: bool,
+    precision: Precision = Precision.SINGLE,
+    kernel_only: bool | None = None,
+) -> str:
+    """One subplot of Figure 8/9 as a bar chart.
+
+    ``kernel_only`` defaults to the paper's convention: kernel time for
+    the read-memory benchmark, end-to-end for the proxy apps.
+    """
+    if kernel_only is None:
+        kernel_only = app == "read-benchmark"
+    values = {}
+    for model in GPU_MODELS:
+        entry = study.get(app, model, apu, precision)
+        values[model] = entry.kernel_speedup if kernel_only else entry.speedup
+    platform = "APU" if apu else "dGPU"
+    title = f"{app} on the {platform} ({precision.value} precision), speedup vs 4-core OpenMP"
+    return bar_chart(values, title=title)
+
+
+def figure_chart(study: StudyResult, apps: tuple[str, ...], apu: bool) -> str:
+    """A whole figure (8 or 9): one subplot per application."""
+    blocks = []
+    for app in apps:
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            blocks.append(speedup_chart(study, app, apu, precision))
+    return "\n\n".join(blocks)

@@ -1,0 +1,42 @@
+"""Benchmark-scale configurations.
+
+Full paper-scale projections are faithful but slow to *set up* (the
+miniFE assembly at 100^3 or XSBench's 240 MB table take tens of
+seconds per run even with kernels skipped).  The benchmark harness
+therefore uses *reduced paper-scale* configurations: large enough to
+saturate both simulated devices (so speedup ratios have converged) and
+to preserve each app's transfer-to-compute ratio, but cheap enough
+that every figure regenerates in seconds.
+
+``repro --full`` switches to the exact Table I command-line sizes.
+"""
+
+from __future__ import annotations
+
+from ..apps.comd import CoMDConfig
+from ..apps.lulesh import LuleshConfig
+from ..apps.minife import MiniFEConfig
+from ..apps.readmem import ReadMemConfig
+from ..apps.xsbench import XSBenchConfig
+
+
+def bench_configs() -> dict[str, object]:
+    """Reduced paper-scale configuration per application name."""
+    return {
+        "read-benchmark": ReadMemConfig(size=1 << 24),
+        "LULESH": LuleshConfig(size=48, iterations=20),
+        "CoMD": CoMDConfig(nx=24, ny=24, nz=24, steps=10),
+        "XSBench": XSBenchConfig(n_nuclides=68, n_gridpoints=2000, n_lookups=2_000_000),
+        "miniFE": MiniFEConfig(nx=48, ny=48, nz=48, cg_iterations=100),
+    }
+
+
+def sweep_configs() -> dict[str, object]:
+    """Even smaller configurations for the 72-point frequency sweeps."""
+    return {
+        "read-benchmark": ReadMemConfig(size=1 << 22),
+        "LULESH": LuleshConfig(size=32, iterations=3),
+        "CoMD": CoMDConfig(nx=12, ny=12, nz=12, steps=2),
+        "XSBench": XSBenchConfig(n_nuclides=34, n_gridpoints=1000, n_lookups=500_000),
+        "miniFE": MiniFEConfig(nx=32, ny=32, nz=32, cg_iterations=20),
+    }

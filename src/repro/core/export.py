@@ -1,0 +1,74 @@
+"""Result export: studies and sweeps as plain records, JSON or CSV.
+
+Downstream analysis (plotting the figures, regression-tracking the
+shapes) wants flat tables, not framework objects.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .study import StudyResult
+from .sweep import SweepResult
+
+
+def study_records(study: StudyResult) -> list[dict[str, object]]:
+    """One flat record per study entry (Figures 8/9's data points)."""
+    records = []
+    for entry in study.entries:
+        records.append(
+            {
+                "app": entry.app,
+                "model": entry.model,
+                "platform": "APU" if entry.apu else "dGPU",
+                "precision": entry.precision.value,
+                "seconds": entry.seconds,
+                "kernel_seconds": entry.kernel_seconds,
+                "baseline_seconds": entry.baseline_seconds,
+                "speedup": entry.speedup,
+                "kernel_speedup": entry.kernel_speedup,
+            }
+        )
+    return records
+
+
+def sweep_records(sweep: SweepResult) -> list[dict[str, object]]:
+    """One flat record per (core, memory) grid point (Figure 7)."""
+    return [
+        {
+            "app": sweep.app,
+            "core_mhz": point.core_mhz,
+            "memory_mhz": point.memory_mhz,
+            "seconds": point.seconds,
+            "normalized_performance": point.normalized_performance,
+        }
+        for point in sorted(sweep.points, key=lambda p: (p.memory_mhz, p.core_mhz))
+    ]
+
+
+def write_json(records: Iterable[dict[str, object]], path: str | Path) -> Path:
+    """Write records as a JSON array; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(list(records), indent=2) + "\n")
+    return path
+
+
+def write_csv(records: Iterable[dict[str, object]], path: str | Path) -> Path:
+    """Write records as CSV (header from the first record)."""
+    records = list(records)
+    if not records:
+        raise ValueError("no records to write")
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(records[0].keys()))
+        writer.writeheader()
+        writer.writerows(records)
+    return path
+
+
+def load_json(path: str | Path) -> list[dict[str, object]]:
+    """Read records back (round-trip of :func:`write_json`)."""
+    return json.loads(Path(path).read_text())

@@ -1,0 +1,54 @@
+"""Optimization-feature matrix (Figure 11).
+
+"Figure 11 illustrates the features available in the programming
+models to assist in tuning application-performance either by manual
+intervention or by providing hints to the compiler."
+"""
+
+from __future__ import annotations
+
+from ..models.base import Capability
+from ..models.registry import PROFILES
+
+#: Figure 11's columns, in order, and the capability each tests.
+FEATURE_COLUMNS: tuple[tuple[str, Capability], ...] = (
+    ("Vectorization", Capability.VECTORIZE),
+    ("Use of Local Data Store (LDS)", Capability.LDS),
+    ("Fine-grained Synchronization", Capability.FINE_SYNC),
+    ("Explicit Loop Unrolling", Capability.UNROLL),
+    ("Reducing Code Motion", Capability.CODE_MOTION),
+)
+
+#: Figure 11's rows, in order.
+FEATURE_ROWS = ("OpenCL", "OpenACC", "C++ AMP")
+
+#: The paper's matrix, verbatim, for verification.
+PAPER_FIGURE11: dict[str, dict[str, bool]] = {
+    "OpenCL": {name: True for name, _ in FEATURE_COLUMNS},
+    "OpenACC": {
+        "Vectorization": True,
+        "Use of Local Data Store (LDS)": False,
+        "Fine-grained Synchronization": False,
+        "Explicit Loop Unrolling": False,
+        "Reducing Code Motion": False,
+    },
+    "C++ AMP": {
+        "Vectorization": True,
+        "Use of Local Data Store (LDS)": True,
+        "Fine-grained Synchronization": True,
+        "Explicit Loop Unrolling": False,
+        "Reducing Code Motion": False,
+    },
+}
+
+
+def feature_matrix(models: tuple[str, ...] = FEATURE_ROWS) -> dict[str, dict[str, bool]]:
+    """Figure 11, derived from the registered compiler profiles."""
+    matrix: dict[str, dict[str, bool]] = {}
+    for model in models:
+        profile = PROFILES[model]
+        matrix[model] = {
+            name: capability in profile.capabilities
+            for name, capability in FEATURE_COLUMNS
+        }
+    return matrix

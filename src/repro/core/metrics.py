@@ -1,0 +1,42 @@
+"""Metrics shared by the study framework."""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable
+
+
+def speedup(baseline_seconds: float, seconds: float) -> float:
+    """Speedup of a run over the baseline (>1 means faster)."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    if baseline_seconds <= 0:
+        raise ValueError("baseline_seconds must be positive")
+    return baseline_seconds / seconds
+
+
+def harmonic_mean(values: Iterable[float]) -> float:
+    """Harmonic mean, as used for Figure 10's "Har. Mean" bars."""
+    values = list(values)
+    if not values:
+        raise ValueError("harmonic mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("harmonic mean requires positive values")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean (used in summary reporting)."""
+    values = list(values)
+    if not values:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in values):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def normalize(values: list[float], reference: float) -> list[float]:
+    """Normalize a series to a reference value (Figure 7's y-axis)."""
+    if reference <= 0:
+        raise ValueError("reference must be positive")
+    return [v / reference for v in values]

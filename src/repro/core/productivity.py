@@ -1,0 +1,83 @@
+"""Productivity analysis (Equation 1 and Figure 10).
+
+"productivity = (time_OMP / time_model) / (lines_model / lines_OMP)"
+
+— speedup per unit of relative porting effort, the paper's "biggest
+bang for buck" metric, computed for the double-precision runs on both
+platforms, plus the harmonic mean across applications.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.base import ProxyApp
+from ..hardware.specs import Precision
+from ..sloc.report import measure_lines_added
+from .metrics import harmonic_mean
+from .study import GPU_MODELS, StudyResult
+
+
+@dataclass(frozen=True)
+class ProductivityEntry:
+    """Productivity of one model on one app and platform (Eq. 1)."""
+
+    app: str
+    model: str
+    apu: bool
+    speedup: float
+    lines_ratio: float  # lines_model / lines_OMP
+
+    @property
+    def productivity(self) -> float:
+        return self.speedup / self.lines_ratio
+
+
+@dataclass
+class ProductivityResult:
+    """All Figure 10 bars for one platform."""
+
+    apu: bool
+    entries: list[ProductivityEntry]
+
+    def get(self, app: str, model: str) -> ProductivityEntry:
+        for entry in self.entries:
+            if entry.app == app and entry.model == model:
+                return entry
+        raise KeyError(f"no productivity entry for {app}/{model}")
+
+    def harmonic_means(self) -> dict[str, float]:
+        """Per-model harmonic mean across applications ("Har. Mean")."""
+        means = {}
+        for model in GPU_MODELS:
+            values = [e.productivity for e in self.entries if e.model == model]
+            means[model] = harmonic_mean(values)
+        return means
+
+
+def compute_productivity(
+    study: StudyResult,
+    apps: tuple[ProxyApp, ...],
+    apu: bool,
+    precision: Precision = Precision.DOUBLE,
+) -> ProductivityResult:
+    """Figure 10: Eq. 1 over the study's double-precision runs.
+
+    The paper "chose double-precision because that is most relevant
+    from a scientific application standpoint in HPC".
+    """
+    entries = []
+    for app in apps:
+        lines = measure_lines_added(app)
+        for model in GPU_MODELS:
+            entry = study.get(app.name, model, apu, precision)
+            entries.append(
+                ProductivityEntry(
+                    app=app.name,
+                    model=model,
+                    apu=apu,
+                    speedup=entry.speedup,
+                    lines_ratio=lines[model] / lines["OpenMP"],
+                )
+            )
+    return ProductivityResult(apu=apu, entries=entries)

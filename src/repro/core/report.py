@@ -1,0 +1,157 @@
+"""Paper-style renderers: print the tables and figure series as text.
+
+Each renderer emits the same rows/columns the paper's table or figure
+reports, so the benchmark harness and CLI can show paper-vs-measured
+side by side.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from ..hardware.specs import Precision, table2_rows
+from ..models.registry import table3_rows
+from .characterize import PAPER_TABLE1, AppCharacterization
+from .features import FEATURE_COLUMNS, FEATURE_ROWS, feature_matrix
+from .productivity import ProductivityResult
+from .study import GPU_MODELS, StudyResult
+from .sweep import SweepResult
+
+
+def format_table(headers: list[str], rows: list[list[str]], title: str = "") -> str:
+    """Plain fixed-width table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_table1(measured: Iterable[AppCharacterization]) -> str:
+    """Table I: characteristics, paper vs measured."""
+    rows = []
+    for m in measured:
+        paper = PAPER_TABLE1.get(m.app, {})
+        rows.append(
+            [
+                m.app,
+                f"{m.llc_miss_rate:.0%} (paper {paper.get('miss_rate', float('nan')):.0%})"
+                if paper else f"{m.llc_miss_rate:.0%}",
+                f"{m.ipc:.2f} (paper {paper.get('ipc', float('nan')):.2f})"
+                if paper else f"{m.ipc:.2f}",
+                str(m.n_kernels),
+                f"{m.boundedness} (paper {paper.get('boundedness', '?')})"
+                if paper else m.boundedness,
+            ]
+        )
+    return format_table(
+        ["Application", "LLC Miss Rate", "IPC", "Kernels", "Boundedness"],
+        rows,
+        title="Table I: Characteristics of Proxy Applications",
+    )
+
+
+def render_table2() -> str:
+    """Table II: hardware specifications."""
+    rows_data = table2_rows()
+    keys = list(rows_data[0].keys())
+    rows = [[row[k] for k in keys] for row in rows_data]
+    # Transpose: spec name in the first column, one column per device.
+    transposed = [[k] + [row[keys.index(k)] for row in rows] for k in keys]
+    return format_table(
+        ["Specification", "dGPU", "APU"],
+        transposed,
+        title="Table II: Hardware Specification of Accelerators",
+    )
+
+
+def render_table3() -> str:
+    """Table III: compilers used for programming models."""
+    rows = [[e.model, e.compiler] for e in table3_rows()]
+    return format_table(
+        ["Programming Model", "Compiler"],
+        rows,
+        title="Table III: Compilers Used for Programming Models",
+    )
+
+
+def render_table4(measured: Mapping[str, Mapping[str, int]], paper: Mapping[str, Mapping[str, int]]) -> str:
+    """Table IV: lines added per port, measured vs paper."""
+    models = ["OpenMP", "OpenCL", "C++ AMP", "OpenACC"]
+    rows = []
+    for app, counts in measured.items():
+        paper_counts = paper.get(app, {})
+        rows.append(
+            [app]
+            + [
+                f"{counts[m]} (paper {paper_counts.get(m, '?')})"
+                for m in models
+            ]
+        )
+    return format_table(
+        ["Application"] + models,
+        rows,
+        title="Table IV: Source Lines of Code Changed From Serial",
+    )
+
+
+def render_figure7(sweep: SweepResult) -> str:
+    """One subplot of Figure 7: normalized perf vs core clock, one row
+    per memory clock."""
+    memory_clocks = sorted({p.memory_mhz for p in sweep.points})
+    core_clocks = sorted({p.core_mhz for p in sweep.points})
+    headers = ["mem\\core"] + [f"{c:.0f}" for c in core_clocks]
+    rows = []
+    for memory in memory_clocks:
+        series = sweep.series(memory)
+        rows.append([f"{memory:.0f}"] + [f"{p.normalized_performance:.2f}" for p in series])
+    return format_table(headers, rows, title=f"Figure 7 ({sweep.app}): normalized performance")
+
+
+def render_speedups(study: StudyResult, apps: Iterable[str], apu: bool, title: str) -> str:
+    """One of Figures 8/9: speedup bars for every app and model."""
+    rows = []
+    for app in apps:
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            cells = [app, precision.value]
+            for model in GPU_MODELS:
+                entry = study.get(app, model, apu, precision)
+                value = entry.kernel_speedup if app == "read-benchmark" else entry.speedup
+                cells.append(f"{value:.2f}x")
+            rows.append(cells)
+    return format_table(["Application", "Precision"] + list(GPU_MODELS), rows, title=title)
+
+
+def render_figure10(result: ProductivityResult, apps: Iterable[str]) -> str:
+    """Figure 10: productivity (Eq. 1) per app plus harmonic means."""
+    rows = []
+    for app in apps:
+        cells = [app]
+        for model in GPU_MODELS:
+            cells.append(f"{result.get(app, model).productivity:.2f}")
+        rows.append(cells)
+    means = result.harmonic_means()
+    rows.append(["Har. Mean"] + [f"{means[m]:.2f}" for m in GPU_MODELS])
+    platform = "APU" if result.apu else "dGPU"
+    return format_table(
+        ["Application"] + list(GPU_MODELS),
+        rows,
+        title=f"Figure 10 ({platform}): productivity (Eq. 1, double precision)",
+    )
+
+
+def render_figure11() -> str:
+    """Figure 11: the optimization-feature matrix."""
+    matrix = feature_matrix()
+    headers = ["Model"] + [name for name, _ in FEATURE_COLUMNS]
+    rows = []
+    for model in FEATURE_ROWS:
+        rows.append([model] + ["yes" if matrix[model][name] else "no" for name, _ in FEATURE_COLUMNS])
+    return format_table(headers, rows, title="Figure 11: Optimizations allowed by each model")

@@ -1,0 +1,128 @@
+"""The comparison study: apps x models x platforms x precisions.
+
+This is the paper's primary experiment (Figures 8 and 9): run every
+port of every proxy application on both platforms in both precisions
+and report speedups over the 4-core OpenMP baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..apps.base import ProxyApp, RunResult
+from ..hardware.device import make_platform
+from ..hardware.specs import Precision
+from ..models.base import ExecutionContext
+from .metrics import speedup
+
+#: The three GPU models of the comparison, in the paper's order.
+GPU_MODELS = ("OpenCL", "C++ AMP", "OpenACC")
+BASELINE_MODEL = "OpenMP"
+
+
+@dataclass(frozen=True)
+class StudyEntry:
+    """One measured point of the study."""
+
+    app: str
+    model: str
+    platform: str
+    apu: bool
+    precision: Precision
+    seconds: float
+    kernel_seconds: float
+    baseline_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Speedup over the 4-core OpenMP baseline (the figures' y-axis)."""
+        return speedup(self.baseline_seconds, self.seconds)
+
+    @property
+    def kernel_speedup(self) -> float:
+        """Kernel-time-only speedup (used for read-benchmark, which the
+        paper reports with "data-transfer times ... left out")."""
+        return speedup(self.baseline_seconds, self.kernel_seconds)
+
+
+@dataclass
+class StudyResult:
+    """All entries of one study, with lookup helpers."""
+
+    entries: list[StudyEntry] = field(default_factory=list)
+
+    def get(self, app: str, model: str, apu: bool, precision: Precision) -> StudyEntry:
+        for entry in self.entries:
+            if (
+                entry.app == app
+                and entry.model == model
+                and entry.apu == apu
+                and entry.precision == precision
+            ):
+                return entry
+        raise KeyError(f"no entry for {app}/{model}/{'APU' if apu else 'dGPU'}/{precision.value}")
+
+    def speedups(self, app: str, apu: bool, precision: Precision) -> dict[str, float]:
+        """Model -> speedup for one app/platform/precision (one subplot
+        of Figure 8 or 9)."""
+        return {
+            model: self.get(app, model, apu, precision).speedup for model in GPU_MODELS
+        }
+
+
+def run_port(
+    app: ProxyApp,
+    model: str,
+    apu: bool,
+    precision: Precision,
+    config: object,
+    projection: bool,
+) -> RunResult:
+    """Run one port on a fresh platform/context."""
+    ctx = ExecutionContext(
+        platform=make_platform(apu=apu),
+        precision=precision,
+        execute_kernels=not projection,
+    )
+    return app.ports[model](ctx, config)
+
+
+def run_study(
+    apps: tuple[ProxyApp, ...],
+    apu_values: tuple[bool, ...] = (True, False),
+    precisions: tuple[Precision, ...] = (Precision.SINGLE, Precision.DOUBLE),
+    models: tuple[str, ...] = GPU_MODELS,
+    paper_scale: bool = True,
+    configs: dict[str, object] | None = None,
+) -> StudyResult:
+    """Run the full comparison.
+
+    ``paper_scale=True`` uses each app's paper-sized configuration in
+    projection mode (launch/transfer schedules priced, numerics
+    skipped); ``paper_scale=False`` runs the CI-sized configurations
+    functionally.  ``configs`` overrides the configuration per app name.
+    """
+    result = StudyResult()
+    for app in apps:
+        if configs and app.name in configs:
+            config = configs[app.name]
+        else:
+            config = app.paper_config() if paper_scale else app.default_config()
+        for apu in apu_values:
+            for precision in precisions:
+                baseline = run_port(app, BASELINE_MODEL, apu, precision, config, paper_scale)
+                for model in models:
+                    run = run_port(app, model, apu, precision, config, paper_scale)
+                    result.entries.append(
+                        StudyEntry(
+                            app=app.name,
+                            model=model,
+                            platform=run.platform,
+                            apu=apu,
+                            precision=precision,
+                            seconds=run.seconds,
+                            kernel_seconds=run.kernel_seconds,
+                            baseline_seconds=baseline.seconds,
+                        )
+                    )
+    return result

@@ -1,0 +1,111 @@
+"""Frequency-scaling characterization (Figure 7).
+
+"Figure 7 demonstrates how their performance scales with memory and
+core frequencies on a GPU, thereby providing an insight into the
+application's compute and bandwidth requirements."
+
+The sweep runs each application's OpenCL port on the discrete GPU at
+every (core, memory) frequency pair of the paper's grid and reports
+performance normalized to the slowest point (core=200 MHz at the
+lowest memory clock).  The slopes classify boundedness: compute-bound
+apps scale with the core clock, memory-bound apps with the memory
+clock, balanced apps with both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..apps.base import ProxyApp
+from ..hardware.device import make_dgpu_platform
+from ..hardware.frequency import PAPER_CORE_SWEEP_MHZ, PAPER_MEMORY_SWEEP_MHZ
+from ..hardware.specs import Precision
+from ..models.base import ExecutionContext
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One measured grid point."""
+
+    core_mhz: float
+    memory_mhz: float
+    seconds: float
+    normalized_performance: float
+
+
+@dataclass
+class SweepResult:
+    """The full grid for one application (one subplot of Figure 7)."""
+
+    app: str
+    points: list[SweepPoint]
+
+    def series(self, memory_mhz: float) -> list[SweepPoint]:
+        """One memory-frequency curve, ordered by core frequency."""
+        line = [p for p in self.points if p.memory_mhz == memory_mhz]
+        return sorted(line, key=lambda p: p.core_mhz)
+
+    def get(self, core_mhz: float, memory_mhz: float) -> SweepPoint:
+        for p in self.points:
+            if p.core_mhz == core_mhz and p.memory_mhz == memory_mhz:
+                return p
+        raise KeyError(f"no sweep point at core={core_mhz}, mem={memory_mhz}")
+
+    def core_sensitivity(self) -> float:
+        """Relative speedup from the core-clock sweep at max memory clock."""
+        line = self.series(max(p.memory_mhz for p in self.points))
+        return line[0].seconds / line[-1].seconds
+
+    def memory_sensitivity(self) -> float:
+        """Relative speedup from the memory-clock sweep at max core clock."""
+        core_max = max(p.core_mhz for p in self.points)
+        column = sorted(
+            (p for p in self.points if p.core_mhz == core_max),
+            key=lambda p: p.memory_mhz,
+        )
+        return column[0].seconds / column[-1].seconds
+
+    def classify(self) -> str:
+        """Boundedness classification from the sweep slopes (Table I)."""
+        core = self.core_sensitivity()
+        memory = self.memory_sensitivity()
+        if core > 1.5 * memory:
+            return "Compute"
+        if memory > 1.5 * core:
+            return "Memory"
+        return "Balanced"
+
+
+def run_sweep(
+    app: ProxyApp,
+    config: object,
+    precision: Precision = Precision.SINGLE,
+    core_grid: tuple[float, ...] = PAPER_CORE_SWEEP_MHZ,
+    memory_grid: tuple[float, ...] = PAPER_MEMORY_SWEEP_MHZ,
+    model: str = "OpenCL",
+) -> SweepResult:
+    """Sweep one application over the (core, memory) frequency grid."""
+    port = app.ports[model]
+    seconds_grid: dict[tuple[float, float], float] = {}
+    for memory_mhz in memory_grid:
+        for core_mhz in core_grid:
+            platform = make_dgpu_platform()
+            platform.gpu.core_clock.set(core_mhz)
+            platform.gpu.memory_clock.set(memory_mhz)
+            ctx = ExecutionContext(platform=platform, precision=precision, execute_kernels=False)
+            run = port(ctx, config)
+            # Kernel time only: Figure 7 characterizes device execution,
+            # and PCIe transfer time is frequency-invariant noise here.
+            seconds_grid[(core_mhz, memory_mhz)] = run.kernel_seconds
+
+    slowest = seconds_grid[(min(core_grid), min(memory_grid))]
+    points = [
+        SweepPoint(
+            core_mhz=core,
+            memory_mhz=memory,
+            seconds=seconds,
+            normalized_performance=slowest / seconds,
+        )
+        for (core, memory), seconds in seconds_grid.items()
+    ]
+    return SweepResult(app=app.name, points=points)

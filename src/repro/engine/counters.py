@@ -1,0 +1,100 @@
+"""Performance counters.
+
+A single :class:`PerfCounters` instance accumulates everything one
+application run produces: kernel time, transfer time, instruction and
+byte counts, and launch counts.  Table I's IPC column and the speedups
+of Figures 8/9 are both derived from these counters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class KernelRecord:
+    """Timing record of one kernel launch."""
+
+    name: str
+    seconds: float
+    cycles: float
+    instructions: float
+    dram_bytes: float
+    limited_by: str
+    device: str
+
+
+@dataclass
+class PerfCounters:
+    """Aggregated counters for one application execution."""
+
+    kernel_seconds: float = 0.0
+    transfer_seconds: float = 0.0
+    host_seconds: float = 0.0
+    launch_overhead_seconds: float = 0.0
+    instructions: float = 0.0
+    cycles: float = 0.0
+    flops: float = 0.0
+    dram_bytes: float = 0.0
+    bytes_to_device: int = 0
+    bytes_to_host: int = 0
+    kernel_launches: int = 0
+    transfers: int = 0
+    kernels: list[KernelRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end simulated time of the run."""
+        return (
+            self.kernel_seconds
+            + self.transfer_seconds
+            + self.host_seconds
+            + self.launch_overhead_seconds
+        )
+
+    @property
+    def ipc(self) -> float:
+        """Average retired instructions per (per-CU) cycle.
+
+        This matches Table I's definition: dynamic instructions over
+        elapsed device cycles, averaged over the compute units that the
+        kernels ran on.
+        """
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def record_kernel(self, record: KernelRecord) -> None:
+        self.kernels.append(record)
+        self.kernel_seconds += record.seconds
+        self.cycles += record.cycles
+        self.instructions += record.instructions
+        self.dram_bytes += record.dram_bytes
+        self.kernel_launches += 1
+
+    def record_transfer(self, nbytes: int, seconds: float, direction: str) -> None:
+        self.transfer_seconds += seconds
+        self.transfers += 1
+        if direction == "h2d":
+            self.bytes_to_device += nbytes
+        else:
+            self.bytes_to_host += nbytes
+
+    def merge(self, other: "PerfCounters") -> "PerfCounters":
+        """Combine counters of two runs (e.g. per-phase accounting)."""
+        merged = PerfCounters(
+            kernel_seconds=self.kernel_seconds + other.kernel_seconds,
+            transfer_seconds=self.transfer_seconds + other.transfer_seconds,
+            host_seconds=self.host_seconds + other.host_seconds,
+            launch_overhead_seconds=self.launch_overhead_seconds + other.launch_overhead_seconds,
+            instructions=self.instructions + other.instructions,
+            cycles=self.cycles + other.cycles,
+            flops=self.flops + other.flops,
+            dram_bytes=self.dram_bytes + other.dram_bytes,
+            bytes_to_device=self.bytes_to_device + other.bytes_to_device,
+            bytes_to_host=self.bytes_to_host + other.bytes_to_host,
+            kernel_launches=self.kernel_launches + other.kernel_launches,
+            transfers=self.transfers + other.transfers,
+        )
+        merged.kernels = self.kernels + other.kernels
+        return merged

@@ -1,0 +1,69 @@
+"""Runtime launch and buffer-management overheads.
+
+Each programming-model runtime pays fixed software costs per kernel
+launch and per buffer it manages.  These constants encode the software
+stacks of Table III: the Catalyst OpenCL driver, the CLAMP C++ AMP
+runtime (HSA stack v1.0 on the APU, Catalyst on the dGPU) and the PGI
+OpenACC runtime.  They matter most for short kernels and for the
+APU-side OpenCL buffer mapping cost that lets C++ AMP's HSA path win
+XSBench on the APU (Sec. VI-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RuntimeOverheads:
+    """Fixed software costs of one programming-model runtime."""
+
+    #: Seconds of host-side cost per kernel enqueue+dispatch.
+    kernel_launch_s: float
+    #: Seconds per buffer made visible to a kernel (argument setup,
+    #: residency check, map/unmap bookkeeping).
+    per_buffer_s: float
+    #: Seconds per byte of buffer *mapping* cost on unified-memory
+    #: devices (zero for true zero-copy stacks like HSA; small but
+    #: non-zero for OpenCL's cl_mem path on the APU).
+    per_mapped_byte_s: float = 0.0
+
+    def launch_cost(self, n_buffers: int, mapped_bytes: int = 0) -> float:
+        """Total overhead of one launch touching ``n_buffers`` buffers."""
+        return (
+            self.kernel_launch_s
+            + n_buffers * self.per_buffer_s
+            + mapped_bytes * self.per_mapped_byte_s
+        )
+
+
+#: Catalyst OpenCL on the discrete GPU: mature, but every enqueue goes
+#: through the full command-queue flush path.
+OPENCL_DGPU = RuntimeOverheads(kernel_launch_s=8e-6, per_buffer_s=0.5e-6)
+
+#: Catalyst OpenCL on the APU: kernels still take the cl_mem path, so
+#: "zero-copy" buffers pay a small per-byte pinning/mapping toll.
+OPENCL_APU = RuntimeOverheads(
+    kernel_launch_s=10e-6, per_buffer_s=0.5e-6, per_mapped_byte_s=2.0e-12
+)
+
+#: CLAMP C++ AMP over Catalyst (dGPU): an extra translation layer on
+#: top of the same driver.
+CPPAMP_DGPU = RuntimeOverheads(kernel_launch_s=12e-6, per_buffer_s=1.0e-6)
+
+#: CLAMP C++ AMP over the HSA v1.0 stack (APU): user-mode queues and
+#: true shared pointers — the cheapest dispatch of the lot.
+CPPAMP_APU = RuntimeOverheads(kernel_launch_s=5e-6, per_buffer_s=0.2e-6)
+
+#: PGI OpenACC runtime (both platforms): region entry/exit bookkeeping
+#: around every offloaded loop nest.
+OPENACC_DGPU = RuntimeOverheads(kernel_launch_s=15e-6, per_buffer_s=1.5e-6)
+OPENACC_APU = RuntimeOverheads(kernel_launch_s=15e-6, per_buffer_s=1.5e-6)
+
+#: OpenMP parallel-region fork/join on the 4-core host.
+OPENMP_REGION_S = 4e-6
+
+#: Heterogeneous Compute (Sec. VII): HSA dispatch with OpenCL-grade
+#: control — the "best of both worlds" AMD was building.
+HC_APU = RuntimeOverheads(kernel_launch_s=4e-6, per_buffer_s=0.2e-6)
+HC_DGPU = RuntimeOverheads(kernel_launch_s=8e-6, per_buffer_s=0.5e-6)

@@ -1,0 +1,252 @@
+"""Analytic kernel timing model.
+
+Prices a :class:`~repro.engine.kernel.LoweredKernel` on a device using
+a roofline with occupancy-based latency hiding:
+
+* **compute side** — the larger of FMA-throughput time (FLOPs against
+  the device's peak at the run's precision) and instruction-issue time
+  (dynamic instructions against the SIMD issue rate), both de-rated by
+  the lowering's vector efficiency and residual divergence;
+* **memory side** — DRAM traffic after cache/LDS filtering against the
+  memory system's effective bandwidth (memory clock x row-buffer
+  efficiency x the lowering's coalescing quality);
+* the slower side wins; low occupancy exposes latency on both sides.
+
+The same machinery prices the CPU baseline (OpenMP / serial), with CPU
+autovectorization taking the role vector efficiency plays on the GPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..hardware.compute_unit import latency_hiding_factor, occupancy
+from ..hardware.device import CPUDevice, GPUDevice
+from ..hardware.specs import Precision
+from .counters import KernelRecord
+from .kernel import AccessKind, KernelSpec, LoweredKernel
+
+#: Floor on any kernel execution: pipeline ramp, drain and bookkeeping.
+GPU_KERNEL_FLOOR_S = 3e-6
+CPU_LOOP_FLOOR_S = 1e-7
+
+#: Fraction of peak a well-written CPU loop typically sustains (issue
+#: limits, AGU pressure); matches measured FP efficiency of Steamroller.
+CPU_ISSUE_EFFICIENCY = 0.7
+
+#: Scattered-access latency model: a GPU memory request spends most of
+#: its latency in *core-clocked* on-chip pipelines (L1/L2/interconnect)
+#: plus a DRAM-clocked portion.  This is why latency-bound workloads
+#: like XSBench scale with the core clock in Figure 7d while being
+#: insensitive to memory bandwidth.
+SCATTER_PIPELINE_CYCLES = 300.0  # on-chip cycles at the core clock
+SCATTER_DRAM_LATENCY_S = 200e-9  # DRAM-side latency at the default clock
+
+#: Memory-level parallelism per resident wavefront: a dependent binary
+#: search keeps ~1 request in flight; independent neighbour gathers
+#: keep several.
+SCATTER_MLP = {
+    AccessKind.BINARY_SEARCH: 1.0,
+    AccessKind.NEIGHBOR_LIST: 4.0,
+}
+
+#: DDR3 miss latency seen by a Steamroller core.
+CPU_MISS_LATENCY_S = 90e-9
+
+
+@dataclass(frozen=True)
+class KernelTiming:
+    """Outcome of pricing one kernel launch on one device."""
+
+    name: str
+    seconds: float
+    cycles: float
+    instructions: float
+    dram_bytes: float
+    limited_by: str  # "compute" | "memory" | "floor"
+    compute_seconds: float
+    memory_seconds: float
+    occupancy_waves: int
+
+    def record(self, device: str) -> KernelRecord:
+        return KernelRecord(
+            name=self.name,
+            seconds=self.seconds,
+            cycles=self.cycles,
+            instructions=self.instructions,
+            dram_bytes=self.dram_bytes,
+            limited_by=self.limited_by,
+            device=device,
+        )
+
+
+def time_gpu_kernel(
+    lowered: LoweredKernel,
+    gpu: GPUDevice,
+    precision: Precision,
+) -> KernelTiming:
+    """Price one lowered kernel launch on a GPU at its current clocks."""
+    spec = lowered.spec
+
+    occ = occupancy(
+        gpu.spec,
+        registers_per_thread=spec.registers_per_thread,
+        lds_bytes_per_workgroup=spec.lds_bytes_per_workgroup if lowered.uses_lds else 0,
+        workgroup_size=spec.workgroup_size,
+        total_work_items=spec.work_items,
+    )
+    hiding = latency_hiding_factor(occ)
+    useful_lanes = lowered.vector_efficiency * (1.0 - lowered.divergence)
+
+    # --- compute side -------------------------------------------------
+    flop_seconds = 0.0
+    if spec.ops.flops > 0:
+        flop_seconds = spec.ops.flops / (gpu.peak_flops(precision) * useful_lanes)
+    lanes_per_cu = gpu.spec.simd_per_cu * gpu.spec.lanes_per_simd
+    issue_rate = gpu.spec.compute_units * lanes_per_cu * gpu.core_clock.hz
+    instructions = lowered.instructions
+    if precision is Precision.DOUBLE:
+        # GCN issues DP VALU ops at the device's DP rate (1/4 Tahiti,
+        # 1/16 Kaveri), so the FP share of the instruction stream
+        # occupies proportionally more issue slots.
+        fp_fraction = min(0.9, spec.ops.flops / max(instructions, 1.0))
+        instructions *= (1.0 - fp_fraction) + fp_fraction / gpu.spec.dp_rate_ratio
+    issue_seconds = instructions / (issue_rate * useful_lanes)
+    compute_seconds = max(flop_seconds, issue_seconds) / hiding
+
+    # --- memory side ----------------------------------------------------
+    dram_bytes = lowered.dram_traffic_bytes(gpu.spec.l2_cache.size_bytes)
+    pattern_eff = spec.access.row_buffer_efficiency * lowered.memory_efficiency
+    bandwidth = gpu.memory.effective_bandwidth(pattern_eff) * 1e9
+    memory_seconds = dram_bytes / bandwidth / hiding if dram_bytes else 0.0
+
+    # Scattered patterns are additionally latency-bound: requests per
+    # line, against the in-flight capacity the resident wavefronts
+    # sustain.  Poorly generated code (low memory efficiency) issues
+    # proportionally more requests.
+    mlp = SCATTER_MLP.get(spec.access.kind)
+    if mlp is not None and dram_bytes:
+        line = gpu.spec.l2_cache.line_bytes
+        requests = dram_bytes / line
+        outstanding = gpu.spec.compute_units * occ.wavefronts_per_cu * mlp
+        dram_latency = SCATTER_DRAM_LATENCY_S * (
+            gpu.memory.clock.default_mhz / gpu.memory.clock.current_mhz
+        )
+        latency = SCATTER_PIPELINE_CYCLES / gpu.core_clock.hz + dram_latency
+        latency_seconds = requests * latency / outstanding / lowered.memory_efficiency
+        memory_seconds = max(memory_seconds, latency_seconds)
+
+    seconds = max(compute_seconds, memory_seconds, GPU_KERNEL_FLOOR_S)
+    if seconds == GPU_KERNEL_FLOOR_S:
+        limited_by = "floor"
+    elif compute_seconds >= memory_seconds:
+        limited_by = "compute"
+    else:
+        limited_by = "memory"
+
+    cycles = seconds * gpu.core_clock.hz
+    return KernelTiming(
+        name=spec.name,
+        seconds=seconds,
+        cycles=cycles,
+        instructions=lowered.instructions,
+        dram_bytes=dram_bytes,
+        limited_by=limited_by,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        occupancy_waves=occ.wavefronts_per_cu,
+    )
+
+
+def cpu_vector_rate(cpu: CPUDevice, spec: KernelSpec, precision: Precision, threads: int) -> float:
+    """Effective CPU FLOP/s for ``spec`` given its vectorizable fraction.
+
+    Amdahl over SIMD lanes: the vectorizable fraction ``f`` of the work
+    runs at peak, the rest runs one lane wide.
+    """
+    peak = cpu.peak_flops(precision, threads=threads) * CPU_ISSUE_EFFICIENCY
+    width = cpu.spec.simd_width_sp if precision is Precision.SINGLE else cpu.spec.simd_width_sp // 2
+    width = max(1, width)
+    f = spec.cpu_simd_fraction
+    return peak / (f + (1.0 - f) * width)
+
+
+def cpu_stream_efficiency(threads: int) -> float:
+    """Fraction of pin bandwidth ``threads`` CPU cores can draw.
+
+    One core cannot fill the DDR3 bus, and even four Steamroller cores
+    sustain only about a third of it: Kaveri's CPU cores reach DRAM
+    through the coherent Onion path, which measures far below the
+    GPU-side Garlic path in STREAM-type tests.
+    """
+    return min(0.32, 0.11 * threads)
+
+
+def time_cpu_kernel(
+    spec: KernelSpec,
+    cpu: CPUDevice,
+    precision: Precision,
+    threads: int = 1,
+) -> KernelTiming:
+    """Price one parallel loop on the host CPU with ``threads`` cores."""
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    threads = min(threads, cpu.spec.cores)
+
+    flop_seconds = 0.0
+    if spec.ops.flops > 0:
+        flop_seconds = spec.ops.flops / cpu_vector_rate(cpu, spec, precision, threads)
+    # Non-FP instruction issue (address arithmetic, branches).
+    scalar_rate = threads * cpu.spec.clock_mhz * 1e6 * 2.0  # ~2 IPC scalar issue
+    issue_seconds = spec.ops.int_ops / scalar_rate if spec.ops.int_ops else 0.0
+    compute_seconds = flop_seconds + issue_seconds
+
+    host_memory = cpu.memory_system()
+    traffic = spec.ops.total_bytes * max(
+        spec.access.traffic_multiplier(cpu.spec.llc.size_bytes), 0.05
+    )
+    # CPU hardware prefetchers blunt the row-buffer penalty of
+    # *predictable* access patterns (streams, stencils, banded SpMV
+    # gathers) far more than the GPU's uncached path does; random
+    # descents (binary search) and neighbour-list gathers stay exposed.
+    prefetchable = spec.access.kind in (
+        AccessKind.STREAMING, AccessKind.STENCIL, AccessKind.CSR_SPMV,
+    )
+    row_buffer = spec.access.row_buffer_efficiency
+    if prefetchable:
+        row_buffer = max(row_buffer, 0.8)
+    pattern_eff = row_buffer * cpu_stream_efficiency(threads)
+    bandwidth = host_memory.peak_bandwidth_at_clock() * pattern_eff * 1e9
+    memory_seconds = traffic / bandwidth if traffic else 0.0
+
+    # Scattered patterns are latency-bound on the CPU as well: the
+    # out-of-order window sustains only a few misses per core, and a
+    # dependent descent (binary search) keeps barely one in flight.
+    mlp = SCATTER_MLP.get(spec.access.kind)
+    if mlp is not None and traffic:
+        requests = traffic / cpu.spec.llc.line_bytes
+        per_core_mlp = 1.5 if spec.access.kind is AccessKind.BINARY_SEARCH else 6.0
+        outstanding = threads * per_core_mlp
+        latency_seconds = requests * CPU_MISS_LATENCY_S / outstanding
+        memory_seconds = max(memory_seconds, latency_seconds)
+
+    seconds = max(compute_seconds, memory_seconds, CPU_LOOP_FLOOR_S)
+    if seconds == CPU_LOOP_FLOOR_S:
+        limited_by = "floor"
+    elif compute_seconds >= memory_seconds:
+        limited_by = "compute"
+    else:
+        limited_by = "memory"
+
+    cycles = seconds * cpu.spec.clock_mhz * 1e6
+    return KernelTiming(
+        name=spec.name,
+        seconds=seconds,
+        cycles=cycles,
+        instructions=spec.instructions,
+        dram_bytes=traffic,
+        limited_by=limited_by,
+        compute_seconds=compute_seconds,
+        memory_seconds=memory_seconds,
+        occupancy_waves=threads,
+    )

@@ -1,0 +1,109 @@
+"""Compute-unit and occupancy model for GCN-style GPUs.
+
+Section II-A: "Each CU consists of 4 lanes of 16 ALUs which results in
+64 GPU threads being executed in a single-instruction-multiple-data
+fashion.  CUs also consist of parallel resources like registers and a
+highly-banked local data store which are shared among the threads
+executing on that CU."
+
+Occupancy (resident wavefronts per CU) determines how much memory
+latency the CU can hide; it is limited by vector registers, LDS usage
+per workgroup and the hardware wavefront slots.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .specs import GPUSpec
+
+
+@dataclass(frozen=True)
+class Occupancy:
+    """Occupancy outcome for one kernel on one GPU."""
+
+    wavefronts_per_cu: int
+    limited_by: str  # "registers" | "lds" | "slots" | "workitems"
+
+    @property
+    def fraction(self) -> float:
+        """Occupancy relative to a nominal 40-slot CU (bounded to 1)."""
+        return min(1.0, self.wavefronts_per_cu / 40.0)
+
+
+def wavefronts_for(items: int, wavefront_size: int) -> int:
+    """Number of wavefronts needed to cover ``items`` work-items."""
+    if items <= 0:
+        raise ValueError("work-item count must be positive")
+    return math.ceil(items / wavefront_size)
+
+
+def occupancy(
+    gpu: GPUSpec,
+    registers_per_thread: int,
+    lds_bytes_per_workgroup: int,
+    workgroup_size: int,
+    total_work_items: int,
+) -> Occupancy:
+    """Compute resident wavefronts per CU for a kernel configuration.
+
+    Follows the standard GCN occupancy calculation: the VGPR file per
+    SIMD, the 64 KiB LDS per CU, and the hardware wavefront slots each
+    impose a ceiling; the minimum wins.
+    """
+    if workgroup_size <= 0:
+        raise ValueError("workgroup size must be positive")
+    if workgroup_size > gpu.wavefront_size and workgroup_size % gpu.wavefront_size != 0:
+        raise ValueError(
+            f"workgroup size {workgroup_size} larger than a wavefront must be "
+            f"a multiple of the wavefront size ({gpu.wavefront_size})"
+        )
+    registers_per_thread = max(1, registers_per_thread)
+
+    # Register limit: VGPRs are allocated per SIMD in units of wavefronts.
+    vgprs_per_simd = gpu.vector_registers_per_simd // 4  # 32-bit registers
+    waves_by_regs = vgprs_per_simd // (registers_per_thread * gpu.wavefront_size)
+    waves_by_regs *= gpu.simd_per_cu
+
+    # LDS limit: workgroups per CU bounded by LDS capacity.
+    waves_per_group = max(1, math.ceil(workgroup_size / gpu.wavefront_size))
+    if lds_bytes_per_workgroup > 0:
+        if lds_bytes_per_workgroup > gpu.local_memory_bytes:
+            raise ValueError(
+                f"workgroup requests {lds_bytes_per_workgroup} B of LDS, CU has "
+                f"{gpu.local_memory_bytes} B"
+            )
+        groups_by_lds = gpu.local_memory_bytes // lds_bytes_per_workgroup
+        waves_by_lds = groups_by_lds * waves_per_group
+    else:
+        # No LDS use: the LDS can never be the limiter.
+        waves_by_lds = 10**9
+
+    waves_by_slots = gpu.max_wavefronts_per_cu
+
+    # A kernel that does not launch enough wavefronts cannot fill the CUs.
+    total_waves = wavefronts_for(total_work_items, gpu.wavefront_size)
+    waves_by_launch = max(1, total_waves // gpu.compute_units)
+
+    candidates = {
+        "registers": max(1, waves_by_regs),
+        "lds": max(1, waves_by_lds),
+        "slots": waves_by_slots,
+        "workitems": waves_by_launch,
+    }
+    limiter = min(candidates, key=candidates.get)
+    return Occupancy(wavefronts_per_cu=candidates[limiter], limited_by=limiter)
+
+
+def latency_hiding_factor(occ: Occupancy, saturation_waves: int = 8) -> float:
+    """How well resident wavefronts hide memory latency, in (0, 1].
+
+    Empirically on GCN a handful of wavefronts per CU suffices to cover
+    ALU latency and most DRAM latency for streaming kernels; we model a
+    smooth saturating curve ``w / (w + k)`` normalised so that
+    ``saturation_waves`` resident wavefronts reach ~0.9 efficiency.
+    """
+    w = occ.wavefronts_per_cu
+    k = saturation_waves / 9.0  # w=saturation -> 0.9
+    return w / (w + k)

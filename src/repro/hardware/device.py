@@ -1,0 +1,160 @@
+"""Devices and platforms.
+
+A *platform* is what the paper calls an architecture: either the
+CPU + discrete GPU pair across PCIe (Figure 1) or the APU with fused
+CPU/GPU cores and unified memory (Figure 2).  Both platforms in the
+paper use the same A10-7850K host CPU, which is also the OpenMP
+baseline device.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .frequency import ClockDomain
+from .interconnect import Interconnect
+from .memory import MemorySystem
+from .specs import (
+    A10_7850K_CPU,
+    A10_7850K_GPU,
+    HSA_UNIFIED,
+    PCIE3_X16,
+    R9_280X,
+    CPUSpec,
+    GPUSpec,
+    Precision,
+)
+
+
+@dataclass
+class CPUDevice:
+    """The host CPU: OpenMP/serial baseline and fallback executor."""
+
+    spec: CPUSpec
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    def peak_flops(self, precision: Precision, threads: int | None = None) -> float:
+        """Peak FLOP/s using ``threads`` cores (all cores by default)."""
+        threads = self.spec.cores if threads is None else min(threads, self.spec.cores)
+        per_core = (
+            (self.spec.clock_mhz * 1e6)
+            * self.spec.simd_width_sp
+            * self.spec.flops_per_lane_per_cycle
+        )
+        rate = per_core * threads
+        if precision is Precision.DOUBLE:
+            rate *= self.spec.dp_rate_ratio
+        return rate
+
+    def memory_system(self) -> MemorySystem:
+        """Host DRAM; the clock is fixed (the paper only sweeps the GPU)."""
+        clock = ClockDomain(name="host-memory", default_mhz=1066.0, min_mhz=1066.0, max_mhz=1066.0)
+        return MemorySystem(
+            technology=A10_7850K_GPU.memory_technology,
+            peak_bandwidth_gbps=self.spec.peak_bandwidth_gbps,
+            clock=clock,
+            capacity_bytes=self.spec.system_memory_bytes,
+        )
+
+
+@dataclass
+class GPUDevice:
+    """A GCN GPU with independently programmable core and memory clocks."""
+
+    spec: GPUSpec
+    core_clock: ClockDomain = field(init=False)
+    memory: MemorySystem = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.core_clock = ClockDomain(
+            name="core",
+            default_mhz=self.spec.core_clock_mhz,
+            min_mhz=self.spec.core_clock_range_mhz[0],
+            max_mhz=self.spec.core_clock_range_mhz[1],
+        )
+        memory_clock = ClockDomain(
+            name="memory",
+            default_mhz=self.spec.memory_clock_mhz,
+            min_mhz=self.spec.memory_clock_range_mhz[0],
+            max_mhz=self.spec.memory_clock_range_mhz[1],
+        )
+        self.memory = MemorySystem(
+            technology=self.spec.memory_technology,
+            peak_bandwidth_gbps=self.spec.peak_bandwidth_gbps,
+            clock=memory_clock,
+            capacity_bytes=self.spec.device_memory_bytes,
+        )
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def memory_clock(self) -> ClockDomain:
+        return self.memory.clock
+
+    def peak_flops(self, precision: Precision) -> float:
+        """Peak FLOP/s at the currently programmed core clock."""
+        rate = (
+            self.spec.stream_processors
+            * 2.0  # FMA: 2 FLOPs per lane per cycle
+            * self.core_clock.hz
+        )
+        if precision is Precision.DOUBLE:
+            rate *= self.spec.dp_rate_ratio
+        return rate
+
+    def reset_clocks(self) -> None:
+        self.core_clock.reset()
+        self.memory.clock.reset()
+
+
+@dataclass
+class Platform:
+    """A host CPU plus one GPU accelerator and the link between them."""
+
+    name: str
+    host: CPUDevice
+    gpu: GPUDevice
+    interconnect: Interconnect
+
+    @property
+    def is_apu(self) -> bool:
+        """True when CPU and GPU share one coherent memory (no staging)."""
+        return self.interconnect.is_unified
+
+    def fresh(self) -> "Platform":
+        """A new platform instance with default clocks and empty logs.
+
+        Experiments mutate clocks and transfer logs; sweeps use this to
+        start from a clean platform each time.
+        """
+        return make_platform(apu=self.is_apu)
+
+
+def make_dgpu_platform() -> Platform:
+    """CPU + AMD Radeon R9 280X across PCIe (the paper's dGPU column)."""
+    return Platform(
+        name="dGPU (AMD Radeon R9 280X)",
+        host=CPUDevice(spec=A10_7850K_CPU),
+        gpu=GPUDevice(spec=R9_280X),
+        interconnect=Interconnect(spec=PCIE3_X16),
+    )
+
+
+def make_apu_platform() -> Platform:
+    """AMD A10-7850K APU with HSA unified memory (the paper's APU column)."""
+    return Platform(
+        name="APU (AMD A10-7850K)",
+        host=CPUDevice(spec=A10_7850K_CPU),
+        gpu=GPUDevice(spec=A10_7850K_GPU),
+        interconnect=Interconnect(spec=HSA_UNIFIED),
+    )
+
+
+def make_platform(apu: bool) -> Platform:
+    """Factory used by sweeps: ``apu=False`` gives the discrete GPU."""
+    return make_apu_platform() if apu else make_dgpu_platform()

@@ -1,0 +1,105 @@
+"""Clock domains and DVFS support.
+
+The paper's Figure 7 sweeps the discrete GPU's core clock (200-1000 MHz)
+and memory clock (480-1250 MHz) independently to classify each proxy
+application as compute-bound, memory-bound or balanced.  This module
+models those two frequency domains as independently adjustable clocks
+with hardware-defined legal ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class FrequencyError(ValueError):
+    """Raised when a clock is programmed outside its legal range."""
+
+
+@dataclass
+class ClockDomain:
+    """One independently scalable clock domain (e.g. GPU core, GDDR5).
+
+    Parameters
+    ----------
+    name:
+        Human-readable domain name, e.g. ``"core"`` or ``"memory"``.
+    default_mhz:
+        The shipping frequency of the domain (Table II of the paper).
+    min_mhz, max_mhz:
+        Legal DVFS range.  The paper sweeps 200-1000 MHz core and
+        480-1250 MHz memory on the R9 280X.
+    """
+
+    name: str
+    default_mhz: float
+    min_mhz: float
+    max_mhz: float
+    current_mhz: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.min_mhz <= 0 or self.max_mhz < self.min_mhz:
+            raise FrequencyError(
+                f"invalid range [{self.min_mhz}, {self.max_mhz}] for clock "
+                f"domain {self.name!r}"
+            )
+        if not self.min_mhz <= self.default_mhz <= self.max_mhz:
+            raise FrequencyError(
+                f"default {self.default_mhz} MHz outside legal range of "
+                f"clock domain {self.name!r}"
+            )
+        if not self.current_mhz:
+            self.current_mhz = self.default_mhz
+
+    @property
+    def hz(self) -> float:
+        """Current frequency in Hz."""
+        return self.current_mhz * 1e6
+
+    @property
+    def ghz(self) -> float:
+        """Current frequency in GHz."""
+        return self.current_mhz / 1e3
+
+    def set(self, mhz: float) -> None:
+        """Program the domain to ``mhz``, validating the legal range."""
+        if not self.min_mhz <= mhz <= self.max_mhz:
+            raise FrequencyError(
+                f"{mhz} MHz outside [{self.min_mhz}, {self.max_mhz}] for "
+                f"clock domain {self.name!r}"
+            )
+        self.current_mhz = float(mhz)
+
+    def reset(self) -> None:
+        """Return the domain to its shipping frequency."""
+        self.current_mhz = self.default_mhz
+
+    def scale_vs_default(self) -> float:
+        """Ratio of the current frequency to the shipping frequency."""
+        return self.current_mhz / self.default_mhz
+
+
+@dataclass
+class FrequencyPlan:
+    """A (core, memory) frequency pair used by sweep experiments."""
+
+    core_mhz: float
+    memory_mhz: float
+
+    def apply(self, core: ClockDomain, memory: ClockDomain) -> None:
+        core.set(self.core_mhz)
+        memory.set(self.memory_mhz)
+
+
+#: The exact sweep grid of Figure 7 (MHz).
+PAPER_CORE_SWEEP_MHZ = (200, 300, 400, 500, 600, 700, 800, 900, 1000)
+PAPER_MEMORY_SWEEP_MHZ = (480, 590, 700, 810, 920, 1030, 1140, 1250)
+
+
+def paper_sweep_grid() -> list[FrequencyPlan]:
+    """All (core, memory) combinations measured in Figure 7."""
+    return [
+        FrequencyPlan(core_mhz=c, memory_mhz=m)
+        for m in PAPER_MEMORY_SWEEP_MHZ
+        for c in PAPER_CORE_SWEEP_MHZ
+    ]

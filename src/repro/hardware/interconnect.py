@@ -1,0 +1,66 @@
+"""Host<->device interconnect models.
+
+The discrete GPU sits behind PCIe and pays an explicit staging cost per
+transfer (Section II-A); the APU's unified memory eliminates transfers
+entirely (Section II-B).  The paper's central dGPU-vs-APU result hinges
+on who pays these costs and how often — the programmer (OpenCL, once
+per phase) or the compiler (C++ AMP / OpenACC, conservatively per
+launch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .specs import InterconnectSpec
+
+
+@dataclass
+class TransferRecord:
+    """One host<->device copy, for accounting and tests."""
+
+    nbytes: int
+    direction: str  # "h2d" | "d2h"
+    seconds: float
+
+
+@dataclass
+class Interconnect:
+    """A link with fixed per-transfer latency plus bandwidth-limited cost."""
+
+    spec: InterconnectSpec
+    log: list[TransferRecord] = field(default_factory=list)
+
+    @property
+    def is_unified(self) -> bool:
+        """True when host and device share one coherent memory (APU)."""
+        return self.spec.bandwidth_gbps == float("inf")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Seconds to move ``nbytes`` across the link (0 when unified)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if self.is_unified or nbytes == 0:
+            return 0.0
+        return self.spec.latency_s + nbytes / (self.spec.bandwidth_gbps * 1e9)
+
+    def transfer(self, nbytes: int, direction: str) -> float:
+        """Record a transfer and return its simulated duration."""
+        if direction not in ("h2d", "d2h"):
+            raise ValueError(f"direction must be 'h2d' or 'd2h', got {direction!r}")
+        seconds = self.transfer_time(nbytes)
+        self.log.append(TransferRecord(nbytes=nbytes, direction=direction, seconds=seconds))
+        return seconds
+
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.log)
+
+    def total_bytes(self, direction: str | None = None) -> int:
+        return sum(
+            record.nbytes
+            for record in self.log
+            if direction is None or record.direction == direction
+        )
+
+    def reset(self) -> None:
+        self.log.clear()

@@ -1,0 +1,200 @@
+"""Hardware specification catalog (Table II of the paper).
+
+These dataclasses are the single source of truth for the platform
+parameters used throughout the simulator.  The numbers come directly
+from Table II, with a small number of micro-architectural facts
+(wavefront size, SIMD organisation, caches) that Table II implies but
+does not spell out, taken from the GCN 1.0 (Tahiti) and Kaveri
+documentation the paper's Section II summarises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+
+class MemoryTechnology(Enum):
+    """DRAM technology of a device's attached memory (Table II)."""
+
+    GDDR5 = "GDDR5"
+    DDR3 = "DDR3"
+
+
+class Precision(Enum):
+    """Floating-point precision of a run (Figures 8 and 9 report both)."""
+
+    SINGLE = "single"
+    DOUBLE = "double"
+
+    @property
+    def bytes_per_element(self) -> int:
+        return 4 if self is Precision.SINGLE else 8
+
+
+@dataclass(frozen=True)
+class CacheSpec:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int
+    ways: int
+
+    @property
+    def sets(self) -> int:
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A GPU (or the GPU half of an APU) as described by Table II.
+
+    ``stream_processors`` and clocks are verbatim Table II values; the
+    SIMD organisation (4 lanes of 16 ALUs, 64-wide wavefronts) is from
+    Section II-A of the paper.
+    """
+
+    name: str
+    compute_units: int
+    stream_processors: int
+    core_clock_mhz: float
+    core_clock_range_mhz: tuple[float, float]
+    memory_clock_mhz: float
+    memory_clock_range_mhz: tuple[float, float]
+    memory_technology: MemoryTechnology
+    device_memory_bytes: int
+    local_memory_bytes: int  # LDS per CU
+    peak_bandwidth_gbps: float  # GB/s at default memory clock
+    peak_sp_gflops: float
+    dp_rate_ratio: float  # DP throughput as a fraction of SP (1/4 or 1/16)
+    wavefront_size: int = 64
+    simd_per_cu: int = 4
+    lanes_per_simd: int = 16
+    vector_registers_per_simd: int = 256 * 64 * 4  # 64 KiB VGPR file per SIMD
+    max_wavefronts_per_cu: int = 40
+    l2_cache: CacheSpec = field(
+        default_factory=lambda: CacheSpec(size_bytes=768 * 1024, line_bytes=64, ways=16)
+    )
+
+    def __post_init__(self) -> None:
+        expected_sp = self.compute_units * self.simd_per_cu * self.lanes_per_simd
+        if expected_sp != self.stream_processors:
+            raise ValueError(
+                f"{self.name}: {self.compute_units} CUs x {self.simd_per_cu} "
+                f"SIMDs x {self.lanes_per_simd} lanes = {expected_sp}, but "
+                f"stream_processors says {self.stream_processors}"
+            )
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """The host CPU (both platforms use the A10-7850K's Steamroller cores)."""
+
+    name: str
+    cores: int
+    clock_mhz: float
+    simd_width_sp: int  # SP lanes per core (AVX = 8)
+    flops_per_lane_per_cycle: float  # FMA issue per lane
+    system_memory_bytes: int
+    peak_bandwidth_gbps: float
+    dp_rate_ratio: float = 0.5
+    llc: CacheSpec = field(
+        default_factory=lambda: CacheSpec(size_bytes=4 * 1024 * 1024, line_bytes=64, ways=16)
+    )
+
+    @property
+    def peak_sp_gflops(self) -> float:
+        return (
+            self.cores
+            * (self.clock_mhz / 1e3)
+            * self.simd_width_sp
+            * self.flops_per_lane_per_cycle
+        )
+
+
+@dataclass(frozen=True)
+class InterconnectSpec:
+    """Link between host memory and device memory."""
+
+    name: str
+    bandwidth_gbps: float  # effective, not theoretical
+    latency_s: float  # per-transfer fixed cost (driver + DMA setup)
+
+
+#: AMD Radeon R9 280X (Tahiti, GCN 1.0) — Table II column 1.
+R9_280X = GPUSpec(
+    name="AMD Radeon R9 280X",
+    compute_units=32,
+    stream_processors=2048,
+    core_clock_mhz=925.0,
+    core_clock_range_mhz=(200.0, 1050.0),
+    memory_clock_mhz=1250.0,
+    memory_clock_range_mhz=(480.0, 1500.0),
+    memory_technology=MemoryTechnology.GDDR5,
+    device_memory_bytes=3 * 1024**3,
+    local_memory_bytes=64 * 1024,
+    peak_bandwidth_gbps=258.0,
+    peak_sp_gflops=3800.0,
+    dp_rate_ratio=0.25,
+)
+
+#: The 8-CU integrated GPU of the AMD A10-7850K (Kaveri) — Table II column 2.
+#: Table II counts "12 compute units (4 CPU + 8 GPU)"; only the 8 GCN CUs
+#: are vector units, i.e. 512 stream processors (the quoted 768 includes
+#: CPU lanes).  738 GFLOPS = 512 x 2 x 0.72 GHz.
+A10_7850K_GPU = GPUSpec(
+    name="AMD A10-7850K (integrated GPU)",
+    compute_units=8,
+    stream_processors=512,
+    core_clock_mhz=720.0,
+    core_clock_range_mhz=(200.0, 720.0),
+    memory_clock_mhz=1066.0,  # DDR3-2133
+    memory_clock_range_mhz=(333.0, 1066.0),
+    memory_technology=MemoryTechnology.DDR3,
+    device_memory_bytes=2 * 1024**3,
+    local_memory_bytes=64 * 1024,
+    peak_bandwidth_gbps=33.0,
+    peak_sp_gflops=738.0,
+    dp_rate_ratio=1.0 / 16.0,
+    l2_cache=CacheSpec(size_bytes=512 * 1024, line_bytes=64, ways=16),
+)
+
+#: Host processor for both platforms — 4 Steamroller cores at 3.7 GHz.
+A10_7850K_CPU = CPUSpec(
+    name="AMD A10-7850K (CPU cores)",
+    cores=4,
+    clock_mhz=3700.0,
+    simd_width_sp=8,
+    flops_per_lane_per_cycle=2.0,  # FMA
+    system_memory_bytes=32 * 1024**3,
+    peak_bandwidth_gbps=33.0,
+)
+
+#: PCIe 3.0 x16 as achieved by the Catalyst v14.6 runtime (effective).
+PCIE3_X16 = InterconnectSpec(name="PCIe 3.0 x16", bandwidth_gbps=8.0, latency_s=20e-6)
+
+#: Zero-copy unified memory of the APU (HSA): no staging transfers.
+HSA_UNIFIED = InterconnectSpec(name="HSA unified memory", bandwidth_gbps=float("inf"), latency_s=0.0)
+
+
+def table2_rows() -> list[dict[str, str]]:
+    """Render the Table II comparison the paper prints, for reports."""
+    rows = []
+    for label, gpu in (("AMD Radeon R9 280X", R9_280X), ("AMD A10-7850K", A10_7850K_GPU)):
+        rows.append(
+            {
+                "Name": label,
+                "Stream Processors": str(gpu.stream_processors),
+                "Compute Units": str(gpu.compute_units),
+                "Core Clock Frequency": f"{gpu.core_clock_mhz:.0f} MHz",
+                "Memory Bus type": gpu.memory_technology.value,
+                "Device Memory": f"{gpu.device_memory_bytes // 1024**3} GB",
+                "Local Memory": f"{gpu.local_memory_bytes // 1024} KB",
+                "Peak Bandwidth": f"{gpu.peak_bandwidth_gbps:.0f} GB/s",
+                "Peak Single Precision Perf.": f"{gpu.peak_sp_gflops:.0f} GFLOPS",
+                "Host Processor": A10_7850K_CPU.name,
+                "CPU frequency": f"{A10_7850K_CPU.clock_mhz / 1e3:.1f} GHz",
+                "System memory": f"{A10_7850K_CPU.system_memory_bytes // 1024**3} GB",
+            }
+        )
+    return rows

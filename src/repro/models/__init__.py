@@ -1,0 +1,48 @@
+"""Programming-model runtimes.
+
+One subpackage/module per model of the study:
+
+* :mod:`repro.models.opencl` — explicit host API + hand-tuned kernels.
+* :mod:`repro.models.cppamp` — CLAMP C++ AMP: ``array_view`` +
+  ``parallel_for_each`` with runtime-managed transfers.
+* :mod:`repro.models.openacc` — PGI OpenACC: ``kernels loop`` and
+  ``data`` directives.
+* :mod:`repro.models.openmp` / :mod:`repro.models.serial` — the CPU
+  baselines.
+* :mod:`repro.models.hc` — Section VII's Heterogeneous Compute.
+"""
+
+from . import cppamp, openacc, opencl
+from .base import (
+    Capability,
+    CompilerProfile,
+    CPUToolchain,
+    ExecutionContext,
+    Toolchain,
+    TransferPolicy,
+)
+from .hc import HC_PROFILE, HCRuntime
+from .openmp import OpenMP
+from .registry import GPU_MODEL_NAMES, PROFILES, CompilerEntry, profile_for, table3_rows
+from .serial import SerialCPU
+
+__all__ = [
+    "Capability",
+    "CompilerEntry",
+    "CompilerProfile",
+    "CPUToolchain",
+    "ExecutionContext",
+    "GPU_MODEL_NAMES",
+    "HC_PROFILE",
+    "HCRuntime",
+    "OpenMP",
+    "PROFILES",
+    "SerialCPU",
+    "Toolchain",
+    "TransferPolicy",
+    "cppamp",
+    "openacc",
+    "opencl",
+    "profile_for",
+    "table3_rows",
+]

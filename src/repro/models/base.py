@@ -1,0 +1,250 @@
+"""Programming-model abstractions.
+
+The paper's comparison rests on three ingredients per model:
+
+1. **Compiler capabilities** (Figure 11) — which optimizations the
+   toolchain can express: vectorization, LDS use, fine-grained
+   synchronization, explicit loop unrolling, code-motion reduction.
+2. **Transfer policy** (Section VI-A) — who moves data to the discrete
+   GPU and when: the programmer (OpenCL, explicit, once per phase) or
+   the compiler (C++ AMP / OpenACC, conservatively per launch, with
+   OpenACC ``data`` regions as a partial remedy).
+3. **Code-generation quality** — how close the generated ISA comes to
+   hand-tuned OpenCL (measured by the read-memory benchmark: OpenCL is
+   1.3x better than C++ AMP and 2x better than OpenACC).
+
+A :class:`Toolchain` bundles these and *lowers* architecture-neutral
+:class:`~repro.engine.kernel.KernelSpec` objects into
+:class:`~repro.engine.kernel.LoweredKernel` objects the timing model
+can price.  Nothing in the lowering hard-codes which model wins: the
+outcomes of Figures 8-10 emerge from capabilities x kernels x devices.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..engine.counters import PerfCounters
+from ..engine.kernel import KernelSpec, LoweredKernel
+from ..engine.launch import RuntimeOverheads
+from ..engine.timing import time_cpu_kernel, time_gpu_kernel
+from ..hardware.device import Platform
+from ..hardware.specs import Precision
+
+
+class Capability(enum.Flag):
+    """Optimizations a programming model lets the programmer (or its
+    compiler) apply — the rows of Figure 11."""
+
+    NONE = 0
+    VECTORIZE = enum.auto()
+    LDS = enum.auto()
+    FINE_SYNC = enum.auto()
+    UNROLL = enum.auto()
+    CODE_MOTION = enum.auto()
+
+    @classmethod
+    def all(cls) -> "Capability":
+        return cls.VECTORIZE | cls.LDS | cls.FINE_SYNC | cls.UNROLL | cls.CODE_MOTION
+
+
+class TransferPolicy(enum.Enum):
+    """Who stages data into discrete-GPU memory, and how often."""
+
+    #: The programmer writes the copies: each buffer moves exactly when
+    #: the application says so (OpenCL, Heterogeneous Compute).
+    EXPLICIT = "explicit"
+    #: The compiler conservatively makes every kernel's inputs resident
+    #: before launch and results visible after (CLAMP C++ AMP on dGPU).
+    COMPILER_PER_LAUNCH = "compiler-per-launch"
+    #: Directive data regions hoist copies to region boundaries, but
+    #: anything not covered by a region still moves per launch (PGI
+    #: OpenACC).
+    DATA_REGION = "data-region"
+
+
+@dataclass(frozen=True)
+class CompilerProfile:
+    """Code-generation quality and feature set of one toolchain."""
+
+    name: str
+    version: str
+    capabilities: Capability
+    transfer_policy: TransferPolicy
+    #: SIMD lane utilisation of generated code for regular (streaming,
+    #: stencil) loops and for irregular (gather, divergent) loops.
+    vector_efficiency_regular: float
+    vector_efficiency_irregular: float
+    #: Coalescing quality of generated global loads/stores.
+    memory_efficiency: float
+    #: Fraction of a kernel's intrinsic branch divergence the tuner can
+    #: remove by restructuring (hand-written kernels only).
+    divergence_reduction: float = 0.0
+    #: Performance-portability penalty of hand-tuned code run on a
+    #: platform it was not tuned for (Sec. VI-A: "OpenCL requires
+    #: hand-tuned code for each architecture for performance
+    #: portability").  Zero for compiler-retargeted models; OpenCL's
+    #: kernels here are tuned for the discrete GPU, so they lose this
+    #: fraction of vector/memory efficiency on the APU — fully for
+    #: irregular kernels, 30% of it for regular ones.
+    retarget_penalty: float = 0.0
+
+    def is_irregular(self, spec: KernelSpec) -> bool:
+        """Irregular kernels stress the compiler's ability to map
+        parallelism onto vector lanes (Sec. VI-C: OpenACC 'proved
+        challenging in terms of mapping the parallelism')."""
+        return spec.divergence > 0.05 or spec.cpu_simd_fraction < 0.5
+
+    def lower(self, spec: KernelSpec, retargeted: bool = False) -> LoweredKernel:
+        """Lower one kernel spec through this toolchain.
+
+        ``retargeted=True`` prices hand-tuned code on a platform other
+        than the one it was tuned for (see :attr:`retarget_penalty`).
+        """
+        notes: list[str] = []
+
+        if Capability.VECTORIZE not in self.capabilities:
+            vector_efficiency = 1.0 / 16.0  # scalar lanes only
+            notes.append("no vectorization")
+        elif self.is_irregular(spec):
+            vector_efficiency = self.vector_efficiency_irregular
+            notes.append("irregular-loop codegen")
+        else:
+            vector_efficiency = self.vector_efficiency_regular
+            notes.append("regular-loop codegen")
+
+        memory_efficiency = self.memory_efficiency
+        if retargeted and self.retarget_penalty > 0:
+            penalty = self.retarget_penalty
+            if not self.is_irregular(spec):
+                penalty *= 0.3
+            vector_efficiency *= 1.0 - penalty
+            memory_efficiency *= 1.0 - penalty
+            notes.append("hand-tuning retargeted without re-optimization")
+
+        wants_lds = spec.lds_bytes_per_workgroup > 0
+        has_lds = Capability.LDS in self.capabilities
+        needs_sync = wants_lds and spec.lds_traffic_filter > 0
+        has_sync = Capability.FINE_SYNC in self.capabilities
+        uses_lds = wants_lds and has_lds and (has_sync or not needs_sync)
+        if wants_lds and not uses_lds:
+            # Tiling is also a parallelism-mapping strategy: without it
+            # the cooperative inner loop degenerates to scattered
+            # per-lane work (the paper's CoMD observation that tiles
+            # 'improved ... by almost 3x', and PGI's 'inability to
+            # expose vector-parallelism').
+            vector_efficiency *= 0.55
+            notes.append("LDS tiling unavailable; global-memory fallback")
+
+        instruction_scale = 1.0
+        if spec.unroll_benefit > 0 and Capability.UNROLL not in self.capabilities:
+            instruction_scale /= 1.0 - spec.unroll_benefit / 2.0
+            notes.append("no explicit unrolling")
+        if spec.unroll_benefit > 0 and Capability.CODE_MOTION not in self.capabilities:
+            instruction_scale /= 1.0 - spec.unroll_benefit / 2.0
+            notes.append("no code-motion reduction")
+
+        divergence = spec.divergence * (1.0 - self.divergence_reduction)
+
+        return LoweredKernel(
+            spec=spec,
+            vector_efficiency=vector_efficiency,
+            uses_lds=uses_lds,
+            instruction_scale=instruction_scale,
+            divergence=divergence,
+            memory_efficiency=memory_efficiency,
+            notes=tuple(notes),
+        )
+
+
+@dataclass
+class ExecutionContext:
+    """One application run: a platform, a precision, and its counters.
+
+    Model runtimes charge simulated time here while executing the
+    application's NumPy kernels functionally.
+
+    ``execute_kernels=False`` selects *projection mode*: ports build
+    the exact same launch/transfer schedule and every simulated cost is
+    charged identically, but the NumPy kernel bodies and host<->device
+    copies are skipped.  This prices paper-sized problems (e.g. CoMD's
+    864k atoms, XSBench's 240 MB table) that would be impractically
+    slow to execute functionally; numerical results are garbage in this
+    mode and correctness is validated separately at functional sizes.
+    """
+
+    platform: Platform
+    precision: Precision
+    counters: PerfCounters = field(default_factory=PerfCounters)
+    execute_kernels: bool = True
+
+    @property
+    def dtype(self) -> np.dtype:
+        """NumPy dtype matching the run's floating-point precision."""
+        return np.dtype(np.float32 if self.precision is Precision.SINGLE else np.float64)
+
+
+class Toolchain:
+    """A programming model bound to a platform: profile + runtime costs.
+
+    Concrete models (OpenCL, C++ AMP, OpenACC, HC) supply the profile
+    and per-platform overheads; the shared methods here charge kernel
+    time and transfers to an :class:`ExecutionContext`.
+    """
+
+    def __init__(self, profile: CompilerProfile, overheads: RuntimeOverheads) -> None:
+        self.profile = profile
+        self.overheads = overheads
+
+    @property
+    def name(self) -> str:
+        return self.profile.name
+
+    def lower(self, spec: KernelSpec, retargeted: bool = False) -> LoweredKernel:
+        return self.profile.lower(spec, retargeted=retargeted)
+
+    def charge_gpu_kernel(
+        self,
+        ctx: ExecutionContext,
+        spec: KernelSpec,
+        n_buffers: int,
+        mapped_bytes: int = 0,
+    ) -> float:
+        """Price one GPU kernel launch and record it; returns seconds."""
+        # Hand-tuned toolchains (retarget_penalty > 0) are tuned for the
+        # discrete GPU; running the same kernels on the APU pays the
+        # performance-portability penalty.
+        retargeted = self.profile.retarget_penalty > 0 and ctx.platform.is_apu
+        lowered = self.lower(spec, retargeted=retargeted)
+        timing = time_gpu_kernel(lowered, ctx.platform.gpu, ctx.precision)
+        ctx.counters.record_kernel(timing.record(ctx.platform.gpu.name))
+        ctx.counters.flops += spec.ops.flops
+        overhead = self.overheads.launch_cost(n_buffers, mapped_bytes)
+        ctx.counters.launch_overhead_seconds += overhead
+        return timing.seconds + overhead
+
+    def charge_transfer(self, ctx: ExecutionContext, nbytes: int, direction: str) -> float:
+        """Price one host<->device copy; free on unified memory."""
+        seconds = ctx.platform.interconnect.transfer(nbytes, direction)
+        ctx.counters.record_transfer(nbytes, seconds, direction)
+        return seconds
+
+
+class CPUToolchain:
+    """Serial / OpenMP execution on the host CPU (the baseline)."""
+
+    def __init__(self, name: str, threads: int, region_overhead_s: float = 0.0) -> None:
+        self.name = name
+        self.threads = threads
+        self.region_overhead_s = region_overhead_s
+
+    def charge_loop(self, ctx: ExecutionContext, spec: KernelSpec) -> float:
+        """Price one parallel loop on the host; returns seconds."""
+        timing = time_cpu_kernel(spec, ctx.platform.host, ctx.precision, threads=self.threads)
+        ctx.counters.record_kernel(timing.record(ctx.platform.host.name))
+        ctx.counters.flops += spec.ops.flops
+        ctx.counters.launch_overhead_seconds += self.region_overhead_s
+        return timing.seconds + self.region_overhead_s

@@ -1,0 +1,28 @@
+"""Simulated C++ AMP (CLAMP v0.6.0).
+
+Usage mirrors C++ AMP source::
+
+    rt = amp.AmpRuntime(ctx)
+    in_view = amp.array_view(rt, a)
+    out_view = amp.array_view(rt, out)
+    out_view.discard_data()
+    rt.parallel_for_each(
+        amp.extent(n_threads).tile(256),
+        kernel_func, spec,
+        views=[in_view, out_view], writes=[out_view],
+    )
+    out_view.synchronize()
+"""
+
+from .amp import AmpRuntime, CompilerBug, array_view, extent, tiled_extent
+from .compiler import CLAMP_BROKEN_KERNELS_DGPU, CPPAMP_PROFILE
+
+__all__ = [
+    "AmpRuntime",
+    "CLAMP_BROKEN_KERNELS_DGPU",
+    "CompilerBug",
+    "CPPAMP_PROFILE",
+    "array_view",
+    "extent",
+    "tiled_extent",
+]

@@ -1,0 +1,33 @@
+"""C++ AMP toolchain profile (CLAMP v0.6.0, Table III).
+
+C++ AMP sits between OpenCL and OpenACC in Figure 11: tiling gives it
+LDS access and fine-grained synchronization (``tile_static`` +
+``tile_barrier``), but explicit unrolling and code-motion reduction are
+missing, and the CLAMP 0.6.0 code generator is measurably behind
+hand-written kernels (1.3x on the read-memory benchmark).
+
+On the discrete GPU the runtime manages transfers conservatively —
+the paper's "single biggest reason for poor performance" — and one
+LULESH kernel failed to compile outright (Sec. VI-A), modelled here as
+a named known-bad kernel list.
+"""
+
+from __future__ import annotations
+
+from ..base import Capability, CompilerProfile, TransferPolicy
+
+CPPAMP_PROFILE = CompilerProfile(
+    name="C++ AMP",
+    version="CLAMP v0.6.0",
+    capabilities=Capability.VECTORIZE | Capability.LDS | Capability.FINE_SYNC,
+    transfer_policy=TransferPolicy.COMPILER_PER_LAUNCH,
+    vector_efficiency_regular=0.85,
+    vector_efficiency_irregular=0.72,
+    memory_efficiency=0.78,
+)
+
+#: Kernels CLAMP v0.6.0 fails to compile for the discrete GPU
+#: ("we were able to implement only 27 out of the 28 kernels on the
+#: GPU due to a compiler bug; one kernel was implemented on the CPU
+#: which led to data-transfer overhead").
+CLAMP_BROKEN_KERNELS_DGPU = frozenset({"lulesh.calc_kinematics"})

@@ -1,0 +1,17 @@
+"""Simulated OpenACC (PGI v14.10).
+
+Usage mirrors directive-annotated C::
+
+    acc = OpenACC(ctx)
+    with acc.data(copyin=[a], copyout=[out]):
+        acc.kernels_loop(
+            kernel_func, spec,
+            arrays=[a, out], writes=[out],
+            gang=n // 64, vector=64,
+        )
+"""
+
+from .acc import AccError, OpenACC
+from .compiler import OPENACC_PROFILE
+
+__all__ = ["AccError", "OPENACC_PROFILE", "OpenACC"]

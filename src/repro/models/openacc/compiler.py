@@ -1,0 +1,24 @@
+"""OpenACC toolchain profile (PGI v14.10, Table III).
+
+OpenACC is the least flexible row of Figure 11: the compiler can
+vectorize annotated loops but exposes no LDS, no fine-grained
+synchronization, no unrolling and no code-motion control.  The paper
+additionally observes that PGI "proved challenging in terms of mapping
+the parallelism to appropriately use GPU vector cores" (CoMD's
+worst-of-all result) and that complicated access patterns (miniFE's
+CSR-Adaptive SpMV) defeat it entirely.
+"""
+
+from __future__ import annotations
+
+from ..base import Capability, CompilerProfile, TransferPolicy
+
+OPENACC_PROFILE = CompilerProfile(
+    name="OpenACC",
+    version="PGI v14.10 with AMD Catalyst driver v14.6",
+    capabilities=Capability.VECTORIZE,
+    transfer_policy=TransferPolicy.DATA_REGION,
+    vector_efficiency_regular=0.70,
+    vector_efficiency_irregular=0.35,
+    memory_efficiency=0.50,
+)

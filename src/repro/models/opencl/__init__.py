@@ -1,0 +1,45 @@
+"""Simulated OpenCL 1.2: explicit host API + hand-tuned kernels.
+
+Usage mirrors real OpenCL host code::
+
+    platforms = cl.get_platforms(ctx)
+    device = platforms[0].get_devices()[0]
+    context = cl.Context(ctx, [device])
+    queue = cl.CommandQueue(context, device)
+    program = cl.Program(context).build()
+    in_cl = cl.Buffer(context, cl.MemFlags.READ_ONLY, size=a.nbytes)
+    queue.enqueue_write_buffer(in_cl, a)
+    kernel = program.create_kernel("read_memory", func, spec)
+    kernel.set_args(in_cl, out_cl, n)
+    queue.enqueue_nd_range_kernel(kernel, global_size, local_size)
+    queue.enqueue_read_buffer(out_cl, out)
+    queue.finish()
+"""
+
+from .compiler import OPENCL_PROFILE
+from .host import (
+    Buffer,
+    CLDevice,
+    CLError,
+    CLPlatform,
+    CommandQueue,
+    Context,
+    Kernel,
+    MemFlags,
+    Program,
+    get_platforms,
+)
+
+__all__ = [
+    "Buffer",
+    "CLDevice",
+    "CLError",
+    "CLPlatform",
+    "CommandQueue",
+    "Context",
+    "Kernel",
+    "MemFlags",
+    "OPENCL_PROFILE",
+    "Program",
+    "get_platforms",
+]

@@ -1,0 +1,25 @@
+"""OpenCL toolchain profile (AMD Catalyst driver v14.6, Table III).
+
+OpenCL is the paper's traditional model: the programmer writes the
+kernels by hand, so every optimization row of Figure 11 is available —
+vectorization, LDS, fine-grained synchronization, explicit unrolling
+and code-motion reduction — and data transfers are fully explicit.
+"""
+
+from __future__ import annotations
+
+from ..base import Capability, CompilerProfile, TransferPolicy
+
+#: Hand-tuned kernels: the reference point every other model is
+#: measured against (its read-memory kernel saturates the bus).
+OPENCL_PROFILE = CompilerProfile(
+    name="OpenCL",
+    version="AMD Catalyst driver v14.6",
+    capabilities=Capability.all(),
+    transfer_policy=TransferPolicy.EXPLICIT,
+    vector_efficiency_regular=1.0,
+    vector_efficiency_irregular=0.92,
+    memory_efficiency=1.0,
+    divergence_reduction=0.5,
+    retarget_penalty=0.25,
+)

@@ -1,0 +1,54 @@
+"""Model registry and Table III metadata.
+
+The comparison framework iterates models by name; this registry maps
+those names to compiler profiles and to the compiler/runtime versions
+the paper lists in Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .base import CompilerProfile
+from .cppamp.compiler import CPPAMP_PROFILE
+from .hc import HC_PROFILE
+from .openacc.compiler import OPENACC_PROFILE
+from .opencl.compiler import OPENCL_PROFILE
+
+#: The three models of the paper's comparison, in its column order.
+GPU_MODEL_NAMES = ("OpenCL", "C++ AMP", "OpenACC")
+
+#: Profiles by canonical name (the GPU-offload models).
+PROFILES: dict[str, CompilerProfile] = {
+    OPENCL_PROFILE.name: OPENCL_PROFILE,
+    CPPAMP_PROFILE.name: CPPAMP_PROFILE,
+    OPENACC_PROFILE.name: OPENACC_PROFILE,
+    HC_PROFILE.name: HC_PROFILE,
+}
+
+
+@dataclass(frozen=True)
+class CompilerEntry:
+    """One row of Table III."""
+
+    model: str
+    compiler: str
+
+
+def table3_rows() -> list[CompilerEntry]:
+    """Table III: Compilers Used for Programming Models."""
+    return [
+        CompilerEntry(model="OpenCL", compiler=OPENCL_PROFILE.version),
+        CompilerEntry(model="C++ AMP", compiler=CPPAMP_PROFILE.version),
+        CompilerEntry(model="OpenACC", compiler=OPENACC_PROFILE.version),
+    ]
+
+
+def profile_for(name: str) -> CompilerProfile:
+    """Look up a compiler profile by model name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown programming model {name!r}; known: {sorted(PROFILES)}"
+        ) from None

@@ -1,0 +1,21 @@
+"""SLOC counting (the paper's SLOCCount [17]) and Table IV."""
+
+from .counter import count_clike_sloc, count_file_sloc, count_python_sloc
+from .report import (
+    PAPER_TABLE4,
+    measure_lines_added,
+    measure_port_sloc,
+    port_source_file,
+    table4,
+)
+
+__all__ = [
+    "PAPER_TABLE4",
+    "count_clike_sloc",
+    "count_file_sloc",
+    "count_python_sloc",
+    "measure_lines_added",
+    "measure_port_sloc",
+    "port_source_file",
+    "table4",
+]

@@ -1,0 +1,137 @@
+"""Source-lines-of-code counting (the paper's SLOCCount [17]).
+
+Table IV measures programmer effort as the number of source lines
+added to port each application, "measured using the SLOCCount tool
+which does not consider the comments in the code".  This module
+reimplements that measurement for Python sources (token-accurate:
+comments, blank lines and docstrings are excluded) and for C-like
+sources (``//`` and ``/* */`` comments excluded), so the reproduction
+can run the same tool over its own ports.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from pathlib import Path
+
+
+def count_python_sloc(source: str) -> int:
+    """Logical source lines of Python code, SLOCCount-style.
+
+    A line counts when it carries at least one token that is neither a
+    comment, a blank, nor part of a documentation string (a string
+    expression statement).
+    """
+    code_lines: set[int] = set()
+    docstring_lines: set[int] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError) as exc:
+        raise ValueError(f"cannot tokenize source: {exc}") from exc
+
+    # A STRING token is a docstring when the statement consists of the
+    # string alone: the previous significant token is NEWLINE, INDENT,
+    # DEDENT or start-of-file, and the next is NEWLINE.
+    significant = [
+        t for t in tokens
+        if t.type not in (tokenize.COMMENT, tokenize.NL, tokenize.ENCODING)
+    ]
+    for i, tok in enumerate(significant):
+        if tok.type != tokenize.STRING:
+            continue
+        prev_ok = i == 0 or significant[i - 1].type in (
+            tokenize.NEWLINE, tokenize.INDENT, tokenize.DEDENT,
+        )
+        next_ok = i + 1 >= len(significant) or significant[i + 1].type == tokenize.NEWLINE
+        if prev_ok and next_ok:
+            docstring_lines.update(range(tok.start[0], tok.end[0] + 1))
+
+    for tok in tokens:
+        if tok.type in (
+            tokenize.COMMENT, tokenize.NL, tokenize.NEWLINE, tokenize.INDENT,
+            tokenize.DEDENT, tokenize.ENCODING, tokenize.ENDMARKER,
+        ):
+            continue
+        for line in range(tok.start[0], tok.end[0] + 1):
+            code_lines.add(line)
+    return len(code_lines - docstring_lines)
+
+
+def count_clike_sloc(source: str) -> int:
+    """Logical source lines of C/C++/OpenCL-style code.
+
+    Strips ``//`` line comments and ``/* */`` block comments (string
+    literals are respected), then counts non-blank lines.
+    """
+    out: list[str] = []
+    i = 0
+    n = len(source)
+    in_block = False
+    in_line = False
+    in_string: str | None = None
+    current: list[str] = []
+    while i < n:
+        ch = source[i]
+        nxt = source[i + 1] if i + 1 < n else ""
+        if in_block:
+            if ch == "*" and nxt == "/":
+                in_block = False
+                i += 2
+                continue
+            if ch == "\n":
+                out.append("".join(current))
+                current = []
+            i += 1
+            continue
+        if in_line:
+            if ch == "\n":
+                in_line = False
+                out.append("".join(current))
+                current = []
+            i += 1
+            continue
+        if in_string:
+            current.append(ch)
+            if ch == "\\":
+                if nxt:
+                    current.append(nxt)
+                    i += 2
+                    continue
+            elif ch == in_string:
+                in_string = None
+            i += 1
+            continue
+        if ch in ("\"", "'"):
+            in_string = ch
+            current.append(ch)
+            i += 1
+            continue
+        if ch == "/" and nxt == "/":
+            in_line = True
+            i += 2
+            continue
+        if ch == "/" and nxt == "*":
+            in_block = True
+            i += 2
+            continue
+        if ch == "\n":
+            out.append("".join(current))
+            current = []
+            i += 1
+            continue
+        current.append(ch)
+        i += 1
+    out.append("".join(current))
+    return sum(1 for line in out if line.strip())
+
+
+def count_file_sloc(path: str | Path) -> int:
+    """Count SLOC of a file, dispatching on its extension."""
+    path = Path(path)
+    source = path.read_text()
+    if path.suffix == ".py":
+        return count_python_sloc(source)
+    if path.suffix in (".c", ".h", ".cpp", ".hpp", ".cc", ".cl", ".cu"):
+        return count_clike_sloc(source)
+    raise ValueError(f"unsupported source type: {path.suffix!r}")

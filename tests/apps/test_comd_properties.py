@@ -1,0 +1,66 @@
+"""Property-based tests on the CoMD force field."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.comd import CoMDConfig, bin_atoms, compute_forces, make_state
+from repro.hardware.specs import Precision
+
+
+def perturbed_state(seed, amplitude):
+    state = make_state(CoMDConfig(nx=6, ny=6, nz=6, steps=1), Precision.DOUBLE, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    state.positions += amplitude * rng.standard_normal(state.positions.shape)
+    np.mod(state.positions, state.config.box, out=state.positions)
+    bin_atoms(state)
+    return state
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=50),
+    amplitude=st.floats(min_value=0.0, max_value=0.12),
+)
+@settings(max_examples=15, deadline=None)
+def test_property_momentum_conserved_by_forces(seed, amplitude):
+    """Newton's third law: internal forces sum to zero for any
+    configuration."""
+    state = perturbed_state(seed, amplitude)
+    compute_forces(state)
+    net = np.abs(state.forces.sum(axis=0)).max()
+    scale = max(np.abs(state.forces).max(), 1.0)
+    assert net < 1e-9 * scale
+
+
+@given(seed=st.integers(min_value=0, max_value=50))
+@settings(max_examples=10, deadline=None)
+def test_property_forces_translation_invariant(seed):
+    """Rigidly translating every atom (mod the periodic box) leaves
+    forces unchanged."""
+    state = perturbed_state(seed, 0.08)
+    compute_forces(state)
+    reference = state.forces.copy()
+
+    state.positions += 0.37 * state.config.box[0] / 7.0
+    np.mod(state.positions, state.config.box, out=state.positions)
+    bin_atoms(state)
+    compute_forces(state)
+    np.testing.assert_allclose(state.forces, reference, atol=1e-8)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=30),
+    amplitude=st.floats(min_value=0.01, max_value=0.1),
+)
+@settings(max_examples=10, deadline=None)
+def test_property_compression_raises_energy(seed, amplitude):
+    """Perturbing a crystal at its energy minimum cannot lower the
+    potential energy."""
+    relaxed = perturbed_state(seed, 0.0)
+    compute_forces(relaxed)
+    e_min = relaxed.potential_energy()
+
+    perturbed = perturbed_state(seed, amplitude)
+    compute_forces(perturbed)
+    assert perturbed.potential_energy() >= e_min - 1e-9 * abs(e_min)

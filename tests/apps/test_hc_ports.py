@@ -1,0 +1,61 @@
+"""Heterogeneous Compute ports: correctness + the Sec. VII positioning."""
+
+import pytest
+
+from repro.apps import ALL_APPS, APPS_BY_NAME
+from repro.apps.comd import CoMDConfig
+from repro.apps.lulesh import LuleshConfig
+from repro.apps.minife import MiniFEConfig
+from repro.apps.xsbench import XSBenchConfig
+from repro.hardware.device import make_apu_platform, make_dgpu_platform
+from repro.hardware.specs import Precision
+
+from tests.conftest import project
+
+SHAPE_CONFIGS = {
+    "LULESH": LuleshConfig(size=48, iterations=10),
+    "CoMD": CoMDConfig(nx=24, ny=24, nz=24, steps=3),
+    "XSBench": XSBenchConfig(n_nuclides=68, n_gridpoints=2000, n_lookups=1_000_000),
+    "miniFE": MiniFEConfig(nx=48, ny=48, nz=48, cg_iterations=30),
+}
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("app", ALL_APPS, ids=lambda a: a.name)
+    @pytest.mark.parametrize("apu", [True, False])
+    def test_hc_matches_serial(self, app, apu):
+        platform = make_apu_platform() if apu else make_dgpu_platform()
+        reference = app.run("Serial", platform, Precision.SINGLE)
+        result = app.run("Heterogeneous Compute", platform, Precision.SINGLE)
+        assert result.checksum == pytest.approx(reference.checksum, rel=1e-4)
+
+
+class TestBestOfBothWorlds:
+    """Sec. VII: HC should close the emerging models' dGPU transfer gap
+    while keeping near-OpenCL kernel quality."""
+
+    @pytest.mark.parametrize("app_name", sorted(SHAPE_CONFIGS))
+    def test_hc_beats_cppamp_on_dgpu(self, app_name):
+        app = APPS_BY_NAME[app_name]
+        config = SHAPE_CONFIGS[app_name]
+        hc = project(app, "Heterogeneous Compute", False, Precision.SINGLE, config)
+        amp = project(app, "C++ AMP", False, Precision.SINGLE, config)
+        assert hc.seconds < amp.seconds, app_name
+
+    @pytest.mark.parametrize("app_name", sorted(SHAPE_CONFIGS))
+    def test_hc_within_reach_of_opencl(self, app_name):
+        app = APPS_BY_NAME[app_name]
+        config = SHAPE_CONFIGS[app_name]
+        hc = project(app, "Heterogeneous Compute", False, Precision.SINGLE, config)
+        ocl = project(app, "OpenCL", False, Precision.SINGLE, config)
+        assert hc.seconds < 1.35 * ocl.seconds, app_name
+
+    def test_hc_overlap_pays_on_xsbench(self):
+        """The double-buffered XSBench HC port should beat OpenCL's
+        synchronous chunking outright on the dGPU."""
+        app = APPS_BY_NAME["XSBench"]
+        config = SHAPE_CONFIGS["XSBench"]
+        hc = project(app, "Heterogeneous Compute", False, Precision.DOUBLE, config)
+        ocl = project(app, "OpenCL", False, Precision.DOUBLE, config)
+        assert hc.counters.transfer_seconds <= ocl.counters.transfer_seconds * 1.05
+        assert hc.seconds < 1.1 * ocl.seconds

@@ -1,0 +1,163 @@
+"""LULESH tests: geometry, physics invariants, port agreement."""
+
+import numpy as np
+import pytest
+
+from repro.apps.lulesh import (
+    APP,
+    SCHEDULE,
+    LuleshConfig,
+    kernel_specs,
+    make_state,
+    run_iteration,
+    run_reference,
+)
+from repro.apps.lulesh.hydro_kernels import calc_face_normals
+from repro.apps.lulesh.physics import E_ZERO, element_volumes
+from repro.hardware.device import make_apu_platform, make_dgpu_platform
+from repro.hardware.specs import Precision
+
+GPU_MODELS = ("OpenCL", "C++ AMP", "OpenACC")
+
+
+class TestConfig:
+    def test_counts(self):
+        config = LuleshConfig(size=10, iterations=5)
+        assert config.n_elems == 1000
+        assert config.n_nodes == 11**3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LuleshConfig(size=1, iterations=5)
+        with pytest.raises(ValueError):
+            LuleshConfig(size=10, iterations=0)
+
+    def test_paper_config_matches_table1(self):
+        config = APP.paper_config()
+        assert config.size == 100 and config.iterations == 100
+
+
+class TestGeometry:
+    def test_initial_volumes_exact(self):
+        state = make_state(LuleshConfig(size=6, iterations=1), Precision.DOUBLE)
+        volumes = element_volumes(state.x, state.y, state.z)
+        np.testing.assert_allclose(volumes, state.config.spacing**3, rtol=1e-12)
+
+    def test_face_normals_closed_surface(self):
+        """The outward area vectors of a closed hexahedron sum to zero."""
+        state = make_state(LuleshConfig(size=4, iterations=1), Precision.DOUBLE)
+        calc_face_normals(state.x, state.y, state.z, state.face_normals)
+        total = state.face_normals.sum(axis=0)  # sum over faces
+        np.testing.assert_allclose(total, 0.0, atol=1e-12)
+
+    def test_face_normals_outward(self):
+        state = make_state(LuleshConfig(size=4, iterations=1), Precision.DOUBLE)
+        calc_face_normals(state.x, state.y, state.z, state.face_normals)
+        h = state.config.spacing
+        # +x face normal of an undeformed element is (h^2, 0, 0).
+        np.testing.assert_allclose(state.face_normals[0, 0], h * h, rtol=1e-12)
+        np.testing.assert_allclose(state.face_normals[1, 0], -h * h, rtol=1e-12)
+
+    def test_nodal_mass_conserves_total(self):
+        state = make_state(LuleshConfig(size=6, iterations=1), Precision.DOUBLE)
+        assert state.nodal_mass.sum() == pytest.approx(state.elem_mass.sum(), rel=1e-12)
+
+
+class TestSedovPhysics:
+    def test_energy_deposited_at_origin(self):
+        state = make_state(LuleshConfig(size=8, iterations=1), Precision.DOUBLE)
+        assert state.e[0, 0, 0] == E_ZERO
+        assert state.e.sum() == pytest.approx(E_ZERO)
+
+    def test_shock_propagates_outward(self):
+        state = run_reference(LuleshConfig(size=8, iterations=40), Precision.DOUBLE)
+        assert state.e[1, 0, 0] > 0.01 * E_ZERO
+        assert state.e[0, 0, 0] < E_ZERO
+
+    def test_total_energy_approximately_conserved(self):
+        config = LuleshConfig(size=8, iterations=40)
+        state = run_reference(config, Precision.DOUBLE)
+        e0 = E_ZERO * config.spacing**3
+        assert 0.80 * e0 < state.total_energy() < 1.05 * e0
+
+    def test_volumes_stay_positive(self):
+        state = run_reference(LuleshConfig(size=8, iterations=40), Precision.DOUBLE)
+        assert state.v.min() > 0
+
+    def test_dt_positive_and_finite(self):
+        state = run_reference(LuleshConfig(size=8, iterations=20), Precision.DOUBLE)
+        assert 0 < state.dt < 1.0
+        assert np.isfinite(state.time)
+
+    def test_symmetry_planes_hold(self):
+        """Normal velocities on the symmetry planes must stay zero."""
+        state = run_reference(LuleshConfig(size=8, iterations=20), Precision.DOUBLE)
+        np.testing.assert_allclose(state.xd[0, :, :], 0.0, atol=1e-10)
+        np.testing.assert_allclose(state.yd[:, 0, :], 0.0, atol=1e-10)
+        np.testing.assert_allclose(state.zd[:, :, 0], 0.0, atol=1e-10)
+
+    def test_diagonal_symmetry_of_solution(self):
+        """The Sedov problem is symmetric under coordinate permutation."""
+        state = run_reference(LuleshConfig(size=6, iterations=15), Precision.DOUBLE)
+        np.testing.assert_allclose(state.e, state.e.transpose(1, 0, 2), rtol=1e-7, atol=1e-3)
+        np.testing.assert_allclose(state.e, state.e.transpose(2, 1, 0), rtol=1e-7, atol=1e-3)
+
+    def test_deterministic(self):
+        a = run_reference(LuleshConfig(size=6, iterations=10), Precision.DOUBLE)
+        b = run_reference(LuleshConfig(size=6, iterations=10), Precision.DOUBLE)
+        np.testing.assert_array_equal(a.e, b.e)
+
+
+class TestSchedule:
+    def test_28_kernels(self):
+        assert len(SCHEDULE) == 28
+        assert APP.n_kernels == 28
+
+    def test_unique_names(self):
+        names = [step.name for step in SCHEDULE]
+        assert len(set(names)) == 28
+
+    def test_every_step_has_spec(self):
+        specs = kernel_specs(LuleshConfig(size=6, iterations=1), Precision.SINGLE)
+        for step in SCHEDULE:
+            assert step.name in specs
+
+    def test_writes_subset_of_arrays(self):
+        for step in SCHEDULE:
+            assert set(step.writes) <= set(step.arrays)
+
+    def test_one_iteration_runs(self):
+        state = make_state(LuleshConfig(size=6, iterations=1), Precision.DOUBLE)
+        run_iteration(state)
+        assert state.time > 0
+
+
+class TestPortAgreement:
+    @pytest.mark.parametrize("apu", [True, False])
+    def test_all_ports_match_reference(self, apu):
+        config = LuleshConfig(size=8, iterations=4)
+        reference = run_reference(config, Precision.SINGLE)
+        platform_fn = make_apu_platform if apu else make_dgpu_platform
+        for model in ("Serial", "OpenMP") + GPU_MODELS:
+            result = APP.run(model, platform_fn(), Precision.SINGLE, config)
+            assert result.checksum == pytest.approx(reference.checksum(), rel=1e-5), model
+
+
+class TestPaperShape:
+    def test_cppamp_worst_on_dgpu_due_to_fallback(self):
+        """Fig. 9b: the CLAMP compiler bug makes C++ AMP the slowest
+        model on the discrete GPU."""
+        from tests.conftest import project
+
+        config = LuleshConfig(size=48, iterations=5)
+        results = {m: project(APP, m, False, Precision.SINGLE, config) for m in GPU_MODELS}
+        assert results["OpenCL"].seconds < results["OpenACC"].seconds
+        assert results["OpenACC"].seconds < results["C++ AMP"].seconds
+
+    def test_opencl_best_on_apu(self):
+        from tests.conftest import project
+
+        config = LuleshConfig(size=48, iterations=5)
+        results = {m: project(APP, m, True, Precision.SINGLE, config) for m in GPU_MODELS}
+        assert results["OpenCL"].seconds <= results["C++ AMP"].seconds * 1.05
+        assert results["OpenCL"].seconds < results["OpenACC"].seconds

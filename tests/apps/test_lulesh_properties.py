@@ -1,0 +1,71 @@
+"""Property-based tests on the LULESH geometry kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.lulesh import LuleshConfig, make_state
+from repro.apps.lulesh.hydro_kernels import calc_face_normals
+from repro.apps.lulesh.physics import element_volumes
+from repro.hardware.specs import Precision
+
+
+def deformed_state(scale_x, scale_y, scale_z, shear):
+    """An affinely deformed mesh (volumes remain exactly computable)."""
+    state = make_state(LuleshConfig(size=4, iterations=1), Precision.DOUBLE)
+    x = state.x * scale_x + shear * state.y
+    y = state.y * scale_y
+    z = state.z * scale_z
+    state.x, state.y, state.z = x, y, z
+    return state
+
+
+@given(
+    scale_x=st.floats(min_value=0.5, max_value=2.0),
+    scale_y=st.floats(min_value=0.5, max_value=2.0),
+    scale_z=st.floats(min_value=0.5, max_value=2.0),
+    shear=st.floats(min_value=-0.5, max_value=0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_affine_volume_exact(scale_x, scale_y, scale_z, shear):
+    """Under any affine map, every element's volume is |det(A)| * h^3
+    exactly (the mean-edge determinant is exact for parallelepipeds)."""
+    state = deformed_state(scale_x, scale_y, scale_z, shear)
+    h = state.config.spacing
+    expected = scale_x * scale_y * scale_z * h**3
+    volumes = element_volumes(state.x, state.y, state.z)
+    np.testing.assert_allclose(volumes, expected, rtol=1e-10)
+
+
+@given(
+    scale_x=st.floats(min_value=0.5, max_value=2.0),
+    scale_y=st.floats(min_value=0.5, max_value=2.0),
+    scale_z=st.floats(min_value=0.5, max_value=2.0),
+    shear=st.floats(min_value=-0.5, max_value=0.5),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_face_normals_close_under_deformation(scale_x, scale_y, scale_z, shear):
+    """The six outward area vectors of a closed cell sum to zero for
+    any (planar-face) deformation."""
+    state = deformed_state(scale_x, scale_y, scale_z, shear)
+    calc_face_normals(state.x, state.y, state.z, state.face_normals)
+    total = state.face_normals.sum(axis=0)
+    np.testing.assert_allclose(total, 0.0, atol=1e-10)
+
+
+@given(
+    scale=st.floats(min_value=0.5, max_value=2.0),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_divergence_theorem(scale):
+    """sum over faces of (normal . centroid offset) recovers 3V —
+    the discrete divergence theorem on each cell."""
+    state = deformed_state(scale, scale, scale, 0.0)
+    calc_face_normals(state.x, state.y, state.z, state.face_normals)
+    volumes = element_volumes(state.x, state.y, state.z)
+    # For a parallelepiped, each opposite-face pair contributes V.
+    h = state.config.spacing
+    plus_x = state.face_normals[0]
+    # area . edge = volume for the +x face of an axis-aligned scaled box
+    np.testing.assert_allclose(plus_x[0] * (scale * h), volumes, rtol=1e-10)

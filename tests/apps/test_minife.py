@@ -1,0 +1,153 @@
+"""miniFE tests: FEM assembly, CG convergence, port agreement."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.apps.minife import (
+    APP,
+    NNZ_PER_ROW,
+    MiniFEConfig,
+    assemble,
+    dot,
+    hex8_stiffness,
+    reference_solve,
+    spmv,
+    waxpby,
+)
+from repro.hardware.device import make_apu_platform, make_dgpu_platform
+from repro.hardware.specs import Precision
+
+GPU_MODELS = ("OpenCL", "C++ AMP", "OpenACC")
+
+
+def small_config(iters=30):
+    return MiniFEConfig(nx=8, ny=8, nz=8, cg_iterations=iters)
+
+
+class TestStiffness:
+    def test_symmetric(self):
+        K = hex8_stiffness()
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+
+    def test_rows_sum_to_zero(self):
+        """Constant fields are in the Laplacian's null space."""
+        K = hex8_stiffness()
+        np.testing.assert_allclose(K.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_positive_semidefinite(self):
+        eigenvalues = np.linalg.eigvalsh(hex8_stiffness())
+        assert eigenvalues.min() > -1e-12
+
+    def test_diagonal_positive(self):
+        assert (np.diag(hex8_stiffness()) > 0).all()
+
+
+class TestAssembly:
+    def test_shape_and_stencil(self):
+        config = small_config()
+        data, indices, indptr, rhs = assemble(config, Precision.DOUBLE)
+        assert len(indptr) == config.n_rows + 1
+        assert len(rhs) == config.n_rows
+        row_nnz = np.diff(indptr)
+        assert row_nnz.max() <= NNZ_PER_ROW
+
+    def test_matrix_symmetric(self):
+        config = small_config()
+        data, indices, indptr, _ = assemble(config, Precision.DOUBLE)
+        matrix = sp.csr_matrix((data, indices, indptr), shape=(config.n_rows,) * 2)
+        diff = (matrix - matrix.T).toarray()
+        np.testing.assert_allclose(diff, 0.0, atol=1e-10)
+
+    def test_interior_spd(self):
+        config = MiniFEConfig(nx=3, ny=3, nz=3)
+        data, indices, indptr, _ = assemble(config, Precision.DOUBLE)
+        dense = sp.csr_matrix((data, indices, indptr), shape=(config.n_rows,) * 2).toarray()
+        eigenvalues = np.linalg.eigvalsh(dense)
+        assert eigenvalues.min() > 0  # Dirichlet rows make it definite
+
+    def test_boundary_rows_are_identity(self):
+        config = small_config()
+        data, indices, indptr, rhs = assemble(config, Precision.DOUBLE)
+        matrix = sp.csr_matrix((data, indices, indptr), shape=(config.n_rows,) * 2)
+        # Node 0 is a corner: its row must be e_0 and its rhs 0.
+        row = matrix.getrow(0).toarray().ravel()
+        assert row[0] == pytest.approx(1.0)
+        assert np.abs(row[1:]).max() == 0.0
+        assert rhs[0] == 0.0
+
+
+class TestKernels:
+    def test_spmv_matches_scipy(self):
+        config = small_config()
+        data, indices, indptr, rhs = assemble(config, Precision.DOUBLE)
+        matrix = sp.csr_matrix((data, indices, indptr), shape=(config.n_rows,) * 2)
+        x = np.random.default_rng(1).random(config.n_rows)
+        y = np.zeros_like(x)
+        spmv(data, indices, indptr, x, y)
+        np.testing.assert_allclose(y, matrix @ x, rtol=1e-12)
+
+    def test_waxpby(self):
+        x = np.arange(5, dtype=np.float64)
+        y = np.ones(5)
+        w = np.zeros(5)
+        waxpby(w, x, y, 2.0, -1.0)
+        np.testing.assert_allclose(w, 2 * x - 1)
+
+    def test_waxpby_aliasing_safe(self):
+        """The CG loop updates x in place: w may alias x."""
+        x = np.arange(5, dtype=np.float64)
+        p = np.ones(5)
+        waxpby(x, x, p, 1.0, 0.5)
+        np.testing.assert_allclose(x, np.arange(5) + 0.5)
+
+    def test_dot(self):
+        out = np.zeros(1)
+        dot(np.array([1.0, 2.0]), np.array([3.0, 4.0]), out)
+        assert out[0] == pytest.approx(11.0)
+
+
+class TestCGConvergence:
+    def test_residual_drops(self):
+        x, residuals = reference_solve(small_config(iters=100), Precision.DOUBLE)
+        assert residuals[-1] < 1e-6 * residuals[0]
+
+    def test_solves_the_system(self):
+        config = MiniFEConfig(nx=5, ny=5, nz=5, cg_iterations=200, tolerance=1e-12)
+        x, _ = reference_solve(config, Precision.DOUBLE)
+        data, indices, indptr, rhs = assemble(config, Precision.DOUBLE)
+        matrix = sp.csr_matrix((data, indices, indptr), shape=(config.n_rows,) * 2)
+        np.testing.assert_allclose(matrix @ x, rhs, atol=1e-8)
+
+    def test_solution_positive_inside(self):
+        """Poisson with positive source and zero walls: u > 0 inside."""
+        config = MiniFEConfig(nx=6, ny=6, nz=6, cg_iterations=200)
+        x, _ = reference_solve(config, Precision.DOUBLE)
+        data, indices, indptr, rhs = assemble(config, Precision.DOUBLE)
+        interior = rhs > 0
+        assert (x[interior] > 0).all()
+
+
+class TestPortAgreement:
+    @pytest.mark.parametrize("apu", [True, False])
+    def test_all_ports_match(self, apu):
+        config = small_config(iters=15)
+        platform_fn = make_apu_platform if apu else make_dgpu_platform
+        reference = APP.run("Serial", platform_fn(), Precision.DOUBLE, config)
+        for model in ("OpenMP",) + GPU_MODELS:
+            result = APP.run(model, platform_fn(), Precision.DOUBLE, config)
+            assert result.checksum == pytest.approx(reference.checksum, rel=1e-8), model
+
+
+class TestPaperShape:
+    def test_openacc_slowest_everywhere(self):
+        """Fig. 8e/9e: 'OpenACC performs the slowest because
+        specialized sparse matrix operations cannot be easily
+        expressed at a high level'."""
+        from tests.conftest import project
+
+        config = MiniFEConfig(nx=48, ny=48, nz=48, cg_iterations=30)
+        for apu in (True, False):
+            results = {m: project(APP, m, apu, Precision.DOUBLE, config) for m in GPU_MODELS}
+            assert results["OpenACC"].seconds > results["OpenCL"].seconds
+            assert results["OpenACC"].seconds > results["C++ AMP"].seconds

@@ -1,0 +1,113 @@
+"""read-memory benchmark tests."""
+
+import numpy as np
+import pytest
+
+from repro.apps.readmem import (
+    APP,
+    ReadMemConfig,
+    make_input,
+    read_kernel_spec,
+    read_serial_cpu,
+    reference_checksum,
+)
+from repro.hardware.device import make_apu_platform, make_dgpu_platform
+from repro.hardware.specs import Precision
+
+ALL_MODELS = ("Serial", "OpenMP", "OpenCL", "C++ AMP", "OpenACC", "Heterogeneous Compute")
+
+
+class TestConfig:
+    def test_blocks(self):
+        assert ReadMemConfig(size=1024).n_blocks == 16
+
+    def test_size_must_be_multiple_of_block(self):
+        with pytest.raises(ValueError):
+            ReadMemConfig(size=100)
+
+    def test_size_positive(self):
+        with pytest.raises(ValueError):
+            ReadMemConfig(size=0)
+
+
+class TestReference:
+    def test_block_sums(self):
+        config = ReadMemConfig(size=256)
+        data = np.arange(256, dtype=np.float64)
+        out = np.zeros(4, dtype=np.float64)
+        read_serial_cpu(data, out)
+        expected = data.reshape(4, 64).sum(axis=1)
+        np.testing.assert_allclose(out, expected)
+
+    def test_checksum_is_total_sum(self):
+        config = ReadMemConfig(size=1024)
+        data = make_input(config, Precision.DOUBLE)
+        assert reference_checksum(data, config) == pytest.approx(data.sum(), rel=1e-9)
+
+    def test_input_deterministic(self):
+        config = ReadMemConfig(size=1024)
+        a = make_input(config, Precision.SINGLE)
+        b = make_input(config, Precision.SINGLE)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestPortAgreement:
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    @pytest.mark.parametrize("apu", [True, False])
+    def test_checksum_matches_reference(self, model, apu):
+        config = ReadMemConfig(size=1 << 16)
+        platform = make_apu_platform() if apu else make_dgpu_platform()
+        result = APP.run(model, platform, Precision.SINGLE, config)
+        data = make_input(config, Precision.SINGLE)
+        expected = reference_checksum(data, config)
+        assert result.checksum == pytest.approx(expected, rel=1e-5)
+
+    @pytest.mark.parametrize("model", ALL_MODELS)
+    def test_double_precision(self, model):
+        config = ReadMemConfig(size=1 << 16)
+        result = APP.run(model, make_dgpu_platform(), Precision.DOUBLE, config)
+        data = make_input(config, Precision.DOUBLE)
+        assert result.checksum == pytest.approx(reference_checksum(data, config), rel=1e-12)
+
+
+class TestSpecAccuracy:
+    """The characterization must match what the kernel actually does."""
+
+    def test_bytes_match_arrays(self):
+        config = ReadMemConfig(size=1 << 16)
+        spec = read_kernel_spec(config, Precision.SINGLE)
+        assert spec.ops.bytes_read == config.size * 4
+        assert spec.ops.bytes_written == config.n_blocks * 4
+
+    def test_flops_count_the_adds(self):
+        config = ReadMemConfig(size=1 << 16)
+        spec = read_kernel_spec(config, Precision.SINGLE)
+        # 63 adds per 64-element block.
+        assert spec.ops.flops == config.size - config.n_blocks
+
+    def test_double_precision_doubles_bytes(self):
+        config = ReadMemConfig(size=1 << 16)
+        sp = read_kernel_spec(config, Precision.SINGLE)
+        dp = read_kernel_spec(config, Precision.DOUBLE)
+        assert dp.ops.bytes_read == 2 * sp.ops.bytes_read
+
+
+class TestPaperShape:
+    """Sec. VI-A: kernel-only comparison of code-generation quality."""
+
+    def test_opencl_beats_amp_by_1_3x_and_acc_by_2x(self):
+        config = ReadMemConfig(size=1 << 20)
+        platform = make_dgpu_platform
+        results = {m: APP.run(m, platform(), Precision.SINGLE, config) for m in ("OpenCL", "C++ AMP", "OpenACC")}
+        amp_ratio = results["C++ AMP"].kernel_seconds / results["OpenCL"].kernel_seconds
+        acc_ratio = results["OpenACC"].kernel_seconds / results["OpenCL"].kernel_seconds
+        assert amp_ratio == pytest.approx(1.3, abs=0.2)
+        assert acc_ratio == pytest.approx(2.0, abs=0.3)
+
+    def test_dgpu_kernel_speedup_order_of_magnitude_above_apu(self):
+        """'The difference in speedups between APU and dGPU ... is due
+        to an order of magnitude more bandwidth on the dGPU.'"""
+        config = ReadMemConfig(size=1 << 20)
+        dgpu = APP.run("OpenCL", make_dgpu_platform(), Precision.SINGLE, config)
+        apu = APP.run("OpenCL", make_apu_platform(), Precision.SINGLE, config)
+        assert 5 < apu.kernel_seconds / dgpu.kernel_seconds < 12

@@ -1,0 +1,107 @@
+"""Kernel-characterization accuracy: specs vs the actual arrays.
+
+The timing model is only as honest as the op counts feeding it; these
+tests pin the spec formulas to the arrays the kernels genuinely touch.
+"""
+
+import pytest
+
+from repro.apps.comd import ATOMS_PER_CELL, CoMDConfig
+from repro.apps.comd import kernel_specs as comd_specs
+from repro.apps.lulesh import LuleshConfig
+from repro.apps.lulesh import kernel_specs as lulesh_specs
+from repro.apps.minife import MiniFEConfig, assemble
+from repro.apps.minife import kernel_specs as minife_specs
+from repro.apps.xsbench import XSBenchConfig, lookup_kernel_spec, make_data
+from repro.hardware.specs import Precision
+
+
+class TestCoMDSpecs:
+    CONFIG = CoMDConfig(nx=8, ny=8, nz=8, steps=1)
+
+    def test_force_work_items_is_atom_count(self):
+        spec = comd_specs(self.CONFIG, Precision.SINGLE)["comd.lj_force"]
+        assert spec.work_items == self.CONFIG.n_atoms
+
+    def test_force_flops_count_pair_candidates(self):
+        """The functional kernel evaluates 27 * max_occupancy pair
+        candidates per atom; the spec must agree."""
+        spec = comd_specs(self.CONFIG, Precision.SINGLE)["comd.lj_force"]
+        checks_per_atom = 27 * ATOMS_PER_CELL
+        flops_per_atom = spec.ops.flops / self.CONFIG.n_atoms
+        assert flops_per_atom > 5 * checks_per_atom  # several flops per check
+
+    def test_streaming_kernels_bytes(self):
+        specs = comd_specs(self.CONFIG, Precision.DOUBLE)
+        n = self.CONFIG.n_atoms
+        velocity = specs["comd.advance_velocity"]
+        # v += f * dt: read v and f (6 doubles), write v (3 doubles).
+        assert velocity.ops.bytes_read == 6 * 8 * n
+        assert velocity.ops.bytes_written == 3 * 8 * n
+
+    def test_lds_declared_for_tiled_force(self):
+        spec = comd_specs(self.CONFIG, Precision.SINGLE)["comd.lj_force"]
+        assert spec.lds_bytes_per_workgroup > 0
+        assert spec.lds_bytes_per_workgroup <= 64 * 1024
+
+
+class TestLULESHSpecs:
+    CONFIG = LuleshConfig(size=8, iterations=1)
+
+    def test_nodal_vs_element_work_items(self):
+        specs = lulesh_specs(self.CONFIG, Precision.SINGLE)
+        assert specs["lulesh.calc_velocity"].work_items == self.CONFIG.n_nodes
+        assert specs["lulesh.eos_compression"].work_items == self.CONFIG.n_elems
+
+    def test_eos_kernel_bytes(self):
+        """eos_pressure_half reads e_pred + compression, writes p_half."""
+        spec = lulesh_specs(self.CONFIG, Precision.DOUBLE)["lulesh.eos_pressure_half"]
+        n = self.CONFIG.n_elems
+        assert spec.ops.bytes_read == 2 * 8 * n
+        assert spec.ops.bytes_written == 8 * n
+
+    def test_face_normals_writes_18_values_per_element(self):
+        spec = lulesh_specs(self.CONFIG, Precision.SINGLE)["lulesh.calc_face_normals"]
+        n = self.CONFIG.n_elems
+        assert spec.ops.bytes_written == 18 * 4 * n
+
+
+class TestXSBenchSpecs:
+    CONFIG = XSBenchConfig(n_nuclides=34, n_gridpoints=200, n_lookups=1000)
+
+    def test_working_set_matches_generated_tables(self):
+        data = make_data(self.CONFIG, Precision.DOUBLE)
+        spec = lookup_kernel_spec(self.CONFIG, Precision.DOUBLE)
+        actual = (
+            data.union_energy.nbytes + data.union_index.nbytes
+            + data.nuclide_energy.nbytes + data.nuclide_xs.nbytes
+        )
+        assert spec.access.working_set_bytes == pytest.approx(actual, rel=0.05)
+
+    def test_writes_five_channels(self):
+        spec = lookup_kernel_spec(self.CONFIG, Precision.DOUBLE)
+        assert spec.ops.bytes_written == 5 * 8 * self.CONFIG.n_lookups
+
+
+class TestMiniFESpecs:
+    CONFIG = MiniFEConfig(nx=8, ny=8, nz=8, cg_iterations=1)
+
+    def test_spmv_nnz_matches_assembled_matrix(self):
+        """The spec prices 27 nnz/row; the real matrix averages close
+        to that (boundary rows have fewer)."""
+        data, indices, indptr, _ = assemble(self.CONFIG, Precision.DOUBLE)
+        actual_nnz_per_row = len(data) / self.CONFIG.n_rows
+        spec = minife_specs(self.CONFIG, Precision.DOUBLE)["minife.spmv"]
+        spec_flops_per_row = spec.ops.flops / self.CONFIG.n_rows
+        assert spec_flops_per_row == 2 * 27
+        assert actual_nnz_per_row <= 27
+
+    def test_waxpby_bytes(self):
+        spec = minife_specs(self.CONFIG, Precision.DOUBLE)["minife.waxpby"]
+        n = self.CONFIG.n_rows
+        assert spec.ops.bytes_read == 2 * 8 * n
+        assert spec.ops.bytes_written == 8 * n
+
+    def test_dot_writes_one_scalar(self):
+        spec = minife_specs(self.CONFIG, Precision.DOUBLE)["minife.dot"]
+        assert spec.ops.bytes_written <= 64

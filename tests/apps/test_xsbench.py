@@ -1,0 +1,157 @@
+"""XSBench tests: data structures, lookup correctness, port agreement."""
+
+import numpy as np
+import pytest
+
+from repro.apps.xsbench import (
+    APP,
+    MATERIAL_NUCLIDE_COUNTS,
+    MATERIAL_PROBABILITIES,
+    N_XS,
+    XSBenchConfig,
+    compute_macro_xs_direct,
+    lookup_kernel_spec,
+    make_data,
+    xs_lookup,
+)
+from repro.hardware.device import make_apu_platform, make_dgpu_platform
+from repro.hardware.specs import Precision
+
+GPU_MODELS = ("OpenCL", "C++ AMP", "OpenACC")
+
+
+def small_config(lookups=4000):
+    return XSBenchConfig(n_nuclides=34, n_gridpoints=100, n_lookups=lookups)
+
+
+class TestConfig:
+    def test_union_size(self):
+        assert small_config().n_union == 3400
+
+    def test_paper_table_is_about_240mb(self):
+        """'XSBench uses a configurable lookup-table size which was set
+        to 240 MB for our experiments.'"""
+        config = APP.paper_config()
+        assert config.table_bytes(Precision.DOUBLE) == pytest.approx(240e6, rel=0.1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            XSBenchConfig(n_nuclides=10, n_gridpoints=100, n_lookups=100)
+        with pytest.raises(ValueError):
+            XSBenchConfig(n_nuclides=34, n_gridpoints=1, n_lookups=100)
+        with pytest.raises(ValueError):
+            XSBenchConfig(n_nuclides=34, n_gridpoints=100, n_lookups=0)
+
+
+class TestDataGeneration:
+    def test_union_grid_sorted(self):
+        data = make_data(small_config(), Precision.DOUBLE)
+        assert (np.diff(data.union_energy) >= 0).all()
+
+    def test_union_contains_all_nuclide_energies(self):
+        data = make_data(small_config(), Precision.DOUBLE)
+        assert len(data.union_energy) == small_config().n_union
+
+    def test_index_matrix_is_lower_bound(self):
+        data = make_data(small_config(), Precision.DOUBLE)
+        config = data.config
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            row = rng.integers(0, config.n_union)
+            nuclide = rng.integers(0, config.n_nuclides)
+            idx = int(data.union_index[row, nuclide])
+            energy = data.union_energy[row]
+            grid = data.nuclide_energy[nuclide]
+            assert grid[idx] <= energy or idx == 0
+            assert 0 <= idx <= config.n_gridpoints - 2
+
+    def test_hoogenboom_martin_materials(self):
+        data = make_data(small_config(), Precision.DOUBLE)
+        assert len(MATERIAL_NUCLIDE_COUNTS) == 12
+        assert MATERIAL_NUCLIDE_COUNTS[0] == 34  # fuel has the most
+        np.testing.assert_array_equal(data.material_n, MATERIAL_NUCLIDE_COUNTS)
+
+    def test_material_distribution_respected(self):
+        config = XSBenchConfig(n_nuclides=34, n_gridpoints=50, n_lookups=200_000)
+        data = make_data(config, Precision.SINGLE)
+        freq = np.bincount(data.lookup_material, minlength=12) / config.n_lookups
+        probabilities = np.array(MATERIAL_PROBABILITIES)
+        probabilities /= probabilities.sum()
+        np.testing.assert_allclose(freq, probabilities, atol=0.01)
+
+    def test_deterministic(self):
+        a = make_data(small_config(), Precision.SINGLE)
+        b = make_data(small_config(), Precision.SINGLE)
+        np.testing.assert_array_equal(a.union_energy, b.union_energy)
+        np.testing.assert_array_equal(a.lookup_material, b.lookup_material)
+
+
+class TestLookupKernel:
+    def test_matches_direct_oracle(self):
+        """The unionized-grid kernel must agree with the independent
+        per-nuclide binary-search implementation."""
+        data = make_data(small_config(), Precision.DOUBLE)
+        macro = np.zeros((data.config.n_lookups, N_XS), dtype=np.float64)
+        xs_lookup(
+            data.lookup_energy, data.lookup_material, data.union_energy,
+            data.union_index, data.material_nuclides, data.material_density,
+            data.material_n, data.nuclide_energy, data.nuclide_xs, macro,
+        )
+        oracle = compute_macro_xs_direct(data)
+        np.testing.assert_allclose(macro, oracle, rtol=1e-10)
+
+    def test_all_lookups_nonzero(self):
+        data = make_data(small_config(), Precision.DOUBLE)
+        macro = np.zeros((data.config.n_lookups, N_XS), dtype=np.float64)
+        xs_lookup(
+            data.lookup_energy, data.lookup_material, data.union_energy,
+            data.union_index, data.material_nuclides, data.material_density,
+            data.material_n, data.nuclide_energy, data.nuclide_xs, macro,
+        )
+        assert (macro > 0).all()
+
+
+class TestSpec:
+    def test_chunked_spec_scales(self):
+        config = small_config()
+        full = lookup_kernel_spec(config, Precision.DOUBLE)
+        half = lookup_kernel_spec(config, Precision.DOUBLE, n_lookups=config.n_lookups // 2)
+        assert half.ops.flops == pytest.approx(full.ops.flops / 2)
+        assert half.work_items == config.n_lookups // 2
+
+    def test_working_set_is_the_table(self):
+        config = small_config()
+        spec = lookup_kernel_spec(config, Precision.DOUBLE)
+        assert spec.access.working_set_bytes == config.table_bytes(Precision.DOUBLE)
+
+
+class TestPortAgreement:
+    @pytest.mark.parametrize("apu", [True, False])
+    def test_all_ports_match(self, apu):
+        config = small_config()
+        platform_fn = make_apu_platform if apu else make_dgpu_platform
+        reference = APP.run("Serial", platform_fn(), Precision.DOUBLE, config)
+        for model in ("OpenMP",) + GPU_MODELS:
+            result = APP.run(model, platform_fn(), Precision.DOUBLE, config)
+            assert result.checksum == pytest.approx(reference.checksum, rel=1e-10), model
+
+
+class TestPaperShape:
+    def test_cppamp_best_on_apu(self):
+        """Fig. 8d: 'C++ AMP resulted in the best performance on the
+        APU' for XSBench."""
+        from tests.conftest import project
+
+        config = XSBenchConfig(n_nuclides=68, n_gridpoints=2000, n_lookups=1_000_000)
+        results = {m: project(APP, m, True, Precision.DOUBLE, config) for m in GPU_MODELS}
+        assert results["C++ AMP"].seconds < results["OpenCL"].seconds
+        assert results["C++ AMP"].seconds < results["OpenACC"].seconds
+
+    def test_opencl_best_on_dgpu(self):
+        """Fig. 9d: OpenCL wins on the discrete GPU, up to 2x."""
+        from tests.conftest import project
+
+        config = XSBenchConfig(n_nuclides=68, n_gridpoints=2000, n_lookups=1_000_000)
+        results = {m: project(APP, m, False, Precision.DOUBLE, config) for m in GPU_MODELS}
+        assert results["OpenCL"].seconds < results["C++ AMP"].seconds
+        assert results["OpenACC"].seconds / results["OpenCL"].seconds == pytest.approx(2.0, abs=0.7)

@@ -1,0 +1,14 @@
+"""Shared test helpers."""
+
+from repro.hardware.device import make_platform
+from repro.hardware.specs import Precision
+from repro.models.base import ExecutionContext
+
+
+def project(app, model, apu, precision, config):
+    """Run one port in projection mode (paper-scale pricing, numerics
+    skipped) — used by shape assertions that need saturated devices."""
+    ctx = ExecutionContext(
+        platform=make_platform(apu=apu), precision=precision, execute_kernels=False
+    )
+    return app.ports[model](ctx, config)

@@ -1,0 +1,68 @@
+"""Ablation-API tests."""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.comd import CoMDConfig, kernel_specs
+from repro.apps.lulesh import LuleshConfig
+from repro.core.ablation import (
+    decompose_transfers,
+    lulesh_compiler_bug_ablation,
+    tiling_ablation,
+    without_capabilities,
+)
+from repro.hardware.specs import Precision
+from repro.models.base import Capability
+from repro.models.cppamp.compiler import CPPAMP_PROFILE
+from repro.models.opencl.compiler import OPENCL_PROFILE
+
+
+class TestWithoutCapabilities:
+    def test_removes_requested(self):
+        masked = without_capabilities(OPENCL_PROFILE, Capability.LDS)
+        assert Capability.LDS not in masked.capabilities
+        assert Capability.VECTORIZE in masked.capabilities
+
+    def test_original_untouched(self):
+        without_capabilities(OPENCL_PROFILE, Capability.all())
+        assert OPENCL_PROFILE.capabilities == Capability.all()
+
+
+class TestDecomposeTransfers:
+    def test_components_sum_to_total(self):
+        app = APPS_BY_NAME["LULESH"]
+        decomposition = decompose_transfers(app, LuleshConfig(size=16, iterations=4))
+        for d in decomposition.values():
+            total = d.kernel_seconds + d.transfer_seconds + d.overhead_seconds
+            assert total == pytest.approx(d.total_seconds, rel=0.01)
+
+    def test_share_bounded(self):
+        app = APPS_BY_NAME["LULESH"]
+        decomposition = decompose_transfers(app, LuleshConfig(size=16, iterations=4))
+        for d in decomposition.values():
+            assert 0.0 <= d.transfer_share < 1.0
+
+    def test_apu_has_no_transfers(self):
+        app = APPS_BY_NAME["LULESH"]
+        decomposition = decompose_transfers(app, LuleshConfig(size=16, iterations=4), apu=True)
+        for d in decomposition.values():
+            assert d.transfer_seconds == 0.0
+
+
+class TestTilingAblation:
+    def test_comd_force_kernel(self):
+        spec = kernel_specs(CoMDConfig(nx=24, ny=24, nz=24, steps=1), Precision.SINGLE)["comd.lj_force"]
+        tiled, untiled = tiling_ablation(spec, CPPAMP_PROFILE)
+        assert untiled > tiled
+
+    def test_no_lds_kernel_unaffected(self):
+        spec = kernel_specs(CoMDConfig(nx=24, ny=24, nz=24, steps=1), Precision.SINGLE)["comd.advance_velocity"]
+        tiled, untiled = tiling_ablation(spec, CPPAMP_PROFILE)
+        assert untiled == pytest.approx(tiled)
+
+
+class TestLuleshBugAblation:
+    def test_buggy_slower(self):
+        buggy, fixed = lulesh_compiler_bug_ablation(LuleshConfig(size=16, iterations=4))
+        assert buggy.seconds > fixed.seconds
+        assert buggy.counters.transfer_seconds > fixed.counters.transfer_seconds

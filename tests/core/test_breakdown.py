@@ -1,0 +1,70 @@
+"""Per-kernel breakdown tests — the paper's Sec. IV hot-kernel claims."""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.comd import CoMDConfig
+from repro.apps.lulesh import LuleshConfig
+from repro.apps.minife import MiniFEConfig
+from repro.core.breakdown import kernel_breakdown, render_breakdown
+
+
+class TestCoMD:
+    def test_force_kernel_dominates(self):
+        """Sec. IV-B: 'Computation of forces accounts for more than 90%
+        of total execution time.'"""
+        shares = kernel_breakdown(
+            APPS_BY_NAME["CoMD"], CoMDConfig(nx=24, ny=24, nz=24, steps=5)
+        )
+        assert shares[0].name == "comd.lj_force"
+        assert shares[0].share > 0.9
+
+
+class TestLULESH:
+    def test_all_28_kernels_appear(self):
+        shares = kernel_breakdown(
+            APPS_BY_NAME["LULESH"], LuleshConfig(size=32, iterations=3)
+        )
+        assert len(shares) == 28
+
+    def test_nodal_phase_heavy(self):
+        """Sec. IV-A: 'Advancing the node quantities is the most
+        computationally intensive part of the simulation' — the
+        force/geometry kernels sit at the top of the breakdown."""
+        shares = kernel_breakdown(
+            APPS_BY_NAME["LULESH"], LuleshConfig(size=32, iterations=3)
+        )
+        top3 = {s.name for s in shares[:3]}
+        nodal_heavy = {
+            "lulesh.calc_face_normals", "lulesh.calc_kinematics",
+            "lulesh.stress_force_x", "lulesh.stress_force_y", "lulesh.stress_force_z",
+            "lulesh.hourglass_force_x", "lulesh.hourglass_force_y", "lulesh.hourglass_force_z",
+        }
+        assert top3 & nodal_heavy
+
+    def test_shares_sum_to_one(self):
+        shares = kernel_breakdown(
+            APPS_BY_NAME["LULESH"], LuleshConfig(size=16, iterations=2)
+        )
+        assert sum(s.share for s in shares) == pytest.approx(1.0)
+
+
+class TestMiniFE:
+    def test_spmv_most_expensive(self):
+        """Sec. IV-D: 'Among the different kernels, SpMV is the most
+        computationally intensive.'"""
+        shares = kernel_breakdown(
+            APPS_BY_NAME["miniFE"], MiniFEConfig(nx=32, ny=32, nz=32, cg_iterations=10)
+        )
+        assert shares[0].name == "minife.spmv"
+        assert shares[0].share > 0.5
+
+
+class TestRender:
+    def test_render(self):
+        shares = kernel_breakdown(
+            APPS_BY_NAME["CoMD"], CoMDConfig(nx=12, ny=12, nz=12, steps=2)
+        )
+        text = render_breakdown(shares)
+        assert "comd.lj_force" in text
+        assert "Share" in text

@@ -1,0 +1,70 @@
+"""ASCII chart renderer tests."""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.readmem import ReadMemConfig
+from repro.core.charts import BAR_WIDTH, bar, bar_chart, figure_chart, speedup_chart
+from repro.core.study import run_study
+from repro.hardware.specs import Precision
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(
+        (APPS_BY_NAME["read-benchmark"],),
+        paper_scale=False,
+        configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+        precisions=(Precision.SINGLE, Precision.DOUBLE),
+    )
+
+
+class TestBar:
+    def test_full_bar(self):
+        assert bar(10, 10) == "█" * BAR_WIDTH
+
+    def test_half_bar(self):
+        assert len(bar(5, 10).rstrip("▏▎▍▌▋▊▉")) == BAR_WIDTH // 2
+
+    def test_zero(self):
+        assert bar(0, 10) == ""
+
+    def test_never_exceeds_width(self):
+        assert len(bar(20, 10)) <= BAR_WIDTH
+
+    def test_zero_maximum_rejected(self):
+        with pytest.raises(ValueError):
+            bar(1, 0)
+
+
+class TestBarChart:
+    def test_largest_value_gets_longest_bar(self):
+        text = bar_chart({"a": 1.0, "b": 4.0})
+        lines = text.splitlines()
+        assert lines[1].count("█") > lines[0].count("█")
+
+    def test_labels_aligned(self):
+        text = bar_chart({"x": 1.0, "longer": 2.0})
+        starts = [line.index("█") for line in text.splitlines() if "█" in line]
+        assert len(set(starts)) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+
+class TestSpeedupChart:
+    def test_contains_models(self, study):
+        text = speedup_chart(study, "read-benchmark", apu=False)
+        for model in ("OpenCL", "C++ AMP", "OpenACC"):
+            assert model in text
+
+    def test_readmem_defaults_to_kernel_time(self, study):
+        kernel = speedup_chart(study, "read-benchmark", apu=False)
+        total = speedup_chart(study, "read-benchmark", apu=False, kernel_only=False)
+        assert kernel != total
+
+    def test_figure_chart_covers_both_precisions(self, study):
+        text = figure_chart(study, ("read-benchmark",), apu=True)
+        assert text.count("read-benchmark on the APU") == 2
+        assert "double" in text and "single" in text

@@ -1,0 +1,61 @@
+"""Export round-trip tests."""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.readmem import ReadMemConfig
+from repro.core.export import load_json, study_records, sweep_records, write_csv, write_json
+from repro.core.study import run_study
+from repro.core.sweep import run_sweep
+from repro.hardware.specs import Precision
+
+READMEM = APPS_BY_NAME["read-benchmark"]
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(
+        (READMEM,),
+        paper_scale=False,
+        configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+        precisions=(Precision.SINGLE,),
+    )
+
+
+class TestStudyRecords:
+    def test_one_record_per_entry(self, study):
+        records = study_records(study)
+        assert len(records) == len(study.entries)
+
+    def test_fields(self, study):
+        record = study_records(study)[0]
+        assert set(record) >= {"app", "model", "platform", "precision", "speedup"}
+        assert record["platform"] in ("APU", "dGPU")
+
+
+class TestSweepRecords:
+    def test_sorted_grid(self):
+        sweep = run_sweep(
+            READMEM, ReadMemConfig(size=1 << 18),
+            core_grid=(200.0, 1000.0), memory_grid=(480.0, 1250.0),
+        )
+        records = sweep_records(sweep)
+        assert len(records) == 4
+        assert records[0]["memory_mhz"] <= records[-1]["memory_mhz"]
+
+
+class TestRoundTrips:
+    def test_json(self, study, tmp_path):
+        path = write_json(study_records(study), tmp_path / "out.json")
+        loaded = load_json(path)
+        assert loaded == study_records(study)
+
+    def test_csv(self, study, tmp_path):
+        path = write_csv(study_records(study), tmp_path / "out.csv")
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == len(study.entries) + 1  # header
+        assert lines[0].startswith("app,")
+
+    def test_empty_csv_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv([], tmp_path / "empty.csv")

@@ -1,0 +1,34 @@
+"""Figure 11 feature-matrix tests."""
+
+from repro.core.features import FEATURE_COLUMNS, FEATURE_ROWS, PAPER_FIGURE11, feature_matrix
+
+
+class TestFigure11:
+    def test_matches_paper_exactly(self):
+        """Figure 11 must fall out of the compiler profiles verbatim."""
+        assert feature_matrix() == PAPER_FIGURE11
+
+    def test_rows_and_columns(self):
+        assert FEATURE_ROWS == ("OpenCL", "OpenACC", "C++ AMP")
+        assert [name for name, _ in FEATURE_COLUMNS] == [
+            "Vectorization",
+            "Use of Local Data Store (LDS)",
+            "Fine-grained Synchronization",
+            "Explicit Loop Unrolling",
+            "Reducing Code Motion",
+        ]
+
+    def test_opencl_all_yes(self):
+        matrix = feature_matrix()
+        assert all(matrix["OpenCL"].values())
+
+    def test_openacc_only_vectorization(self):
+        row = feature_matrix()["OpenACC"]
+        assert row["Vectorization"]
+        assert sum(row.values()) == 1
+
+    def test_cppamp_three_features(self):
+        row = feature_matrix()["C++ AMP"]
+        assert sum(row.values()) == 3
+        assert not row["Explicit Loop Unrolling"]
+        assert not row["Reducing Code Motion"]

@@ -1,0 +1,68 @@
+"""Metric tests with hypothesis properties."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.metrics import geometric_mean, harmonic_mean, normalize, speedup
+
+
+class TestSpeedup:
+    def test_basic(self):
+        assert speedup(10.0, 2.0) == pytest.approx(5.0)
+
+    def test_slowdown_below_one(self):
+        assert speedup(1.0, 2.0) == pytest.approx(0.5)
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            speedup(1.0, 0.0)
+        with pytest.raises(ValueError):
+            speedup(0.0, 1.0)
+
+
+class TestMeans:
+    def test_harmonic_known_value(self):
+        assert harmonic_mean([1.0, 2.0]) == pytest.approx(4.0 / 3.0)
+
+    def test_geometric_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, -2.0])
+
+
+class TestNormalize:
+    def test_basic(self):
+        assert normalize([2.0, 4.0], 2.0) == [1.0, 2.0]
+
+    def test_zero_reference_rejected(self):
+        with pytest.raises(ValueError):
+            normalize([1.0], 0.0)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_property_mean_inequality(values):
+    """HM <= GM <= AM for positive values."""
+    hm = harmonic_mean(values)
+    gm = geometric_mean(values)
+    am = sum(values) / len(values)
+    assert hm <= gm * (1 + 1e-9)
+    assert gm <= am * (1 + 1e-9)
+
+
+@given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_property_means_bounded_by_extremes(values):
+    for mean in (harmonic_mean(values), geometric_mean(values)):
+        assert min(values) * (1 - 1e-9) <= mean <= max(values) * (1 + 1e-9)

@@ -1,0 +1,62 @@
+"""Productivity (Eq. 1, Figure 10) tests."""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core.configs import bench_configs
+from repro.core.productivity import ProductivityEntry, compute_productivity
+from repro.core.study import run_study
+from repro.hardware.specs import Precision
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(
+        ALL_APPS,
+        paper_scale=True,
+        configs=bench_configs(),
+        precisions=(Precision.DOUBLE,),
+    )
+
+
+class TestEquation1:
+    def test_definition(self):
+        entry = ProductivityEntry(app="x", model="OpenCL", apu=True, speedup=6.0, lines_ratio=3.0)
+        assert entry.productivity == pytest.approx(2.0)
+
+
+class TestFigure10(object):
+    def test_apu_emerging_models_beat_opencl_on_average(self, study):
+        """Fig. 10a: 'The emerging programming models are more
+        productive than OpenCL on multiple occasions on the APU' —
+        C++ AMP has the best harmonic mean."""
+        result = compute_productivity(study, ALL_APPS, apu=True)
+        means = result.harmonic_means()
+        assert means["C++ AMP"] > means["OpenCL"]
+
+    def test_dgpu_opencl_competitive(self, study):
+        """Fig. 10b: on the dGPU 'it is worthwhile to undergo the
+        arduous programming effort and still achieve better
+        productivity with OpenCL' — OpenCL's harmonic mean is at least
+        comparable to the emerging models."""
+        result = compute_productivity(study, ALL_APPS, apu=False)
+        means = result.harmonic_means()
+        assert means["OpenCL"] > 0.5 * max(means.values())
+
+    def test_xsbench_cppamp_most_productive_on_apu(self, study):
+        """Fig. 10a: C++ AMP 'is 3x more productive for XSBench on the
+        APU' than OpenCL."""
+        result = compute_productivity(study, ALL_APPS, apu=True)
+        amp = result.get("XSBench", "C++ AMP").productivity
+        ocl = result.get("XSBench", "OpenCL").productivity
+        assert amp > 1.5 * ocl
+
+    def test_all_entries_positive(self, study):
+        for apu in (True, False):
+            result = compute_productivity(study, ALL_APPS, apu=apu)
+            assert all(e.productivity > 0 for e in result.entries)
+
+    def test_lookup_missing_raises(self, study):
+        result = compute_productivity(study, ALL_APPS, apu=True)
+        with pytest.raises(KeyError):
+            result.get("nope", "OpenCL")

@@ -1,0 +1,88 @@
+"""Report-renderer tests."""
+
+from repro.apps import ALL_APPS
+from repro.apps.readmem import ReadMemConfig
+from repro.core.characterize import AppCharacterization
+from repro.core.report import (
+    format_table,
+    render_figure7,
+    render_figure10,
+    render_figure11,
+    render_speedups,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.productivity import compute_productivity
+from repro.core.study import run_study
+from repro.core.sweep import run_sweep
+from repro.hardware.specs import Precision
+from repro.sloc import PAPER_TABLE4, table4
+
+READMEM = ALL_APPS[0]
+
+
+def small_study():
+    return run_study(
+        (READMEM,),
+        paper_scale=False,
+        configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+        precisions=(Precision.SINGLE, Precision.DOUBLE),
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [["1", "2"], ["333", "4"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "333" in lines[-1]
+
+    def test_no_title(self):
+        text = format_table(["a"], [["1"]])
+        assert text.splitlines()[0].startswith("a")
+
+
+class TestRenderers:
+    def test_table1(self):
+        rows = [AppCharacterization(app="LULESH", llc_miss_rate=0.1, ipc=0.6, n_kernels=28, boundedness="Balanced")]
+        text = render_table1(rows)
+        assert "LULESH" in text and "paper" in text
+
+    def test_table2(self):
+        text = render_table2()
+        assert "258 GB/s" in text
+        assert "AMD Radeon R9 280X" in text
+
+    def test_table3(self):
+        text = render_table3()
+        assert "PGI v14.10" in text
+
+    def test_table4(self):
+        text = render_table4(table4(ALL_APPS), PAPER_TABLE4)
+        assert "read-benchmark" in text
+        assert "paper 181" in text
+
+    def test_figure7(self):
+        sweep = run_sweep(
+            READMEM, ReadMemConfig(size=1 << 18),
+            core_grid=(200.0, 1000.0), memory_grid=(480.0, 1250.0),
+        )
+        text = render_figure7(sweep)
+        assert "read-benchmark" in text
+        assert "1250" in text
+
+    def test_speedups(self):
+        text = render_speedups(small_study(), ["read-benchmark"], apu=True, title="Fig 8")
+        assert "OpenCL" in text and "x" in text
+
+    def test_figure10(self):
+        study = small_study()
+        result = compute_productivity(study, (READMEM,), apu=True)
+        text = render_figure10(result, ["read-benchmark"])
+        assert "Har. Mean" in text
+
+    def test_figure11(self):
+        text = render_figure11()
+        assert "OpenACC" in text and "no" in text and "yes" in text

@@ -1,0 +1,65 @@
+"""Comparison-study framework tests (functional, small sizes)."""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.readmem import ReadMemConfig
+from repro.core.study import GPU_MODELS, StudyEntry, StudyResult, run_port, run_study
+from repro.hardware.specs import Precision
+
+READMEM = APPS_BY_NAME["read-benchmark"]
+
+
+def small_study():
+    return run_study(
+        (READMEM,),
+        paper_scale=False,
+        configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+        precisions=(Precision.SINGLE,),
+    )
+
+
+class TestRunPort:
+    def test_projection_flag(self):
+        config = ReadMemConfig(size=1 << 16)
+        functional = run_port(READMEM, "OpenCL", False, Precision.SINGLE, config, projection=False)
+        projected = run_port(READMEM, "OpenCL", False, Precision.SINGLE, config, projection=True)
+        assert functional.seconds == pytest.approx(projected.seconds, rel=1e-12)
+
+
+class TestStudyResult:
+    def test_entries_cover_grid(self):
+        study = small_study()
+        # 1 app x 3 models x 2 platforms x 1 precision
+        assert len(study.entries) == 6
+
+    def test_lookup(self):
+        study = small_study()
+        entry = study.get("read-benchmark", "OpenCL", apu=True, precision=Precision.SINGLE)
+        assert isinstance(entry, StudyEntry)
+        assert entry.speedup > 0
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(KeyError):
+            small_study().get("nope", "OpenCL", apu=True, precision=Precision.SINGLE)
+
+    def test_speedups_per_subplot(self):
+        study = small_study()
+        speedups = study.speedups("read-benchmark", apu=False, precision=Precision.SINGLE)
+        assert set(speedups) == set(GPU_MODELS)
+        assert all(v > 0 for v in speedups.values())
+
+    def test_kernel_speedup_differs_from_total_on_dgpu(self):
+        study = small_study()
+        entry = study.get("read-benchmark", "OpenCL", apu=False, precision=Precision.SINGLE)
+        assert entry.kernel_speedup > entry.speedup  # transfers hurt totals
+
+    def test_config_override_used(self):
+        study = run_study(
+            (READMEM,),
+            paper_scale=False,
+            configs={"read-benchmark": ReadMemConfig(size=1 << 14)},
+            precisions=(Precision.SINGLE,),
+            apu_values=(False,),
+        )
+        assert len(study.entries) == 3

@@ -1,0 +1,82 @@
+"""Frequency-sweep tests (Figure 7 shapes and Table I boundedness)."""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.core.configs import sweep_configs
+from repro.core.sweep import run_sweep
+
+#: Coarse grid: sweep corners plus midpoints, enough to classify.
+CORE = (200.0, 600.0, 1000.0)
+MEMORY = (480.0, 810.0, 1250.0)
+
+
+def sweep(app_name):
+    return run_sweep(
+        APPS_BY_NAME[app_name],
+        sweep_configs()[app_name],
+        core_grid=CORE,
+        memory_grid=MEMORY,
+    )
+
+
+class TestSweepMechanics:
+    def test_grid_covered(self):
+        result = sweep("read-benchmark")
+        assert len(result.points) == 9
+
+    def test_normalized_to_slowest_point(self):
+        result = sweep("read-benchmark")
+        slowest = result.get(200.0, 480.0)
+        assert slowest.normalized_performance == pytest.approx(1.0)
+        assert all(p.normalized_performance >= 0.99 for p in result.points)
+
+    def test_series_sorted_by_core(self):
+        series = sweep("read-benchmark").series(1250.0)
+        assert [p.core_mhz for p in series] == sorted(p.core_mhz for p in series)
+
+
+class TestBoundednessClassification:
+    """Table I's Boundedness column, measured via the Figure 7 sweep."""
+
+    def test_readmem_memory_bound(self):
+        assert sweep("read-benchmark").classify() == "Memory"
+
+    def test_lulesh_balanced(self):
+        assert sweep("LULESH").classify() == "Balanced"
+
+    def test_comd_compute_bound(self):
+        assert sweep("CoMD").classify() == "Compute"
+
+    def test_xsbench_compute_bound(self):
+        """Fig. 7d: XSBench scales with the core clock despite its
+        terrible locality (latency-bound, on-chip latency dominates)."""
+        assert sweep("XSBench").classify() == "Compute"
+
+    def test_minife_memory_bound(self):
+        assert sweep("miniFE").classify() == "Memory"
+
+
+class TestFigure7Shapes:
+    def test_readmem_scales_with_memory_not_core(self):
+        result = sweep("read-benchmark")
+        assert result.memory_sensitivity() > 2.0
+        assert result.core_sensitivity() < 1.2
+
+    def test_comd_scales_with_core_not_memory(self):
+        result = sweep("CoMD")
+        assert result.core_sensitivity() > 1.8
+        assert result.memory_sensitivity() < 1.3
+
+    def test_lulesh_scales_with_both(self):
+        result = sweep("LULESH")
+        assert result.core_sensitivity() > 1.3
+        assert result.memory_sensitivity() > 1.3
+
+    def test_xsbench_low_memory_clock_still_hurts(self):
+        """Fig. 7d: 'except at extremely low memory frequencies at
+        which the memory requests are not optimally serviced'."""
+        result = sweep("XSBench")
+        at_high_core = result.get(1000.0, 480.0).normalized_performance
+        at_high_core_fast_mem = result.get(1000.0, 1250.0).normalized_performance
+        assert at_high_core_fast_mem > at_high_core

@@ -1,0 +1,67 @@
+"""Performance-counter accounting tests."""
+
+import pytest
+
+from repro.engine.counters import KernelRecord, PerfCounters
+
+
+def record(name="k", seconds=1e-3, cycles=1e6, instructions=5e5, dram=1e6):
+    return KernelRecord(
+        name=name, seconds=seconds, cycles=cycles, instructions=instructions,
+        dram_bytes=dram, limited_by="compute", device="test",
+    )
+
+
+class TestRecording:
+    def test_kernel_accumulation(self):
+        counters = PerfCounters()
+        counters.record_kernel(record())
+        counters.record_kernel(record(seconds=2e-3))
+        assert counters.kernel_launches == 2
+        assert counters.kernel_seconds == pytest.approx(3e-3)
+        assert len(counters.kernels) == 2
+
+    def test_transfer_accumulation(self):
+        counters = PerfCounters()
+        counters.record_transfer(1000, 1e-4, "h2d")
+        counters.record_transfer(500, 5e-5, "d2h")
+        assert counters.bytes_to_device == 1000
+        assert counters.bytes_to_host == 500
+        assert counters.transfers == 2
+        assert counters.transfer_seconds == pytest.approx(1.5e-4)
+
+    def test_total_seconds_sums_components(self):
+        counters = PerfCounters()
+        counters.record_kernel(record())
+        counters.record_transfer(1000, 1e-4, "h2d")
+        counters.host_seconds = 2e-4
+        counters.launch_overhead_seconds = 1e-5
+        assert counters.total_seconds == pytest.approx(1e-3 + 1e-4 + 2e-4 + 1e-5)
+
+    def test_ipc(self):
+        counters = PerfCounters()
+        counters.record_kernel(record(cycles=1e6, instructions=5e5))
+        assert counters.ipc == pytest.approx(0.5)
+
+    def test_ipc_empty_is_zero(self):
+        assert PerfCounters().ipc == 0.0
+
+
+class TestMerge:
+    def test_merge_sums_everything(self):
+        a = PerfCounters()
+        a.record_kernel(record())
+        b = PerfCounters()
+        b.record_transfer(100, 1e-5, "h2d")
+        merged = a.merge(b)
+        assert merged.kernel_launches == 1
+        assert merged.transfers == 1
+        assert merged.total_seconds == pytest.approx(a.total_seconds + b.total_seconds)
+
+    def test_merge_keeps_kernel_records(self):
+        a = PerfCounters()
+        a.record_kernel(record(name="x"))
+        b = PerfCounters()
+        b.record_kernel(record(name="y"))
+        merged = a.merge(b)
+        assert [k.name for k in merged.kernels] == ["x", "y"]

@@ -1,0 +1,201 @@
+"""Kernel IR tests: op counts, access patterns, lowering containers."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernel import (
+    AccessKind,
+    AccessPattern,
+    KernelSpec,
+    LoweredKernel,
+    OpCount,
+    hand_tuned,
+    with_spec,
+)
+
+
+def make_spec(**overrides):
+    kwargs = dict(
+        name="test.kernel",
+        work_items=1 << 16,
+        ops=OpCount(flops=1e6, int_ops=1e5, bytes_read=4e6, bytes_written=1e6),
+        access=AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=5e6),
+    )
+    kwargs.update(overrides)
+    return KernelSpec(**kwargs)
+
+
+class TestOpCount:
+    def test_totals(self):
+        ops = OpCount(flops=10, int_ops=5, bytes_read=100, bytes_written=50)
+        assert ops.total_bytes == 150
+        assert ops.total_ops == 15
+
+    def test_scaled(self):
+        ops = OpCount(flops=10, bytes_read=100).scaled(3)
+        assert ops.flops == 30
+        assert ops.bytes_read == 300
+
+    def test_add(self):
+        combined = OpCount(flops=1, bytes_read=2) + OpCount(flops=3, bytes_written=4)
+        assert combined.flops == 4
+        assert combined.bytes_read == 2
+        assert combined.bytes_written == 4
+
+    def test_arithmetic_intensity(self):
+        assert OpCount(flops=100, bytes_read=50).arithmetic_intensity() == pytest.approx(2.0)
+
+    def test_intensity_with_no_bytes_is_infinite(self):
+        assert OpCount(flops=1).arithmetic_intensity() == math.inf
+
+
+class TestAccessPatternValidation:
+    def test_zero_working_set_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=0)
+
+    def test_reuse_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPattern(kind=AccessKind.STENCIL, working_set_bytes=1e6, reuse_fraction=1.0)
+
+    def test_row_buffer_range(self):
+        with pytest.raises(ValueError):
+            AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=1e6, row_buffer_efficiency=0.0)
+
+    def test_binary_search_needs_table_entries(self):
+        pattern = AccessPattern(kind=AccessKind.BINARY_SEARCH, working_set_bytes=1e8)
+        with pytest.raises(ValueError):
+            pattern.traffic_multiplier(cache_bytes=1 << 20)
+
+
+class TestTrafficMultipliers:
+    CACHE = 768 * 1024
+
+    def test_streaming_moves_what_it_uses(self):
+        pattern = AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=1e9)
+        assert pattern.traffic_multiplier(self.CACHE) == pytest.approx(1.0)
+
+    def test_stencil_reuse_filters_traffic(self):
+        pattern = AccessPattern(
+            kind=AccessKind.STENCIL, working_set_bytes=1e9, reuse_fraction=0.8
+        )
+        assert pattern.traffic_multiplier(self.CACHE) < 0.5
+
+    def test_gather_pads_to_lines(self):
+        pattern = AccessPattern(
+            kind=AccessKind.BINARY_SEARCH,
+            working_set_bytes=240e6,
+            request_bytes=8,
+            table_entries=1 << 20,
+        )
+        assert pattern.traffic_multiplier(self.CACHE) > 1.0
+
+    def test_bigger_cache_means_less_search_traffic(self):
+        pattern = AccessPattern(
+            kind=AccessKind.BINARY_SEARCH,
+            working_set_bytes=240e6,
+            request_bytes=8,
+            table_entries=1 << 20,
+        )
+        small = pattern.traffic_multiplier(768 * 1024)
+        large = pattern.traffic_multiplier(4 * 1024 * 1024)
+        assert large < small
+
+    def test_stencil_has_least_traffic(self):
+        """High-locality stencils (LULESH) must generate less DRAM
+        traffic per useful byte than gather-heavy patterns."""
+        stencil = AccessPattern(kind=AccessKind.STENCIL, working_set_bytes=1e9, reuse_fraction=0.82)
+        neighbor = AccessPattern(
+            kind=AccessKind.NEIGHBOR_LIST, working_set_bytes=1e9, request_bytes=16, reuse_fraction=0.35
+        )
+        search = AccessPattern(
+            kind=AccessKind.BINARY_SEARCH, working_set_bytes=240e6, request_bytes=16,
+            table_entries=1 << 20,
+        )
+        stencil_traffic = stencil.traffic_multiplier(self.CACHE)
+        assert stencil_traffic < neighbor.traffic_multiplier(self.CACHE)
+        assert stencil_traffic < search.traffic_multiplier(self.CACHE)
+
+
+class TestKernelSpec:
+    def test_instructions_from_explicit_per_item(self):
+        spec = make_spec(instructions_per_item=10.0)
+        assert spec.instructions == 10.0 * spec.work_items
+
+    def test_instructions_fallback_from_ops(self):
+        spec = make_spec()
+        assert spec.instructions > 0
+
+    def test_zero_work_items_rejected(self):
+        with pytest.raises(ValueError):
+            make_spec(work_items=0)
+
+    @pytest.mark.parametrize("field,value", [
+        ("lds_traffic_filter", 1.0),
+        ("divergence", 1.0),
+        ("unroll_benefit", -0.1),
+        ("cpu_simd_fraction", 0.0),
+    ])
+    def test_fraction_validation(self, field, value):
+        with pytest.raises(ValueError):
+            make_spec(**{field: value})
+
+
+class TestLoweredKernel:
+    def test_hand_tuned_uses_everything(self):
+        spec = make_spec(lds_bytes_per_workgroup=1024, lds_traffic_filter=0.5)
+        lowered = hand_tuned(spec)
+        assert lowered.vector_efficiency == 1.0
+        assert lowered.uses_lds
+        assert lowered.instruction_scale == 1.0
+
+    def test_lds_filter_reduces_traffic(self):
+        spec = make_spec(lds_bytes_per_workgroup=1024, lds_traffic_filter=0.5)
+        with_lds = hand_tuned(spec).dram_traffic_bytes(768 * 1024)
+        without = LoweredKernel(
+            spec=spec, vector_efficiency=1.0, uses_lds=False,
+            instruction_scale=1.0, divergence=0.0,
+        ).dram_traffic_bytes(768 * 1024)
+        assert with_lds == pytest.approx(without * 0.5)
+
+    def test_instruction_scale_inflates(self):
+        spec = make_spec(instructions_per_item=10.0)
+        lowered = LoweredKernel(
+            spec=spec, vector_efficiency=0.7, uses_lds=False,
+            instruction_scale=1.5, divergence=0.0,
+        )
+        assert lowered.instructions == pytest.approx(spec.instructions * 1.5)
+
+    def test_validation(self):
+        spec = make_spec()
+        with pytest.raises(ValueError):
+            LoweredKernel(spec=spec, vector_efficiency=0.0, uses_lds=False,
+                          instruction_scale=1.0, divergence=0.0)
+        with pytest.raises(ValueError):
+            LoweredKernel(spec=spec, vector_efficiency=1.0, uses_lds=False,
+                          instruction_scale=0.5, divergence=0.0)
+        with pytest.raises(ValueError):
+            LoweredKernel(spec=spec, vector_efficiency=1.0, uses_lds=False,
+                          instruction_scale=1.0, divergence=0.0, memory_efficiency=1.5)
+
+    def test_with_spec_rebinds(self):
+        lowered = hand_tuned(make_spec())
+        bigger = make_spec(work_items=1 << 20)
+        rebound = with_spec(lowered, bigger)
+        assert rebound.spec is bigger
+        assert rebound.vector_efficiency == lowered.vector_efficiency
+
+
+@given(
+    flops=st.floats(min_value=0, max_value=1e12),
+    factor=st.floats(min_value=0.01, max_value=1e3),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_opcount_scaling_linear(flops, factor):
+    ops = OpCount(flops=flops, bytes_read=2 * flops)
+    scaled = ops.scaled(factor)
+    assert scaled.flops == pytest.approx(flops * factor, rel=1e-9)
+    assert scaled.total_bytes == pytest.approx(ops.total_bytes * factor, rel=1e-9)

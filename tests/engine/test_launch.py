@@ -1,0 +1,40 @@
+"""Runtime-overhead constant tests."""
+
+import pytest
+
+from repro.engine.launch import (
+    CPPAMP_APU,
+    CPPAMP_DGPU,
+    HC_APU,
+    OPENACC_DGPU,
+    OPENCL_APU,
+    OPENCL_DGPU,
+    RuntimeOverheads,
+)
+
+
+class TestLaunchCost:
+    def test_components(self):
+        overheads = RuntimeOverheads(kernel_launch_s=1e-5, per_buffer_s=1e-6, per_mapped_byte_s=1e-12)
+        cost = overheads.launch_cost(n_buffers=3, mapped_bytes=1_000_000)
+        assert cost == pytest.approx(1e-5 + 3e-6 + 1e-6)
+
+    def test_no_buffers(self):
+        overheads = RuntimeOverheads(kernel_launch_s=5e-6, per_buffer_s=1e-6)
+        assert overheads.launch_cost(0) == pytest.approx(5e-6)
+
+
+class TestStackOrdering:
+    def test_hsa_dispatch_cheapest(self):
+        """The HSA user-mode queues (CLAMP on APU, HC) dispatch faster
+        than the Catalyst driver paths."""
+        assert CPPAMP_APU.kernel_launch_s < CPPAMP_DGPU.kernel_launch_s
+        assert HC_APU.kernel_launch_s <= CPPAMP_APU.kernel_launch_s
+
+    def test_opencl_apu_pays_mapping_toll(self):
+        """Catalyst's cl_mem path maps buffers even on unified memory."""
+        assert OPENCL_APU.per_mapped_byte_s > 0
+        assert OPENCL_DGPU.per_mapped_byte_s == 0
+
+    def test_pgi_runtime_heaviest(self):
+        assert OPENACC_DGPU.kernel_launch_s >= OPENCL_DGPU.kernel_launch_s

@@ -1,0 +1,74 @@
+"""Event-driven scheduler tests and analytic cross-validation."""
+
+import pytest
+
+from repro.engine.kernel import AccessKind, AccessPattern, KernelSpec, OpCount, hand_tuned
+from repro.engine.scheduler import simulate_kernel
+from repro.engine.timing import time_gpu_kernel
+from repro.hardware.device import GPUDevice
+from repro.hardware.specs import R9_280X, Precision
+
+
+def make_spec(n=1 << 20, flops_per_item=100.0, bytes_per_item=8.0, wg=256):
+    return KernelSpec(
+        name="sched.test",
+        work_items=n,
+        ops=OpCount(flops=flops_per_item * n, bytes_read=bytes_per_item * n,
+                    bytes_written=bytes_per_item * n / 2),
+        access=AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=bytes_per_item * n),
+        workgroup_size=wg,
+        instructions_per_item=flops_per_item,
+    )
+
+
+class TestScheduler:
+    def test_workgroup_count(self):
+        result = simulate_kernel(hand_tuned(make_spec(n=1024, wg=256)), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        assert result.workgroups == 4
+
+    def test_partial_workgroup_rounds_up(self):
+        result = simulate_kernel(hand_tuned(make_spec(n=1000, wg=256)), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        assert result.workgroups == 4
+
+    def test_utilization_bounds(self):
+        result = simulate_kernel(hand_tuned(make_spec()), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        assert 0.0 < result.cu_busy_fraction <= 1.0
+        assert 0.0 <= result.memory_busy_fraction <= 1.0
+
+    def test_memory_bound_kernel_saturates_dram(self):
+        spec = make_spec(flops_per_item=1.0, bytes_per_item=64.0)
+        result = simulate_kernel(hand_tuned(spec), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        assert result.memory_busy_fraction > 0.8
+
+    def test_more_work_takes_longer(self):
+        gpu = GPUDevice(spec=R9_280X)
+        small = simulate_kernel(hand_tuned(make_spec(n=1 << 18)), gpu, Precision.SINGLE)
+        large = simulate_kernel(hand_tuned(make_spec(n=1 << 21)), gpu, Precision.SINGLE)
+        assert large.seconds > 4 * small.seconds
+
+
+class TestCrossValidation:
+    """The event-driven scheduler and the closed-form model must agree
+    on saturated kernels (they share demand parameters but not the
+    execution machinery)."""
+
+    @pytest.mark.parametrize("flops_per_item,bytes_per_item", [
+        (1000.0, 4.0),   # compute bound
+        (2.0, 64.0),     # memory bound
+        (100.0, 16.0),   # mixed
+    ])
+    def test_agreement_within_factor(self, flops_per_item, bytes_per_item):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = make_spec(n=1 << 21, flops_per_item=flops_per_item, bytes_per_item=bytes_per_item)
+        lowered = hand_tuned(spec)
+        analytic = time_gpu_kernel(lowered, gpu, Precision.SINGLE).seconds
+        scheduled = simulate_kernel(lowered, gpu, Precision.SINGLE).seconds
+        assert 0.4 < scheduled / analytic < 2.5
+
+    def test_core_clock_scaling_matches(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = make_spec(n=1 << 21, flops_per_item=1000.0, bytes_per_item=4.0)
+        base = simulate_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        gpu.core_clock.set(462.5)
+        slow = simulate_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        assert slow == pytest.approx(2 * base, rel=0.1)

@@ -1,0 +1,225 @@
+"""Timing-model tests: roofline sides, clock scaling, precision."""
+
+import pytest
+
+from repro.engine.kernel import AccessKind, AccessPattern, KernelSpec, LoweredKernel, OpCount, hand_tuned
+from repro.engine.timing import (
+    cpu_stream_efficiency,
+    cpu_vector_rate,
+    time_cpu_kernel,
+    time_gpu_kernel,
+)
+from repro.hardware.device import CPUDevice, GPUDevice
+from repro.hardware.specs import A10_7850K_CPU, A10_7850K_GPU, R9_280X, Precision
+
+
+def streaming_spec(n=1 << 22, flops_per_item=1.0, ebytes=4):
+    return KernelSpec(
+        name="t.streaming",
+        work_items=n,
+        ops=OpCount(flops=flops_per_item * n, bytes_read=float(ebytes * n), bytes_written=float(ebytes * n)),
+        access=AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=float(2 * ebytes * n)),
+        instructions_per_item=4.0,
+    )
+
+
+def compute_spec(n=1 << 20, flops_per_item=2000.0):
+    return KernelSpec(
+        name="t.compute",
+        work_items=n,
+        ops=OpCount(flops=flops_per_item * n, bytes_read=float(4 * n), bytes_written=float(4 * n)),
+        access=AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=float(8 * n)),
+        instructions_per_item=flops_per_item / 2,
+    )
+
+
+class TestGPURoofline:
+    def test_streaming_kernel_is_memory_bound(self):
+        timing = time_gpu_kernel(hand_tuned(streaming_spec()), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        assert timing.limited_by == "memory"
+
+    def test_flop_heavy_kernel_is_compute_bound(self):
+        timing = time_gpu_kernel(hand_tuned(compute_spec()), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        assert timing.limited_by == "compute"
+
+    def test_memory_bound_time_matches_bandwidth(self):
+        spec = streaming_spec()
+        timing = time_gpu_kernel(hand_tuned(spec), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        ideal = spec.ops.total_bytes / (258e9 * 0.95)
+        assert timing.seconds == pytest.approx(ideal, rel=0.2)
+
+    def test_tiny_kernel_hits_floor(self):
+        spec = streaming_spec(n=256)
+        timing = time_gpu_kernel(hand_tuned(spec), GPUDevice(spec=R9_280X), Precision.SINGLE)
+        assert timing.limited_by == "floor"
+
+
+class TestClockScaling:
+    def test_memory_bound_scales_with_memory_clock(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = streaming_spec()
+        base = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        gpu.memory_clock.set(625.0)
+        slow = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        assert slow == pytest.approx(2 * base, rel=0.01)
+
+    def test_memory_bound_ignores_core_clock(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = streaming_spec()
+        base = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        gpu.core_clock.set(500.0)
+        assert time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds == pytest.approx(base, rel=0.05)
+
+    def test_compute_bound_scales_with_core_clock(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = compute_spec()
+        base = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        gpu.core_clock.set(462.5)
+        slow = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        assert slow == pytest.approx(2 * base, rel=0.01)
+
+
+class TestPrecision:
+    def test_double_precision_slower_for_compute(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = compute_spec()
+        sp = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        dp = time_gpu_kernel(hand_tuned(spec), gpu, Precision.DOUBLE).seconds
+        assert dp > 2.5 * sp  # Tahiti: 1/4 DP rate
+
+    def test_dp_penalty_worse_on_apu(self):
+        """Kaveri's 1/16 DP rate must hurt more than Tahiti's 1/4."""
+        spec = compute_spec()
+        tahiti = GPUDevice(spec=R9_280X)
+        kaveri = GPUDevice(spec=A10_7850K_GPU)
+        tahiti_ratio = (
+            time_gpu_kernel(hand_tuned(spec), tahiti, Precision.DOUBLE).seconds
+            / time_gpu_kernel(hand_tuned(spec), tahiti, Precision.SINGLE).seconds
+        )
+        kaveri_ratio = (
+            time_gpu_kernel(hand_tuned(spec), kaveri, Precision.DOUBLE).seconds
+            / time_gpu_kernel(hand_tuned(spec), kaveri, Precision.SINGLE).seconds
+        )
+        assert kaveri_ratio > 2 * tahiti_ratio
+
+
+class TestLoweringEffects:
+    def test_lower_vector_efficiency_slows_compute(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = compute_spec()
+        fast = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        slow = time_gpu_kernel(
+            LoweredKernel(spec=spec, vector_efficiency=0.5, uses_lds=False,
+                          instruction_scale=1.0, divergence=0.0),
+            gpu, Precision.SINGLE,
+        ).seconds
+        assert slow == pytest.approx(2 * fast, rel=0.05)
+
+    def test_lower_memory_efficiency_slows_streaming(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = streaming_spec()
+        fast = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        slow = time_gpu_kernel(
+            LoweredKernel(spec=spec, vector_efficiency=1.0, uses_lds=False,
+                          instruction_scale=1.0, divergence=0.0, memory_efficiency=0.5),
+            gpu, Precision.SINGLE,
+        ).seconds
+        assert slow == pytest.approx(2 * fast, rel=0.05)
+
+    def test_divergence_slows_compute(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = compute_spec()
+        fast = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        slow = time_gpu_kernel(
+            LoweredKernel(spec=spec, vector_efficiency=1.0, uses_lds=False,
+                          instruction_scale=1.0, divergence=0.5),
+            gpu, Precision.SINGLE,
+        ).seconds
+        assert slow > 1.8 * fast
+
+
+class TestScatterLatency:
+    def scatter_spec(self):
+        return KernelSpec(
+            name="t.search",
+            work_items=1 << 20,
+            ops=OpCount(flops=100.0 * (1 << 20), bytes_read=1e9, bytes_written=4e6),
+            access=AccessPattern(
+                kind=AccessKind.BINARY_SEARCH, working_set_bytes=240e6,
+                request_bytes=16, table_entries=1 << 20, row_buffer_efficiency=0.8,
+            ),
+            instructions_per_item=300.0,
+        )
+
+    def test_scatter_kernel_scales_with_core_clock(self):
+        """The Figure 7d mechanism: latency-bound lookups speed up with
+        the core clock because most of the latency is on-chip."""
+        gpu = GPUDevice(spec=R9_280X)
+        spec = self.scatter_spec()
+        base = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        gpu.core_clock.set(200.0)
+        slow = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        assert slow > 1.5 * base
+
+    def test_scatter_kernel_nearly_flat_in_memory_clock(self):
+        gpu = GPUDevice(spec=R9_280X)
+        spec = self.scatter_spec()
+        base = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        gpu.memory_clock.set(920.0)
+        mid = time_gpu_kernel(hand_tuned(spec), gpu, Precision.SINGLE).seconds
+        assert mid < 1.35 * base
+
+
+class TestCPUTiming:
+    def test_threads_speed_up_compute(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        spec = compute_spec(n=1 << 18)
+        one = time_cpu_kernel(spec, cpu, Precision.SINGLE, threads=1).seconds
+        four = time_cpu_kernel(spec, cpu, Precision.SINGLE, threads=4).seconds
+        assert one / four == pytest.approx(4.0, rel=0.05)
+
+    def test_memory_bound_thread_scaling_sublinear(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        spec = streaming_spec()
+        one = time_cpu_kernel(spec, cpu, Precision.SINGLE, threads=1).seconds
+        four = time_cpu_kernel(spec, cpu, Precision.SINGLE, threads=4).seconds
+        assert 1.5 < one / four < 4.0
+
+    def test_threads_clamped_to_cores(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        spec = compute_spec(n=1 << 18)
+        four = time_cpu_kernel(spec, cpu, Precision.SINGLE, threads=4).seconds
+        sixteen = time_cpu_kernel(spec, cpu, Precision.SINGLE, threads=16).seconds
+        assert four == sixteen
+
+    def test_invalid_threads_rejected(self):
+        with pytest.raises(ValueError):
+            time_cpu_kernel(compute_spec(), CPUDevice(spec=A10_7850K_CPU), Precision.SINGLE, threads=0)
+
+    def test_poor_vectorization_slows_cpu(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        good = compute_spec()
+        bad = KernelSpec(
+            name="t.scalar", work_items=good.work_items, ops=good.ops, access=good.access,
+            instructions_per_item=good.instructions_per_item, cpu_simd_fraction=0.1,
+        )
+        assert (
+            cpu_vector_rate(cpu, bad, Precision.SINGLE, 4)
+            < 0.3 * cpu_vector_rate(cpu, good, Precision.SINGLE, 4)
+        )
+
+    def test_stream_efficiency_saturates(self):
+        assert cpu_stream_efficiency(1) < cpu_stream_efficiency(2)
+        assert cpu_stream_efficiency(4) == cpu_stream_efficiency(8)
+
+
+class TestIPCBehaviour:
+    def test_memory_bound_kernel_has_low_ipc(self):
+        """Instructions per cycle collapses when the kernel stalls on
+        DRAM — the Table I signature of XSBench."""
+        gpu = GPUDevice(spec=R9_280X)
+        lat = time_gpu_kernel(hand_tuned(TestScatterLatency().scatter_spec()), gpu, Precision.SINGLE)
+        cmp = time_gpu_kernel(hand_tuned(compute_spec()), gpu, Precision.SINGLE)
+        ipc_lat = lat.instructions / lat.cycles
+        ipc_cmp = cmp.instructions / cmp.cycles
+        assert ipc_lat < ipc_cmp

@@ -1,0 +1,52 @@
+"""Analytic-vs-scheduler cross-validation over the real app kernels."""
+
+import pytest
+
+from repro.apps.comd import CoMDConfig
+from repro.apps.comd import kernel_specs as comd_specs
+from repro.apps.lulesh import LuleshConfig
+from repro.apps.lulesh import kernel_specs as lulesh_specs
+from repro.apps.minife import MiniFEConfig
+from repro.apps.minife import kernel_specs as minife_specs
+from repro.engine.validate import disagreements, validate_specs
+from repro.hardware.specs import Precision
+
+#: Scheduler vs analytic agreement band.  Tiny kernels hit launch
+#: floors and quantization the analytic model smooths over, so the
+#: band is generous; the point is catching order-of-magnitude drift.
+TOLERANCE = 3.0
+
+
+class TestAppKernels:
+    def test_lulesh_kernels_agree(self):
+        specs = lulesh_specs(LuleshConfig(size=48, iterations=1), Precision.SINGLE)
+        points = validate_specs(specs)
+        bad = disagreements(points, TOLERANCE)
+        assert not bad, [(p.kernel, round(p.ratio, 2)) for p in bad]
+
+    def test_comd_kernels_agree(self):
+        specs = comd_specs(CoMDConfig(nx=24, ny=24, nz=24, steps=1), Precision.SINGLE)
+        points = validate_specs(specs)
+        bad = disagreements(points, TOLERANCE)
+        assert not bad, [(p.kernel, round(p.ratio, 2)) for p in bad]
+
+    def test_minife_kernels_agree(self):
+        specs = minife_specs(MiniFEConfig(nx=48, ny=48, nz=48), Precision.SINGLE)
+        points = validate_specs(specs)
+        bad = disagreements(points, TOLERANCE)
+        assert not bad, [(p.kernel, round(p.ratio, 2)) for p in bad]
+
+    def test_double_precision_also_agrees(self):
+        specs = comd_specs(CoMDConfig(nx=24, ny=24, nz=24, steps=1), Precision.DOUBLE)
+        points = validate_specs(specs, precision=Precision.DOUBLE)
+        assert not disagreements(points, TOLERANCE)
+
+
+class TestValidationPoint:
+    def test_ratio_and_agreement(self):
+        from repro.engine.validate import ValidationPoint
+
+        good = ValidationPoint(kernel="k", analytic_seconds=1.0, scheduled_seconds=1.2)
+        assert good.agrees()
+        bad = ValidationPoint(kernel="k", analytic_seconds=1.0, scheduled_seconds=10.0)
+        assert not bad.agrees()

@@ -1,0 +1,139 @@
+"""Set-associative cache simulator tests, including property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cache import CacheStats, SetAssociativeCache
+from repro.hardware.specs import CacheSpec
+
+
+def small_cache(size=1024, line=64, ways=2):
+    return SetAssociativeCache(CacheSpec(size_bytes=size, line_bytes=line, ways=ways))
+
+
+class TestBasicBehaviour:
+    def test_first_access_misses(self):
+        cache = small_cache()
+        assert cache.access(0) is False
+
+    def test_second_access_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(0) is True
+
+    def test_same_line_hits(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(63) is True
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache()
+        cache.access(0)
+        assert cache.access(64) is False
+
+    def test_reset_clears_contents_and_stats(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset()
+        assert cache.stats.accesses == 0
+        assert cache.access(0) is False
+
+
+class TestLRUEviction:
+    def test_conflict_evicts_least_recently_used(self):
+        # 2-way, 8 sets: lines 0, 8, 16 map to set 0.
+        cache = small_cache(size=1024, line=64, ways=2)
+        sets = cache.n_sets
+        a, b, c = 0, sets * 64, 2 * sets * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a
+        assert cache.access(b) is True
+        assert cache.access(a) is False
+
+    def test_touch_refreshes_lru(self):
+        cache = small_cache(size=1024, line=64, ways=2)
+        sets = cache.n_sets
+        a, b, c = 0, sets * 64, 2 * sets * 64
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # refresh a; b is now LRU
+        cache.access(c)  # evicts b
+        assert cache.access(a) is True
+        assert cache.access(b) is False
+
+    def test_eviction_counter(self):
+        cache = small_cache(size=128, line=64, ways=1)
+        cache.access(0)
+        cache.access(cache.n_sets * 64)
+        assert cache.stats.evictions == 1
+
+
+class TestStats:
+    def test_replay_returns_delta(self):
+        cache = small_cache()
+        first = cache.replay([0, 0, 64])
+        assert first.accesses == 3
+        assert first.hits == 1
+        second = cache.replay([0])
+        assert second.accesses == 1
+
+    def test_miss_rate(self):
+        stats = CacheStats(accesses=10, hits=6, misses=4)
+        assert stats.miss_rate == pytest.approx(0.4)
+        assert stats.hit_rate == pytest.approx(0.6)
+
+    def test_empty_miss_rate_is_zero(self):
+        assert CacheStats().miss_rate == 0.0
+
+    def test_merge(self):
+        merged = CacheStats(accesses=2, hits=1, misses=1).merge(
+            CacheStats(accesses=3, hits=0, misses=3)
+        )
+        assert merged.accesses == 5
+        assert merged.misses == 4
+
+
+class TestGeometry:
+    def test_invalid_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(CacheSpec(size_bytes=1000, line_bytes=64, ways=3))
+
+    def test_resident_lines_bounded_by_capacity(self):
+        cache = small_cache(size=512, line=64, ways=2)
+        for address in range(0, 64 * 100, 64):
+            cache.access(address)
+        assert cache.resident_lines <= 512 // 64
+
+
+class TestStreamingMissRate:
+    def test_sequential_4byte_stream_misses_once_per_line(self):
+        cache = small_cache(size=64 * 1024, line=64, ways=16)
+        addresses = np.arange(0, 32 * 1024, 4)
+        stats = cache.replay(addresses.tolist())
+        assert stats.miss_rate == pytest.approx(4 / 64, rel=0.05)
+
+
+@given(
+    addresses=st.lists(st.integers(min_value=0, max_value=1 << 20), min_size=1, max_size=300),
+    ways=st.sampled_from([1, 2, 4]),
+)
+@settings(max_examples=50, deadline=None)
+def test_property_counters_consistent(addresses, ways):
+    cache = SetAssociativeCache(CacheSpec(size_bytes=64 * 8 * ways, line_bytes=64, ways=ways))
+    stats = cache.replay(addresses)
+    assert stats.accesses == len(addresses)
+    assert stats.hits + stats.misses == stats.accesses
+    assert 0.0 <= stats.miss_rate <= 1.0
+    assert cache.resident_lines <= cache.n_sets * ways
+
+
+@given(addresses=st.lists(st.integers(min_value=0, max_value=1 << 16), min_size=1, max_size=200))
+@settings(max_examples=50, deadline=None)
+def test_property_immediate_retouch_always_hits(addresses):
+    cache = small_cache(size=4096, line=64, ways=4)
+    for address in addresses:
+        cache.access(address)
+        assert cache.access(address) is True

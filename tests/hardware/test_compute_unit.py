@@ -1,0 +1,101 @@
+"""Occupancy-model tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.compute_unit import (
+    Occupancy,
+    latency_hiding_factor,
+    occupancy,
+    wavefronts_for,
+)
+from repro.hardware.specs import A10_7850K_GPU, R9_280X
+
+
+class TestWavefrontsFor:
+    def test_exact_multiple(self):
+        assert wavefronts_for(640, 64) == 10
+
+    def test_rounds_up(self):
+        assert wavefronts_for(65, 64) == 2
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            wavefronts_for(0, 64)
+
+
+class TestOccupancyLimits:
+    def test_plenty_of_work_hits_slot_limit(self):
+        occ = occupancy(R9_280X, registers_per_thread=8, lds_bytes_per_workgroup=0,
+                        workgroup_size=256, total_work_items=10_000_000)
+        assert occ.limited_by == "slots"
+        assert occ.wavefronts_per_cu == R9_280X.max_wavefronts_per_cu
+
+    def test_register_pressure_limits(self):
+        occ = occupancy(R9_280X, registers_per_thread=128, lds_bytes_per_workgroup=0,
+                        workgroup_size=256, total_work_items=10_000_000)
+        assert occ.limited_by == "registers"
+        assert occ.wavefronts_per_cu < R9_280X.max_wavefronts_per_cu
+
+    def test_lds_pressure_limits(self):
+        occ = occupancy(R9_280X, registers_per_thread=8,
+                        lds_bytes_per_workgroup=32 * 1024,
+                        workgroup_size=64, total_work_items=10_000_000)
+        assert occ.limited_by == "lds"
+        assert occ.wavefronts_per_cu == 2  # 64 KiB LDS / 32 KiB per group
+
+    def test_small_launch_cannot_fill(self):
+        occ = occupancy(R9_280X, registers_per_thread=8, lds_bytes_per_workgroup=0,
+                        workgroup_size=64, total_work_items=64 * 32)
+        assert occ.limited_by == "workitems"
+        assert occ.wavefronts_per_cu == 1
+
+    def test_lds_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(R9_280X, registers_per_thread=8,
+                      lds_bytes_per_workgroup=128 * 1024,
+                      workgroup_size=64, total_work_items=1_000_000)
+
+    def test_bad_workgroup_size_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(R9_280X, registers_per_thread=8, lds_bytes_per_workgroup=0,
+                      workgroup_size=100, total_work_items=1_000_000)
+
+    def test_zero_workgroup_rejected(self):
+        with pytest.raises(ValueError):
+            occupancy(R9_280X, registers_per_thread=8, lds_bytes_per_workgroup=0,
+                      workgroup_size=0, total_work_items=1_000_000)
+
+
+class TestLatencyHiding:
+    def test_monotonic_in_wavefronts(self):
+        values = [
+            latency_hiding_factor(Occupancy(wavefronts_per_cu=w, limited_by="slots"))
+            for w in (1, 2, 4, 8, 16, 40)
+        ]
+        assert values == sorted(values)
+
+    def test_saturation_near_ninety_percent(self):
+        occ = Occupancy(wavefronts_per_cu=8, limited_by="slots")
+        assert latency_hiding_factor(occ) == pytest.approx(0.9, abs=0.01)
+
+    def test_bounded_by_one(self):
+        occ = Occupancy(wavefronts_per_cu=40, limited_by="slots")
+        assert latency_hiding_factor(occ) <= 1.0
+
+
+@given(
+    regs=st.integers(min_value=1, max_value=256),
+    lds=st.sampled_from([0, 1024, 4096, 16384, 65536]),
+    wg=st.sampled_from([64, 128, 256, 512]),
+    items=st.integers(min_value=1, max_value=10_000_000),
+)
+@settings(max_examples=100, deadline=None)
+def test_property_occupancy_within_hardware_bounds(regs, lds, wg, items):
+    for gpu in (R9_280X, A10_7850K_GPU):
+        occ = occupancy(gpu, registers_per_thread=regs, lds_bytes_per_workgroup=lds,
+                        workgroup_size=wg, total_work_items=items)
+        assert 1 <= occ.wavefronts_per_cu <= gpu.max_wavefronts_per_cu
+        assert occ.limited_by in ("registers", "lds", "slots", "workitems")
+        assert 0.0 < latency_hiding_factor(occ) <= 1.0

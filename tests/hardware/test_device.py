@@ -1,0 +1,97 @@
+"""Device and platform tests."""
+
+import pytest
+
+from repro.hardware.device import (
+    CPUDevice,
+    GPUDevice,
+    make_apu_platform,
+    make_dgpu_platform,
+    make_platform,
+)
+from repro.hardware.specs import A10_7850K_CPU, A10_7850K_GPU, R9_280X, Precision
+
+
+class TestCPUDevice:
+    def test_peak_flops_all_cores(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        assert cpu.peak_flops(Precision.SINGLE) == pytest.approx(236.8e9)
+
+    def test_peak_flops_scales_with_threads(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        assert cpu.peak_flops(Precision.SINGLE, threads=1) == pytest.approx(59.2e9)
+
+    def test_threads_clamped_to_cores(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        assert cpu.peak_flops(Precision.SINGLE, threads=16) == cpu.peak_flops(Precision.SINGLE)
+
+    def test_double_precision_half_rate(self):
+        cpu = CPUDevice(spec=A10_7850K_CPU)
+        ratio = cpu.peak_flops(Precision.DOUBLE) / cpu.peak_flops(Precision.SINGLE)
+        assert ratio == pytest.approx(0.5)
+
+    def test_memory_system(self):
+        memory = CPUDevice(spec=A10_7850K_CPU).memory_system()
+        assert memory.peak_bandwidth_gbps == 33.0
+
+
+class TestGPUDevice:
+    def test_peak_flops_default_clock(self):
+        gpu = GPUDevice(spec=R9_280X)
+        assert gpu.peak_flops(Precision.SINGLE) == pytest.approx(3.79e12, rel=0.01)
+
+    def test_peak_flops_follows_core_clock(self):
+        gpu = GPUDevice(spec=R9_280X)
+        base = gpu.peak_flops(Precision.SINGLE)
+        gpu.core_clock.set(462.5)
+        assert gpu.peak_flops(Precision.SINGLE) == pytest.approx(base / 2)
+
+    def test_dp_ratio_tahiti(self):
+        gpu = GPUDevice(spec=R9_280X)
+        assert gpu.peak_flops(Precision.DOUBLE) == pytest.approx(gpu.peak_flops(Precision.SINGLE) / 4)
+
+    def test_dp_ratio_kaveri(self):
+        gpu = GPUDevice(spec=A10_7850K_GPU)
+        assert gpu.peak_flops(Precision.DOUBLE) == pytest.approx(gpu.peak_flops(Precision.SINGLE) / 16)
+
+    def test_reset_clocks(self):
+        gpu = GPUDevice(spec=R9_280X)
+        gpu.core_clock.set(300.0)
+        gpu.memory_clock.set(480.0)
+        gpu.reset_clocks()
+        assert gpu.core_clock.current_mhz == 925.0
+        assert gpu.memory_clock.current_mhz == 1250.0
+
+    def test_memory_bandwidth_follows_memory_clock(self):
+        gpu = GPUDevice(spec=R9_280X)
+        gpu.memory_clock.set(625.0)
+        assert gpu.memory.peak_bandwidth_at_clock() == pytest.approx(129.0)
+
+
+class TestPlatforms:
+    def test_dgpu_platform(self):
+        platform = make_dgpu_platform()
+        assert not platform.is_apu
+        assert platform.gpu.spec is R9_280X
+        assert platform.interconnect.transfer_time(8_000_000_000) > 0.9
+
+    def test_apu_platform(self):
+        platform = make_apu_platform()
+        assert platform.is_apu
+        assert platform.gpu.spec is A10_7850K_GPU
+        assert platform.interconnect.transfer_time(1 << 30) == 0.0
+
+    def test_both_share_host(self):
+        assert make_dgpu_platform().host.spec is make_apu_platform().host.spec
+
+    def test_factory_flag(self):
+        assert make_platform(apu=True).is_apu
+        assert not make_platform(apu=False).is_apu
+
+    def test_fresh_resets_state(self):
+        platform = make_dgpu_platform()
+        platform.gpu.core_clock.set(300.0)
+        platform.interconnect.transfer(1024, "h2d")
+        fresh = platform.fresh()
+        assert fresh.gpu.core_clock.current_mhz == 925.0
+        assert fresh.interconnect.total_bytes() == 0

@@ -1,0 +1,98 @@
+"""Clock-domain and DVFS tests."""
+
+import pytest
+
+from repro.hardware.frequency import (
+    PAPER_CORE_SWEEP_MHZ,
+    PAPER_MEMORY_SWEEP_MHZ,
+    ClockDomain,
+    FrequencyError,
+    FrequencyPlan,
+    paper_sweep_grid,
+)
+
+
+def make_domain(**overrides):
+    kwargs = dict(name="core", default_mhz=925.0, min_mhz=200.0, max_mhz=1050.0)
+    kwargs.update(overrides)
+    return ClockDomain(**kwargs)
+
+
+class TestClockDomain:
+    def test_starts_at_default(self):
+        assert make_domain().current_mhz == 925.0
+
+    def test_hz_and_ghz(self):
+        domain = make_domain()
+        assert domain.hz == 925e6
+        assert domain.ghz == pytest.approx(0.925)
+
+    def test_set_within_range(self):
+        domain = make_domain()
+        domain.set(500.0)
+        assert domain.current_mhz == 500.0
+
+    def test_set_below_range_rejected(self):
+        with pytest.raises(FrequencyError):
+            make_domain().set(100.0)
+
+    def test_set_above_range_rejected(self):
+        with pytest.raises(FrequencyError):
+            make_domain().set(2000.0)
+
+    def test_boundaries_are_legal(self):
+        domain = make_domain()
+        domain.set(200.0)
+        domain.set(1050.0)
+        assert domain.current_mhz == 1050.0
+
+    def test_reset_returns_to_default(self):
+        domain = make_domain()
+        domain.set(300.0)
+        domain.reset()
+        assert domain.current_mhz == 925.0
+
+    def test_scale_vs_default(self):
+        domain = make_domain()
+        domain.set(462.5)
+        assert domain.scale_vs_default() == pytest.approx(0.5)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(FrequencyError):
+            make_domain(min_mhz=500.0, max_mhz=400.0)
+
+    def test_default_outside_range_rejected(self):
+        with pytest.raises(FrequencyError):
+            make_domain(default_mhz=100.0)
+
+    def test_zero_min_rejected(self):
+        with pytest.raises(FrequencyError):
+            make_domain(min_mhz=0.0)
+
+
+class TestFrequencyPlan:
+    def test_apply_sets_both_domains(self):
+        core = make_domain()
+        memory = make_domain(name="memory", default_mhz=1250.0, min_mhz=480.0, max_mhz=1500.0)
+        FrequencyPlan(core_mhz=600.0, memory_mhz=700.0).apply(core, memory)
+        assert core.current_mhz == 600.0
+        assert memory.current_mhz == 700.0
+
+    def test_apply_validates(self):
+        core = make_domain()
+        memory = make_domain(name="memory", default_mhz=1250.0, min_mhz=480.0, max_mhz=1500.0)
+        with pytest.raises(FrequencyError):
+            FrequencyPlan(core_mhz=600.0, memory_mhz=100.0).apply(core, memory)
+
+
+class TestPaperGrid:
+    def test_core_sweep_matches_figure7(self):
+        assert PAPER_CORE_SWEEP_MHZ == (200, 300, 400, 500, 600, 700, 800, 900, 1000)
+
+    def test_memory_sweep_matches_figure7(self):
+        assert PAPER_MEMORY_SWEEP_MHZ == (480, 590, 700, 810, 920, 1030, 1140, 1250)
+
+    def test_grid_is_full_cross_product(self):
+        grid = paper_sweep_grid()
+        assert len(grid) == 9 * 8
+        assert len({(p.core_mhz, p.memory_mhz) for p in grid}) == 72

@@ -1,0 +1,57 @@
+"""Interconnect (PCIe / unified memory) tests."""
+
+import pytest
+
+from repro.hardware.interconnect import Interconnect
+from repro.hardware.specs import HSA_UNIFIED, PCIE3_X16, InterconnectSpec
+
+
+class TestPCIe:
+    def test_transfer_time_has_latency_floor(self):
+        link = Interconnect(spec=PCIE3_X16)
+        assert link.transfer_time(1) >= PCIE3_X16.latency_s
+
+    def test_bandwidth_term(self):
+        link = Interconnect(spec=PCIE3_X16)
+        seconds = link.transfer_time(8_000_000_000)
+        assert seconds == pytest.approx(1.0 + PCIE3_X16.latency_s, rel=0.01)
+
+    def test_zero_bytes_free(self):
+        assert Interconnect(spec=PCIE3_X16).transfer_time(0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Interconnect(spec=PCIE3_X16).transfer_time(-1)
+
+
+class TestUnified:
+    def test_no_cost(self):
+        link = Interconnect(spec=HSA_UNIFIED)
+        assert link.is_unified
+        assert link.transfer_time(1 << 30) == 0.0
+
+
+class TestAccounting:
+    def test_log_records_direction_and_bytes(self):
+        link = Interconnect(spec=PCIE3_X16)
+        link.transfer(1000, "h2d")
+        link.transfer(2000, "d2h")
+        assert link.total_bytes() == 3000
+        assert link.total_bytes("h2d") == 1000
+        assert link.total_bytes("d2h") == 2000
+        assert link.total_seconds() > 0
+
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(ValueError):
+            Interconnect(spec=PCIE3_X16).transfer(10, "sideways")
+
+    def test_reset(self):
+        link = Interconnect(spec=PCIE3_X16)
+        link.transfer(1000, "h2d")
+        link.reset()
+        assert link.total_bytes() == 0
+
+    def test_custom_spec(self):
+        spec = InterconnectSpec(name="test", bandwidth_gbps=1.0, latency_s=0.0)
+        link = Interconnect(spec=spec)
+        assert link.transfer_time(1_000_000_000) == pytest.approx(1.0)

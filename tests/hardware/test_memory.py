@@ -1,0 +1,80 @@
+"""Memory-system model tests."""
+
+import pytest
+
+from repro.hardware.frequency import ClockDomain
+from repro.hardware.memory import MemorySystem
+from repro.hardware.specs import MemoryTechnology
+
+
+def make_memory(**overrides):
+    clock = ClockDomain(name="memory", default_mhz=1250.0, min_mhz=480.0, max_mhz=1500.0)
+    kwargs = dict(
+        technology=MemoryTechnology.GDDR5,
+        peak_bandwidth_gbps=258.0,
+        clock=clock,
+        capacity_bytes=3 * 1024**3,
+    )
+    kwargs.update(overrides)
+    return MemorySystem(**kwargs)
+
+
+class TestBandwidthScaling:
+    def test_peak_at_default_clock(self):
+        assert make_memory().peak_bandwidth_at_clock() == pytest.approx(258.0)
+
+    def test_scales_linearly_with_clock(self):
+        memory = make_memory()
+        memory.clock.set(625.0)
+        assert memory.peak_bandwidth_at_clock() == pytest.approx(129.0)
+
+    def test_effective_bandwidth_derated_by_pattern(self):
+        memory = make_memory()
+        assert memory.effective_bandwidth(0.5) == pytest.approx(129.0)
+
+    def test_pattern_efficiency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            make_memory().effective_bandwidth(0.0)
+
+    def test_pattern_efficiency_cannot_exceed_one(self):
+        with pytest.raises(ValueError):
+            make_memory().effective_bandwidth(1.5)
+
+
+class TestTransferTime:
+    def test_one_gigabyte_at_peak(self):
+        seconds = make_memory().transfer_time(258e9)
+        assert seconds == pytest.approx(1.0)
+
+    def test_zero_bytes_is_free(self):
+        assert make_memory().transfer_time(0) == 0.0
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            make_memory().transfer_time(-1)
+
+    def test_halved_efficiency_doubles_time(self):
+        memory = make_memory()
+        assert memory.transfer_time(1e9, 0.5) == pytest.approx(2 * memory.transfer_time(1e9, 1.0))
+
+
+class TestBurstPadding:
+    def test_small_requests_pad_to_burst(self):
+        memory = make_memory()
+        # 4-byte requests pay a full 64-byte burst each.
+        assert memory.burst_padded_bytes(4, 1000) == 64 * 1000
+
+    def test_large_requests_unpadded(self):
+        memory = make_memory()
+        assert memory.burst_padded_bytes(256, 10) == 2560
+
+
+class TestAllocationLimit:
+    def test_paper_xsbench_5gb_table_rejected(self):
+        """The paper: 'the next step in the lookup-table size was 5 GB'
+        which does not fit the R9 280X's 3 GB."""
+        with pytest.raises(MemoryError):
+            make_memory().check_allocation(5 * 1024**3)
+
+    def test_240mb_table_fits(self):
+        make_memory().check_allocation(240 * 1024**2)

@@ -1,0 +1,108 @@
+"""Table II catalog invariants."""
+
+import pytest
+
+from repro.hardware.specs import (
+    A10_7850K_CPU,
+    A10_7850K_GPU,
+    R9_280X,
+    CacheSpec,
+    GPUSpec,
+    MemoryTechnology,
+    Precision,
+    table2_rows,
+)
+
+
+class TestR9280X:
+    def test_stream_processor_geometry(self):
+        assert R9_280X.stream_processors == 2048
+        assert R9_280X.compute_units * R9_280X.simd_per_cu * R9_280X.lanes_per_simd == 2048
+
+    def test_peak_sp_close_to_fma_math(self):
+        computed = R9_280X.stream_processors * 2 * R9_280X.core_clock_mhz * 1e6 / 1e9
+        assert computed == pytest.approx(R9_280X.peak_sp_gflops, rel=0.01)
+
+    def test_dp_is_quarter_rate(self):
+        assert R9_280X.dp_rate_ratio == 0.25
+
+    def test_gddr5(self):
+        assert R9_280X.memory_technology is MemoryTechnology.GDDR5
+        assert R9_280X.peak_bandwidth_gbps == 258.0
+
+    def test_device_memory_3gb(self):
+        assert R9_280X.device_memory_bytes == 3 * 1024**3
+
+
+class TestA10GPU:
+    def test_eight_gcn_cus(self):
+        assert A10_7850K_GPU.compute_units == 8
+        assert A10_7850K_GPU.stream_processors == 512
+
+    def test_peak_sp_matches_table2(self):
+        computed = 512 * 2 * 720e6 / 1e9
+        assert computed == pytest.approx(A10_7850K_GPU.peak_sp_gflops, rel=0.01)
+
+    def test_dp_is_sixteenth_rate(self):
+        assert A10_7850K_GPU.dp_rate_ratio == pytest.approx(1 / 16)
+
+    def test_shared_ddr3_bandwidth(self):
+        assert A10_7850K_GPU.memory_technology is MemoryTechnology.DDR3
+        assert A10_7850K_GPU.peak_bandwidth_gbps == 33.0
+
+
+class TestCPU:
+    def test_four_cores_at_3_7ghz(self):
+        assert A10_7850K_CPU.cores == 4
+        assert A10_7850K_CPU.clock_mhz == 3700.0
+
+    def test_peak_sp_gflops(self):
+        # 4 cores x 3.7 GHz x 8 lanes x 2 flops = 236.8 GFLOPS peak.
+        assert A10_7850K_CPU.peak_sp_gflops == pytest.approx(236.8)
+
+    def test_system_memory(self):
+        assert A10_7850K_CPU.system_memory_bytes == 32 * 1024**3
+
+
+class TestGPUSpecValidation:
+    def test_inconsistent_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            GPUSpec(
+                name="bogus",
+                compute_units=10,
+                stream_processors=512,  # 10 * 4 * 16 = 640 != 512
+                core_clock_mhz=700,
+                core_clock_range_mhz=(200, 800),
+                memory_clock_mhz=1000,
+                memory_clock_range_mhz=(500, 1200),
+                memory_technology=MemoryTechnology.DDR3,
+                device_memory_bytes=1 << 30,
+                local_memory_bytes=64 * 1024,
+                peak_bandwidth_gbps=30,
+                peak_sp_gflops=700,
+                dp_rate_ratio=0.25,
+            )
+
+
+class TestCacheSpec:
+    def test_sets_math(self):
+        spec = CacheSpec(size_bytes=768 * 1024, line_bytes=64, ways=16)
+        assert spec.sets == 768 * 1024 // (64 * 16)
+
+
+class TestPrecision:
+    def test_bytes(self):
+        assert Precision.SINGLE.bytes_per_element == 4
+        assert Precision.DOUBLE.bytes_per_element == 8
+
+
+class TestTable2Rows:
+    def test_two_platforms(self):
+        rows = table2_rows()
+        assert len(rows) == 2
+        assert rows[0]["Peak Bandwidth"] == "258 GB/s"
+        assert rows[1]["Peak Single Precision Perf."] == "738 GFLOPS"
+
+    def test_shared_host(self):
+        rows = table2_rows()
+        assert rows[0]["Host Processor"] == rows[1]["Host Processor"]

@@ -1,0 +1,146 @@
+"""Compiler-profile and lowering tests (the Figure 11 semantics)."""
+
+import pytest
+
+from repro.engine.kernel import AccessKind, AccessPattern, KernelSpec, OpCount
+from repro.engine.timing import time_gpu_kernel
+from repro.hardware.device import GPUDevice
+from repro.hardware.specs import R9_280X, Precision
+from repro.models.base import Capability, TransferPolicy
+from repro.models.cppamp.compiler import CPPAMP_PROFILE
+from repro.models.hc import HC_PROFILE
+from repro.models.openacc.compiler import OPENACC_PROFILE
+from repro.models.opencl.compiler import OPENCL_PROFILE
+from repro.models.registry import GPU_MODEL_NAMES, profile_for, table3_rows
+
+
+def tiled_spec(**overrides):
+    kwargs = dict(
+        name="p.tiled",
+        work_items=1 << 20,
+        ops=OpCount(flops=1e8, bytes_read=4e7, bytes_written=1e7),
+        access=AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=5e7),
+        lds_bytes_per_workgroup=4096,
+        lds_traffic_filter=0.5,
+        unroll_benefit=0.2,
+    )
+    kwargs.update(overrides)
+    return KernelSpec(**kwargs)
+
+
+class TestCapabilities:
+    def test_opencl_has_everything(self):
+        assert OPENCL_PROFILE.capabilities == Capability.all()
+
+    def test_openacc_vectorize_only(self):
+        assert OPENACC_PROFILE.capabilities == Capability.VECTORIZE
+
+    def test_cppamp_has_lds_and_sync_but_no_unroll(self):
+        caps = CPPAMP_PROFILE.capabilities
+        assert Capability.LDS in caps
+        assert Capability.FINE_SYNC in caps
+        assert Capability.UNROLL not in caps
+        assert Capability.CODE_MOTION not in caps
+
+    def test_transfer_policies(self):
+        assert OPENCL_PROFILE.transfer_policy is TransferPolicy.EXPLICIT
+        assert CPPAMP_PROFILE.transfer_policy is TransferPolicy.COMPILER_PER_LAUNCH
+        assert OPENACC_PROFILE.transfer_policy is TransferPolicy.DATA_REGION
+        assert HC_PROFILE.transfer_policy is TransferPolicy.EXPLICIT
+
+
+class TestLowering:
+    def test_opencl_uses_lds(self):
+        assert OPENCL_PROFILE.lower(tiled_spec()).uses_lds
+
+    def test_openacc_cannot_use_lds(self):
+        lowered = OPENACC_PROFILE.lower(tiled_spec())
+        assert not lowered.uses_lds
+        assert any("LDS" in note for note in lowered.notes)
+
+    def test_cppamp_tiling_works(self):
+        assert CPPAMP_PROFILE.lower(tiled_spec()).uses_lds
+
+    def test_missing_unroll_inflates_instructions(self):
+        assert OPENACC_PROFILE.lower(tiled_spec()).instruction_scale > 1.0
+        assert CPPAMP_PROFILE.lower(tiled_spec()).instruction_scale > 1.0
+        assert OPENCL_PROFILE.lower(tiled_spec()).instruction_scale == 1.0
+
+    def test_hand_tuning_reduces_divergence(self):
+        spec = tiled_spec(divergence=0.4)
+        assert OPENCL_PROFILE.lower(spec).divergence == pytest.approx(0.2)
+        assert OPENACC_PROFILE.lower(spec).divergence == pytest.approx(0.4)
+
+    def test_irregular_kernels_get_worse_codegen(self):
+        regular = tiled_spec()
+        irregular = tiled_spec(divergence=0.3)
+        for profile in (CPPAMP_PROFILE, OPENACC_PROFILE):
+            assert (
+                profile.lower(irregular).vector_efficiency
+                < profile.lower(regular).vector_efficiency
+            )
+
+
+class TestRetargetPenalty:
+    def test_opencl_pays_on_retarget(self):
+        spec = tiled_spec(divergence=0.3)
+        native = OPENCL_PROFILE.lower(spec)
+        retargeted = OPENCL_PROFILE.lower(spec, retargeted=True)
+        assert retargeted.vector_efficiency < native.vector_efficiency
+        assert retargeted.memory_efficiency < native.memory_efficiency
+
+    def test_regular_kernels_pay_less(self):
+        regular = tiled_spec()
+        irregular = tiled_spec(divergence=0.3)
+        reg_loss = 1 - (
+            OPENCL_PROFILE.lower(regular, retargeted=True).memory_efficiency
+            / OPENCL_PROFILE.lower(regular).memory_efficiency
+        )
+        irr_loss = 1 - (
+            OPENCL_PROFILE.lower(irregular, retargeted=True).memory_efficiency
+            / OPENCL_PROFILE.lower(irregular).memory_efficiency
+        )
+        assert irr_loss > 2 * reg_loss
+
+    def test_compiler_models_do_not_pay(self):
+        spec = tiled_spec()
+        assert CPPAMP_PROFILE.lower(spec, retargeted=True).vector_efficiency == pytest.approx(
+            CPPAMP_PROFILE.lower(spec).vector_efficiency
+        )
+
+
+class TestReadmemCodegenRatios:
+    """Sec. VI-A: on the read-memory kernel, OpenCL beats C++ AMP by
+    1.3x and OpenACC by 2x — which calibrates memory_efficiency."""
+
+    def test_ratios(self):
+        assert OPENCL_PROFILE.memory_efficiency / CPPAMP_PROFILE.memory_efficiency == pytest.approx(1.3, abs=0.1)
+        assert OPENCL_PROFILE.memory_efficiency / OPENACC_PROFILE.memory_efficiency == pytest.approx(2.0, abs=0.1)
+
+    def test_end_to_end_kernel_times(self):
+        gpu = GPUDevice(spec=R9_280X)
+        n = 1 << 24
+        spec = KernelSpec(
+            name="readmem.like", work_items=n // 64,
+            ops=OpCount(flops=float(n), bytes_read=4.0 * n, bytes_written=n / 16.0),
+            access=AccessPattern(kind=AccessKind.STREAMING, working_set_bytes=4.0 * n),
+            instructions_per_item=160.0,
+        )
+        times = {
+            name: time_gpu_kernel(profile_for(name).lower(spec), gpu, Precision.SINGLE).seconds
+            for name in GPU_MODEL_NAMES
+        }
+        assert times["C++ AMP"] / times["OpenCL"] == pytest.approx(1.3, abs=0.15)
+        assert times["OpenACC"] / times["OpenCL"] == pytest.approx(2.0, abs=0.2)
+
+
+class TestRegistry:
+    def test_table3(self):
+        rows = table3_rows()
+        assert [r.model for r in rows] == ["OpenCL", "C++ AMP", "OpenACC"]
+        assert "PGI v14.10" in rows[2].compiler
+        assert "CLAMP v0.6.0" in rows[1].compiler
+
+    def test_unknown_model_raises(self):
+        with pytest.raises(KeyError):
+            profile_for("CUDA")

@@ -1,0 +1,108 @@
+"""SLOC-counter tests (Python and C-like)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sloc.counter import count_clike_sloc, count_file_sloc, count_python_sloc
+
+
+class TestPythonCounting:
+    def test_simple_lines(self):
+        assert count_python_sloc("x = 1\ny = 2\n") == 2
+
+    def test_blank_lines_ignored(self):
+        assert count_python_sloc("x = 1\n\n\ny = 2\n") == 2
+
+    def test_comments_ignored(self):
+        assert count_python_sloc("# comment\nx = 1  # trailing\n") == 1
+
+    def test_module_docstring_ignored(self):
+        source = '"""Module\ndocstring."""\nx = 1\n'
+        assert count_python_sloc(source) == 1
+
+    def test_function_docstring_ignored(self):
+        source = 'def f():\n    """Doc."""\n    return 1\n'
+        assert count_python_sloc(source) == 2
+
+    def test_string_assignment_counts(self):
+        # A string *expression statement* is a docstring; an assigned
+        # string is code.
+        assert count_python_sloc('x = "hello"\n') == 1
+
+    def test_multiline_statement_counts_each_line(self):
+        source = "x = (1 +\n     2 +\n     3)\n"
+        assert count_python_sloc(source) == 3
+
+    def test_multiline_docstring_fully_ignored(self):
+        source = 'def f():\n    """One.\n    Two.\n    Three."""\n    pass\n'
+        assert count_python_sloc(source) == 2
+
+    def test_empty_source(self):
+        assert count_python_sloc("") == 0
+
+    def test_only_comments(self):
+        assert count_python_sloc("# a\n# b\n") == 0
+
+    def test_invalid_source_raises(self):
+        with pytest.raises(ValueError):
+            count_python_sloc("def f(:\n  x")
+
+
+class TestClikeCounting:
+    def test_simple(self):
+        assert count_clike_sloc("int x = 1;\nint y = 2;\n") == 2
+
+    def test_line_comments(self):
+        assert count_clike_sloc("// comment\nint x = 1; // trailing\n") == 1
+
+    def test_block_comments(self):
+        assert count_clike_sloc("/* a\n   b */\nint x;\n") == 1
+
+    def test_inline_block_comment(self):
+        assert count_clike_sloc("int /* c */ x;\n") == 1
+
+    def test_comment_in_string_kept(self):
+        assert count_clike_sloc('char* s = "// not a comment";\n') == 1
+
+    def test_blank_lines(self):
+        assert count_clike_sloc("\n\nint x;\n\n") == 1
+
+    def test_opencl_kernel_source(self):
+        kernel = """
+__kernel void read(__global const float* in, __global float* out) {
+    int tid = get_global_id(0);  // thread id
+    float sum = 0.f;
+    /* accumulate a block */
+    for (int j = 0; j < 64; ++j)
+        sum += in[tid * 64 + j];
+    out[tid] = sum;
+}
+"""
+        assert count_clike_sloc(kernel) == 7
+
+
+class TestFileDispatch:
+    def test_python_file(self, tmp_path):
+        path = tmp_path / "x.py"
+        path.write_text("x = 1\n# c\n")
+        assert count_file_sloc(path) == 1
+
+    def test_cl_file(self, tmp_path):
+        path = tmp_path / "k.cl"
+        path.write_text("int x;\n// c\n")
+        assert count_file_sloc(path) == 1
+
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "x.txt"
+        path.write_text("hello")
+        with pytest.raises(ValueError):
+            count_file_sloc(path)
+
+
+@given(st.lists(st.sampled_from(["x = 1", "# comment", "", "y = f(x)"]), min_size=0, max_size=50))
+@settings(max_examples=50, deadline=None)
+def test_property_count_matches_code_lines(lines):
+    source = "\n".join(lines) + "\n" if lines else ""
+    expected = sum(1 for line in lines if line and not line.startswith("#"))
+    assert count_python_sloc(source) == expected

@@ -1,0 +1,68 @@
+"""Table IV measurement tests."""
+
+import pytest
+
+from repro.apps import ALL_APPS, APPS_BY_NAME
+from repro.sloc.report import (
+    PAPER_TABLE4,
+    measure_lines_added,
+    measure_port_sloc,
+    port_source_file,
+    table4,
+)
+
+
+class TestPortSources:
+    def test_every_port_locatable(self):
+        for app in ALL_APPS:
+            for model in ("Serial", "OpenMP", "OpenCL", "C++ AMP", "OpenACC"):
+                assert port_source_file(app, model).exists()
+
+    def test_ports_are_distinct_modules(self):
+        app = APPS_BY_NAME["CoMD"]
+        files = {model: port_source_file(app, model) for model in ("OpenMP", "OpenCL")}
+        assert files["OpenMP"] != files["OpenCL"]
+
+
+class TestTable4Shape:
+    """The paper's productivity ordering must hold on our own ports."""
+
+    def test_opencl_needs_most_lines(self):
+        for app_name, counts in table4(ALL_APPS).items():
+            assert counts["OpenCL"] == max(counts.values()), app_name
+
+    def test_openmp_needs_fewest_lines(self):
+        for app_name, counts in table4(ALL_APPS).items():
+            assert counts["OpenMP"] == min(counts.values()), app_name
+
+    def test_emerging_models_far_below_opencl(self):
+        """'OpenCL implementations ... resulted in an order of magnitude
+        more lines of code' than the emerging models (except LULESH)."""
+        counts = table4(ALL_APPS)
+        for app_name in ("CoMD", "XSBench", "miniFE", "read-benchmark"):
+            assert counts[app_name]["C++ AMP"] < counts[app_name]["OpenCL"]
+            assert counts[app_name]["OpenACC"] < counts[app_name]["OpenCL"]
+
+    def test_lulesh_similar_across_gpu_models(self):
+        """'The only exception is LULESH, which required almost similar
+        number of lines of code across all the programming models.'"""
+        counts = table4(ALL_APPS)["LULESH"]
+        gpu_counts = [counts["OpenCL"], counts["C++ AMP"], counts["OpenACC"]]
+        assert max(gpu_counts) < 3 * min(gpu_counts)
+
+    def test_raw_sloc_positive(self):
+        for app in ALL_APPS:
+            for model, sloc in measure_port_sloc(app).items():
+                assert sloc > 0, (app.name, model)
+
+
+class TestPaperReference:
+    def test_paper_values_shipped(self):
+        assert PAPER_TABLE4["read-benchmark"]["OpenCL"] == 181
+        assert PAPER_TABLE4["CoMD"]["OpenCL"] == 3716
+        assert PAPER_TABLE4["LULESH"]["OpenACC"] == 1276
+
+    def test_paper_table_has_same_ordering_property(self):
+        for app, counts in PAPER_TABLE4.items():
+            assert counts["OpenCL"] == max(counts.values()), app
+            assert counts["OpenMP"] == min(counts.values()), app

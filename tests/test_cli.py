@@ -1,0 +1,47 @@
+"""CLI smoke tests (the cheap subcommands end to end)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        names = set(subparsers.choices)
+        assert {"table1", "table2", "table4", "figure7", "figure8", "figure9",
+                "figure10", "figure11", "ablation", "export", "all"} <= names
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure7_app_choices_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure7", "--app", "nope"])
+
+
+class TestExecution:
+    def test_figure11(self, capsys):
+        assert main(["figure11"]) == 0
+        out = capsys.readouterr().out
+        assert "OpenACC" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "258 GB/s" in out
+        assert "PGI v14.10" in out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        assert "read-benchmark" in capsys.readouterr().out
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--app", "read-benchmark"]) == 0
+        out = capsys.readouterr().out
+        assert "Transfer decomposition" in out
+        assert "OpenCL" in out

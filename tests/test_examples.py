@@ -1,0 +1,42 @@
+"""The example scripts must stay runnable (fast ones, end to end)."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "porting_walkthrough.py",
+    "sedov_blast.py",
+    "hc_overlap.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys):
+    runpy.run_path(str(EXAMPLES / script), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced its report
+
+
+def test_quickstart_reports_agreeing_energies(capsys):
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    energies = {
+        line.split()[-1]
+        for line in out.splitlines()
+        if line.strip().startswith(("APU", "dGPU"))
+    }
+    assert len(energies) == 1  # every model computed the same physics
+
+
+def test_all_examples_exist():
+    expected = {
+        "quickstart.py", "porting_walkthrough.py", "frequency_characterization.py",
+        "sedov_blast.py", "productivity_study.py", "hc_overlap.py",
+    }
+    assert expected <= {p.name for p in EXAMPLES.glob("*.py")}

