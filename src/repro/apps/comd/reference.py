@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...engine.memo import memoized_setup
 from ...hardware.specs import Precision
 
 #: Reduced LJ units: epsilon = sigma = mass = 1.
@@ -109,6 +110,7 @@ class CoMDState:
         return self.total_energy()
 
 
+@memoized_setup
 def make_state(config: CoMDConfig, precision: Precision, seed: int = 11) -> CoMDState:
     """FCC lattice with a small Maxwellian velocity perturbation."""
     dtype = np.dtype(np.float32 if precision is Precision.SINGLE else np.float64)

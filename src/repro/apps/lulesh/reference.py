@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ...engine.memo import memoized_setup
 from ...hardware.specs import Precision
 from .kernels import SCHEDULE
 from .physics import (
@@ -39,6 +40,7 @@ def next_dt(
     return float(min(current_dt * DT_MAX_SCALE, candidate))
 
 
+@memoized_setup
 def make_state(config: LuleshConfig, precision: Precision) -> LuleshState:
     """Initialise the Sedov problem at the requested precision."""
     dtype = np.dtype(np.float32 if precision is Precision.SINGLE else np.float64)

@@ -21,6 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
+from ...engine.memo import memoized_setup
 from ...hardware.specs import Precision
 
 
@@ -87,6 +88,7 @@ def hex8_stiffness() -> np.ndarray:
     return K
 
 
+@memoized_setup
 def assemble(config: MiniFEConfig, precision: Precision) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Assemble the global CSR Poisson system with Dirichlet walls.
 

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ...engine.memo import memoized_setup
 from ...hardware.specs import Precision
 
 BLOCK_SIZE = 64
@@ -47,6 +48,7 @@ def paper_config() -> ReadMemConfig:
     return ReadMemConfig(size=1 << 26)
 
 
+@memoized_setup
 def make_input(config: ReadMemConfig, precision: Precision, seed: int = 7) -> np.ndarray:
     """Deterministic input stream."""
     dtype = np.float32 if precision is Precision.SINGLE else np.float64

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ...engine.memo import memoized_setup
 from ...hardware.specs import Precision
 
 #: Five cross-section channels per grid point.
@@ -109,6 +110,7 @@ class XSBenchData:
         return float(np.abs(macro).sum())
 
 
+@memoized_setup
 def make_data(config: XSBenchConfig, precision: Precision, seed: int = 23) -> XSBenchData:
     """Generate the synthetic Hoogenboom-Martin-like data set.
 

@@ -11,6 +11,9 @@ Examples::
     repro figure11          # optimization-feature matrix
     repro all               # everything
     repro figure9 --full    # exact Table I problem sizes (slow)
+    repro study --workers 4             # parallel comparison study
+    repro study --paper-scale --workers 4   # full Table I matrix
+    repro sweep --app LULESH --workers 4    # parallel Figure 7 grid
 """
 
 from __future__ import annotations
@@ -47,9 +50,11 @@ from .sloc import PAPER_TABLE4, table4
 FIGURE_APPS = tuple(app.name for app in ALL_APPS)
 
 
-def _study(full: bool):
+def _study(full: bool, workers: int = 1, cache: bool = True):
     configs = None if full else bench_configs()
-    return run_study(ALL_APPS, paper_scale=True, configs=configs)
+    return run_study(
+        ALL_APPS, paper_scale=True, configs=configs, max_workers=workers, use_cache=cache
+    )
 
 
 def cmd_table1(args: argparse.Namespace) -> None:
@@ -83,7 +88,7 @@ def cmd_figure7(args: argparse.Namespace) -> None:
 
 
 def cmd_figure8(args: argparse.Namespace) -> None:
-    study = _study(args.full)
+    study = _study(args.full, args.workers, not args.no_cache)
     if args.chart:
         from .core import figure_chart
 
@@ -94,7 +99,7 @@ def cmd_figure8(args: argparse.Namespace) -> None:
 
 
 def cmd_figure9(args: argparse.Namespace) -> None:
-    study = _study(args.full)
+    study = _study(args.full, args.workers, not args.no_cache)
     if args.chart:
         from .core import figure_chart
 
@@ -105,7 +110,7 @@ def cmd_figure9(args: argparse.Namespace) -> None:
 
 
 def cmd_figure10(args: argparse.Namespace) -> None:
-    study = _study(args.full)
+    study = _study(args.full, args.workers, not args.no_cache)
     for apu in (True, False):
         result = compute_productivity(study, ALL_APPS, apu=apu)
         print(render_figure10(result, FIGURE_APPS))
@@ -142,7 +147,7 @@ def cmd_ablation(args: argparse.Namespace) -> None:
 
 def cmd_export(args: argparse.Namespace) -> None:
     """Export the full study (and sweeps) to JSON or CSV."""
-    study = _study(args.full)
+    study = _study(args.full, args.workers, not args.no_cache)
     records = study_records(study)
     if args.sweeps:
         sweeps = sweep_configs()
@@ -156,6 +161,47 @@ def cmd_export(args: argparse.Namespace) -> None:
     print(f"wrote {len(records)} records to {out}")
 
 
+def cmd_study(args: argparse.Namespace) -> None:
+    """Run the comparison study through the parallel executor.
+
+    Prints the Figure 8/9 speedup tables plus the executor's
+    observability counters (wall time, deduplication, kernel memo
+    cache hits).  ``--paper-scale`` uses the exact Table I problem
+    sizes; the default is the reduced bench-scale matrix.
+    """
+    study = _study(args.paper_scale, args.workers, not args.no_cache)
+    print(render_speedups(study, FIGURE_APPS, apu=True,
+                          title="Figure 8: speedup over 4-core OpenMP on the APU"))
+    print()
+    print(render_speedups(study, FIGURE_APPS, apu=False,
+                          title="Figure 9: speedup over 4-core OpenMP on the dGPU"))
+    print()
+    print(study.stats.summary())
+    if args.per_run:
+        print()
+        for label, wall, hits, misses in sorted(
+            study.stats.per_run, key=lambda r: r[1], reverse=True
+        ):
+            print(f"  {wall:8.3f} s  {hits:6d} hits  {misses:6d} misses  {label}")
+    if args.out:
+        write_json(study_records(study), args.out)
+        print(f"\nwrote {len(study.entries)} records to {args.out}")
+
+
+def cmd_sweep(args: argparse.Namespace) -> None:
+    """Run Figure 7 frequency sweeps through the parallel executor."""
+    configs = sweep_configs()
+    apps = [APPS_BY_NAME[args.app]] if args.app else ALL_APPS
+    for app in apps:
+        sweep = run_sweep(
+            app, configs[app.name], max_workers=args.workers, use_cache=not args.no_cache
+        )
+        print(render_figure7(sweep))
+        print(f"classification: {sweep.classify()}")
+        print(sweep.stats.summary())
+        print()
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     cmd_table2(args)
     print()
@@ -164,7 +210,7 @@ def cmd_all(args: argparse.Namespace) -> None:
     cmd_table4(args)
     print()
     cmd_figure7(args)
-    study = _study(args.full)
+    study = _study(args.full, args.workers, not args.no_cache)
     print(render_speedups(study, FIGURE_APPS, apu=True,
                           title="Figure 8: speedup over 4-core OpenMP on the APU"))
     print()
@@ -175,6 +221,13 @@ def cmd_all(args: argparse.Namespace) -> None:
         print(render_figure10(compute_productivity(study, ALL_APPS, apu=apu), FIGURE_APPS))
         print()
     cmd_figure11(args)
+
+
+def _add_executor_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=1, metavar="N",
+                   help="shard the run matrix over N worker processes")
+    p.add_argument("--no-cache", action="store_true",
+                   help="disable the kernel memo cache (recompute everything)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -197,15 +250,32 @@ def build_parser() -> argparse.ArgumentParser:
         ("all", cmd_all, True, False),
     ):
         p = sub.add_parser(name)
-        p.set_defaults(func=fn, full=False, app=None, chart=False)
+        p.set_defaults(func=fn, full=False, app=None, chart=False,
+                       workers=1, no_cache=False)
         if needs_full:
             p.add_argument("--full", action="store_true",
                            help="use the exact paper problem sizes (slow)")
+            _add_executor_flags(p)
         if name in ("figure8", "figure9"):
             p.add_argument("--chart", action="store_true",
                            help="render as bar charts instead of a table")
         if needs_app:
             p.add_argument("--app", choices=FIGURE_APPS, default=None)
+    study = sub.add_parser(
+        "study", help="the full comparison study, with executor stats")
+    study.set_defaults(func=cmd_study)
+    study.add_argument("--paper-scale", action="store_true",
+                       help="use the exact Table I problem sizes (slow)")
+    study.add_argument("--per-run", action="store_true",
+                       help="print per-run wall times and cache counters")
+    study.add_argument("--out", default=None,
+                       help="also export the study records as JSON")
+    _add_executor_flags(study)
+    sweep = sub.add_parser(
+        "sweep", help="Figure 7 frequency sweeps, with executor stats")
+    sweep.set_defaults(func=cmd_sweep)
+    sweep.add_argument("--app", choices=FIGURE_APPS, default=None)
+    _add_executor_flags(sweep)
     export = sub.add_parser("export")
     export.set_defaults(func=cmd_export, full=False, app=None)
     export.add_argument("--out", default="results.json",
@@ -213,6 +283,7 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--full", action="store_true")
     export.add_argument("--sweeps", action="store_true",
                         help="include the Figure 7 sweep grids")
+    _add_executor_flags(export)
     return parser
 
 

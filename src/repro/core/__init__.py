@@ -22,7 +22,14 @@ from .characterize import (
     measure_miss_rate,
 )
 from .configs import bench_configs, sweep_configs
-from .export import load_json, study_records, sweep_records, write_csv, write_json
+from .export import (
+    load_json,
+    speedup_tables,
+    study_records,
+    sweep_records,
+    write_csv,
+    write_json,
+)
 from .features import FEATURE_COLUMNS, FEATURE_ROWS, PAPER_FIGURE11, feature_matrix
 from .metrics import geometric_mean, harmonic_mean, normalize, speedup
 from .productivity import ProductivityEntry, ProductivityResult, compute_productivity
@@ -96,6 +103,7 @@ __all__ = [
     "run_sweep",
     "speedup",
     "speedup_chart",
+    "speedup_tables",
     "study_records",
     "sweep_configs",
     "sweep_records",

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 from ..apps.base import ProxyApp, RunResult
 from ..engine.kernel import KernelSpec
-from ..engine.timing import time_gpu_kernel
+from ..engine.memo import cached_time_gpu_kernel
 from ..hardware.device import Platform, make_dgpu_platform
 from ..hardware.specs import Precision
 from ..models import cppamp
@@ -76,8 +76,8 @@ def tiling_ablation(
     (the paper's 'tiles improved CoMD by almost 3x' experiment)."""
     platform = platform or make_dgpu_platform()
     untiled_profile = without_capabilities(profile, Capability.LDS | Capability.FINE_SYNC)
-    tiled = time_gpu_kernel(profile.lower(spec), platform.gpu, precision).seconds
-    untiled = time_gpu_kernel(untiled_profile.lower(spec), platform.gpu, precision).seconds
+    tiled = cached_time_gpu_kernel(profile.lower(spec), platform.gpu, precision).seconds
+    untiled = cached_time_gpu_kernel(untiled_profile.lower(spec), platform.gpu, precision).seconds
     return tiled, untiled
 
 

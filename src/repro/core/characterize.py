@@ -104,12 +104,15 @@ def characterize(
     config: object,
     sweep_config: object | None = None,
     sweep: SweepResult | None = None,
+    max_workers: int = 1,
+    use_cache: bool = True,
 ) -> AppCharacterization:
     """Produce one Table I row for ``app``.
 
     The miss rate is always measured at the paper's problem size (it
     depends on the working set); IPC and boundedness use the supplied
-    configs.
+    configs.  ``max_workers``/``use_cache`` configure the executor for
+    the boundedness sweep.
     """
     spec = dominant_spec(app, app.paper_config())
     if sweep is None:
@@ -118,6 +121,8 @@ def characterize(
             sweep_config if sweep_config is not None else config,
             core_grid=(200.0, 1000.0),
             memory_grid=(480.0, 1250.0),
+            max_workers=max_workers,
+            use_cache=use_cache,
         )
     return AppCharacterization(
         app=app.name,

@@ -35,6 +35,22 @@ def study_records(study: StudyResult) -> list[dict[str, object]]:
     return records
 
 
+def speedup_tables(study: StudyResult) -> dict[str, dict[str, dict[str, dict[str, float]]]]:
+    """The Figure 8/9 speedup tables as a nested mapping.
+
+    ``platform -> precision -> app -> model -> speedup`` — the exact
+    numbers behind each bar of the figures, in a shape that diffs
+    cleanly against committed golden snapshots.
+    """
+    tables: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
+    for entry in study.entries:
+        platform = "APU" if entry.apu else "dGPU"
+        tables.setdefault(platform, {}).setdefault(entry.precision.value, {}).setdefault(
+            entry.app, {}
+        )[entry.model] = entry.speedup
+    return tables
+
+
 def sweep_records(sweep: SweepResult) -> list[dict[str, object]]:
     """One flat record per (core, memory) grid point (Figure 7)."""
     return [

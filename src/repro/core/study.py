@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..apps.base import ProxyApp, RunResult
+from ..exec.executor import ExecStats, execute
+from ..exec.plan import study_runs
 from ..hardware.device import make_platform
 from ..hardware.specs import Precision
 from ..models.base import ExecutionContext
@@ -50,6 +52,9 @@ class StudyResult:
     """All entries of one study, with lookup helpers."""
 
     entries: list[StudyEntry] = field(default_factory=list)
+    #: Executor observability (wall time, dedup, cache hits) for the
+    #: run that produced the entries; ``None`` for hand-built results.
+    stats: ExecStats | None = None
 
     def get(self, app: str, model: str, apu: bool, precision: Precision) -> StudyEntry:
         for entry in self.entries:
@@ -94,6 +99,8 @@ def run_study(
     models: tuple[str, ...] = GPU_MODELS,
     paper_scale: bool = True,
     configs: dict[str, object] | None = None,
+    max_workers: int = 1,
+    use_cache: bool = True,
 ) -> StudyResult:
     """Run the full comparison.
 
@@ -101,18 +108,41 @@ def run_study(
     projection mode (launch/transfer schedules priced, numerics
     skipped); ``paper_scale=False`` runs the CI-sized configurations
     functionally.  ``configs`` overrides the configuration per app name.
+
+    The matrix is flattened into independent run descriptors and
+    executed by :mod:`repro.exec`: ``max_workers`` shards them over a
+    process pool (1 = deterministic in-process execution), and
+    ``use_cache`` backs kernel pricing with the content-addressed memo
+    cache.  Entries are bit-identical for every worker count.
     """
-    result = StudyResult()
+    resolved: dict[str, object] = {}
     for app in apps:
         if configs and app.name in configs:
-            config = configs[app.name]
+            resolved[app.name] = configs[app.name]
         else:
-            config = app.paper_config() if paper_scale else app.default_config()
+            resolved[app.name] = app.paper_config() if paper_scale else app.default_config()
+
+    runs = study_runs(
+        app_names=[app.name for app in apps],
+        configs=resolved,
+        apu_values=apu_values,
+        precisions=precisions,
+        models=models,
+        baseline=BASELINE_MODEL,
+        projection=paper_scale,
+    )
+    outcomes, stats = execute(runs, max_workers=max_workers, use_cache=use_cache)
+
+    # Reassemble in the plan's canonical order: baseline first, then
+    # one outcome per model for each (app, platform, precision) cell.
+    result = StudyResult(stats=stats)
+    cursor = iter(outcomes)
+    for app in apps:
         for apu in apu_values:
             for precision in precisions:
-                baseline = run_port(app, BASELINE_MODEL, apu, precision, config, paper_scale)
+                baseline = next(cursor).result
                 for model in models:
-                    run = run_port(app, model, apu, precision, config, paper_scale)
+                    run = next(cursor).result
                     result.entries.append(
                         StudyEntry(
                             app=app.name,

@@ -17,10 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..apps.base import ProxyApp
-from ..hardware.device import make_dgpu_platform
+from ..exec.executor import ExecStats, execute
+from ..exec.plan import sweep_runs
 from ..hardware.frequency import PAPER_CORE_SWEEP_MHZ, PAPER_MEMORY_SWEEP_MHZ
 from ..hardware.specs import Precision
-from ..models.base import ExecutionContext
 
 
 @dataclass(frozen=True)
@@ -39,6 +39,8 @@ class SweepResult:
 
     app: str
     points: list[SweepPoint]
+    #: Executor observability for the grid run; ``None`` when built by hand.
+    stats: ExecStats | None = None
 
     def series(self, memory_mhz: float) -> list[SweepPoint]:
         """One memory-frequency curve, ordered by core frequency."""
@@ -83,20 +85,25 @@ def run_sweep(
     core_grid: tuple[float, ...] = PAPER_CORE_SWEEP_MHZ,
     memory_grid: tuple[float, ...] = PAPER_MEMORY_SWEEP_MHZ,
     model: str = "OpenCL",
+    max_workers: int = 1,
+    use_cache: bool = True,
 ) -> SweepResult:
-    """Sweep one application over the (core, memory) frequency grid."""
-    port = app.ports[model]
+    """Sweep one application over the (core, memory) frequency grid.
+
+    Grid points are independent simulations, flattened into run
+    descriptors and executed by :mod:`repro.exec` (``max_workers``
+    shards them over a process pool; results are identical for every
+    worker count).
+    """
+    runs = sweep_runs(app.name, config, precision, core_grid, memory_grid, model)
+    outcomes, stats = execute(runs, max_workers=max_workers, use_cache=use_cache)
+
     seconds_grid: dict[tuple[float, float], float] = {}
-    for memory_mhz in memory_grid:
-        for core_mhz in core_grid:
-            platform = make_dgpu_platform()
-            platform.gpu.core_clock.set(core_mhz)
-            platform.gpu.memory_clock.set(memory_mhz)
-            ctx = ExecutionContext(platform=platform, precision=precision, execute_kernels=False)
-            run = port(ctx, config)
-            # Kernel time only: Figure 7 characterizes device execution,
-            # and PCIe transfer time is frequency-invariant noise here.
-            seconds_grid[(core_mhz, memory_mhz)] = run.kernel_seconds
+    for outcome in outcomes:
+        spec = outcome.spec
+        # Kernel time only: Figure 7 characterizes device execution,
+        # and PCIe transfer time is frequency-invariant noise here.
+        seconds_grid[(spec.core_mhz, spec.memory_mhz)] = outcome.result.kernel_seconds
 
     slowest = seconds_grid[(min(core_grid), min(memory_grid))]
     points = [
@@ -108,4 +115,4 @@ def run_sweep(
         )
         for (core, memory), seconds in seconds_grid.items()
     ]
-    return SweepResult(app=app.name, points=points)
+    return SweepResult(app=app.name, points=points, stats=stats)

@@ -28,6 +28,20 @@ from .launch import (
     OPENMP_REGION_S,
     RuntimeOverheads,
 )
+from .memo import (
+    KERNEL_CACHE,
+    SETUP_CACHE,
+    KernelMemoCache,
+    MemoStats,
+    SetupMemoCache,
+    cache_disabled,
+    cached_simulate_kernel,
+    cached_time_cpu_kernel,
+    cached_time_gpu_kernel,
+    clear_caches,
+    memoized_setup,
+    set_cache_enabled,
+)
 from .scheduler import ScheduleResult, simulate_kernel
 from .timing import (
     KernelTiming,
@@ -46,10 +60,13 @@ __all__ = [
     "CPPAMP_DGPU",
     "HC_APU",
     "HC_DGPU",
+    "KERNEL_CACHE",
+    "KernelMemoCache",
     "KernelRecord",
     "KernelSpec",
     "KernelTiming",
     "LoweredKernel",
+    "MemoStats",
     "OPENACC_APU",
     "OPENACC_DGPU",
     "OPENCL_APU",
@@ -58,15 +75,24 @@ __all__ = [
     "OpCount",
     "PerfCounters",
     "RuntimeOverheads",
+    "SETUP_CACHE",
     "ScheduleResult",
+    "SetupMemoCache",
     "TraceResult",
     "ValidationPoint",
+    "cache_disabled",
+    "cached_simulate_kernel",
+    "cached_time_cpu_kernel",
+    "cached_time_gpu_kernel",
+    "clear_caches",
     "cpu_stream_efficiency",
     "disagreements",
     "cpu_vector_rate",
     "generate_trace",
     "hand_tuned",
+    "memoized_setup",
     "replay_pattern",
+    "set_cache_enabled",
     "simulate_kernel",
     "time_cpu_kernel",
     "time_gpu_kernel",

@@ -238,6 +238,24 @@ class LoweredKernel:
     def instructions(self) -> float:
         return self.spec.instructions * self.instruction_scale
 
+    def cache_key(self) -> tuple:
+        """Hashable identity of everything that prices this lowering.
+
+        Two lowerings with equal keys produce bit-identical timings on
+        the same device state, so memoization (``repro.engine.memo``)
+        can return a cached result.  ``notes`` are deliberately
+        excluded: they describe *why* the numbers are what they are,
+        not what the timing model sees.
+        """
+        return (
+            self.spec,
+            self.vector_efficiency,
+            self.uses_lds,
+            self.instruction_scale,
+            self.divergence,
+            self.memory_efficiency,
+        )
+
     def dram_traffic_bytes(self, cache_bytes: int, line_bytes: int = 64) -> float:
         """DRAM bytes this lowered kernel moves on a device with the
         given last-level cache."""

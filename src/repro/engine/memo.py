@@ -1,0 +1,236 @@
+"""Content-addressed memoization of kernel pricing.
+
+One study prices the same kernels thousands of times: every solver
+iteration relaunches the same :class:`~repro.engine.kernel.LoweredKernel`,
+every model shares the OpenMP baseline loops, and the frequency sweep
+re-prices each kernel per grid point.  The timing model and the
+event-driven scheduler are pure functions of
+
+    (lowered kernel, device state, precision[, threads])
+
+so their results are cached here under a key built from the *content*
+of those inputs (all field values, via the frozen dataclasses'
+equality), never from object identity.  A cache hit is therefore
+bit-identical to recomputation, and enabling the cache can never
+change a study's numbers — only how often they are recomputed.
+
+The cache is per-process.  The parallel executor
+(:mod:`repro.exec`) gives each worker its own instance and aggregates
+the hit/miss counters it reports.
+"""
+
+from __future__ import annotations
+
+import copy
+import functools
+from collections import OrderedDict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Callable, Iterator, TypeVar
+
+from ..hardware.device import CPUDevice, GPUDevice
+from ..hardware.specs import Precision
+from .kernel import KernelSpec, LoweredKernel
+from .scheduler import ScheduleResult, simulate_kernel
+from .timing import KernelTiming, time_cpu_kernel, time_gpu_kernel
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class MemoStats:
+    """Hit/miss counters of one cache at one point in time."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+    def since(self, earlier: "MemoStats") -> "MemoStats":
+        """Counter delta between two snapshots."""
+        return MemoStats(hits=self.hits - earlier.hits, misses=self.misses - earlier.misses)
+
+    def __add__(self, other: "MemoStats") -> "MemoStats":
+        return MemoStats(hits=self.hits + other.hits, misses=self.misses + other.misses)
+
+
+class KernelMemoCache:
+    """A content-addressed memo table with hit/miss accounting."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._values: dict[tuple, object] = {}
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def lookup(self, key: tuple, compute: Callable[[], T]) -> T:
+        """Return the cached value for ``key``, computing it on miss."""
+        if not self.enabled:
+            return compute()
+        try:
+            value = self._values[key]
+            self._hits += 1
+            return value  # type: ignore[return-value]
+        except KeyError:
+            self._misses += 1
+            value = compute()
+            self._values[key] = value
+            return value
+
+    def snapshot(self) -> MemoStats:
+        return MemoStats(hits=self._hits, misses=self._misses)
+
+    def clear(self) -> None:
+        """Drop all entries and zero the counters."""
+        self._values.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+#: The process-global cache backing every ``charge_*`` pricing call.
+KERNEL_CACHE = KernelMemoCache()
+
+
+class SetupMemoCache:
+    """A bounded LRU memo for problem-setup builders.
+
+    Every port of one application rebuilds the identical problem data
+    (the CoMD lattice, the XSBench grids, the miniFE matrix) for each
+    (model, platform, precision) cell of a study — by far the
+    dominant per-run cost at paper scale.  The builders are
+    deterministic functions of ``(config, precision[, seed])``, so
+    their outputs are memoized here.
+
+    Hits return a **deep copy** of the stored value: ports are free to
+    mutate the state they receive, and a copy of a deterministic
+    build is bit-identical to a fresh build.  The LRU bound keeps at
+    most ``maxsize`` problem instances resident per process.
+    """
+
+    def __init__(self, maxsize: int = 4, enabled: bool = True) -> None:
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self._values: OrderedDict[tuple, object] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def lookup(self, key: tuple, compute: Callable[[], T]) -> T:
+        if not self.enabled:
+            return compute()
+        if key in self._values:
+            self._hits += 1
+            self._values.move_to_end(key)
+            return copy.deepcopy(self._values[key])  # type: ignore[return-value]
+        self._misses += 1
+        value = compute()
+        self._values[key] = copy.deepcopy(value)
+        while len(self._values) > self.maxsize:
+            self._values.popitem(last=False)
+        return value
+
+    def snapshot(self) -> MemoStats:
+        return MemoStats(hits=self._hits, misses=self._misses)
+
+    def clear(self) -> None:
+        self._values.clear()
+        self._hits = 0
+        self._misses = 0
+
+
+#: The process-global cache backing the apps' ``make_*``/``assemble``
+#: problem builders.
+SETUP_CACHE = SetupMemoCache()
+
+
+def memoized_setup(builder: Callable[..., T]) -> Callable[..., T]:
+    """Back a deterministic problem builder with :data:`SETUP_CACHE`.
+
+    The key is the builder's qualified name plus the ``repr`` of its
+    arguments (the apps' config dataclasses repr every field), so
+    equal-content calls share one build regardless of object identity.
+    """
+
+    @functools.wraps(builder)
+    def wrapper(*args: object, **kwargs: object) -> T:
+        key = (
+            builder.__module__,
+            builder.__qualname__,
+            repr(args),
+            repr(sorted(kwargs.items())),
+        )
+        return SETUP_CACHE.lookup(key, lambda: builder(*args, **kwargs))
+
+    return wrapper
+
+
+def set_cache_enabled(enabled: bool) -> None:
+    """Enable or disable both memo layers (pricing and setup)."""
+    KERNEL_CACHE.enabled = enabled
+    SETUP_CACHE.enabled = enabled
+
+
+def clear_caches() -> None:
+    """Drop all memoized values and counters in this process."""
+    KERNEL_CACHE.clear()
+    SETUP_CACHE.clear()
+
+
+@contextmanager
+def cache_disabled() -> Iterator[None]:
+    """Force recomputation within the block (e.g. for cross-checks)."""
+    previous = (KERNEL_CACHE.enabled, SETUP_CACHE.enabled)
+    KERNEL_CACHE.enabled = False
+    SETUP_CACHE.enabled = False
+    try:
+        yield
+    finally:
+        KERNEL_CACHE.enabled, SETUP_CACHE.enabled = previous
+
+
+def gpu_state_key(gpu: GPUDevice) -> tuple:
+    """Everything about a GPU the timing model reads: the (frozen)
+    spec plus the two mutable clock domains the sweeps adjust."""
+    return (gpu.spec, gpu.core_clock.current_mhz, gpu.memory_clock.current_mhz)
+
+
+def cpu_state_key(cpu: CPUDevice) -> tuple:
+    return (cpu.spec,)
+
+
+def cached_time_gpu_kernel(
+    lowered: LoweredKernel, gpu: GPUDevice, precision: Precision
+) -> KernelTiming:
+    """Memoized :func:`repro.engine.timing.time_gpu_kernel`."""
+    key = ("gpu-timing", lowered.cache_key(), gpu_state_key(gpu), precision)
+    return KERNEL_CACHE.lookup(key, lambda: time_gpu_kernel(lowered, gpu, precision))
+
+
+def cached_time_cpu_kernel(
+    spec: KernelSpec, cpu: CPUDevice, precision: Precision, threads: int = 1
+) -> KernelTiming:
+    """Memoized :func:`repro.engine.timing.time_cpu_kernel`."""
+    key = ("cpu-timing", spec, cpu_state_key(cpu), precision, threads)
+    return KERNEL_CACHE.lookup(key, lambda: time_cpu_kernel(spec, cpu, precision, threads=threads))
+
+
+def cached_simulate_kernel(
+    lowered: LoweredKernel, gpu: GPUDevice, precision: Precision
+) -> ScheduleResult:
+    """Memoized :func:`repro.engine.scheduler.simulate_kernel`."""
+    key = ("schedule", lowered.cache_key(), gpu_state_key(gpu), precision)
+    return KERNEL_CACHE.lookup(key, lambda: simulate_kernel(lowered, gpu, precision))

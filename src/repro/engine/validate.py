@@ -14,8 +14,7 @@ from dataclasses import dataclass
 from ..hardware.device import GPUDevice, make_dgpu_platform
 from ..hardware.specs import Precision
 from .kernel import KernelSpec, LoweredKernel, hand_tuned
-from .scheduler import simulate_kernel
-from .timing import time_gpu_kernel
+from .memo import cached_simulate_kernel, cached_time_gpu_kernel
 
 
 @dataclass(frozen=True)
@@ -43,8 +42,8 @@ def validate_kernel(
 ) -> ValidationPoint:
     """Run one lowered kernel through both models."""
     gpu = gpu or make_dgpu_platform().gpu
-    analytic = time_gpu_kernel(lowered, gpu, precision).seconds
-    scheduled = simulate_kernel(lowered, gpu, precision).seconds
+    analytic = cached_time_gpu_kernel(lowered, gpu, precision).seconds
+    scheduled = cached_simulate_kernel(lowered, gpu, precision).seconds
     return ValidationPoint(
         kernel=lowered.spec.name,
         analytic_seconds=analytic,

@@ -1,0 +1,295 @@
+"""Work-sharding executor for study/sweep/ablation matrices.
+
+Takes a flat list of :class:`~repro.exec.plan.RunSpec` descriptors,
+deduplicates them by content, and executes each unique run exactly
+once — either in-process (``max_workers=1``, the deterministic
+reference path) or fanned out over a
+:class:`concurrent.futures.ProcessPoolExecutor`.  Results are
+reassembled in *submission* order, never completion order, so the
+output is bit-identical for every worker count: each run is an
+independent, deterministic simulation on a fresh platform, and the
+kernel memo cache (:mod:`repro.engine.memo`) only short-circuits
+recomputation of pure functions.
+
+Every outcome carries per-run wall time and the cache hit/miss delta
+its execution produced, aggregated into an :class:`ExecStats` that the
+CLI reports — the speedup of the executor itself is observable.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..apps.base import RunResult
+from ..engine import memo
+from .plan import RunSpec
+
+
+@dataclass(frozen=True)
+class RunOutcome:
+    """One executed descriptor with its observability counters.
+
+    ``wall_seconds`` and the cache counters describe the run that
+    actually computed the result; deduplicated descriptors share the
+    outcome of the first occurrence.
+    """
+
+    spec: RunSpec
+    result: RunResult
+    wall_seconds: float
+    cache_hits: int
+    cache_misses: int
+    setup_hits: int = 0
+    setup_misses: int = 0
+
+
+@dataclass
+class ExecStats:
+    """Aggregate observability of one ``execute`` call."""
+
+    requested_runs: int = 0
+    unique_runs: int = 0
+    workers: int = 1
+    wall_seconds: float = 0.0
+    #: Sum of per-run wall times — what a fully serial, cache-cold
+    #: schedule would roughly cost; ``wall_seconds`` is what this
+    #: schedule actually cost.
+    run_seconds: float = 0.0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    setup_hits: int = 0
+    setup_misses: int = 0
+    per_run: list[tuple[str, float, int, int]] = field(default_factory=list)
+
+    @property
+    def deduplicated_runs(self) -> int:
+        """Descriptors served by another descriptor's result."""
+        return self.requested_runs - self.unique_runs
+
+    @property
+    def cache_hit_rate(self) -> float:
+        lookups = self.cache_hits + self.cache_misses
+        return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def parallel_speedup(self) -> float:
+        """run_seconds / wall_seconds — the observable executor gain."""
+        return self.run_seconds / self.wall_seconds if self.wall_seconds else 0.0
+
+    def summary(self) -> str:
+        """Human-readable report block for the CLI."""
+        lines = [
+            f"runs: {self.requested_runs} requested, {self.unique_runs} executed "
+            f"({self.deduplicated_runs} deduplicated), workers: {self.workers}",
+            f"wall time: {self.wall_seconds:.2f} s "
+            f"(sum of per-run times: {self.run_seconds:.2f} s, "
+            f"executor speedup: {self.parallel_speedup:.2f}x)",
+            f"kernel memo cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"({self.cache_hit_rate:.1%} hit rate)",
+            f"setup memo cache: {self.setup_hits} hits / {self.setup_misses} misses",
+        ]
+        return "\n".join(lines)
+
+    def merge(self, other: "ExecStats") -> "ExecStats":
+        """Combine stats of two executor calls (e.g. study + sweeps)."""
+        return ExecStats(
+            requested_runs=self.requested_runs + other.requested_runs,
+            unique_runs=self.unique_runs + other.unique_runs,
+            workers=max(self.workers, other.workers),
+            wall_seconds=self.wall_seconds + other.wall_seconds,
+            run_seconds=self.run_seconds + other.run_seconds,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            setup_hits=self.setup_hits + other.setup_hits,
+            setup_misses=self.setup_misses + other.setup_misses,
+            per_run=self.per_run + other.per_run,
+        )
+
+
+def execute_run(spec: RunSpec) -> RunOutcome:
+    """Execute one descriptor in this process.
+
+    Builds a fresh platform (with the spec's clock overrides), runs
+    the port, and measures wall time plus the memo-cache delta.
+    """
+    # Lazy imports keep the exec package importable from low layers
+    # and let pool workers pay the heavy app imports exactly once.
+    from ..apps import APPS_BY_NAME
+    from ..hardware.device import make_platform
+    from ..models.base import ExecutionContext
+
+    before = memo.KERNEL_CACHE.snapshot()
+    setup_before = memo.SETUP_CACHE.snapshot()
+    started = time.perf_counter()
+    app = APPS_BY_NAME[spec.app]
+    platform = make_platform(apu=spec.apu)
+    if spec.core_mhz is not None:
+        platform.gpu.core_clock.set(spec.core_mhz)
+    if spec.memory_mhz is not None:
+        platform.gpu.memory_clock.set(spec.memory_mhz)
+    ctx = ExecutionContext(
+        platform=platform,
+        precision=spec.precision,
+        execute_kernels=not spec.projection,
+    )
+    result = app.ports[spec.model](ctx, spec.config)
+    wall = time.perf_counter() - started
+    delta = memo.KERNEL_CACHE.snapshot().since(before)
+    setup_delta = memo.SETUP_CACHE.snapshot().since(setup_before)
+    return RunOutcome(
+        spec=spec,
+        result=result,
+        wall_seconds=wall,
+        cache_hits=delta.hits,
+        cache_misses=delta.misses,
+        setup_hits=setup_delta.hits,
+        setup_misses=setup_delta.misses,
+    )
+
+
+def _init_worker(use_cache: bool) -> None:
+    """Pool initializer: fresh per-worker memo caches."""
+    memo.clear_caches()
+    memo.set_cache_enabled(use_cache)
+
+
+def _shard_task(shard: list[tuple[int, RunSpec]]) -> list[tuple[int, RunOutcome]]:
+    """Execute one contiguous shard of the plan in a pool worker.
+
+    Contiguity matters: the plan groups one app's cells together, so a
+    worker's setup cache is hot for most of its shard.
+    """
+    return [(index, execute_run(spec)) for index, spec in shard]
+
+
+def _setup_affinity(spec: RunSpec) -> tuple:
+    """Runs with equal keys share problem setups (the builders behind
+    :class:`~repro.engine.memo.SetupMemoCache` are keyed on
+    ``(config, precision)``, never on model or platform).  Precision is
+    deliberately *not* part of the key: one app's cells interleave
+    precisions platform by platform, so cutting between them would
+    strand the second platform's setups in another worker."""
+    return (spec.app, repr(spec.config))
+
+
+def _shard_by_affinity(
+    indexed: list[tuple[int, RunSpec]], workers: int
+) -> list[list[tuple[int, RunSpec]]]:
+    """Split the plan into at most ``workers`` contiguous shards,
+    cutting at setup-affinity boundaries when there are enough blocks.
+
+    A shard boundary inside an affinity block makes two workers build
+    the identical problem setup — at paper scale that is the dominant
+    per-run cost, so boundaries snap to the block grid.  When the plan
+    has fewer blocks than workers (a frequency sweep is one block),
+    parallelism wins instead: fall back to an even item split and let
+    each worker rebuild the (small, in that regime) setup once.
+    """
+    blocks: list[list[tuple[int, RunSpec]]] = []
+    for index, spec in indexed:
+        if blocks and _setup_affinity(blocks[-1][-1][1]) == _setup_affinity(spec):
+            blocks[-1].append((index, spec))
+        else:
+            blocks.append([(index, spec)])
+
+    if len(blocks) < workers:
+        bound = -(-len(indexed) // workers)
+        return [indexed[i : i + bound] for i in range(0, len(indexed), bound)]
+
+    # Greedy contiguous packing: close a shard once it holds its even
+    # share of the remaining items over the remaining shards.
+    shards: list[list[tuple[int, RunSpec]]] = []
+    current: list[tuple[int, RunSpec]] = []
+    remaining_items = len(indexed)
+    for position, block in enumerate(blocks):
+        current.extend(block)
+        remaining_blocks = len(blocks) - position - 1
+        open_slots = workers - len(shards)
+        share = remaining_items / open_slots
+        if (len(current) >= share and open_slots > 1) or remaining_blocks < open_slots - 1:
+            shards.append(current)
+            remaining_items -= len(current)
+            current = []
+    if current:
+        shards.append(current)
+    return shards
+
+
+def default_workers() -> int:
+    """A safe default worker count: the CPU count, capped at 8."""
+    return min(os.cpu_count() or 1, 8)
+
+
+def execute(
+    runs: Sequence[RunSpec],
+    max_workers: int = 1,
+    use_cache: bool = True,
+) -> tuple[list[RunOutcome], ExecStats]:
+    """Execute descriptors, returning outcomes in submission order.
+
+    ``outcomes[i]`` always corresponds to ``runs[i]``; content-equal
+    descriptors share one outcome.  ``max_workers=1`` runs in-process
+    (no pool, no pickling); larger values shard the unique runs over a
+    process pool.  Results are bit-identical across worker counts.
+    """
+    started = time.perf_counter()
+
+    # Content-address the descriptors: first occurrence wins the slot.
+    unique: list[RunSpec] = []
+    slot_of: dict[str, int] = {}
+    placement: list[int] = []
+    for spec in runs:
+        key = spec.content_key()
+        if key not in slot_of:
+            slot_of[key] = len(unique)
+            unique.append(spec)
+        placement.append(slot_of[key])
+
+    executed: list[RunOutcome | None] = [None] * len(unique)
+    if max_workers <= 1 or len(unique) <= 1:
+        workers = 1
+        previous = (memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled)
+        memo.set_cache_enabled(use_cache)
+        try:
+            for index, spec in enumerate(unique):
+                executed[index] = execute_run(spec)
+        finally:
+            memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled = previous
+    else:
+        workers = min(max_workers, len(unique))
+        # Contiguous shards, one per worker, snapped to setup-affinity
+        # boundaries: each app's runs stay together, so per-worker
+        # setup caches stay hot and no setup is built twice.
+        indexed = list(enumerate(unique))
+        shards = _shard_by_affinity(indexed, workers)
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_init_worker, initargs=(use_cache,)
+        ) as pool:
+            futures = [pool.submit(_shard_task, shard) for shard in shards]
+            wait(futures, return_when=FIRST_EXCEPTION)
+            for future in futures:
+                for index, outcome in future.result():
+                    executed[index] = outcome
+
+    outcomes = [executed[slot] for slot in placement]  # type: ignore[misc]
+    stats = ExecStats(
+        requested_runs=len(runs),
+        unique_runs=len(unique),
+        workers=workers,
+        wall_seconds=time.perf_counter() - started,
+        run_seconds=sum(o.wall_seconds for o in executed if o is not None),
+        cache_hits=sum(o.cache_hits for o in executed if o is not None),
+        cache_misses=sum(o.cache_misses for o in executed if o is not None),
+        setup_hits=sum(o.setup_hits for o in executed if o is not None),
+        setup_misses=sum(o.setup_misses for o in executed if o is not None),
+        per_run=[
+            (o.spec.label, o.wall_seconds, o.cache_hits, o.cache_misses)
+            for o in executed
+            if o is not None
+        ],
+    )
+    return outcomes, stats

@@ -1,0 +1,132 @@
+"""Run descriptors: the study/sweep matrices, flattened.
+
+The paper's experiments are all dense cross-products — apps x models x
+platforms x precisions (Figures 8/9), or one app across a (core,
+memory) frequency grid (Figure 7).  Each cell of those products is an
+independent simulation, so the executor (:mod:`repro.exec.executor`)
+works on a flat list of :class:`RunSpec` descriptors rather than on
+nested loops.  Descriptors are *content-addressed*: two specs with the
+same content are the same run, which is how shared work (every model's
+OpenMP baseline for one cell) is priced exactly once.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..hardware.specs import Precision
+
+#: Platform selector values for :attr:`RunSpec.platform`.
+APU = "apu"
+DGPU = "dgpu"
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent simulation: a port on a configured platform.
+
+    ``config`` must be a picklable value object (the apps' frozen
+    config dataclasses) so descriptors can cross process boundaries.
+    ``core_mhz``/``memory_mhz`` override the GPU clock domains for
+    frequency-sweep points; ``None`` keeps the device defaults.
+    """
+
+    app: str
+    model: str
+    platform: str  # APU or DGPU
+    precision: Precision
+    config: object
+    #: Projection mode: price the launch/transfer schedule, skip the
+    #: NumPy kernel bodies (paper-scale problems).
+    projection: bool = True
+    core_mhz: float | None = None
+    memory_mhz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.platform not in (APU, DGPU):
+            raise ValueError(f"platform must be {APU!r} or {DGPU!r}, got {self.platform!r}")
+
+    @property
+    def apu(self) -> bool:
+        return self.platform == APU
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for stats and logs."""
+        clocks = ""
+        if self.core_mhz is not None or self.memory_mhz is not None:
+            clocks = f"@{self.core_mhz:g}/{self.memory_mhz:g}MHz"
+        return f"{self.app}/{self.model}/{self.platform}{clocks}/{self.precision.value}"
+
+    def content_key(self) -> str:
+        """Content digest identifying this run for deduplication.
+
+        Built from the repr of every field (config dataclasses repr
+        all their parameters), so equal-content descriptors collide by
+        construction and object identity never matters.
+        """
+        canonical = repr((
+            self.app,
+            self.model,
+            self.platform,
+            self.precision.value,
+            self.config,
+            self.projection,
+            self.core_mhz,
+            self.memory_mhz,
+        ))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def study_runs(
+    app_names: Sequence[str],
+    configs: dict[str, object],
+    apu_values: Iterable[bool],
+    precisions: Iterable[Precision],
+    models: Sequence[str],
+    baseline: str,
+    projection: bool,
+) -> list[RunSpec]:
+    """Flatten one comparison study into descriptors.
+
+    The order is the study's canonical nested-loop order — app, then
+    platform, then precision, with the baseline preceding the models of
+    each cell — so callers can zip the outcomes back into entries.
+    """
+    runs: list[RunSpec] = []
+    for name in app_names:
+        config = configs[name]
+        for apu in apu_values:
+            platform = APU if apu else DGPU
+            for precision in precisions:
+                runs.append(RunSpec(name, baseline, platform, precision, config, projection))
+                for model in models:
+                    runs.append(RunSpec(name, model, platform, precision, config, projection))
+    return runs
+
+
+def sweep_runs(
+    app_name: str,
+    config: object,
+    precision: Precision,
+    core_grid: Sequence[float],
+    memory_grid: Sequence[float],
+    model: str,
+) -> list[RunSpec]:
+    """Flatten one frequency sweep (memory-major, like Figure 7)."""
+    return [
+        RunSpec(
+            app_name,
+            model,
+            DGPU,
+            precision,
+            config,
+            projection=True,
+            core_mhz=core_mhz,
+            memory_mhz=memory_mhz,
+        )
+        for memory_mhz in memory_grid
+        for core_mhz in core_grid
+    ]

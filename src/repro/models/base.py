@@ -30,7 +30,7 @@ import numpy as np
 from ..engine.counters import PerfCounters
 from ..engine.kernel import KernelSpec, LoweredKernel
 from ..engine.launch import RuntimeOverheads
-from ..engine.timing import time_cpu_kernel, time_gpu_kernel
+from ..engine.memo import cached_time_cpu_kernel, cached_time_gpu_kernel
 from ..hardware.device import Platform
 from ..hardware.specs import Precision
 
@@ -219,7 +219,7 @@ class Toolchain:
         # performance-portability penalty.
         retargeted = self.profile.retarget_penalty > 0 and ctx.platform.is_apu
         lowered = self.lower(spec, retargeted=retargeted)
-        timing = time_gpu_kernel(lowered, ctx.platform.gpu, ctx.precision)
+        timing = cached_time_gpu_kernel(lowered, ctx.platform.gpu, ctx.precision)
         ctx.counters.record_kernel(timing.record(ctx.platform.gpu.name))
         ctx.counters.flops += spec.ops.flops
         overhead = self.overheads.launch_cost(n_buffers, mapped_bytes)
@@ -243,7 +243,7 @@ class CPUToolchain:
 
     def charge_loop(self, ctx: ExecutionContext, spec: KernelSpec) -> float:
         """Price one parallel loop on the host; returns seconds."""
-        timing = time_cpu_kernel(spec, ctx.platform.host, ctx.precision, threads=self.threads)
+        timing = cached_time_cpu_kernel(spec, ctx.platform.host, ctx.precision, threads=self.threads)
         ctx.counters.record_kernel(timing.record(ctx.platform.host.name))
         ctx.counters.flops += spec.ops.flops
         ctx.counters.launch_overhead_seconds += self.region_overhead_s

@@ -1,0 +1,48 @@
+"""Golden regression snapshots for the paper's headline artifacts.
+
+The figures and tables are deterministic functions of the model, so
+their exact numbers are committed under ``tests/goldens/`` and diffed
+here.  Any model or calibration change that moves a published number
+fails loudly; an intended recalibration is recorded by re-running
+
+    pytest tests/core/test_goldens.py --regen-goldens
+
+and committing the updated JSON alongside the change that caused it.
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core.configs import bench_configs
+from repro.core.export import speedup_tables
+from repro.core.study import GPU_MODELS, run_study
+from repro.sloc import table4
+
+APP_NAMES = tuple(app.name for app in ALL_APPS)
+
+
+@pytest.fixture(scope="module")
+def bench_study():
+    return run_study(ALL_APPS, configs=bench_configs())
+
+
+def test_figure8_figure9_speedups_match_golden(bench_study, golden):
+    golden("speedup_tables", speedup_tables(bench_study))
+
+
+def test_table4_sloc_matches_golden(golden):
+    golden("table4_sloc", table4(ALL_APPS))
+
+
+def test_speedup_tables_cover_full_matrix(bench_study):
+    """Shape guard, independent of the stored numbers: every platform,
+    precision, app and model appears, so a silently shrunken study
+    cannot 'pass' against a stale golden."""
+    tables = speedup_tables(bench_study)
+    assert set(tables) == {"APU", "dGPU"}
+    for precisions in tables.values():
+        assert set(precisions) == {"single", "double"}
+        for apps in precisions.values():
+            assert set(apps) == set(APP_NAMES)
+            for models in apps.values():
+                assert set(models) == set(GPU_MODELS)

@@ -1,0 +1,172 @@
+"""Differential test: event scheduler vs closed-form timing model.
+
+``test_validate.py`` cross-checks the two models over the real app
+kernels; this file fuzzes them over a seeded random grid of kernel
+specs and lowerings, so agreement is established across the whole
+input space the models accept, not just the calibrated points.
+
+The two models share the roofline (compute vs DRAM bandwidth, same
+occupancy and traffic models), but diverge by design in two places:
+
+* the analytic model applies a smooth ``latency_hiding_factor`` where
+  the scheduler plays out overlap explicitly — worth a few x on
+  low-occupancy or tail-dominated launches;
+* the scheduler has **no scatter-latency term**: for the
+  ``SCATTER_MLP`` kinds (``BINARY_SEARCH``, ``NEIGHBOR_LIST``) the
+  analytic model adds a memory-latency bound the event loop does not
+  model, so the analytic time can exceed the scheduled time by up to
+  the latency/bandwidth ratio of the pattern.
+
+The per-kind tolerances below document exactly that: tight-ish for the
+bandwidth kinds, wide for the dependent-descent kinds.  The ceiling is
+shared — the scheduler only *adds* tail and contention effects, so it
+can never undercut physics by much more than the hiding factor, and it
+exceeds the analytic time only through tail quantization.
+"""
+
+import random
+
+import pytest
+
+from repro.engine.kernel import (
+    AccessKind,
+    AccessPattern,
+    KernelSpec,
+    LoweredKernel,
+    OpCount,
+    hand_tuned,
+)
+from repro.engine.scheduler import simulate_kernel
+from repro.engine.timing import GPU_KERNEL_FLOOR_S, SCATTER_MLP, time_gpu_kernel
+from repro.engine.validate import validate_kernel
+from repro.hardware.device import make_apu_platform, make_dgpu_platform
+from repro.hardware.specs import Precision
+
+#: Documented scheduled/analytic agreement band per access kind:
+#: ratio must lie in [1/tolerance, CEILING].  Bandwidth-limited kinds
+#: track each other within a small factor; the scatter kinds carry the
+#: analytic-only latency term (see module docstring), BINARY_SEARCH
+#: worst of all because a dependent descent has MLP 1.
+DIFFERENTIAL_TOLERANCE = {
+    AccessKind.STREAMING: 4.0,
+    AccessKind.STENCIL: 4.0,
+    AccessKind.CSR_SPMV: 4.0,
+    AccessKind.NEIGHBOR_LIST: 6.0,
+    AccessKind.BINARY_SEARCH: 25.0,
+}
+
+#: The scheduler may exceed the analytic time only via tail effects
+#: (partial last batch), never by a large factor.
+CEILING = 1.5
+
+N_CASES = 40  # per access kind
+
+
+def random_spec(rng: random.Random, kind: AccessKind) -> KernelSpec:
+    """One random-but-valid kernel spec of the given access kind."""
+    work_items = 2 ** rng.randint(12, 20)
+    flops = work_items * rng.uniform(2.0, 200.0)
+    bytes_read = float(work_items * rng.choice([4, 8, 16, 32, 64]))
+    bytes_written = bytes_read * rng.uniform(0.0, 0.5)
+    access = AccessPattern(
+        kind=kind,
+        working_set_bytes=bytes_read + bytes_written,
+        request_bytes=rng.choice([4, 8, 16]),
+        reuse_fraction=rng.uniform(0.0, 0.9),
+        row_buffer_efficiency=rng.uniform(0.4, 1.0),
+        table_entries=2 ** rng.randint(10, 22) if kind is AccessKind.BINARY_SEARCH else 0,
+    )
+    return KernelSpec(
+        name=f"rand-{kind.value}",
+        work_items=work_items,
+        ops=OpCount(
+            flops=flops,
+            int_ops=flops * rng.uniform(0.0, 1.0),
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+        ),
+        access=access,
+        workgroup_size=rng.choice([64, 128, 256]),
+        registers_per_thread=rng.choice([16, 32, 64, 84]),
+        lds_bytes_per_workgroup=rng.choice([0, 0, 4096, 16384]),
+        lds_traffic_filter=rng.uniform(0.0, 0.7),
+        divergence=rng.uniform(0.0, 0.5),
+    )
+
+
+def random_lowering(rng: random.Random, spec: KernelSpec) -> LoweredKernel:
+    """A random compiler outcome, from hand-tuned to quite poor."""
+    return LoweredKernel(
+        spec=spec,
+        vector_efficiency=rng.uniform(0.4, 1.0),
+        uses_lds=spec.lds_bytes_per_workgroup > 0 and rng.random() < 0.5,
+        instruction_scale=rng.uniform(1.0, 2.0),
+        divergence=rng.uniform(0.0, 0.5),
+        memory_efficiency=rng.uniform(0.4, 1.0),
+    )
+
+
+def random_device(rng: random.Random):
+    return (make_apu_platform() if rng.random() < 0.5 else make_dgpu_platform()).gpu
+
+
+@pytest.mark.parametrize("kind", list(AccessKind), ids=lambda k: k.value)
+def test_models_agree_on_random_specs(kind):
+    rng = random.Random(0xD1F + hash(kind.value) % 1000)
+    tolerance = DIFFERENTIAL_TOLERANCE[kind]
+    for _ in range(N_CASES):
+        spec = random_spec(rng, kind)
+        lowered = random_lowering(rng, spec)
+        gpu = random_device(rng)
+        precision = rng.choice([Precision.SINGLE, Precision.DOUBLE])
+
+        analytic = time_gpu_kernel(lowered, gpu, precision)
+        scheduled = simulate_kernel(lowered, gpu, precision)
+
+        # Structural invariants first: both are real times above the
+        # shared launch floor.
+        assert analytic.seconds >= GPU_KERNEL_FLOOR_S
+        assert scheduled.seconds >= GPU_KERNEL_FLOOR_S
+        assert scheduled.workgroups == -(-spec.work_items // spec.workgroup_size)
+
+        ratio = scheduled.seconds / analytic.seconds
+        label = f"{spec.name} wi={spec.work_items} ratio={ratio:.3f}"
+        assert ratio > 1.0 / tolerance, label
+        assert ratio < CEILING, label
+
+
+@pytest.mark.parametrize("kind", list(AccessKind), ids=lambda k: k.value)
+def test_hand_tuned_lowerings_agree(kind):
+    """The expert lowering (what OpenCL generates) stays in band too."""
+    rng = random.Random(0xBEEF + hash(kind.value) % 1000)
+    tolerance = DIFFERENTIAL_TOLERANCE[kind]
+    for _ in range(N_CASES // 2):
+        lowered = hand_tuned(random_spec(rng, kind))
+        point = validate_kernel(lowered, random_device(rng))
+        assert point.agrees(tolerance), (point.kernel, round(point.ratio, 3))
+
+
+def test_bandwidth_kinds_use_identical_traffic_model():
+    """Where neither model adds a latency term, the *memory side* is
+    the same equation: a saturating streaming kernel lands within the
+    hiding factor."""
+    rng = random.Random(7)
+    for _ in range(10):
+        spec = random_spec(rng, AccessKind.STREAMING)
+        lowered = hand_tuned(spec)
+        gpu = make_dgpu_platform().gpu
+        analytic = time_gpu_kernel(lowered, gpu, Precision.SINGLE)
+        scheduled = simulate_kernel(lowered, gpu, Precision.SINGLE)
+        assert analytic.dram_bytes == lowered.dram_traffic_bytes(
+            gpu.spec.l2_cache.size_bytes
+        )
+        # Same traffic, same bandwidth: agreement within the analytic
+        # hiding factor plus scheduler tail effects.
+        assert scheduled.seconds / analytic.seconds > 1.0 / 3.0
+
+
+def test_scatter_kinds_documented_as_analytic_only():
+    """Guard the documented asymmetry: the latency term exists in the
+    analytic model only.  If someone adds it to the scheduler, the
+    wide BINARY_SEARCH tolerance above should be tightened."""
+    assert set(SCATTER_MLP) == {AccessKind.BINARY_SEARCH, AccessKind.NEIGHBOR_LIST}

@@ -1,0 +1,64 @@
+"""Determinism: parallel studies are bit-identical to serial ones.
+
+The acceptance property of the executor (and the reason memoization is
+safe): every run is a pure function of its descriptor, so worker
+count, sharding and cache state must never show up in the numbers.
+Entries are compared field-for-field with exact ``==`` — no tolerance.
+"""
+
+import pytest
+
+from repro.apps import APPS_BY_NAME
+from repro.core.configs import sweep_configs
+from repro.core.study import run_study
+from repro.core.sweep import run_sweep
+
+APPS = (APPS_BY_NAME["read-benchmark"], APPS_BY_NAME["XSBench"])
+
+
+def entry_dicts(study):
+    return [entry.__dict__ for entry in study.entries]
+
+
+@pytest.fixture(scope="module")
+def serial_study():
+    return run_study(APPS, configs=dict(sweep_configs()), max_workers=1)
+
+
+@pytest.mark.parametrize("workers", [2, 3, 5])
+def test_parallel_study_identical_to_serial(serial_study, workers):
+    parallel = run_study(APPS, configs=dict(sweep_configs()), max_workers=workers)
+    assert entry_dicts(parallel) == entry_dicts(serial_study)
+    assert parallel.stats.workers == min(workers, parallel.stats.unique_runs)
+
+
+def test_cache_off_identical_to_cache_on(serial_study):
+    uncached = run_study(
+        APPS, configs=dict(sweep_configs()), max_workers=1, use_cache=False
+    )
+    assert entry_dicts(uncached) == entry_dicts(serial_study)
+    assert uncached.stats.cache_hits == 0
+
+
+def test_parallel_uncached_identical_too(serial_study):
+    """Worker count and cache state vary together: still identical."""
+    both = run_study(
+        APPS, configs=dict(sweep_configs()), max_workers=2, use_cache=False
+    )
+    assert entry_dicts(both) == entry_dicts(serial_study)
+
+
+def test_parallel_sweep_identical_to_serial():
+    app = APPS_BY_NAME["read-benchmark"]
+    config = sweep_configs()[app.name]
+    serial = run_sweep(app, config, max_workers=1)
+    parallel = run_sweep(app, config, max_workers=4)
+    assert parallel.points == serial.points
+
+
+def test_repeated_serial_runs_identical(serial_study):
+    """The baseline itself is reproducible (seeded builders, pure
+    pricing) — without this the parallel comparisons above would be
+    meaningless."""
+    again = run_study(APPS, configs=dict(sweep_configs()), max_workers=1)
+    assert entry_dicts(again) == entry_dicts(serial_study)
