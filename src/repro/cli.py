@@ -14,6 +14,8 @@ Examples::
     repro study --workers 4             # parallel comparison study
     repro study --paper-scale --workers 4   # full Table I matrix
     repro sweep --app LULESH --workers 4    # parallel Figure 7 grid
+    repro profile figure8 --trace t.json --metrics m.prom   # telemetry
+    repro figure9 --trace t.json        # any study-backed command
 """
 
 from __future__ import annotations
@@ -50,11 +52,31 @@ from .sloc import PAPER_TABLE4, table4
 FIGURE_APPS = tuple(app.name for app in ALL_APPS)
 
 
-def _study(full: bool, workers: int = 1, cache: bool = True):
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return bool(getattr(args, "trace", None) or getattr(args, "metrics", None))
+
+
+def _study(full: bool, workers: int = 1, cache: bool = True, telemetry: bool = False):
     configs = None if full else bench_configs()
     return run_study(
-        ALL_APPS, paper_scale=True, configs=configs, max_workers=workers, use_cache=cache
+        ALL_APPS, paper_scale=True, configs=configs, max_workers=workers,
+        use_cache=cache, telemetry=telemetry,
     )
+
+
+def _write_telemetry(timeline, args: argparse.Namespace) -> None:
+    """Write the ``--trace`` / ``--metrics`` artifacts, if requested."""
+    if timeline is None:
+        return
+    from .obs import write_chrome_trace, write_metrics
+
+    if getattr(args, "trace", None):
+        write_chrome_trace(timeline, args.trace)
+        print(f"wrote Chrome trace ({len(timeline.spans)} spans, "
+              f"{len(timeline.events)} events) to {args.trace}")
+    if getattr(args, "metrics", None):
+        write_metrics(timeline.metrics, args.metrics)
+        print(f"wrote metrics to {args.metrics}")
 
 
 def cmd_table1(args: argparse.Namespace) -> None:
@@ -88,7 +110,7 @@ def cmd_figure7(args: argparse.Namespace) -> None:
 
 
 def cmd_figure8(args: argparse.Namespace) -> None:
-    study = _study(args.full, args.workers, not args.no_cache)
+    study = _study(args.full, args.workers, not args.no_cache, _wants_telemetry(args))
     if args.chart:
         from .core import figure_chart
 
@@ -96,10 +118,11 @@ def cmd_figure8(args: argparse.Namespace) -> None:
         return
     print(render_speedups(study, FIGURE_APPS, apu=True,
                           title="Figure 8: speedup over 4-core OpenMP on the APU"))
+    _write_telemetry(study.telemetry, args)
 
 
 def cmd_figure9(args: argparse.Namespace) -> None:
-    study = _study(args.full, args.workers, not args.no_cache)
+    study = _study(args.full, args.workers, not args.no_cache, _wants_telemetry(args))
     if args.chart:
         from .core import figure_chart
 
@@ -107,14 +130,16 @@ def cmd_figure9(args: argparse.Namespace) -> None:
         return
     print(render_speedups(study, FIGURE_APPS, apu=False,
                           title="Figure 9: speedup over 4-core OpenMP on the dGPU"))
+    _write_telemetry(study.telemetry, args)
 
 
 def cmd_figure10(args: argparse.Namespace) -> None:
-    study = _study(args.full, args.workers, not args.no_cache)
+    study = _study(args.full, args.workers, not args.no_cache, _wants_telemetry(args))
     for apu in (True, False):
         result = compute_productivity(study, ALL_APPS, apu=apu)
         print(render_figure10(result, FIGURE_APPS))
         print()
+    _write_telemetry(study.telemetry, args)
 
 
 def cmd_figure11(_args: argparse.Namespace) -> None:
@@ -169,7 +194,7 @@ def cmd_study(args: argparse.Namespace) -> None:
     cache hits).  ``--paper-scale`` uses the exact Table I problem
     sizes; the default is the reduced bench-scale matrix.
     """
-    study = _study(args.paper_scale, args.workers, not args.no_cache)
+    study = _study(args.paper_scale, args.workers, not args.no_cache, _wants_telemetry(args))
     print(render_speedups(study, FIGURE_APPS, apu=True,
                           title="Figure 8: speedup over 4-core OpenMP on the APU"))
     print()
@@ -179,10 +204,12 @@ def cmd_study(args: argparse.Namespace) -> None:
     print(study.stats.summary())
     if args.per_run:
         print()
-        for label, wall, hits, misses in sorted(
+        for label, wall, hits, misses, setup_hits, setup_misses in sorted(
             study.stats.per_run, key=lambda r: r[1], reverse=True
         ):
-            print(f"  {wall:8.3f} s  {hits:6d} hits  {misses:6d} misses  {label}")
+            print(f"  {wall:8.3f} s  kernel {hits:6d}/{misses:<6d}  "
+                  f"setup {setup_hits:3d}/{setup_misses:<3d}  {label}")
+    _write_telemetry(study.telemetry, args)
     if args.out:
         write_json(study_records(study), args.out)
         print(f"\nwrote {len(study.entries)} records to {args.out}")
@@ -194,12 +221,53 @@ def cmd_sweep(args: argparse.Namespace) -> None:
     apps = [APPS_BY_NAME[args.app]] if args.app else ALL_APPS
     for app in apps:
         sweep = run_sweep(
-            app, configs[app.name], max_workers=args.workers, use_cache=not args.no_cache
+            app, configs[app.name], max_workers=args.workers,
+            use_cache=not args.no_cache, telemetry=_wants_telemetry(args),
         )
         print(render_figure7(sweep))
         print(f"classification: {sweep.classify()}")
         print(sweep.stats.summary())
+        _write_telemetry(sweep.telemetry, args)
         print()
+
+
+def cmd_profile(args: argparse.Namespace) -> None:
+    """Run a study or sweep with telemetry and report where time goes.
+
+    Prints the per-phase and top-N span breakdowns plus the executor
+    stats (cache hit ratios per memo layer, limited-by tallies), and
+    writes the Chrome-trace / metrics artifacts when asked.  The
+    speedup numbers are bit-identical to the un-instrumented run of
+    the same target.
+    """
+    from .obs import top_breakdown
+
+    if args.target == "sweep":
+        app = APPS_BY_NAME[args.app or "LULESH"]
+        sweep = run_sweep(
+            app, sweep_configs()[app.name], max_workers=args.workers,
+            use_cache=not args.no_cache, telemetry=True,
+        )
+        timeline, stats = sweep.telemetry, sweep.stats
+        print(f"profiled Figure 7 sweep: {app.name}")
+    else:
+        study = _study(args.full, args.workers, not args.no_cache, telemetry=True)
+        timeline, stats = study.telemetry, study.stats
+        if args.target in ("figure8", "figure9"):
+            apu = args.target == "figure8"
+            title = ("Figure 8: speedup over 4-core OpenMP on the APU" if apu
+                     else "Figure 9: speedup over 4-core OpenMP on the dGPU")
+            print(render_speedups(study, FIGURE_APPS, apu=apu, title=title))
+        else:
+            print(f"profiled comparison study "
+                  f"({len(study.entries)} entries, {stats.unique_runs} runs)")
+    print()
+    print(top_breakdown(timeline, top=args.top))
+    print()
+    print(stats.summary())
+    print(f"trace tracks: {len(timeline.sim_tracks())} device-queue, "
+          f"{len(timeline.worker_tracks())} worker")
+    _write_telemetry(timeline, args)
 
 
 def cmd_all(args: argparse.Namespace) -> None:
@@ -230,6 +298,15 @@ def _add_executor_flags(p: argparse.ArgumentParser) -> None:
                    help="disable the kernel memo cache (recompute everything)")
 
 
+def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--trace", default=None, metavar="FILE",
+                   help="record telemetry and write a Chrome trace_event JSON "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--metrics", default=None, metavar="FILE",
+                   help="record telemetry and write the metrics registry "
+                        "(.json, or Prometheus text for any other suffix)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -251,11 +328,13 @@ def build_parser() -> argparse.ArgumentParser:
     ):
         p = sub.add_parser(name)
         p.set_defaults(func=fn, full=False, app=None, chart=False,
-                       workers=1, no_cache=False)
+                       workers=1, no_cache=False, trace=None, metrics=None)
         if needs_full:
             p.add_argument("--full", action="store_true",
                            help="use the exact paper problem sizes (slow)")
             _add_executor_flags(p)
+        if name in ("figure8", "figure9", "figure10"):
+            _add_telemetry_flags(p)
         if name in ("figure8", "figure9"):
             p.add_argument("--chart", action="store_true",
                            help="render as bar charts instead of a table")
@@ -271,11 +350,30 @@ def build_parser() -> argparse.ArgumentParser:
     study.add_argument("--out", default=None,
                        help="also export the study records as JSON")
     _add_executor_flags(study)
+    _add_telemetry_flags(study)
     sweep = sub.add_parser(
         "sweep", help="Figure 7 frequency sweeps, with executor stats")
     sweep.set_defaults(func=cmd_sweep)
     sweep.add_argument("--app", choices=FIGURE_APPS, default=None)
     _add_executor_flags(sweep)
+    _add_telemetry_flags(sweep)
+    profile = sub.add_parser(
+        "profile",
+        help="run a study/sweep with telemetry: phase breakdown, "
+             "Chrome trace, metrics registry")
+    profile.set_defaults(func=cmd_profile, full=False)
+    profile.add_argument("target",
+                         choices=("figure8", "figure9", "study", "sweep"),
+                         help="what to profile (figure8/figure9/study run the "
+                              "comparison study; sweep runs one Figure 7 grid)")
+    profile.add_argument("--app", choices=FIGURE_APPS, default=None,
+                         help="app for the sweep target (default LULESH)")
+    profile.add_argument("--full", action="store_true",
+                         help="use the exact paper problem sizes (slow)")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="rows in the top-span breakdown")
+    _add_executor_flags(profile)
+    _add_telemetry_flags(profile)
     export = sub.add_parser("export")
     export.set_defaults(func=cmd_export, full=False, app=None)
     export.add_argument("--out", default="results.json",

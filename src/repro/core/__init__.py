@@ -10,7 +10,16 @@ from .ablation import (
     tiling_ablation,
     without_capabilities,
 )
-from .breakdown import KernelShare, kernel_breakdown, render_breakdown
+from .breakdown import (
+    KernelShare,
+    PhaseShare,
+    kernel_breakdown,
+    kernel_shares,
+    phase_breakdown,
+    record_run,
+    render_breakdown,
+    render_phases,
+)
 from .charts import bar, bar_chart, figure_chart, speedup_chart
 from .characterize import (
     DOMINANT_KERNEL,
@@ -63,6 +72,7 @@ __all__ = [
     "GPU_MODELS",
     "KernelShare",
     "PAPER_FIGURE11",
+    "PhaseShare",
     "PAPER_TABLE1",
     "ProductivityEntry",
     "ProductivityResult",
@@ -84,12 +94,16 @@ __all__ = [
     "geometric_mean",
     "harmonic_mean",
     "kernel_breakdown",
+    "kernel_shares",
     "load_json",
     "lulesh_compiler_bug_ablation",
     "measure_ipc",
     "measure_miss_rate",
     "normalize",
+    "phase_breakdown",
+    "record_run",
     "render_breakdown",
+    "render_phases",
     "render_figure7",
     "render_figure10",
     "render_figure11",

@@ -1,10 +1,13 @@
-"""Per-kernel time breakdown of one application run.
+"""Per-kernel and per-phase time breakdown of one application run.
 
 Section IV discusses each proxy app in terms of its dominant kernels
 ("Advancing the node quantities is the most computationally intensive
 part", "Computation of forces accounts for more than 90% of total
-execution time").  This module aggregates the simulator's per-launch
-records into that view.
+execution time").  This module derives that view from the telemetry
+layer: the run executes under a :class:`~repro.obs.spans.SpanRecorder`
+and the decomposition is an aggregation of the recorded spans — the
+same spans ``repro profile`` exports — rather than a second phase-math
+path over :class:`~repro.engine.counters.PerfCounters`.
 """
 
 from __future__ import annotations
@@ -13,6 +16,7 @@ from dataclasses import dataclass
 
 from ..apps.base import ProxyApp
 from ..hardware.specs import Precision
+from ..obs.spans import Span, SpanRecorder, recording
 from .study import run_port
 
 
@@ -27,6 +31,29 @@ class KernelShare:
     limited_by: str  # dominant limiter across its launches
 
 
+@dataclass(frozen=True)
+class PhaseShare:
+    """Aggregated cost of one phase (kernel/transfer/launch) of a run."""
+
+    phase: str
+    seconds: float
+    share: float  # fraction of total simulated time
+
+
+def record_run(
+    app: ProxyApp,
+    config: object,
+    model: str = "OpenCL",
+    apu: bool = False,
+    precision: Precision = Precision.SINGLE,
+) -> list[Span]:
+    """Run one port under a fresh span recorder; returns its spans."""
+    recorder = SpanRecorder(meta={"app": app.name, "model": model})
+    with recording(recorder):
+        run_port(app, model, apu, precision, config, projection=True)
+    return recorder.spans
+
+
 def kernel_breakdown(
     app: ProxyApp,
     config: object,
@@ -35,16 +62,23 @@ def kernel_breakdown(
     precision: Precision = Precision.SINGLE,
 ) -> list[KernelShare]:
     """Kernel-time shares of one run, largest first."""
-    run = run_port(app, model, apu, precision, config, projection=True)
+    return kernel_shares(record_run(app, config, model, apu, precision))
+
+
+def kernel_shares(spans: list[Span]) -> list[KernelShare]:
+    """Aggregate recorded kernel spans into per-kernel shares."""
     by_name: dict[str, dict[str, object]] = {}
-    for record in run.counters.kernels:
+    for span in spans:
+        if span.category != "kernel":
+            continue
         slot = by_name.setdefault(
-            record.name, {"seconds": 0.0, "launches": 0, "limits": {}}
+            span.name, {"seconds": 0.0, "launches": 0, "limits": {}}
         )
-        slot["seconds"] += record.seconds
+        slot["seconds"] += span.sim_seconds
         slot["launches"] += 1
+        limited = span.args_dict.get("limited_by", "unknown")
         limits = slot["limits"]
-        limits[record.limited_by] = limits.get(record.limited_by, 0) + 1
+        limits[limited] = limits.get(limited, 0) + 1
     total = sum(slot["seconds"] for slot in by_name.values())
     shares = [
         KernelShare(
@@ -55,6 +89,22 @@ def kernel_breakdown(
             limited_by=max(slot["limits"], key=slot["limits"].get),
         )
         for name, slot in by_name.items()
+    ]
+    return sorted(shares, key=lambda s: s.seconds, reverse=True)
+
+
+def phase_breakdown(spans: list[Span]) -> list[PhaseShare]:
+    """Simulated time by phase (kernel / transfer / launch), largest
+    first — the decomposition Sec. VI-A argues from."""
+    by_phase: dict[str, float] = {}
+    for span in spans:
+        if span.category == "run":
+            continue
+        by_phase[span.category] = by_phase.get(span.category, 0.0) + span.sim_seconds
+    total = sum(by_phase.values())
+    shares = [
+        PhaseShare(phase=phase, seconds=seconds, share=seconds / total if total else 0.0)
+        for phase, seconds in by_phase.items()
     ]
     return sorted(shares, key=lambda s: s.seconds, reverse=True)
 
@@ -71,3 +121,11 @@ def render_breakdown(shares: list[KernelShare], top: int = 10) -> str:
         ["Kernel", "Launches", "Time", "Share", "Limited by"], rows,
         title="Per-kernel breakdown",
     )
+
+
+def render_phases(shares: list[PhaseShare]) -> str:
+    """Text table of the phase decomposition."""
+    from .report import format_table
+
+    rows = [[s.phase, f"{s.seconds * 1e3:.3f} ms", f"{s.share:.1%}"] for s in shares]
+    return format_table(["Phase", "Time", "Share"], rows, title="Per-phase breakdown")

@@ -15,6 +15,7 @@ from ..exec.plan import study_runs
 from ..hardware.device import make_platform
 from ..hardware.specs import Precision
 from ..models.base import ExecutionContext
+from ..obs.export import Timeline
 from .metrics import speedup
 
 #: The three GPU models of the comparison, in the paper's order.
@@ -55,6 +56,11 @@ class StudyResult:
     #: Executor observability (wall time, dedup, cache hits) for the
     #: run that produced the entries; ``None`` for hand-built results.
     stats: ExecStats | None = None
+    #: Merged span/metric timeline of the run that produced the
+    #: entries; ``None`` unless telemetry was requested.  Purely
+    #: observational — goldens and speedup tables never read it, and
+    #: entries are bit-identical with or without it.
+    telemetry: Timeline | None = None
 
     def get(self, app: str, model: str, apu: bool, precision: Precision) -> StudyEntry:
         for entry in self.entries:
@@ -101,6 +107,7 @@ def run_study(
     configs: dict[str, object] | None = None,
     max_workers: int = 1,
     use_cache: bool = True,
+    telemetry: bool = False,
 ) -> StudyResult:
     """Run the full comparison.
 
@@ -113,7 +120,9 @@ def run_study(
     executed by :mod:`repro.exec`: ``max_workers`` shards them over a
     process pool (1 = deterministic in-process execution), and
     ``use_cache`` backs kernel pricing with the content-addressed memo
-    cache.  Entries are bit-identical for every worker count.
+    cache.  Entries are bit-identical for every worker count —
+    ``telemetry`` records spans/metrics on the side (``.telemetry``)
+    without perturbing them.
     """
     resolved: dict[str, object] = {}
     for app in apps:
@@ -131,11 +140,13 @@ def run_study(
         baseline=BASELINE_MODEL,
         projection=paper_scale,
     )
-    outcomes, stats = execute(runs, max_workers=max_workers, use_cache=use_cache)
+    outcomes, stats = execute(
+        runs, max_workers=max_workers, use_cache=use_cache, telemetry=telemetry
+    )
 
     # Reassemble in the plan's canonical order: baseline first, then
     # one outcome per model for each (app, platform, precision) cell.
-    result = StudyResult(stats=stats)
+    result = StudyResult(stats=stats, telemetry=stats.timeline)
     cursor = iter(outcomes)
     for app in apps:
         for apu in apu_values:

@@ -21,6 +21,7 @@ from ..exec.executor import ExecStats, execute
 from ..exec.plan import sweep_runs
 from ..hardware.frequency import PAPER_CORE_SWEEP_MHZ, PAPER_MEMORY_SWEEP_MHZ
 from ..hardware.specs import Precision
+from ..obs.export import Timeline
 
 
 @dataclass(frozen=True)
@@ -41,6 +42,8 @@ class SweepResult:
     points: list[SweepPoint]
     #: Executor observability for the grid run; ``None`` when built by hand.
     stats: ExecStats | None = None
+    #: Merged telemetry timeline; ``None`` unless requested.
+    telemetry: Timeline | None = None
 
     def series(self, memory_mhz: float) -> list[SweepPoint]:
         """One memory-frequency curve, ordered by core frequency."""
@@ -87,6 +90,7 @@ def run_sweep(
     model: str = "OpenCL",
     max_workers: int = 1,
     use_cache: bool = True,
+    telemetry: bool = False,
 ) -> SweepResult:
     """Sweep one application over the (core, memory) frequency grid.
 
@@ -96,7 +100,9 @@ def run_sweep(
     worker count).
     """
     runs = sweep_runs(app.name, config, precision, core_grid, memory_grid, model)
-    outcomes, stats = execute(runs, max_workers=max_workers, use_cache=use_cache)
+    outcomes, stats = execute(
+        runs, max_workers=max_workers, use_cache=use_cache, telemetry=telemetry
+    )
 
     seconds_grid: dict[tuple[float, float], float] = {}
     for outcome in outcomes:
@@ -115,4 +121,4 @@ def run_sweep(
         )
         for (core, memory), seconds in seconds_grid.items()
     ]
-    return SweepResult(app=app.name, points=points, stats=stats)
+    return SweepResult(app=app.name, points=points, stats=stats, telemetry=stats.timeline)

@@ -36,6 +36,16 @@ class RuntimeOverheads:
             + mapped_bytes * self.per_mapped_byte_s
         )
 
+    def cost_components(self, n_buffers: int, mapped_bytes: int = 0) -> dict[str, float]:
+        """The same cost split into its three software components —
+        dispatch, buffer bookkeeping, APU mapping toll — for the
+        telemetry layer's launch spans.  Sums to :meth:`launch_cost`."""
+        return {
+            "dispatch_s": self.kernel_launch_s,
+            "buffers_s": n_buffers * self.per_buffer_s,
+            "mapping_s": mapped_bytes * self.per_mapped_byte_s,
+        }
+
 
 #: Catalyst OpenCL on the discrete GPU: mature, but every enqueue goes
 #: through the full command-queue flush path.

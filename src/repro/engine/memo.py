@@ -30,6 +30,7 @@ from typing import Callable, Iterator, TypeVar
 
 from ..hardware.device import CPUDevice, GPUDevice
 from ..hardware.specs import Precision
+from ..obs import spans as obs_spans
 from .kernel import KernelSpec, LoweredKernel
 from .scheduler import ScheduleResult, simulate_kernel
 from .timing import KernelTiming, time_cpu_kernel, time_gpu_kernel
@@ -79,12 +80,17 @@ class KernelMemoCache:
         """Return the cached value for ``key``, computing it on miss."""
         if not self.enabled:
             return compute()
+        rec = obs_spans.active()
         try:
             value = self._values[key]
             self._hits += 1
+            if rec is not None:
+                rec.cache_event("kernel", hit=True, kind=str(key[0]))
             return value  # type: ignore[return-value]
         except KeyError:
             self._misses += 1
+            if rec is not None:
+                rec.cache_event("kernel", hit=False, kind=str(key[0]))
             value = compute()
             self._values[key] = value
             return value
@@ -132,11 +138,16 @@ class SetupMemoCache:
     def lookup(self, key: tuple, compute: Callable[[], T]) -> T:
         if not self.enabled:
             return compute()
+        rec = obs_spans.active()
         if key in self._values:
             self._hits += 1
             self._values.move_to_end(key)
+            if rec is not None:
+                rec.cache_event("setup", hit=True, kind=str(key[1]))
             return copy.deepcopy(self._values[key])  # type: ignore[return-value]
         self._misses += 1
+        if rec is not None:
+            rec.cache_event("setup", hit=False, kind=str(key[1]))
         value = compute()
         self._values[key] = copy.deepcopy(value)
         while len(self._values) > self.maxsize:

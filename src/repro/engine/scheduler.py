@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from ..hardware.compute_unit import occupancy
 from ..hardware.device import GPUDevice
 from ..hardware.specs import Precision
+from ..obs import spans as obs_spans
 from .kernel import LoweredKernel
 from .timing import GPU_KERNEL_FLOOR_S
 
@@ -111,6 +112,17 @@ def simulate_kernel(
     # The same pipeline ramp/drain floor the analytic model applies.
     seconds = max(makespan / gpu.core_clock.hz, GPU_KERNEL_FLOOR_S)
     mean_busy = sum(cu_busy) / len(cu_busy) / makespan if makespan else 0.0
+    rec = obs_spans.active()
+    if rec is not None:
+        # Fires only when the memo layer actually re-simulates (cache
+        # misses), which is itself worth seeing on the timeline.
+        rec.instant(
+            "scheduler", f"simulate:{spec.name}", "sim",
+            workgroups=n_groups,
+            concurrent_groups_per_cu=concurrent,
+            cu_busy_fraction=round(min(1.0, mean_busy), 4),
+            memory_busy_fraction=round(min(1.0, memory_busy / makespan), 4) if makespan else 0.0,
+        )
     return ScheduleResult(
         seconds=seconds,
         cycles=makespan,

@@ -26,6 +26,10 @@ from typing import Sequence
 
 from ..apps.base import RunResult
 from ..engine import memo
+from ..obs import spans as obs_spans
+from ..obs.export import Timeline, merge_run_telemetry
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import InstantEvent, RunTelemetry, SpanRecorder
 from .plan import RunSpec
 
 
@@ -45,6 +49,9 @@ class RunOutcome:
     cache_misses: int
     setup_hits: int = 0
     setup_misses: int = 0
+    #: Full span/metric recording of the run; ``None`` unless the
+    #: executor ran with telemetry enabled.
+    telemetry: RunTelemetry | None = None
 
 
 @dataclass
@@ -63,7 +70,15 @@ class ExecStats:
     cache_misses: int = 0
     setup_hits: int = 0
     setup_misses: int = 0
-    per_run: list[tuple[str, float, int, int]] = field(default_factory=list)
+    #: Per-run (label, wall seconds, kernel hits, kernel misses,
+    #: setup hits, setup misses) — one row per executed unique run.
+    per_run: list[tuple[str, float, int, int, int, int]] = field(default_factory=list)
+    #: Kernel launches by dominant limiter ("compute" / "memory" /
+    #: "floor"), summed over the executed runs — Table I's
+    #: boundedness claim, visible per study run.
+    limited_by: dict[str, int] = field(default_factory=dict)
+    #: Merged study-wide telemetry; ``None`` unless requested.
+    timeline: Timeline | None = None
 
     @property
     def deduplicated_runs(self) -> int:
@@ -74,6 +89,11 @@ class ExecStats:
     def cache_hit_rate(self) -> float:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
+
+    @property
+    def setup_hit_rate(self) -> float:
+        lookups = self.setup_hits + self.setup_misses
+        return self.setup_hits / lookups if lookups else 0.0
 
     @property
     def parallel_speedup(self) -> float:
@@ -88,14 +108,28 @@ class ExecStats:
             f"wall time: {self.wall_seconds:.2f} s "
             f"(sum of per-run times: {self.run_seconds:.2f} s, "
             f"executor speedup: {self.parallel_speedup:.2f}x)",
-            f"kernel memo cache: {self.cache_hits} hits / {self.cache_misses} misses "
+            f"kernel-pricing memo cache: {self.cache_hits} hits / {self.cache_misses} misses "
             f"({self.cache_hit_rate:.1%} hit rate)",
-            f"setup memo cache: {self.setup_hits} hits / {self.setup_misses} misses",
+            f"setup memo cache: {self.setup_hits} hits / {self.setup_misses} misses "
+            f"({self.setup_hit_rate:.1%} hit rate)",
         ]
+        if self.limited_by:
+            tally = ", ".join(
+                f"{name} {self.limited_by[name]}"
+                for name in sorted(self.limited_by, key=self.limited_by.get, reverse=True)
+            )
+            lines.append(f"kernel launches limited by: {tally}")
         return "\n".join(lines)
 
     def merge(self, other: "ExecStats") -> "ExecStats":
-        """Combine stats of two executor calls (e.g. study + sweeps)."""
+        """Combine stats of two executor calls (e.g. study + sweeps).
+
+        Timelines are not re-merged (their clocks already start at
+        zero); the first non-``None`` one is kept.
+        """
+        tallies = dict(self.limited_by)
+        for name, count in other.limited_by.items():
+            tallies[name] = tallies.get(name, 0) + count
         return ExecStats(
             requested_runs=self.requested_runs + other.requested_runs,
             unique_runs=self.unique_runs + other.unique_runs,
@@ -107,14 +141,19 @@ class ExecStats:
             setup_hits=self.setup_hits + other.setup_hits,
             setup_misses=self.setup_misses + other.setup_misses,
             per_run=self.per_run + other.per_run,
+            limited_by=tallies,
+            timeline=self.timeline if self.timeline is not None else other.timeline,
         )
 
 
-def execute_run(spec: RunSpec) -> RunOutcome:
+def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
     """Execute one descriptor in this process.
 
     Builds a fresh platform (with the spec's clock overrides), runs
-    the port, and measures wall time plus the memo-cache delta.
+    the port, and measures wall time plus the memo-cache delta.  With
+    ``telemetry`` a fresh :class:`~repro.obs.spans.SpanRecorder` is
+    active for the duration of the run; recording is observational
+    only, so the result is bit-identical either way.
     """
     # Lazy imports keep the exec package importable from low layers
     # and let pool workers pay the heavy app imports exactly once.
@@ -136,7 +175,14 @@ def execute_run(spec: RunSpec) -> RunOutcome:
         precision=spec.precision,
         execute_kernels=not spec.projection,
     )
-    result = app.ports[spec.model](ctx, spec.config)
+    recorded: RunTelemetry | None = None
+    if telemetry:
+        recorder = SpanRecorder(meta=spec.telemetry_meta())
+        with obs_spans.recording(recorder):
+            result = app.ports[spec.model](ctx, spec.config)
+        recorded = recorder.finish(spec.label)
+    else:
+        result = app.ports[spec.model](ctx, spec.config)
     wall = time.perf_counter() - started
     delta = memo.KERNEL_CACHE.snapshot().since(before)
     setup_delta = memo.SETUP_CACHE.snapshot().since(setup_before)
@@ -148,6 +194,7 @@ def execute_run(spec: RunSpec) -> RunOutcome:
         cache_misses=delta.misses,
         setup_hits=setup_delta.hits,
         setup_misses=setup_delta.misses,
+        telemetry=recorded,
     )
 
 
@@ -157,13 +204,15 @@ def _init_worker(use_cache: bool) -> None:
     memo.set_cache_enabled(use_cache)
 
 
-def _shard_task(shard: list[tuple[int, RunSpec]]) -> list[tuple[int, RunOutcome]]:
+def _shard_task(
+    shard: list[tuple[int, RunSpec]], telemetry: bool = False
+) -> list[tuple[int, RunOutcome]]:
     """Execute one contiguous shard of the plan in a pool worker.
 
     Contiguity matters: the plan groups one app's cells together, so a
     worker's setup cache is hot for most of its shard.
     """
-    return [(index, execute_run(spec)) for index, spec in shard]
+    return [(index, execute_run(spec, telemetry=telemetry)) for index, spec in shard]
 
 
 def _setup_affinity(spec: RunSpec) -> tuple:
@@ -224,10 +273,108 @@ def default_workers() -> int:
     return min(os.cpu_count() or 1, 8)
 
 
+def _limited_by_tallies(executed: list[RunOutcome | None]) -> dict[str, int]:
+    """Kernel launches by dominant limiter, over the executed runs."""
+    tallies: dict[str, int] = {}
+    for outcome in executed:
+        if outcome is None:
+            continue
+        for record in outcome.result.counters.kernels:
+            tallies[record.limited_by] = tallies.get(record.limited_by, 0) + 1
+    return tallies
+
+
+def _executor_metrics(stats: ExecStats, worker_busy: dict[int, float]) -> MetricsRegistry:
+    """Executor-level gauges/counters folded into the merged timeline."""
+    registry = MetricsRegistry()
+    registry.counter(
+        "repro_executor_runs_total", help="Run descriptors handled.", result="requested"
+    ).inc(stats.requested_runs)
+    registry.counter(
+        "repro_executor_runs_total", help="Run descriptors handled.", result="executed"
+    ).inc(stats.unique_runs)
+    registry.counter(
+        "repro_executor_runs_total", help="Run descriptors handled.", result="deduplicated"
+    ).inc(stats.deduplicated_runs)
+    registry.gauge(
+        "repro_memo_hit_ratio", help="Memo hit ratio by cache layer.", cache="kernel"
+    ).set(stats.cache_hit_rate)
+    registry.gauge(
+        "repro_memo_hit_ratio", help="Memo hit ratio by cache layer.", cache="setup"
+    ).set(stats.setup_hit_rate)
+    for name, count in sorted(stats.limited_by.items()):
+        registry.counter(
+            "repro_limited_by_total",
+            help="Kernel launches by dominant limiter, study-wide.",
+            limited_by=name,
+        ).inc(count)
+    for worker in sorted(worker_busy):
+        busy = worker_busy[worker]
+        registry.counter(
+            "repro_worker_busy_seconds_total",
+            help="Wall seconds each worker spent executing runs.",
+            worker=str(worker),
+        ).inc(busy)
+        registry.gauge(
+            "repro_worker_utilization",
+            help="Worker busy time over executor wall time.",
+            worker=str(worker),
+        ).set(busy / stats.wall_seconds if stats.wall_seconds else 0.0)
+    return registry
+
+
+def _build_timeline(
+    executed: list[RunOutcome],
+    worker_of: list[int],
+    shards: list[list[tuple[int, RunSpec]]],
+    stats: ExecStats,
+) -> Timeline:
+    """Merge per-run recordings, in unique-run (submission) order, and
+    decorate the worker tracks with dispatch/start/stop events."""
+    items = [
+        (o.telemetry if o.telemetry is not None else RunTelemetry(label=o.spec.label), w)
+        for o, w in zip(executed, worker_of)
+    ]
+    worker_busy: dict[int, float] = {}
+    for outcome, worker in zip(executed, worker_of):
+        worker_busy[worker] = worker_busy.get(worker, 0.0) + outcome.wall_seconds
+    timeline = merge_run_telemetry(items, extra_metrics=_executor_metrics(stats, worker_busy))
+
+    depth = len(executed)
+    for worker, shard in enumerate(shards):
+        track = f"worker-{worker}"
+        timeline.events.append(
+            InstantEvent(
+                name="worker-start", category="executor", track=track,
+                sim_ts=0.0, wall_ts=0.0,
+            )
+        )
+        timeline.events.append(
+            InstantEvent(
+                name="shard-dispatch", category="executor", track=track,
+                sim_ts=0.0, wall_ts=0.0,
+                args=(("queue_depth", depth), ("shard_runs", len(shard))),
+            )
+        )
+        depth -= len(shard)
+        timeline.events.append(
+            InstantEvent(
+                name="worker-stop", category="executor", track=track,
+                sim_ts=0.0, wall_ts=worker_busy.get(worker, 0.0),
+            )
+        )
+        timeline.metrics.gauge(
+            "repro_executor_queue_depth",
+            help="Undispatched unique runs after each shard dispatch.",
+        ).set(depth)
+    return timeline
+
+
 def execute(
     runs: Sequence[RunSpec],
     max_workers: int = 1,
     use_cache: bool = True,
+    telemetry: bool = False,
 ) -> tuple[list[RunOutcome], ExecStats]:
     """Execute descriptors, returning outcomes in submission order.
 
@@ -235,6 +382,12 @@ def execute(
     descriptors share one outcome.  ``max_workers=1`` runs in-process
     (no pool, no pickling); larger values shard the unique runs over a
     process pool.  Results are bit-identical across worker counts.
+
+    ``telemetry`` records every run through a span recorder and merges
+    the per-worker recordings into ``stats.timeline`` — deterministic
+    across worker counts because the merge follows submission order,
+    never completion order.  Recording is purely observational: with
+    or without it, results stay bit-identical.
     """
     started = time.perf_counter()
 
@@ -250,13 +403,15 @@ def execute(
         placement.append(slot_of[key])
 
     executed: list[RunOutcome | None] = [None] * len(unique)
+    worker_of: list[int] = [0] * len(unique)
     if max_workers <= 1 or len(unique) <= 1:
         workers = 1
+        shards = [list(enumerate(unique))]
         previous = (memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled)
         memo.set_cache_enabled(use_cache)
         try:
             for index, spec in enumerate(unique):
-                executed[index] = execute_run(spec)
+                executed[index] = execute_run(spec, telemetry=telemetry)
         finally:
             memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled = previous
     else:
@@ -266,10 +421,13 @@ def execute(
         # setup caches stay hot and no setup is built twice.
         indexed = list(enumerate(unique))
         shards = _shard_by_affinity(indexed, workers)
+        for shard_index, shard in enumerate(shards):
+            for index, _spec in shard:
+                worker_of[index] = shard_index
         with ProcessPoolExecutor(
             max_workers=workers, initializer=_init_worker, initargs=(use_cache,)
         ) as pool:
-            futures = [pool.submit(_shard_task, shard) for shard in shards]
+            futures = [pool.submit(_shard_task, shard, telemetry) for shard in shards]
             wait(futures, return_when=FIRST_EXCEPTION)
             for future in futures:
                 for index, outcome in future.result():
@@ -287,9 +445,14 @@ def execute(
         setup_hits=sum(o.setup_hits for o in executed if o is not None),
         setup_misses=sum(o.setup_misses for o in executed if o is not None),
         per_run=[
-            (o.spec.label, o.wall_seconds, o.cache_hits, o.cache_misses)
+            (o.spec.label, o.wall_seconds, o.cache_hits, o.cache_misses,
+             o.setup_hits, o.setup_misses)
             for o in executed
             if o is not None
         ],
+        limited_by=_limited_by_tallies(executed),
     )
+    if telemetry:
+        done = [o for o in executed if o is not None]
+        stats.timeline = _build_timeline(done, worker_of, shards, stats)
     return outcomes, stats

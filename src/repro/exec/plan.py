@@ -60,6 +60,16 @@ class RunSpec:
             clocks = f"@{self.core_mhz:g}/{self.memory_mhz:g}MHz"
         return f"{self.app}/{self.model}/{self.platform}{clocks}/{self.precision.value}"
 
+    def telemetry_meta(self) -> dict[str, str]:
+        """Labels seeding this run's span recorder and metrics: the
+        identity every span/metric of the run is attributed to."""
+        return {
+            "app": self.app,
+            "model": self.model,
+            "platform": self.platform,
+            "precision": self.precision.value,
+        }
+
     def content_key(self) -> str:
         """Content digest identifying this run for deduplication.
 

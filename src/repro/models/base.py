@@ -33,6 +33,12 @@ from ..engine.launch import RuntimeOverheads
 from ..engine.memo import cached_time_cpu_kernel, cached_time_gpu_kernel
 from ..hardware.device import Platform
 from ..hardware.specs import Precision
+from ..obs import spans as obs_spans
+
+
+def _platform_track(ctx: "ExecutionContext") -> str:
+    """Track-name prefix of the context's platform ("apu"/"dgpu")."""
+    return "apu" if ctx.platform.is_apu else "dgpu"
 
 
 class Capability(enum.Flag):
@@ -224,12 +230,54 @@ class Toolchain:
         ctx.counters.flops += spec.ops.flops
         overhead = self.overheads.launch_cost(n_buffers, mapped_bytes)
         ctx.counters.launch_overhead_seconds += overhead
+        rec = obs_spans.active()
+        if rec is not None:
+            plat = _platform_track(ctx)
+            track = f"{plat}/gpu"
+            rec.add(
+                track, spec.name, "kernel", timing.seconds,
+                limited_by=timing.limited_by,
+                instructions=timing.instructions,
+                dram_bytes=timing.dram_bytes,
+                occupancy_waves=timing.occupancy_waves,
+                model=self.name,
+            )
+            rec.add(
+                track, f"launch:{spec.name}", "launch", overhead,
+                n_buffers=n_buffers, mapped_bytes=mapped_bytes,
+                **self.overheads.cost_components(n_buffers, mapped_bytes),
+            )
+            app = rec.meta.get("app", "")
+            rec.metrics.histogram(
+                "repro_kernel_seconds",
+                help="Simulated per-launch kernel time.",
+                app=app, model=self.name, device=plat,
+            ).observe(timing.seconds)
+            rec.metrics.counter(
+                "repro_kernel_limited_by_total",
+                help="Kernel launches by dominant limiter.",
+                app=app, model=self.name, device=plat,
+                limited_by=timing.limited_by,
+            ).inc()
         return timing.seconds + overhead
 
     def charge_transfer(self, ctx: ExecutionContext, nbytes: int, direction: str) -> float:
         """Price one host<->device copy; free on unified memory."""
         seconds = ctx.platform.interconnect.transfer(nbytes, direction)
         ctx.counters.record_transfer(nbytes, seconds, direction)
+        rec = obs_spans.active()
+        if rec is not None:
+            plat = _platform_track(ctx)
+            rec.add(
+                f"{plat}/interconnect", direction, "transfer", seconds,
+                bytes=nbytes, model=self.name,
+            )
+            rec.metrics.counter(
+                "repro_transfer_bytes_total",
+                help="Host<->device bytes moved.",
+                app=rec.meta.get("app", ""), model=self.name,
+                device=plat, direction=direction,
+            ).inc(nbytes)
         return seconds
 
 
@@ -247,4 +295,26 @@ class CPUToolchain:
         ctx.counters.record_kernel(timing.record(ctx.platform.host.name))
         ctx.counters.flops += spec.ops.flops
         ctx.counters.launch_overhead_seconds += self.region_overhead_s
+        rec = obs_spans.active()
+        if rec is not None:
+            plat = _platform_track(ctx)
+            track = f"{plat}/host"
+            rec.add(
+                track, spec.name, "kernel", timing.seconds,
+                limited_by=timing.limited_by, threads=self.threads, model=self.name,
+            )
+            if self.region_overhead_s:
+                rec.add(track, f"region:{spec.name}", "launch", self.region_overhead_s)
+            app = rec.meta.get("app", "")
+            rec.metrics.histogram(
+                "repro_kernel_seconds",
+                help="Simulated per-launch kernel time.",
+                app=app, model=self.name, device=plat,
+            ).observe(timing.seconds)
+            rec.metrics.counter(
+                "repro_kernel_limited_by_total",
+                help="Kernel launches by dominant limiter.",
+                app=app, model=self.name, device=plat,
+                limited_by=timing.limited_by,
+            ).inc()
         return timing.seconds + self.region_overhead_s

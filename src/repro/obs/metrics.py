@@ -1,0 +1,319 @@
+"""Metrics registry: counters, gauges and histograms.
+
+The quantitative side of the telemetry layer: kernel-time histograms
+per app x model x device, memo hit ratios, transfer byte counts,
+executor worker utilization.  Instruments are identified by a metric
+name plus a sorted label set (Prometheus's data model), live in a
+:class:`MetricsRegistry`, and export two ways:
+
+* :meth:`MetricsRegistry.to_json` — a stable, nested JSON document;
+* :meth:`MetricsRegistry.to_prometheus` — the text exposition format
+  (``# TYPE`` headers, ``_bucket{le=...}`` series, ``_sum``/``_count``),
+  scrapable by any Prometheus-compatible collector.
+
+Registries are additive: per-run registries recorded in pool workers
+merge into one study-wide registry (:meth:`MetricsRegistry.merge`),
+summing counters and histogram buckets and taking the last value of
+gauges — deterministic because the executor merges in submission
+order.  Everything here is plain data (dicts, lists, floats), so a
+registry pickles across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import Iterable
+
+#: Default histogram bucket upper bounds for *seconds*-valued metrics:
+#: log-spaced from 1 µs to 10 s, the span between a kernel-launch floor
+#: and a paper-scale end-to-end run.
+TIME_BUCKETS_S: tuple[float, ...] = tuple(
+    10.0**e for e in range(-6, 2)
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+LabelKey = tuple[tuple[str, str], ...]
+
+
+def _label_key(labels: dict[str, str]) -> LabelKey:
+    for name in labels:
+        if not _LABEL_RE.match(name):
+            raise ValueError(f"invalid label name {name!r}")
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+
+
+def _format_labels(key: LabelKey, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    items = key + extra
+    if not items:
+        return ""
+    body = ",".join(f'{k}="{_escape_label_value(v)}"' for k, v in items)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, lookups)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, utilization, ratio)."""
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def merge(self, other: "Gauge") -> None:
+        # Merging run registries in submission order: last writer wins,
+        # matching how a scraper would see the final state.
+        self.value = other.value
+
+
+class Histogram:
+    """Cumulative-bucket histogram with sum and count.
+
+    ``buckets`` are upper bounds (le); an implicit +Inf bucket catches
+    the tail.  Bucket layouts must match to merge.
+    """
+
+    def __init__(self, buckets: tuple[float, ...] = TIME_BUCKETS_S) -> None:
+        if list(buckets) != sorted(buckets):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.buckets = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending at +Inf."""
+        out: list[tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + self.counts[-1]))
+        return out
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError("cannot merge histograms with different buckets")
+        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        self.sum += other.sum
+        self.count += other.count
+
+
+class _Family:
+    """All instruments sharing one metric name (one per label set)."""
+
+    def __init__(self, name: str, kind: str, help: str, buckets: tuple[float, ...] | None) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.buckets = buckets
+        self.samples: dict[LabelKey, Counter | Gauge | Histogram] = {}
+
+    def instrument(self, key: LabelKey) -> Counter | Gauge | Histogram:
+        try:
+            return self.samples[key]
+        except KeyError:
+            if self.kind == "counter":
+                made: Counter | Gauge | Histogram = Counter()
+            elif self.kind == "gauge":
+                made = Gauge()
+            else:
+                made = Histogram(self.buckets or TIME_BUCKETS_S)
+            self.samples[key] = made
+            return made
+
+
+class MetricsRegistry:
+    """A named collection of metric families."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, _Family] = {}
+
+    def __len__(self) -> int:
+        return len(self._families)
+
+    def _family(
+        self, name: str, kind: str, help: str, buckets: tuple[float, ...] | None = None
+    ) -> _Family:
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        family = self._families.get(name)
+        if family is None:
+            family = _Family(name, kind, help, buckets)
+            self._families[name] = family
+        elif family.kind != kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {family.kind}, not {kind}"
+            )
+        return family
+
+    def counter(self, name: str, help: str = "", **labels: str) -> Counter:
+        instrument = self._family(name, "counter", help).instrument(_label_key(labels))
+        assert isinstance(instrument, Counter)
+        return instrument
+
+    def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
+        instrument = self._family(name, "gauge", help).instrument(_label_key(labels))
+        assert isinstance(instrument, Gauge)
+        return instrument
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: tuple[float, ...] | None = None,
+        **labels: str,
+    ) -> Histogram:
+        instrument = self._family(name, "histogram", help, buckets).instrument(
+            _label_key(labels)
+        )
+        assert isinstance(instrument, Histogram)
+        return instrument
+
+    def get(self, name: str, **labels: str) -> Counter | Gauge | Histogram | None:
+        """Look up an existing instrument (reports, tests); no creation."""
+        family = self._families.get(name)
+        if family is None:
+            return None
+        return family.samples.get(_label_key(labels))
+
+    def families(self) -> Iterable[_Family]:
+        return (self._families[name] for name in sorted(self._families))
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (additive; in place)."""
+        for name in sorted(other._families):
+            theirs = other._families[name]
+            family = self._family(name, theirs.kind, theirs.help, theirs.buckets)
+            for key in sorted(theirs.samples):
+                family.instrument(key).merge(theirs.samples[key])  # type: ignore[arg-type]
+
+    # -- export --------------------------------------------------------
+
+    def to_json(self) -> dict:
+        """Stable JSON document: one entry per family, sorted labels."""
+        doc: dict[str, object] = {}
+        for family in self.families():
+            samples = []
+            for key in sorted(family.samples):
+                instrument = family.samples[key]
+                entry: dict[str, object] = {"labels": dict(key)}
+                if isinstance(instrument, Histogram):
+                    entry["count"] = instrument.count
+                    entry["sum"] = instrument.sum
+                    entry["mean"] = instrument.mean
+                    entry["buckets"] = [
+                        {"le": "+Inf" if math.isinf(b) else b, "cumulative": c}
+                        for b, c in instrument.cumulative()
+                    ]
+                else:
+                    entry["value"] = instrument.value
+                samples.append(entry)
+            doc[family.name] = {
+                "type": family.kind,
+                "help": family.help,
+                "samples": samples,
+            }
+        return doc
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: list[str] = []
+        for family in self.families():
+            if family.help:
+                lines.append(f"# HELP {family.name} {family.help}")
+            lines.append(f"# TYPE {family.name} {family.kind}")
+            for key in sorted(family.samples):
+                instrument = family.samples[key]
+                if isinstance(instrument, Histogram):
+                    for bound, cumulative in instrument.cumulative():
+                        labels = _format_labels(key, (("le", _format_value(bound)),))
+                        lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                    lines.append(
+                        f"{family.name}_sum{_format_labels(key)} {_format_value(instrument.sum)}"
+                    )
+                    lines.append(
+                        f"{family.name}_count{_format_labels(key)} {instrument.count}"
+                    )
+                else:
+                    lines.append(
+                        f"{family.name}{_format_labels(key)} {_format_value(instrument.value)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> dict[str, list[tuple[str, float]]]:
+    """Minimal exposition-format parser (validation and tests).
+
+    Returns ``{metric_name: [(label_block, value), ...]}`` and raises
+    ``ValueError`` on any line that is neither a comment nor a valid
+    sample — the CI artifact check runs on this.
+    """
+    sample_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+([-+]?[0-9.eE+-]+|[+-]Inf|NaN)$"
+    )
+    out: dict[str, list[tuple[str, float]]] = {}
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip() or line.startswith("#"):
+            continue
+        match = sample_re.match(line)
+        if not match:
+            raise ValueError(f"line {lineno}: not a valid exposition sample: {line!r}")
+        name, labels, value = match.groups()
+        out.setdefault(name, []).append((labels or "", float(value)))
+    return out
+
+
+def dump_json(registry: MetricsRegistry) -> str:
+    return json.dumps(registry.to_json(), indent=2, sort_keys=True)

@@ -92,9 +92,11 @@ class TestStats:
         _, stats = execute([run_spec(), run_spec()])
         text = stats.summary()
         assert "1 deduplicated" in text
-        assert "kernel memo cache" in text
+        assert "kernel-pricing memo cache" in text
         assert "setup memo cache" in text
+        assert "hit rate" in text
         assert "wall time" in text
+        assert "limited by" in text
 
     def test_merge_adds_counters(self):
         a = ExecStats(requested_runs=2, unique_runs=2, cache_hits=5, wall_seconds=1.0)

@@ -1,0 +1,179 @@
+"""Metrics registry unit tests: instruments, export formats, merging."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import (
+    TIME_BUCKETS_S,
+    Histogram,
+    MetricsRegistry,
+    parse_prometheus,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_events_total").inc()
+        reg.counter("repro_events_total").inc(4)
+        assert reg.get("repro_events_total").value == 5
+
+    def test_rejects_negative_increments(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("repro_events_total").inc(-1)
+
+    def test_label_sets_are_independent(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_lookups_total", cache="kernel").inc()
+        reg.counter("repro_lookups_total", cache="setup").inc(2)
+        assert reg.get("repro_lookups_total", cache="kernel").value == 1
+        assert reg.get("repro_lookups_total", cache="setup").value == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_x_total", a="1", b="2").inc()
+        assert reg.get("repro_x_total", b="2", a="1").value == 1
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        reg = MetricsRegistry()
+        gauge = reg.gauge("repro_queue_depth")
+        gauge.set(4)
+        gauge.inc()
+        gauge.dec(2)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_observe_places_values_in_buckets(self):
+        hist = Histogram(buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1]
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(55.5)
+        assert hist.mean == pytest.approx(18.5)
+
+    def test_cumulative_ends_at_inf_with_total(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        assert hist.cumulative() == [(1.0, 1), (math.inf, 2)]
+
+    def test_default_buckets_cover_kernel_timescales(self):
+        assert TIME_BUCKETS_S[0] == pytest.approx(1e-6)
+        assert TIME_BUCKETS_S[-1] == pytest.approx(10.0)
+
+    def test_unsorted_buckets_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(2.0, 1.0))
+
+    def test_merge_requires_matching_buckets(self):
+        a, b = Histogram(buckets=(1.0,)), Histogram(buckets=(2.0,))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestRegistry:
+    def test_kind_conflict_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_thing")
+        with pytest.raises(ValueError):
+            reg.gauge("repro_thing")
+
+    def test_invalid_names_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("0bad")
+        with pytest.raises(ValueError):
+            reg.counter("repro_ok", **{"bad-label": "x"})
+
+    def test_get_returns_none_for_unknown(self):
+        reg = MetricsRegistry()
+        assert reg.get("repro_missing") is None
+        reg.counter("repro_present", x="1")
+        assert reg.get("repro_present", x="2") is None
+
+    def test_merge_sums_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for reg, n in ((a, 1), (b, 2)):
+            reg.counter("repro_runs_total").inc(n)
+            reg.histogram("repro_kernel_seconds", app="CoMD").observe(0.01 * n)
+            reg.gauge("repro_depth").set(n)
+        a.merge(b)
+        assert a.get("repro_runs_total").value == 3
+        hist = a.get("repro_kernel_seconds", app="CoMD")
+        assert hist.count == 2
+        assert hist.sum == pytest.approx(0.03)
+        # Gauges take the later value (submission order).
+        assert a.get("repro_depth").value == 2
+
+    def test_merge_into_empty_registry_copies_everything(self):
+        src, dst = MetricsRegistry(), MetricsRegistry()
+        src.counter("repro_a_total", k="v").inc(7)
+        dst.merge(src)
+        assert dst.get("repro_a_total", k="v").value == 7
+
+
+class TestPrometheusExport:
+    def build(self):
+        reg = MetricsRegistry()
+        reg.counter(
+            "repro_memo_lookups_total", help="Memo lookups.", cache="kernel", result="hit"
+        ).inc(3)
+        reg.gauge("repro_memo_hit_ratio", cache="kernel").set(0.75)
+        reg.histogram(
+            "repro_kernel_seconds", app="LULESH", model="OpenCL", device="dgpu"
+        ).observe(0.004)
+        return reg
+
+    def test_output_parses_as_exposition_format(self):
+        text = self.build().to_prometheus()
+        parsed = parse_prometheus(text)
+        assert parsed["repro_memo_lookups_total"] == [
+            ('{cache="kernel",result="hit"}', 3.0)
+        ]
+        # Histogram expands into _bucket/_sum/_count series.
+        assert len(parsed["repro_kernel_seconds_bucket"]) == len(TIME_BUCKETS_S) + 1
+        assert parsed["repro_kernel_seconds_count"][0][1] == 1.0
+
+    def test_type_and_help_headers_present(self):
+        text = self.build().to_prometheus()
+        assert "# HELP repro_memo_lookups_total Memo lookups." in text
+        assert "# TYPE repro_memo_lookups_total counter" in text
+        assert "# TYPE repro_kernel_seconds histogram" in text
+
+    def test_inf_bucket_rendered_as_plus_inf(self):
+        text = self.build().to_prometheus()
+        assert 'le="+Inf"' in text
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_odd_total", what='say "hi"\nthere').inc()
+        text = reg.to_prometheus()
+        assert r"say \"hi\"\nthere" in text
+        parse_prometheus(text)  # still a valid sample line
+
+    def test_parser_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not a metric\n")
+
+
+class TestJsonExport:
+    def test_document_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_runs_total", result="executed").inc(5)
+        reg.histogram("repro_kernel_seconds", app="CoMD").observe(0.1)
+        doc = reg.to_json()
+        runs = doc["repro_runs_total"]
+        assert runs["type"] == "counter"
+        assert runs["samples"] == [
+            {"labels": {"result": "executed"}, "value": 5.0}
+        ]
+        hist = doc["repro_kernel_seconds"]["samples"][0]
+        assert hist["count"] == 1
+        assert hist["buckets"][-1]["le"] == "+Inf"
+        assert hist["buckets"][-1]["cumulative"] == 1
