@@ -1,0 +1,77 @@
+"""Microbenchmark: scalar vs vectorized cache replay, per access kind.
+
+Times one characterization-sized replay of every
+:class:`~repro.engine.kernel.AccessKind` through both engines and
+prints the ratio table.  Marked ``perf`` so a plain run can deselect it
+(``pytest benchmarks -m 'not perf'``); the assertions only pin
+bit-identity, never wall time, so the suite stays green on slow
+machines.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.kernel import AccessKind, AccessPattern
+from repro.engine.trace import generate_trace, make_replay_cache, scaled_cache_spec
+from repro.hardware.specs import R9_280X
+
+pytestmark = pytest.mark.perf
+
+BUDGET = 100_000
+
+
+def make_pattern(kind: AccessKind) -> AccessPattern:
+    overrides = {"table_entries": 700_000} if kind is AccessKind.BINARY_SEARCH else {}
+    return AccessPattern(
+        kind=kind, working_set_bytes=64 * 1024 * 1024, request_bytes=4,
+        reuse_fraction=0.3, **overrides,
+    )
+
+
+def replay_once(engine: str, spec, trace):
+    cache = make_replay_cache(spec, engine)
+    cache.replay(trace[: len(trace) // 4])
+    return cache.replay(trace)
+
+
+@pytest.mark.parametrize("kind", list(AccessKind))
+def test_vector_engine_speedup(benchmark, kind):
+    """Benchmark the vector engine; cross-check the scalar reference."""
+    pattern = make_pattern(kind)
+    spec, _ = scaled_cache_spec(pattern, R9_280X.l2_cache)
+    trace = generate_trace(pattern, budget=BUDGET)
+    expected = replay_once("scalar", spec, trace)
+    stats = benchmark.pedantic(
+        lambda: replay_once("vector", spec, trace), rounds=3, iterations=1
+    )
+    assert stats == expected
+
+
+def test_ratio_table():
+    """Print the per-kind scalar/vector ratio table (run with -s)."""
+    rows = []
+    for kind in AccessKind:
+        pattern = make_pattern(kind)
+        spec, _ = scaled_cache_spec(pattern, R9_280X.l2_cache)
+        trace = generate_trace(pattern, budget=BUDGET)
+        timings = {}
+        results = {}
+        for engine in ("scalar", "vector"):
+            best = float("inf")
+            for _ in range(2):
+                started = time.perf_counter()
+                results[engine] = replay_once(engine, spec, trace)
+                best = min(best, time.perf_counter() - started)
+            timings[engine] = best
+        assert results["scalar"] == results["vector"]
+        rows.append((kind.value, timings["scalar"], timings["vector"]))
+    print(f"\n{'kind':14s} {'scalar':>10s} {'vector':>10s} {'ratio':>7s}")
+    for kind, scalar_s, vector_s in rows:
+        print(f"{kind:14s} {scalar_s * 1e3:8.1f} ms {vector_s * 1e3:8.1f} ms "
+              f"{scalar_s / vector_s:6.1f}x")
+    total_scalar = sum(r[1] for r in rows)
+    total_vector = sum(r[2] for r in rows)
+    print(f"{'TOTAL':14s} {total_scalar * 1e3:8.1f} ms {total_vector * 1e3:8.1f} ms "
+          f"{total_scalar / total_vector:6.1f}x")
+    assert total_vector < total_scalar

@@ -14,6 +14,8 @@ Examples::
     repro study --workers 4             # parallel comparison study
     repro study --paper-scale --workers 4   # full Table I matrix
     repro sweep --app LULESH --workers 4    # parallel Figure 7 grid
+    repro characterize --engine vector --workers 4   # Table I, fast replay
+    repro characterize --bench BENCH_cache.json      # tracked perf baseline
     repro profile figure8 --trace t.json --metrics m.prom   # telemetry
     repro figure9 --trace t.json        # any study-backed command
 """
@@ -33,6 +35,7 @@ from .core import (
     write_csv,
     write_json,
     characterize,
+    characterize_apps,
     compute_productivity,
     render_figure7,
     render_figure10,
@@ -186,6 +189,35 @@ def cmd_export(args: argparse.Namespace) -> None:
     print(f"wrote {len(records)} records to {out}")
 
 
+def cmd_characterize(args: argparse.Namespace) -> None:
+    """Regenerate Table I through the selected replay engine.
+
+    Prints the characterization table plus the executor stats (which
+    now include the trace-replay memo counters).  ``--bench FILE``
+    additionally runs the cache-replay benchmark and writes the
+    tracked perf baseline (``BENCH_cache.json``).
+    """
+    result = characterize_apps(
+        PROXY_APPS,
+        max_workers=args.workers,
+        use_cache=not args.no_cache,
+        engine=args.engine,
+        telemetry=_wants_telemetry(args),
+    )
+    print(render_table1(result.rows))
+    print()
+    print(result.stats.summary())
+    _write_telemetry(result.telemetry, args)
+    if args.bench:
+        from .core.cachebench import render_cache_bench, run_cache_bench, write_cache_bench
+
+        bench = run_cache_bench(repeats=args.bench_repeats, reps=args.bench_reps)
+        print()
+        print(render_cache_bench(bench))
+        write_cache_bench(bench, args.bench)
+        print(f"\nwrote cache-replay benchmark to {args.bench}")
+
+
 def cmd_study(args: argparse.Namespace) -> None:
     """Run the comparison study through the parallel executor.
 
@@ -204,7 +236,7 @@ def cmd_study(args: argparse.Namespace) -> None:
     print(study.stats.summary())
     if args.per_run:
         print()
-        for label, wall, hits, misses, setup_hits, setup_misses in sorted(
+        for label, wall, hits, misses, setup_hits, setup_misses, *_trace in sorted(
             study.stats.per_run, key=lambda r: r[1], reverse=True
         ):
             print(f"  {wall:8.3f} s  kernel {hits:6d}/{misses:<6d}  "
@@ -250,6 +282,13 @@ def cmd_profile(args: argparse.Namespace) -> None:
         )
         timeline, stats = sweep.telemetry, sweep.stats
         print(f"profiled Figure 7 sweep: {app.name}")
+    elif args.target == "characterize":
+        result = characterize_apps(
+            PROXY_APPS, max_workers=args.workers,
+            use_cache=not args.no_cache, telemetry=True,
+        )
+        timeline, stats = result.telemetry, result.stats
+        print(render_table1(result.rows))
     else:
         study = _study(args.full, args.workers, not args.no_cache, telemetry=True)
         timeline, stats = study.telemetry, study.stats
@@ -351,6 +390,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also export the study records as JSON")
     _add_executor_flags(study)
     _add_telemetry_flags(study)
+    char = sub.add_parser(
+        "characterize",
+        help="Table I through the vectorized (or scalar) replay engine")
+    char.set_defaults(func=cmd_characterize)
+    char.add_argument("--engine", choices=("vector", "scalar"), default="vector",
+                      help="trace-replay engine (bit-identical results; "
+                           "vector is the fast default)")
+    char.add_argument("--bench", default=None, metavar="FILE",
+                      help="also run the cache-replay benchmark and write the "
+                           "perf baseline JSON (e.g. BENCH_cache.json)")
+    char.add_argument("--bench-repeats", type=int, default=3, metavar="N",
+                      help="best-of-N timing repeats per engine benchmark")
+    char.add_argument("--bench-reps", type=int, default=5, metavar="N",
+                      help="repetitions in the repeated-characterization "
+                           "benchmark protocol")
+    _add_executor_flags(char)
+    _add_telemetry_flags(char)
     sweep = sub.add_parser(
         "sweep", help="Figure 7 frequency sweeps, with executor stats")
     sweep.set_defaults(func=cmd_sweep)
@@ -363,9 +419,11 @@ def build_parser() -> argparse.ArgumentParser:
              "Chrome trace, metrics registry")
     profile.set_defaults(func=cmd_profile, full=False)
     profile.add_argument("target",
-                         choices=("figure8", "figure9", "study", "sweep"),
+                         choices=("figure8", "figure9", "study", "sweep",
+                                  "characterize"),
                          help="what to profile (figure8/figure9/study run the "
-                              "comparison study; sweep runs one Figure 7 grid)")
+                              "comparison study; sweep runs one Figure 7 grid; "
+                              "characterize regenerates Table I)")
     profile.add_argument("--app", choices=FIGURE_APPS, default=None,
                          help="app for the sweep target (default LULESH)")
     profile.add_argument("--full", action="store_true",

@@ -1,0 +1,232 @@
+"""Tracked perf baseline for the cache-replay path (``BENCH_cache.json``).
+
+Two measurements, both over the real Table I dominant-kernel patterns
+at the paper's problem sizes:
+
+* **Engine benchmark** — each pattern's trace replayed once through the
+  scalar reference engine and once through the vectorized batch engine,
+  memo caches disabled, stats asserted bit-identical.  This isolates
+  the simulator speedup itself.
+* **Characterization protocol** — the miss-rate measurement repeated
+  ``reps`` times, comparing the pre-optimization path (scalar engine,
+  no trace memo — what ``replay_pattern`` did before the vectorized
+  engine landed) against the shipped default (vector engine plus
+  :data:`~repro.engine.memo.TRACE_CACHE`): rep 1 simulates, reps 2+ are
+  served from the memo, which is how sweeps and repeated table
+  regenerations actually hit this code.
+
+The JSON this module writes is committed as the repo's perf baseline;
+CI regenerates it as an artifact so drift is observable run to run.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import asdict, dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..apps.base import ProxyApp
+from ..engine.memo import TRACE_CACHE, cache_disabled
+from ..engine.trace import (
+    DEFAULT_TRACE_BUDGET,
+    generate_trace,
+    make_replay_cache,
+    replay_pattern,
+    scaled_cache_spec,
+)
+from ..hardware.specs import R9_280X
+from .characterize import dominant_spec
+from .report import format_table
+
+
+@dataclass(frozen=True)
+class PatternBench:
+    """Scalar-vs-vector engine timing of one app's dominant pattern."""
+
+    app: str
+    kind: str
+    accesses: int
+    sets: int
+    ways: int
+    scalar_seconds: float
+    vector_seconds: float
+    speedup: float
+    miss_rate: float
+
+
+def _best_of(repeats: int, run) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def bench_pattern(app: ProxyApp, repeats: int, budget: int) -> PatternBench:
+    """Time both engines on ``app``'s dominant pattern, memo disabled.
+
+    Each timed run is the full characterization replay (warm-up pass
+    plus measured pass) on a fresh cache.  The engines' stats are
+    asserted equal — the bit-identity contract, enforced on every
+    benchmark run.
+    """
+    spec = dominant_spec(app, app.paper_config())
+    scaled_spec, _scale = scaled_cache_spec(spec.access, R9_280X.l2_cache)
+    trace = generate_trace(spec.access, budget=budget)
+    warm = trace[: len(trace) // 4]
+    results: dict[str, object] = {}
+
+    def replay(engine: str) -> None:
+        cache = make_replay_cache(scaled_spec, engine)
+        cache.replay(warm)
+        results[engine] = cache.replay(trace)
+
+    with cache_disabled():
+        scalar_s = _best_of(repeats, lambda: replay("scalar"))
+        vector_s = _best_of(repeats, lambda: replay("vector"))
+    if results["scalar"] != results["vector"]:
+        raise AssertionError(
+            f"{app.name}: engines disagree: {results['scalar']} != {results['vector']}"
+        )
+    stats = results["vector"]
+    return PatternBench(
+        app=app.name,
+        kind=spec.access.kind.value,
+        accesses=int(len(trace)),
+        sets=scaled_spec.sets,
+        ways=scaled_spec.ways,
+        scalar_seconds=scalar_s,
+        vector_seconds=vector_s,
+        speedup=scalar_s / vector_s if vector_s else float("inf"),
+        miss_rate=stats.miss_rate,  # type: ignore[union-attr]
+    )
+
+
+def _characterization_protocol(
+    apps: Sequence[ProxyApp], reps: int, budget: int
+) -> dict:
+    """Repeated miss-rate measurement: pre-PR path vs shipped path."""
+    patterns = [dominant_spec(app, app.paper_config()).access for app in apps]
+
+    # Pre-optimization path: scalar engine, every rep recomputes.
+    with cache_disabled():
+        started = time.perf_counter()
+        for _ in range(reps):
+            scalar_rates = [
+                replay_pattern(p, R9_280X.l2_cache, budget=budget, engine="scalar").miss_rate
+                for p in patterns
+            ]
+        scalar_s = time.perf_counter() - started
+
+    # Shipped default: vector engine behind the trace memo cache.
+    TRACE_CACHE.clear()
+    before = TRACE_CACHE.snapshot()
+    started = time.perf_counter()
+    for _ in range(reps):
+        vector_rates = [
+            replay_pattern(p, R9_280X.l2_cache, budget=budget).miss_rate
+            for p in patterns
+        ]
+    vector_s = time.perf_counter() - started
+    delta = TRACE_CACHE.snapshot().since(before)
+
+    if scalar_rates != vector_rates:
+        raise AssertionError(
+            f"paths disagree: {scalar_rates} != {vector_rates}"
+        )
+    return {
+        "reps": reps,
+        "patterns": len(patterns),
+        "scalar_path_seconds": scalar_s,
+        "vector_memo_path_seconds": vector_s,
+        "speedup": scalar_s / vector_s if vector_s else float("inf"),
+        "trace_memo_hits": delta.hits,
+        "trace_memo_misses": delta.misses,
+        "miss_rates": dict(zip([app.name for app in apps], vector_rates)),
+    }
+
+
+def run_cache_bench(
+    apps: Sequence[ProxyApp] | None = None,
+    repeats: int = 3,
+    reps: int = 5,
+    budget: int = DEFAULT_TRACE_BUDGET,
+) -> dict:
+    """The full cache-replay benchmark, as a JSON-serializable dict."""
+    if apps is None:
+        from ..apps import ALL_APPS
+
+        apps = ALL_APPS
+    rows = [bench_pattern(app, repeats, budget) for app in apps]
+    scalar_total = sum(r.scalar_seconds for r in rows)
+    vector_total = sum(r.vector_seconds for r in rows)
+    return {
+        "budget": budget,
+        "engine_repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "patterns": [asdict(r) for r in rows],
+        "replay_totals": {
+            "scalar_seconds": scalar_total,
+            "vector_seconds": vector_total,
+            "speedup": scalar_total / vector_total if vector_total else float("inf"),
+        },
+        "characterization": _characterization_protocol(apps, reps, budget),
+    }
+
+
+def render_cache_bench(result: dict) -> str:
+    """Human-readable ratio table of a :func:`run_cache_bench` result."""
+    rows = [
+        [
+            r["app"],
+            r["kind"],
+            str(r["accesses"]),
+            f"{r['scalar_seconds'] * 1e3:8.1f} ms",
+            f"{r['vector_seconds'] * 1e3:8.1f} ms",
+            f"{r['speedup']:5.1f}x",
+            f"{r['miss_rate']:.1%}",
+        ]
+        for r in result["patterns"]
+    ]
+    totals = result["replay_totals"]
+    rows.append(
+        [
+            "TOTAL",
+            "",
+            "",
+            f"{totals['scalar_seconds'] * 1e3:8.1f} ms",
+            f"{totals['vector_seconds'] * 1e3:8.1f} ms",
+            f"{totals['speedup']:5.1f}x",
+            "",
+        ]
+    )
+    table = format_table(
+        ["App", "Pattern", "Accesses", "Scalar", "Vector", "Speedup", "Miss rate"],
+        rows,
+        title="Cache-replay engine benchmark (memo disabled, bit-identical stats)",
+    )
+    c = result["characterization"]
+    lines = [
+        table,
+        "",
+        f"Repeated characterization ({c['reps']} reps x {c['patterns']} patterns):",
+        f"  pre-optimization path (scalar engine, no memo): "
+        f"{c['scalar_path_seconds'] * 1e3:.1f} ms",
+        f"  shipped path (vector engine + trace memo):      "
+        f"{c['vector_memo_path_seconds'] * 1e3:.1f} ms",
+        f"  speedup: {c['speedup']:.1f}x  "
+        f"(trace memo: {c['trace_memo_hits']} hits / {c['trace_memo_misses']} misses)",
+    ]
+    return "\n".join(lines)
+
+
+def write_cache_bench(result: dict, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(result, fh, indent=2, sort_keys=False)
+        fh.write("\n")

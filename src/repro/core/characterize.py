@@ -16,14 +16,18 @@ Reproduces the measurement methodology behind Table I:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..apps.base import ProxyApp
 from ..engine.kernel import KernelSpec
-from ..engine.trace import replay_pattern
+from ..engine.trace import DEFAULT_REPLAY_ENGINE, replay_pattern
+from ..exec.executor import ExecStats
 from ..hardware.device import make_dgpu_platform
 from ..hardware.specs import R9_280X, Precision
 from ..models.base import ExecutionContext
+from ..obs.export import Timeline
 from .sweep import SweepResult, run_sweep
 
 #: Table I of the paper, verbatim, for side-by-side reporting.
@@ -55,9 +59,14 @@ class AppCharacterization:
     boundedness: str
 
 
-def measure_miss_rate(spec: KernelSpec) -> float:
-    """Replay the kernel's access pattern through the R9 280X L2."""
-    result = replay_pattern(spec.access, R9_280X.l2_cache)
+def measure_miss_rate(spec: KernelSpec, engine: str = DEFAULT_REPLAY_ENGINE) -> float:
+    """Replay the kernel's access pattern through the R9 280X L2.
+
+    ``engine`` selects the replay implementation (``"vector"`` batch
+    simulator or the ``"scalar"`` reference); both are bit-identical,
+    so the choice affects wall time only.
+    """
+    result = replay_pattern(spec.access, R9_280X.l2_cache, engine=engine)
     return result.miss_rate
 
 
@@ -106,13 +115,15 @@ def characterize(
     sweep: SweepResult | None = None,
     max_workers: int = 1,
     use_cache: bool = True,
+    engine: str = DEFAULT_REPLAY_ENGINE,
 ) -> AppCharacterization:
     """Produce one Table I row for ``app``.
 
     The miss rate is always measured at the paper's problem size (it
     depends on the working set); IPC and boundedness use the supplied
     configs.  ``max_workers``/``use_cache`` configure the executor for
-    the boundedness sweep.
+    the boundedness sweep; ``engine`` picks the trace-replay
+    implementation (bit-identical either way).
     """
     spec = dominant_spec(app, app.paper_config())
     if sweep is None:
@@ -126,8 +137,72 @@ def characterize(
         )
     return AppCharacterization(
         app=app.name,
-        llc_miss_rate=measure_miss_rate(spec),
+        llc_miss_rate=measure_miss_rate(spec, engine=engine),
         ipc=measure_ipc(app, config),
         n_kernels=app.n_kernels,
         boundedness=sweep.classify(),
+    )
+
+
+@dataclass(frozen=True)
+class CharacterizationResult:
+    """A full Table I regeneration with its executor observability."""
+
+    rows: tuple[AppCharacterization, ...]
+    stats: ExecStats
+    telemetry: Timeline | None = None
+
+
+def characterize_apps(
+    apps: Sequence[ProxyApp],
+    configs: dict[str, object] | None = None,
+    sweep_configs: dict[str, object] | None = None,
+    max_workers: int = 1,
+    use_cache: bool = True,
+    engine: str = DEFAULT_REPLAY_ENGINE,
+    telemetry: bool = False,
+) -> CharacterizationResult:
+    """Characterize several apps, with executor stats aggregated.
+
+    Each app's boundedness sweep fans through the parallel executor
+    (``max_workers``); miss-rate replays go through the selected
+    ``engine`` and the trace memo cache, whose hit/miss delta for the
+    whole batch is folded into the returned stats.  Results are
+    bit-identical for every worker count, engine and cache setting.
+    """
+    from ..engine.memo import TRACE_CACHE, cache_disabled
+    from .configs import bench_configs as _bench_configs
+    from .configs import sweep_configs as _sweep_configs
+
+    if configs is None:
+        configs = _bench_configs()
+    if sweep_configs is None:
+        sweep_configs = _sweep_configs()
+
+    trace_before = TRACE_CACHE.snapshot()
+    rows: list[AppCharacterization] = []
+    stats: ExecStats | None = None
+    with cache_disabled() if not use_cache else nullcontext():
+        for app in apps:
+            sweep = run_sweep(
+                app,
+                sweep_configs[app.name],
+                core_grid=(200.0, 1000.0),
+                memory_grid=(480.0, 1250.0),
+                max_workers=max_workers,
+                use_cache=use_cache,
+                telemetry=telemetry,
+            )
+            rows.append(characterize(app, configs[app.name], sweep=sweep, engine=engine))
+            stats = sweep.stats if stats is None else stats.merge(sweep.stats)
+    if stats is None:
+        stats = ExecStats()
+    # The miss-rate replays run in this process, outside the executor:
+    # fold their memo delta into the batch stats.
+    trace_delta = TRACE_CACHE.snapshot().since(trace_before)
+    stats = stats.merge(
+        ExecStats(trace_hits=trace_delta.hits, trace_misses=trace_delta.misses)
+    )
+    return CharacterizationResult(
+        rows=tuple(rows), stats=stats, telemetry=stats.timeline,
     )

@@ -31,9 +31,11 @@ from .launch import (
 from .memo import (
     KERNEL_CACHE,
     SETUP_CACHE,
+    TRACE_CACHE,
     KernelMemoCache,
     MemoStats,
     SetupMemoCache,
+    TraceMemoCache,
     cache_disabled,
     cached_simulate_kernel,
     cached_time_cpu_kernel,
@@ -50,7 +52,15 @@ from .timing import (
     time_cpu_kernel,
     time_gpu_kernel,
 )
-from .trace import TraceResult, generate_trace, replay_pattern
+from .trace import (
+    DEFAULT_REPLAY_ENGINE,
+    REPLAY_ENGINES,
+    TraceResult,
+    generate_trace,
+    make_replay_cache,
+    replay_pattern,
+    scaled_cache_spec,
+)
 from .validate import ValidationPoint, disagreements, validate_kernel, validate_specs
 
 __all__ = [
@@ -58,6 +68,8 @@ __all__ = [
     "AccessPattern",
     "CPPAMP_APU",
     "CPPAMP_DGPU",
+    "DEFAULT_REPLAY_ENGINE",
+    "REPLAY_ENGINES",
     "HC_APU",
     "HC_DGPU",
     "KERNEL_CACHE",
@@ -78,6 +90,8 @@ __all__ = [
     "SETUP_CACHE",
     "ScheduleResult",
     "SetupMemoCache",
+    "TRACE_CACHE",
+    "TraceMemoCache",
     "TraceResult",
     "ValidationPoint",
     "cache_disabled",
@@ -90,8 +104,10 @@ __all__ = [
     "cpu_vector_rate",
     "generate_trace",
     "hand_tuned",
+    "make_replay_cache",
     "memoized_setup",
     "replay_pattern",
+    "scaled_cache_spec",
     "set_cache_enabled",
     "simulate_kernel",
     "time_cpu_kernel",

@@ -65,7 +65,13 @@ class MemoStats:
 
 
 class KernelMemoCache:
-    """A content-addressed memo table with hit/miss accounting."""
+    """A content-addressed memo table with hit/miss accounting.
+
+    ``layer`` names the cache in telemetry events ("kernel" pricing by
+    default); subclasses reuse the machinery for other layers.
+    """
+
+    layer = "kernel"
 
     def __init__(self, enabled: bool = True) -> None:
         self.enabled = enabled
@@ -85,12 +91,12 @@ class KernelMemoCache:
             value = self._values[key]
             self._hits += 1
             if rec is not None:
-                rec.cache_event("kernel", hit=True, kind=str(key[0]))
+                rec.cache_event(self.layer, hit=True, kind=str(key[0]))
             return value  # type: ignore[return-value]
         except KeyError:
             self._misses += 1
             if rec is not None:
-                rec.cache_event("kernel", hit=False, kind=str(key[0]))
+                rec.cache_event(self.layer, hit=False, kind=str(key[0]))
             value = compute()
             self._values[key] = value
             return value
@@ -107,6 +113,29 @@ class KernelMemoCache:
 
 #: The process-global cache backing every ``charge_*`` pricing call.
 KERNEL_CACHE = KernelMemoCache()
+
+
+class TraceMemoCache(KernelMemoCache):
+    """Content-addressed memo for trace replays (Table I miss rates).
+
+    Keys are ``(pattern kind, pattern, scaled cache spec, budget)`` —
+    the full content of a characterization replay.  Trace generation is
+    deterministic (stable per-pattern seeding) and both replay engines
+    are pure functions of (trace, cache spec), so a hit is bit-identical
+    to re-simulating: sweeps, per-device replays and repeated benchmark
+    runs pay the ~200k-access simulation once per content.
+
+    The stored value is the full :class:`~repro.engine.trace.TraceResult`;
+    the engine that computed it is deliberately *not* part of the key —
+    the vectorized and scalar engines are asserted bit-identical, so
+    either may serve the other's lookups.
+    """
+
+    layer = "trace"
+
+
+#: The process-global cache backing ``replay_pattern``.
+TRACE_CACHE = TraceMemoCache()
 
 
 class SetupMemoCache:
@@ -190,27 +219,30 @@ def memoized_setup(builder: Callable[..., T]) -> Callable[..., T]:
 
 
 def set_cache_enabled(enabled: bool) -> None:
-    """Enable or disable both memo layers (pricing and setup)."""
+    """Enable or disable every memo layer (pricing, setup, trace)."""
     KERNEL_CACHE.enabled = enabled
     SETUP_CACHE.enabled = enabled
+    TRACE_CACHE.enabled = enabled
 
 
 def clear_caches() -> None:
     """Drop all memoized values and counters in this process."""
     KERNEL_CACHE.clear()
     SETUP_CACHE.clear()
+    TRACE_CACHE.clear()
 
 
 @contextmanager
 def cache_disabled() -> Iterator[None]:
     """Force recomputation within the block (e.g. for cross-checks)."""
-    previous = (KERNEL_CACHE.enabled, SETUP_CACHE.enabled)
+    previous = (KERNEL_CACHE.enabled, SETUP_CACHE.enabled, TRACE_CACHE.enabled)
     KERNEL_CACHE.enabled = False
     SETUP_CACHE.enabled = False
+    TRACE_CACHE.enabled = False
     try:
         yield
     finally:
-        KERNEL_CACHE.enabled, SETUP_CACHE.enabled = previous
+        KERNEL_CACHE.enabled, SETUP_CACHE.enabled, TRACE_CACHE.enabled = previous
 
 
 def gpu_state_key(gpu: GPUDevice) -> tuple:

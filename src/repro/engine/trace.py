@@ -16,12 +16,15 @@ preserves the capacity-miss behaviour.
 from __future__ import annotations
 
 import math
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..hardware.cache import CacheStats, SetAssociativeCache
+from ..hardware.cache_vec import VectorSetAssociativeCache
 from ..hardware.specs import CacheSpec
+from ..obs import spans as obs_spans
 from .kernel import AccessKind, AccessPattern
 
 #: Upper bound on generated trace length (addresses).
@@ -29,6 +32,11 @@ DEFAULT_TRACE_BUDGET = 200_000
 
 #: Footprints larger than this are scaled down together with the cache.
 DEFAULT_FOOTPRINT_CAP = 16 * 1024 * 1024
+
+#: Replay engines: the vectorized batch simulator is the production
+#: default; the scalar dict model is the differential reference.
+REPLAY_ENGINES = ("vector", "scalar")
+DEFAULT_REPLAY_ENGINE = "vector"
 
 
 @dataclass(frozen=True)
@@ -45,9 +53,17 @@ class TraceResult:
 
 
 def _rng(pattern: AccessPattern) -> np.random.Generator:
-    """Deterministic per-pattern RNG (same pattern -> same trace)."""
-    seed = hash((pattern.kind.value, int(pattern.working_set_bytes), pattern.table_entries)) & 0xFFFFFFFF
-    return np.random.default_rng(seed)
+    """Deterministic per-pattern RNG (same pattern -> same trace).
+
+    Seeded from a stable digest of the pattern's content — never from
+    Python's ``hash()``, whose string hashing is salted per process
+    (PYTHONHASHSEED), which would make identical patterns generate
+    different traces across processes.
+    """
+    canonical = (
+        f"{pattern.kind.value}|{int(pattern.working_set_bytes)}|{pattern.table_entries}"
+    )
+    return np.random.default_rng(zlib.crc32(canonical.encode("ascii")))
 
 
 def generate_trace(pattern: AccessPattern, budget: int = DEFAULT_TRACE_BUDGET) -> np.ndarray:
@@ -176,16 +192,15 @@ def _interleave_reuse(base: np.ndarray, reuse_fraction: float, rng: np.random.Ge
     return np.concatenate(out)
 
 
-def replay_pattern(
-    pattern: AccessPattern,
-    cache_spec: CacheSpec,
-    budget: int = DEFAULT_TRACE_BUDGET,
-) -> TraceResult:
-    """Measure ``pattern``'s miss rate on a cache of ``cache_spec``.
+def scaled_cache_spec(
+    pattern: AccessPattern, cache_spec: CacheSpec
+) -> tuple[CacheSpec, float]:
+    """The cache spec a replay of ``pattern`` actually simulates.
 
     When the pattern's working set exceeds the trace footprint cap the
     cache is scaled down by the same ratio, preserving the working-set
-    to cache-size ratio that drives capacity misses.
+    to cache-size ratio that drives capacity misses.  This scaled spec
+    (not the nominal one) keys the trace memo cache.
     """
     scale = 1.0
     if pattern.working_set_bytes > DEFAULT_FOOTPRINT_CAP:
@@ -194,12 +209,56 @@ def replay_pattern(
     # Keep geometry legal: at least one set, same line size and ways.
     min_size = cache_spec.line_bytes * cache_spec.ways
     size = max(min_size, (size // min_size) * min_size)
-    scaled_spec = CacheSpec(size_bytes=size, line_bytes=cache_spec.line_bytes, ways=cache_spec.ways)
+    return (
+        CacheSpec(size_bytes=size, line_bytes=cache_spec.line_bytes, ways=cache_spec.ways),
+        scale,
+    )
 
-    cache = SetAssociativeCache(scaled_spec)
-    trace = generate_trace(pattern, budget=budget)
-    # Warm-up pass then measured pass: Table I reports steady state.
-    warm = trace[: len(trace) // 4]
-    cache.replay(warm.tolist())
-    measured = cache.replay(trace.tolist())
-    return TraceResult(pattern=pattern, stats=measured, scale=scale)
+
+def make_replay_cache(
+    spec: CacheSpec, engine: str = DEFAULT_REPLAY_ENGINE
+) -> VectorSetAssociativeCache | SetAssociativeCache:
+    """Instantiate the requested replay engine on ``spec``."""
+    if engine == "vector":
+        return VectorSetAssociativeCache(spec)
+    if engine == "scalar":
+        return SetAssociativeCache(spec)
+    raise ValueError(f"unknown replay engine {engine!r}; expected one of {REPLAY_ENGINES}")
+
+
+def replay_pattern(
+    pattern: AccessPattern,
+    cache_spec: CacheSpec,
+    budget: int = DEFAULT_TRACE_BUDGET,
+    engine: str = DEFAULT_REPLAY_ENGINE,
+) -> TraceResult:
+    """Measure ``pattern``'s miss rate on a cache of ``cache_spec``.
+
+    Replays run array-native through the selected engine and are
+    memoized content-addressed in
+    :data:`~repro.engine.memo.TRACE_CACHE`: repeated characterizations
+    of the same (pattern, scaled cache, budget) hit instead of
+    re-simulating.  Both engines are bit-identical, so neither the
+    memo layer nor the engine choice can change a result.
+    """
+    if engine not in REPLAY_ENGINES:
+        raise ValueError(f"unknown replay engine {engine!r}; expected one of {REPLAY_ENGINES}")
+    from .memo import TRACE_CACHE  # late: keep this module importable standalone
+
+    scaled_spec, scale = scaled_cache_spec(pattern, cache_spec)
+
+    def compute() -> TraceResult:
+        rec = obs_spans.current()
+        with rec.span("characterize", f"generate:{pattern.kind.value}", "trace",
+                      budget=budget):
+            trace = generate_trace(pattern, budget=budget)
+        cache = make_replay_cache(scaled_spec, engine)
+        with rec.span("characterize", f"replay:{pattern.kind.value}", "trace",
+                      engine=engine, accesses=len(trace)):
+            # Warm-up pass then measured pass: Table I reports steady state.
+            cache.replay(trace[: len(trace) // 4])
+            measured = cache.replay(trace)
+        return TraceResult(pattern=pattern, stats=measured, scale=scale)
+
+    key = (pattern.kind.value, pattern, scaled_spec, budget)
+    return TRACE_CACHE.lookup(key, compute)

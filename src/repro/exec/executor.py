@@ -49,6 +49,8 @@ class RunOutcome:
     cache_misses: int
     setup_hits: int = 0
     setup_misses: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
     #: Full span/metric recording of the run; ``None`` unless the
     #: executor ran with telemetry enabled.
     telemetry: RunTelemetry | None = None
@@ -70,9 +72,12 @@ class ExecStats:
     cache_misses: int = 0
     setup_hits: int = 0
     setup_misses: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
     #: Per-run (label, wall seconds, kernel hits, kernel misses,
-    #: setup hits, setup misses) — one row per executed unique run.
-    per_run: list[tuple[str, float, int, int, int, int]] = field(default_factory=list)
+    #: setup hits, setup misses, trace hits, trace misses) — one row
+    #: per executed unique run.
+    per_run: list[tuple[str, float, int, int, int, int, int, int]] = field(default_factory=list)
     #: Kernel launches by dominant limiter ("compute" / "memory" /
     #: "floor"), summed over the executed runs — Table I's
     #: boundedness claim, visible per study run.
@@ -96,6 +101,11 @@ class ExecStats:
         return self.setup_hits / lookups if lookups else 0.0
 
     @property
+    def trace_hit_rate(self) -> float:
+        lookups = self.trace_hits + self.trace_misses
+        return self.trace_hits / lookups if lookups else 0.0
+
+    @property
     def parallel_speedup(self) -> float:
         """run_seconds / wall_seconds — the observable executor gain."""
         return self.run_seconds / self.wall_seconds if self.wall_seconds else 0.0
@@ -113,6 +123,11 @@ class ExecStats:
             f"setup memo cache: {self.setup_hits} hits / {self.setup_misses} misses "
             f"({self.setup_hit_rate:.1%} hit rate)",
         ]
+        if self.trace_hits or self.trace_misses:
+            lines.append(
+                f"trace-replay memo cache: {self.trace_hits} hits / "
+                f"{self.trace_misses} misses ({self.trace_hit_rate:.1%} hit rate)"
+            )
         if self.limited_by:
             tally = ", ".join(
                 f"{name} {self.limited_by[name]}"
@@ -140,6 +155,8 @@ class ExecStats:
             cache_misses=self.cache_misses + other.cache_misses,
             setup_hits=self.setup_hits + other.setup_hits,
             setup_misses=self.setup_misses + other.setup_misses,
+            trace_hits=self.trace_hits + other.trace_hits,
+            trace_misses=self.trace_misses + other.trace_misses,
             per_run=self.per_run + other.per_run,
             limited_by=tallies,
             timeline=self.timeline if self.timeline is not None else other.timeline,
@@ -163,6 +180,7 @@ def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
 
     before = memo.KERNEL_CACHE.snapshot()
     setup_before = memo.SETUP_CACHE.snapshot()
+    trace_before = memo.TRACE_CACHE.snapshot()
     started = time.perf_counter()
     app = APPS_BY_NAME[spec.app]
     platform = make_platform(apu=spec.apu)
@@ -186,6 +204,7 @@ def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
     wall = time.perf_counter() - started
     delta = memo.KERNEL_CACHE.snapshot().since(before)
     setup_delta = memo.SETUP_CACHE.snapshot().since(setup_before)
+    trace_delta = memo.TRACE_CACHE.snapshot().since(trace_before)
     return RunOutcome(
         spec=spec,
         result=result,
@@ -194,6 +213,8 @@ def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
         cache_misses=delta.misses,
         setup_hits=setup_delta.hits,
         setup_misses=setup_delta.misses,
+        trace_hits=trace_delta.hits,
+        trace_misses=trace_delta.misses,
         telemetry=recorded,
     )
 
@@ -302,6 +323,9 @@ def _executor_metrics(stats: ExecStats, worker_busy: dict[int, float]) -> Metric
     registry.gauge(
         "repro_memo_hit_ratio", help="Memo hit ratio by cache layer.", cache="setup"
     ).set(stats.setup_hit_rate)
+    registry.gauge(
+        "repro_memo_hit_ratio", help="Memo hit ratio by cache layer.", cache="trace"
+    ).set(stats.trace_hit_rate)
     for name, count in sorted(stats.limited_by.items()):
         registry.counter(
             "repro_limited_by_total",
@@ -407,13 +431,16 @@ def execute(
     if max_workers <= 1 or len(unique) <= 1:
         workers = 1
         shards = [list(enumerate(unique))]
-        previous = (memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled)
+        previous = (
+            memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled, memo.TRACE_CACHE.enabled,
+        )
         memo.set_cache_enabled(use_cache)
         try:
             for index, spec in enumerate(unique):
                 executed[index] = execute_run(spec, telemetry=telemetry)
         finally:
-            memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled = previous
+            (memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled,
+             memo.TRACE_CACHE.enabled) = previous
     else:
         workers = min(max_workers, len(unique))
         # Contiguous shards, one per worker, snapped to setup-affinity
@@ -444,9 +471,11 @@ def execute(
         cache_misses=sum(o.cache_misses for o in executed if o is not None),
         setup_hits=sum(o.setup_hits for o in executed if o is not None),
         setup_misses=sum(o.setup_misses for o in executed if o is not None),
+        trace_hits=sum(o.trace_hits for o in executed if o is not None),
+        trace_misses=sum(o.trace_misses for o in executed if o is not None),
         per_run=[
             (o.spec.label, o.wall_seconds, o.cache_hits, o.cache_misses,
-             o.setup_hits, o.setup_misses)
+             o.setup_hits, o.setup_misses, o.trace_hits, o.trace_misses)
             for o in executed
             if o is not None
         ],

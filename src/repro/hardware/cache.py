@@ -1,4 +1,4 @@
-"""Set-associative cache simulator.
+"""Set-associative cache simulator (scalar reference engine).
 
 Table I of the paper characterises each proxy application by its
 last-level-cache miss rate (11% LULESH ... 53% XSBench).  Rather than
@@ -6,14 +6,28 @@ hard-coding those numbers, the reproduction measures them: each
 application's kernels generate synthetic address traces (see
 ``repro.engine.trace``) that are replayed through this LRU
 set-associative model.
+
+This scalar engine is the differential-testing reference; the
+production path is the vectorized batch engine
+(``repro.hardware.cache_vec``), which produces bit-identical
+:class:`CacheStats` from whole numpy address arrays.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from .specs import CacheSpec
+
+
+def validate_geometry(spec: CacheSpec) -> None:
+    """Reject specs whose size is not a whole number of sets."""
+    if spec.size_bytes % (spec.line_bytes * spec.ways) != 0:
+        raise ValueError(
+            f"cache size {spec.size_bytes} not divisible by "
+            f"line_bytes*ways = {spec.line_bytes * spec.ways}"
+        )
 
 
 @dataclass
@@ -36,6 +50,25 @@ class CacheStats:
     def hit_rate(self) -> float:
         return 1.0 - self.miss_rate if self.accesses else 0.0
 
+    def copy(self) -> "CacheStats":
+        """Snapshot of the counters at this point in time."""
+        return CacheStats(
+            accesses=self.accesses,
+            hits=self.hits,
+            misses=self.misses,
+            evictions=self.evictions,
+        )
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counter delta between two snapshots (shared by both replay
+        engines to report per-replay stats from cumulative counters)."""
+        return CacheStats(
+            accesses=self.accesses - earlier.accesses,
+            hits=self.hits - earlier.hits,
+            misses=self.misses - earlier.misses,
+            evictions=self.evictions - earlier.evictions,
+        )
+
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Combine counters from two replays (e.g. per-kernel stats)."""
         return CacheStats(
@@ -54,11 +87,7 @@ class SetAssociativeCache:
     """
 
     def __init__(self, spec: CacheSpec) -> None:
-        if spec.size_bytes % (spec.line_bytes * spec.ways) != 0:
-            raise ValueError(
-                f"cache size {spec.size_bytes} not divisible by "
-                f"line_bytes*ways = {spec.line_bytes * spec.ways}"
-            )
+        validate_geometry(spec)
         self.spec = spec
         self.n_sets = spec.sets
         self._sets: list[dict[int, None]] = [{} for _ in range(self.n_sets)]
@@ -93,21 +122,17 @@ class SetAssociativeCache:
         return False
 
     def replay(self, addresses: Iterable[int]) -> CacheStats:
-        """Replay a trace, returning the stats delta for this trace."""
-        before = CacheStats(
-            accesses=self.stats.accesses,
-            hits=self.stats.hits,
-            misses=self.stats.misses,
-            evictions=self.stats.evictions,
-        )
+        """Replay a trace, returning the stats delta for this trace.
+
+        Accepts any iterable of byte addresses, including numpy int
+        arrays (converted once, not element by element).
+        """
+        if hasattr(addresses, "tolist"):  # numpy array: one bulk conversion
+            addresses = addresses.tolist()  # type: ignore[union-attr]
+        before = self.stats.copy()
         for address in addresses:
             self.access(address)
-        return CacheStats(
-            accesses=self.stats.accesses - before.accesses,
-            hits=self.stats.hits - before.hits,
-            misses=self.stats.misses - before.misses,
-            evictions=self.stats.evictions - before.evictions,
-        )
+        return self.stats.since(before)
 
     @property
     def resident_lines(self) -> int:

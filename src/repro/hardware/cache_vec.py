@@ -1,0 +1,440 @@
+"""Vectorized batch set-associative cache simulator.
+
+The scalar reference model (:mod:`repro.hardware.cache`) replays one
+Python dict operation per byte address — ~200k interpreter iterations
+per (pattern, cache) characterization.  This engine consumes whole
+int64 address arrays instead:
+
+1. addresses are mapped to (set, tag) pairs vectorially;
+2. accesses are bucketed per set with one composite-key sort
+   (``set << 32 | position`` — unique keys, so a plain quicksort
+   yields the stable per-set program order) plus a bincount;
+3. adjacent same-line touches within a set are collapsed up front:
+   a re-touch of the MRU line is a guaranteed hit that cannot change
+   the LRU order, so whole runs (a 16-element unit-stride sweep of one
+   line, a binary search re-probing the shared root) are counted
+   without simulating them;
+4. the surviving per-set LRU state machines advance in *rounds*:
+   round ``r`` applies the ``r``-th access of every still-active set
+   at once, as numpy ops over a compact ``(sets, ways)`` tag/timestamp
+   matrix.
+
+The Python-level loop count therefore drops from the number of
+accesses to the *maximum per-set depth after collapsing* — tens to a
+few hundred rounds for the traces the generators emit.  The handful
+of sets hit far deeper than the rest (the set holding a binary
+search's root, or a fully-associative ``sets == 1`` geometry) would
+stretch the round loop out, so once fewer than ``tail_cutoff`` sets
+remain active the stragglers finish through the exact scalar per-set
+dict machine; sets are independent, which makes the split lossless.
+
+Both paths implement the same LRU policy, so the engine produces
+:class:`~repro.hardware.cache.CacheStats` **bit-identical** to the
+scalar model on any trace (asserted by the differential suite in
+``tests/hardware/test_cache_vec.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .cache import CacheStats, validate_geometry
+from .specs import CacheSpec
+
+#: Tag value marking an empty way (legal tags are non-negative).
+EMPTY = -1
+
+#: Cost-model constants picking where the round loop hands off to the
+#: scalar tail: per-round numpy dispatch overhead, per-(element x way)
+#: round work, and per-access scalar dict cost, all in arbitrary
+#: consistent units (microseconds on the calibration machine).  Only
+#: their ratios matter, and only for speed — any split is exact.
+ROUND_CALL_COST = 15.0
+ROUND_ELEM_COST = 0.0014
+SCALAR_ACCESS_COST = 0.22
+
+
+class VectorSetAssociativeCache:
+    """An LRU set-associative cache replaying whole address arrays.
+
+    State is two ``(sets, ways)`` int64 matrices: the resident tag per
+    way (``EMPTY`` when invalid) and the logical timestamp of its last
+    touch.  Timestamps only ever compare within one set row, so a
+    per-replay round counter — identical for every set touched in the
+    same round — orders ways exactly like the scalar model's dict
+    refresh order.  State persists across :meth:`replay` calls, so the
+    warm-up/measure protocol of ``repro.engine.trace`` works unchanged.
+
+    ``tail_cutoff`` overrides where the round loop hands the deepest
+    sets to the scalar per-set machine; the default (``None``) picks
+    the split from a dispatch-vs-element cost model per replay.  A
+    cutoff of 0 forces pure rounds, a huge cutoff forces pure scalar —
+    the split affects speed only, never stats (the differential tests
+    run both extremes).
+    """
+
+    def __init__(self, spec: CacheSpec, tail_cutoff: int | None = None) -> None:
+        validate_geometry(spec)
+        self.spec = spec
+        self.n_sets = spec.sets
+        self.tail_cutoff = tail_cutoff
+        self._tags = np.full((self.n_sets, spec.ways), EMPTY, dtype=np.int64)
+        self._times = np.full((self.n_sets, spec.ways), EMPTY, dtype=np.int64)
+        # Starting the clock at `ways` leaves room to rank-compress a
+        # row's resident timestamps into [clock - ways, clock) while
+        # keeping them above the EMPTY sentinel.
+        self._clock = spec.ways
+        self.stats = CacheStats()
+
+    def reset(self) -> None:
+        """Flush contents and zero the counters."""
+        self._tags.fill(EMPTY)
+        self._times.fill(EMPTY)
+        self._clock = self.spec.ways
+        self.stats = CacheStats()
+
+    @property
+    def resident_lines(self) -> int:
+        """Number of lines currently cached (for invariants in tests)."""
+        return int((self._tags != EMPTY).sum())
+
+    def access(self, address: int) -> bool:
+        """Touch one byte address; returns True on hit (API parity with
+        the scalar engine — batches should use :meth:`replay`)."""
+        return self.replay(np.array([address], dtype=np.int64)).hits == 1
+
+    def replay(self, addresses: np.ndarray) -> CacheStats:
+        """Replay a byte-address array, returning the stats delta."""
+        addrs = np.asarray(addresses, dtype=np.int64)
+        before = self.stats.copy()
+        if addrs.size:
+            if addrs.min() < 0:
+                raise ValueError("vector engine requires non-negative addresses")
+            self._replay_array(addrs)
+        return self.stats.since(before)
+
+    # -- internals -----------------------------------------------------
+
+    def _replay_array(self, addrs: np.ndarray) -> None:
+        n = int(addrs.size)
+        line_bytes = self.spec.line_bytes
+        if line_bytes & (line_bytes - 1):
+            lines = addrs // line_bytes
+        else:
+            lines = addrs >> (line_bytes.bit_length() - 1)
+
+        # Collapse consecutive touches of the same line before doing
+        # anything else: a re-touch of a set's MRU line is a hit that
+        # leaves the LRU order unchanged, so the run's tail needs
+        # counting, not simulating.  Unit-stride sweeps (16 touches per
+        # 64-byte line) shrink ~16x here, before the sort.
+        hits = 0
+        if n > 1:
+            same = lines[1:] == lines[:-1]
+            runs = int(same.sum())
+            if runs:
+                hits += runs
+                keep = np.empty(n, dtype=bool)
+                keep[0] = True
+                np.logical_not(same, out=keep[1:])
+                lines = lines[keep]
+        m = int(lines.size)
+        set_idx = lines % self.n_sets
+
+        # Bucket accesses per set.  Keys are unique (position in the
+        # low bits), so the default sort is effectively stable and each
+        # set's program order — the only order LRU depends on — is kept.
+        key = (set_idx << 32) | np.arange(m, dtype=np.int64)
+        key.sort()
+        s_sets = key >> 32
+        s_tags = lines[key & 0xFFFFFFFF]
+
+        # Same collapse again, now per set: interleaved streams that
+        # alternate sets in trace order become adjacent once bucketed.
+        if m > 1:
+            keep = np.empty(m, dtype=bool)
+            keep[0] = True
+            np.logical_or(
+                s_sets[1:] != s_sets[:-1], s_tags[1:] != s_tags[:-1], out=keep[1:]
+            )
+            kept = int(keep.sum())
+            if kept < m:
+                hits += m - kept
+                s_sets = s_sets[keep]
+                s_tags = s_tags[keep]
+
+        counts = np.bincount(s_sets, minlength=self.n_sets)
+        starts = np.zeros(self.n_sets + 1, dtype=np.int64)
+        np.cumsum(counts, out=starts[1:])
+
+        # Compact the touched sets' state rows, shallowest first: the
+        # rows active in round r are then always the suffix.
+        touched = np.nonzero(counts)[0]
+        asc = touched[np.argsort(counts[touched], kind="stable")]
+        depths = counts[asc]
+        row_start = starts[asc]
+        ctags = self._tags[asc]
+        ctimes = self._times[asc]
+        n_rows = int(asc.size)
+
+        # Every miss either fills an empty way or evicts, so evictions
+        # fall out of the occupancy delta — no per-round bookkeeping.
+        resident_before = int((ctags != EMPTY).sum())
+
+        r_stop = self._pick_round_stop(depths)
+
+        base = self._clock
+        if r_stop:
+            round_tags, round_bounds = self._round_major(
+                s_tags, s_sets, starts, asc, depths, row_start, r_stop
+            )
+            lo_of = np.searchsorted(depths, np.arange(r_stop), side="right")
+            tag_bits = int(s_tags.max()).bit_length() + 1
+            time_bits = (self.spec.ways + r_stop).bit_length()
+            if tag_bits + time_bits <= 62:
+                hits += self._run_rounds_packed(
+                    ctags, ctimes, round_tags, round_bounds, lo_of, tag_bits, r_stop, base
+                )
+            else:
+                hits += self._run_rounds(
+                    ctags, ctimes, round_tags, round_bounds, lo_of, r_stop, base
+                )
+
+        # Scalar tail: the deepest sets finish through the exact
+        # per-set dict machine (identical policy, no round overhead).
+        for row in range(
+            int(np.searchsorted(depths, r_stop, side="right")), n_rows
+        ):
+            seq = s_tags[row_start[row] + r_stop : row_start[row] + depths[row]]
+            hits += self._scalar_advance(ctags[row], ctimes[row], seq, int(depths[row]))
+
+        resident_after = int((ctags != EMPTY).sum())
+        self._tags[asc] = ctags
+        self._times[asc] = ctimes
+        self._clock = base + int(depths[-1])
+        misses = n - hits
+        self.stats.accesses += n
+        self.stats.hits += hits
+        self.stats.misses += misses
+        self.stats.evictions += misses - (resident_after - resident_before)
+
+    def _pick_round_stop(self, depths: np.ndarray) -> int:
+        """How many rounds to run before the scalar tail takes over.
+
+        The cost of stopping after ``r`` rounds is the dispatch and
+        element work of those rounds plus the scalar dict cost of every
+        access deeper than ``r``.  That function is piecewise linear in
+        ``r`` with vertices at the distinct per-set depths, so the
+        minimum is found by evaluating every vertex (plus r=0) at once.
+        Uniformly deep sets keep the rounds running to the end; one
+        monster set (a binary search's root, or ``sets == 1``) makes
+        the rounds stop early and go scalar.  Any choice is exact —
+        this only tunes speed.
+        """
+        if self.tail_cutoff is not None:
+            n_rows = int(depths.size)
+            if n_rows > self.tail_cutoff:
+                return int(depths[n_rows - self.tail_cutoff - 1])
+            return 0
+        total = int(depths.sum())
+        # Candidate stops: r=0 and each distinct depth.  At r=depths[j],
+        # rounds have processed sum(min(d_i, r)) accesses.
+        candidates = np.concatenate(([0], depths))
+        prefix = np.concatenate(([0], np.cumsum(depths)))
+        n_deeper = depths.size - np.searchsorted(depths, candidates, side="right")
+        processed = prefix[depths.size - n_deeper] + n_deeper * candidates
+        cost = (
+            ROUND_CALL_COST * candidates
+            + ROUND_ELEM_COST * self.spec.ways * processed
+            + SCALAR_ACCESS_COST * (total - processed)
+        )
+        return int(candidates[int(np.argmin(cost))])
+
+    def _run_rounds_packed(
+        self,
+        ctags: np.ndarray,
+        ctimes: np.ndarray,
+        round_tags: np.ndarray,
+        round_bounds: np.ndarray,
+        lo_of: np.ndarray,
+        tag_bits: int,
+        r_stop: int,
+        base: int,
+    ) -> int:
+        """Round loop over a packed ``rank << tag_bits | tag`` state.
+
+        Packing collapses the loop body to one comparison, one where,
+        one argmin and one scatter per round: the row minimum of
+        ``where(tag match, -2, packed)`` is the matched way on a hit
+        (-2 underflows the EMPTY sentinel -1) and the empty-or-LRU
+        victim on a miss, because rank-compressed timestamps occupy the
+        high bits.  Hit counting is deferred: each round's row minima
+        land in one buffer, summed once.  Returns the hit count.
+        """
+        ways = self.spec.ways
+        n_rows = int(ctags.shape[0])
+        row_ids = np.arange(n_rows)
+        # Rank-compress resident timestamps to 0..ways-1 per row; round
+        # r then writes time ways+r, strictly above every resident.
+        order = np.argsort(ctimes, axis=1, kind="stable")
+        ranks = np.empty_like(order)
+        ranks[row_ids[:, None], order] = np.arange(ways, dtype=np.int64)[None, :]
+        packed = (ranks << tag_bits) | ctags
+        packed[ctags == EMPTY] = -1
+
+        # Narrow state halves the memory traffic of the hot loop when
+        # (rank, tag) fits 31 bits (the sentinels need the sign).
+        if tag_bits + (ways + r_stop).bit_length() <= 31:
+            dtype = np.int32
+            packed = packed.astype(dtype)
+            round_tags = round_tags.astype(dtype)
+        else:
+            dtype = np.int64
+        tag_mask = (dtype(1) << tag_bits) - dtype(1)
+        matched = dtype(-2)
+        vmin = np.empty(int(round_bounds[-1]), dtype=dtype)
+        for r in range(r_stop):
+            lo = int(lo_of[r])
+            t = round_tags[round_bounds[r] : round_bounds[r + 1]]
+            prows = packed[lo:]
+            val = np.where((prows & tag_mask) == t[:, None], matched, prows)
+            way = val.argmin(axis=1)
+            rows = row_ids[: n_rows - lo]
+            vmin[round_bounds[r] : round_bounds[r + 1]] = val[rows, way]
+            prows[rows, way] = ((ways + r) << tag_bits) | t
+
+        # Unpack; packed time p maps to global time base - ways + p,
+        # which keeps residents-by-rank just below base and the round
+        # writes at exactly base + r (the clock started at `ways`, so
+        # these stay above EMPTY).
+        valid = packed != -1
+        np.copyto(ctags, packed & tag_mask, where=valid)
+        np.copyto(ctags, EMPTY, where=~valid)
+        np.copyto(ctimes, (packed >> tag_bits) + (base - ways), where=valid)
+        np.copyto(ctimes, EMPTY, where=~valid)
+        return int((vmin == matched).sum())
+
+    def _run_rounds(
+        self,
+        ctags: np.ndarray,
+        ctimes: np.ndarray,
+        round_tags: np.ndarray,
+        round_bounds: np.ndarray,
+        lo_of: np.ndarray,
+        r_stop: int,
+        base: int,
+    ) -> int:
+        """Round loop over the plain (tags, times) state — the fallback
+        when tags are too wide to pack.  Returns the hit count."""
+        n_rows = int(ctags.shape[0])
+        row_ids = np.arange(n_rows)
+        hits = 0
+        for r in range(r_stop):
+            lo = int(lo_of[r])
+            t = round_tags[round_bounds[r] : round_bounds[r + 1]]
+            tag_rows = ctags[lo:]
+            time_rows = ctimes[lo:]
+            rows = row_ids[: n_rows - lo]
+
+            cmp = tag_rows == t[:, None]
+            way = cmp.argmax(axis=1)
+            hit = cmp[rows, way]
+            hits += int(hit.sum())
+            # Empty ways carry timestamp EMPTY (< any real time), so
+            # argmin fills invalid ways before evicting the LRU one.
+            way = np.where(hit, way, time_rows.argmin(axis=1))
+            tag_rows[rows, way] = t
+            time_rows[rows, way] = base + r
+        return hits
+
+    @staticmethod
+    def _round_major(
+        s_tags: np.ndarray,
+        s_sets: np.ndarray,
+        starts: np.ndarray,
+        asc: np.ndarray,
+        depths: np.ndarray,
+        row_start: np.ndarray,
+        r_stop: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Transpose set-major tags so each round is a contiguous slice.
+
+        Returns ``(round_tags, round_bounds)``: round ``r``'s tags, in
+        compact-row order matching the active suffix, live at
+        ``round_tags[round_bounds[r]:round_bounds[r+1]]``.  One sort of
+        a packed (rank, depth-order, tag) key replaces the two numpy
+        calls per round a gather would cost; tags too wide to pack fall
+        back to exactly that per-round gather.
+        """
+        n_rows = int(asc.size)
+        rank = np.arange(s_tags.size, dtype=np.int64) - starts[s_sets]
+        order_of_set = np.empty(int(asc.max()) + 1, dtype=np.int64)
+        order_of_set[asc] = np.arange(n_rows)
+        row_of_access = order_of_set[s_sets]
+
+        row_bits = max(1, int(n_rows - 1).bit_length())
+        tag_bits = max(1, int(s_tags.max()).bit_length())
+        rank_bits = max(1, int(r_stop - 1).bit_length())
+        round_bounds = np.zeros(r_stop + 1, dtype=np.int64)
+        active = np.searchsorted(depths, np.arange(r_stop), side="right")
+        np.cumsum(n_rows - active, out=round_bounds[1:])
+
+        if rank_bits + row_bits + tag_bits <= 63:
+            in_rounds = rank < r_stop
+            packed = (
+                (rank[in_rounds] << (row_bits + tag_bits))
+                | (row_of_access[in_rounds] << tag_bits)
+                | s_tags[in_rounds]
+            )
+            packed.sort()
+            return packed & ((1 << tag_bits) - 1), round_bounds
+
+        # Wide tags: per-round gather from the set-major layout.
+        round_tags = np.empty(int(round_bounds[-1]), dtype=np.int64)
+        for r in range(r_stop):
+            lo = int(active[r])
+            round_tags[round_bounds[r] : round_bounds[r + 1]] = s_tags[row_start[lo:] + r]
+        return round_tags, round_bounds
+
+    def _scalar_advance(
+        self,
+        row_tags: np.ndarray,
+        row_times: np.ndarray,
+        seq: np.ndarray,
+        depth: int,
+    ) -> int:
+        """Advance one set's LRU machine over ``seq``, dict-style.
+
+        The row's occupancy is lifted into an insertion-ordered dict
+        (LRU first), advanced exactly like the scalar engine, and
+        written back with fresh in-row timestamps that preserve the
+        final LRU order and stay below this replay's clock ceiling.
+        ``depth`` is the set's full per-replay access depth, which
+        bounds the rebased timestamps under ``clock + depth``.
+        """
+        valid = np.nonzero(row_tags != EMPTY)[0]
+        by_age = valid[np.argsort(row_times[valid], kind="stable")]
+        lru: dict[int, None] = dict.fromkeys(int(t) for t in row_tags[by_age])
+
+        ways = self.spec.ways
+        hits = 0
+        for tag in seq.tolist():
+            if tag in lru:
+                del lru[tag]
+                lru[tag] = None
+                hits += 1
+                continue
+            if len(lru) >= ways:
+                del lru[next(iter(lru))]
+            lru[tag] = None
+
+        row_tags.fill(EMPTY)
+        row_times.fill(EMPTY)
+        # Occupancy can never exceed clock + depth (each resident line
+        # was once a miss), so this rebase stays non-negative and the
+        # row's final LRU order lands just under the clock ceiling.
+        rebase = self._clock + depth - len(lru)
+        for way, tag in enumerate(lru):
+            row_tags[way] = tag
+            row_times[way] = rebase + way
+        return hits

@@ -1,0 +1,65 @@
+"""Cache-replay benchmark (BENCH_cache.json) tests.
+
+The benchmark doubles as a correctness gate: every run replays each
+Table I pattern through both engines and raises if their stats differ,
+so these tests exercise the bit-identity contract at the paper's real
+workload shapes (with a reduced trace budget to stay fast).
+"""
+
+import json
+
+import pytest
+
+from repro.apps import ALL_APPS, APPS_BY_NAME
+from repro.core.cachebench import (
+    bench_pattern,
+    render_cache_bench,
+    run_cache_bench,
+    write_cache_bench,
+)
+
+
+@pytest.fixture(scope="module")
+def bench():
+    return run_cache_bench(apps=ALL_APPS[:2], repeats=1, reps=2, budget=4000)
+
+
+class TestRunCacheBench:
+    def test_structure(self, bench):
+        assert {"budget", "patterns", "replay_totals", "characterization"} <= set(bench)
+        assert len(bench["patterns"]) == 2
+        for row in bench["patterns"]:
+            assert row["scalar_seconds"] > 0
+            assert row["vector_seconds"] > 0
+            assert row["speedup"] == pytest.approx(
+                row["scalar_seconds"] / row["vector_seconds"]
+            )
+            assert 0.0 <= row["miss_rate"] <= 1.0
+
+    def test_characterization_protocol(self, bench):
+        c = bench["characterization"]
+        assert c["reps"] == 2
+        # Rep 1 misses once per pattern; every later rep hits.
+        assert c["trace_memo_misses"] == len(bench["patterns"])
+        assert c["trace_memo_hits"] == len(bench["patterns"]) * (c["reps"] - 1)
+        assert c["scalar_path_seconds"] > 0
+        assert c["vector_memo_path_seconds"] > 0
+
+    def test_json_round_trip(self, bench, tmp_path):
+        path = tmp_path / "bench.json"
+        write_cache_bench(bench, str(path))
+        assert json.loads(path.read_text()) == bench
+
+    def test_render(self, bench):
+        text = render_cache_bench(bench)
+        assert "Cache-replay engine benchmark" in text
+        assert "TOTAL" in text
+        assert "Repeated characterization" in text
+
+
+class TestBenchPattern:
+    def test_engines_asserted_identical(self):
+        row = bench_pattern(APPS_BY_NAME["LULESH"], repeats=1, budget=3000)
+        assert row.app == "LULESH"
+        assert row.kind == "stencil"
+        assert row.accesses > 0

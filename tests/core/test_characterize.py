@@ -79,3 +79,41 @@ class TestCharacterize:
     def test_dominant_kernels_defined(self):
         for app in PROXY_APPS:
             assert app.name in DOMINANT_KERNEL
+
+
+class TestCharacterizeApps:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.core.characterize import characterize_apps
+
+        return characterize_apps(PROXY_APPS)
+
+    def test_one_row_per_app(self, result):
+        assert [r.app for r in result.rows] == [app.name for app in PROXY_APPS]
+
+    def test_stats_include_trace_counters(self, result):
+        lookups = result.stats.trace_hits + result.stats.trace_misses
+        assert lookups >= len(PROXY_APPS)
+        assert "trace-replay memo cache" in result.stats.summary()
+
+    def test_engines_bit_identical(self):
+        from repro.core.characterize import characterize_apps
+        from repro.engine.memo import cache_disabled
+
+        with cache_disabled():
+            vector = characterize_apps(PROXY_APPS[:2], engine="vector")
+            scalar = characterize_apps(PROXY_APPS[:2], engine="scalar")
+        assert vector.rows == scalar.rows
+
+    def test_workers_bit_identical(self, result):
+        from repro.core.characterize import characterize_apps
+
+        parallel = characterize_apps(PROXY_APPS, max_workers=2)
+        assert parallel.rows == result.rows
+
+    def test_no_cache_bit_identical(self, result):
+        from repro.core.characterize import characterize_apps
+
+        uncached = characterize_apps(PROXY_APPS, use_cache=False)
+        assert uncached.rows == result.rows
+        assert uncached.stats.trace_hits == 0

@@ -99,3 +99,107 @@ class TestReplay:
     def test_gpu_l2_spec_usable(self):
         result = replay_pattern(pattern(AccessKind.STREAMING), R9_280X.l2_cache)
         assert result.stats.accesses > 0
+
+
+class TestEngines:
+    CACHE = CacheSpec(size_bytes=768 * 1024, line_bytes=64, ways=16)
+
+    @pytest.mark.parametrize("kind", list(AccessKind))
+    def test_vector_and_scalar_bit_identical(self, kind):
+        from repro.engine.memo import cache_disabled
+
+        overrides = {"table_entries": 1 << 14} if kind is AccessKind.BINARY_SEARCH else {}
+        p = pattern(kind, **overrides)
+        with cache_disabled():
+            vector = replay_pattern(p, self.CACHE, budget=20_000, engine="vector")
+            scalar = replay_pattern(p, self.CACHE, budget=20_000, engine="scalar")
+        assert vector.stats == scalar.stats
+        assert vector.scale == scalar.scale
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="replay engine"):
+            replay_pattern(pattern(AccessKind.STREAMING), self.CACHE, engine="quantum")
+
+
+class TestTraceMemo:
+    CACHE = CacheSpec(size_bytes=768 * 1024, line_bytes=64, ways=16)
+
+    def test_repeat_replay_hits_the_memo(self):
+        from repro.engine.memo import TRACE_CACHE
+
+        p = pattern(AccessKind.STENCIL, working_set_bytes=1 << 20)
+        TRACE_CACHE.clear()
+        before = TRACE_CACHE.snapshot()
+        first = replay_pattern(p, self.CACHE, budget=10_000)
+        second = replay_pattern(p, self.CACHE, budget=10_000)
+        delta = TRACE_CACHE.snapshot().since(before)
+        assert (delta.hits, delta.misses) == (1, 1)
+        assert second is first  # the memo returns the stored result
+
+    def test_key_distinguishes_content(self):
+        from repro.engine.memo import TRACE_CACHE
+
+        p = pattern(AccessKind.STENCIL, working_set_bytes=1 << 20)
+        TRACE_CACHE.clear()
+        before = TRACE_CACHE.snapshot()
+        replay_pattern(p, self.CACHE, budget=10_000)
+        replay_pattern(p, self.CACHE, budget=12_000)  # different budget
+        replay_pattern(pattern(AccessKind.STREAMING, working_set_bytes=1 << 20),
+                       self.CACHE, budget=10_000)
+        delta = TRACE_CACHE.snapshot().since(before)
+        assert (delta.hits, delta.misses) == (0, 3)
+
+    def test_cache_disabled_is_bit_identical(self):
+        from repro.engine.memo import TRACE_CACHE, cache_disabled
+
+        p = pattern(AccessKind.NEIGHBOR_LIST, reuse_fraction=0.3)
+        memoized = replay_pattern(p, self.CACHE, budget=10_000)
+        with cache_disabled():
+            recomputed = replay_pattern(p, self.CACHE, budget=10_000)
+            assert recomputed is not memoized
+        assert recomputed.stats == memoized.stats
+
+    def test_engine_not_part_of_key(self):
+        """Either engine may serve the other's lookups — they are
+        asserted bit-identical, so this can never change a result."""
+        from repro.engine.memo import TRACE_CACHE
+
+        p = pattern(AccessKind.STREAMING, working_set_bytes=1 << 20)
+        TRACE_CACHE.clear()
+        replay_pattern(p, self.CACHE, budget=10_000, engine="scalar")
+        before = TRACE_CACHE.snapshot()
+        replay_pattern(p, self.CACHE, budget=10_000, engine="vector")
+        assert TRACE_CACHE.snapshot().since(before).hits == 1
+
+
+class TestCrossProcessDeterminism:
+    def test_trace_stable_across_hash_seeds(self):
+        """Trace seeding must not depend on Python's salted ``hash()``:
+        the same pattern generates the identical trace in subprocesses
+        with different PYTHONHASHSEED values."""
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import zlib, numpy as np\n"
+            "from repro.engine.kernel import AccessKind, AccessPattern\n"
+            "from repro.engine.trace import generate_trace\n"
+            "p = AccessPattern(kind=AccessKind.NEIGHBOR_LIST,"
+            " working_set_bytes=1 << 20, request_bytes=4, reuse_fraction=0.3)\n"
+            "t = generate_trace(p, budget=5000)\n"
+            "print(zlib.crc32(t.tobytes()))\n"
+        )
+        digests = set()
+        for seed in ("0", "1", "31337"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                [os.path.join(os.path.dirname(__file__), "..", "..", "src")]
+                + env.get("PYTHONPATH", "").split(os.pathsep)
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", script], env=env,
+                capture_output=True, text=True, check=True,
+            )
+            digests.add(out.stdout.strip())
+        assert len(digests) == 1

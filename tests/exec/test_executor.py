@@ -178,3 +178,28 @@ class TestParallelPath:
         for a, b in zip(serial, parallel):
             assert a.result.seconds == b.result.seconds
             assert a.result.kernel_seconds == b.result.kernel_seconds
+
+
+class TestTraceCounters:
+    def test_trace_layer_aggregates_and_merges(self):
+        from repro.exec.executor import ExecStats
+
+        a = ExecStats(trace_hits=3, trace_misses=1)
+        b = ExecStats(trace_hits=2, trace_misses=4)
+        merged = a.merge(b)
+        assert (merged.trace_hits, merged.trace_misses) == (5, 5)
+        assert merged.trace_hit_rate == 0.5
+        assert "trace-replay memo cache: 5 hits / 5 misses" in merged.summary()
+
+    def test_trace_line_hidden_when_unused(self):
+        from repro.exec.executor import ExecStats
+
+        assert "trace-replay" not in ExecStats().summary()
+
+    def test_run_outcome_carries_trace_delta(self):
+        memo.clear_caches()
+        outcomes, stats = execute([run_spec()])
+        # Ports do not replay traces; the counters exist but stay zero.
+        assert outcomes[0].trace_hits == 0
+        assert outcomes[0].trace_misses == 0
+        assert (stats.trace_hits, stats.trace_misses) == (0, 0)

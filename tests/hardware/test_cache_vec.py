@@ -1,0 +1,156 @@
+"""Differential and property tests for the vectorized cache engine.
+
+The vectorized batch simulator must be **bit-identical** to the scalar
+dict-based reference on every trace and geometry: same hits, misses,
+evictions and resident lines, including across persistent state carried
+over multiple ``replay`` calls.  The scalar model stays in the tree as
+the differential oracle; these tests are the contract.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.kernel import AccessKind, AccessPattern
+from repro.engine.trace import generate_trace
+from repro.hardware.cache import SetAssociativeCache
+from repro.hardware.cache_vec import VectorSetAssociativeCache
+from repro.hardware.specs import CacheSpec
+
+LINE = 64
+
+GEOMETRIES = {
+    "tiny": CacheSpec(size_bytes=LINE * 8 * 2, line_bytes=LINE, ways=2),
+    "direct-mapped": CacheSpec(size_bytes=LINE * 16, line_bytes=LINE, ways=1),
+    "fully-associative": CacheSpec(size_bytes=LINE * 8, line_bytes=LINE, ways=8),
+    "single-set-single-way": CacheSpec(size_bytes=LINE, line_bytes=LINE, ways=1),
+    "l2-like": CacheSpec(size_bytes=768 * 1024, line_bytes=LINE, ways=16),
+    "odd-line": CacheSpec(size_bytes=48 * 24 * 4, line_bytes=48, ways=4),
+}
+
+
+def assert_identical(spec, traces, tail_cutoff=None):
+    """Replay ``traces`` through both engines on shared persistent state
+    and compare every per-call delta and the cumulative counters."""
+    scalar = SetAssociativeCache(spec)
+    vector = VectorSetAssociativeCache(spec, tail_cutoff=tail_cutoff)
+    for trace in traces:
+        expected = scalar.replay(list(trace))
+        actual = vector.replay(np.asarray(trace, dtype=np.int64))
+        assert actual == expected
+    assert vector.stats == scalar.stats
+    assert vector.resident_lines == scalar.resident_lines
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("name", sorted(GEOMETRIES))
+    def test_random_traces(self, name):
+        spec = GEOMETRIES[name]
+        rng = np.random.default_rng(7)
+        span = 8 * spec.size_bytes
+        traces = [rng.integers(0, span, size=n) for n in (1, 7, 500, 3000)]
+        assert_identical(spec, traces)
+
+    @pytest.mark.parametrize("cutoff", [0, 3, 10**9])
+    def test_round_tail_split_is_exact(self, cutoff):
+        """Any round/scalar-tail split point gives identical stats:
+        0 = pure round loop, huge = pure scalar tail."""
+        spec = GEOMETRIES["tiny"]
+        rng = np.random.default_rng(11)
+        traces = [rng.integers(0, 4 * spec.size_bytes, size=2000) for _ in range(2)]
+        assert_identical(spec, traces, tail_cutoff=cutoff)
+
+    def test_wide_tags_fall_back_exactly(self):
+        """Addresses near 2**60 force tags too wide for the packed
+        round state; the unpacked fallback must stay bit-identical."""
+        spec = GEOMETRIES["tiny"]
+        rng = np.random.default_rng(13)
+        base = 1 << 60
+        traces = [base + rng.integers(0, 4 * spec.size_bytes, size=1500)]
+        assert_identical(spec, traces)
+
+    def test_skewed_set_pressure(self):
+        """One scorching set plus a uniform background — the shape that
+        exercises the depth-ascending row compaction."""
+        spec = GEOMETRIES["l2-like"]
+        rng = np.random.default_rng(17)
+        hot = rng.integers(0, 4, size=4000) * spec.line_bytes * spec.sets
+        cold = rng.integers(0, 8 * spec.size_bytes, size=4000)
+        trace = np.where(rng.random(4000) < 0.5, hot, cold)
+        assert_identical(spec, [trace])
+
+    @pytest.mark.parametrize("kind", list(AccessKind))
+    def test_kernel_traces(self, kind):
+        overrides = {"table_entries": 1 << 14} if kind is AccessKind.BINARY_SEARCH else {}
+        pattern = AccessPattern(
+            kind=kind, working_set_bytes=2 * 1024 * 1024, request_bytes=4, **overrides
+        )
+        trace = generate_trace(pattern, budget=6000)
+        assert_identical(GEOMETRIES["l2-like"], [trace])
+        assert_identical(GEOMETRIES["tiny"], [trace])
+
+    def test_single_access_matches(self):
+        spec = GEOMETRIES["direct-mapped"]
+        scalar = SetAssociativeCache(spec)
+        vector = VectorSetAssociativeCache(spec)
+        for addr in (0, 0, LINE, 0, 17 * LINE, LINE):
+            assert vector.access(addr) == scalar.access(addr)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1 << 20), max_size=400))
+    def test_hypothesis_traces(self, addresses):
+        assert_identical(GEOMETRIES["tiny"], [addresses])
+
+
+class TestProperties:
+    @pytest.mark.parametrize("name", sorted(GEOMETRIES))
+    def test_counters_conserved(self, name):
+        spec = GEOMETRIES[name]
+        rng = np.random.default_rng(23)
+        cache = VectorSetAssociativeCache(spec)
+        for n in (100, 2000):
+            cache.replay(rng.integers(0, 8 * spec.size_bytes, size=n))
+        stats = cache.stats
+        assert stats.hits + stats.misses == stats.accesses
+        assert 0 <= cache.resident_lines <= spec.sets * spec.ways
+        # Lines enter on misses and leave on evictions; nothing else.
+        assert stats.misses - stats.evictions == cache.resident_lines
+
+    def test_replay_returns_per_call_delta(self):
+        spec = GEOMETRIES["tiny"]
+        cache = VectorSetAssociativeCache(spec)
+        first = cache.replay([0, 0, LINE])
+        second = cache.replay([0])
+        assert (first.accesses, first.hits) == (3, 1)
+        assert (second.accesses, second.hits) == (1, 1)
+        assert cache.stats.accesses == 4
+
+    def test_reset_clears_state(self):
+        cache = VectorSetAssociativeCache(GEOMETRIES["tiny"])
+        cache.replay([0, LINE, 2 * LINE])
+        cache.reset()
+        assert cache.resident_lines == 0
+        assert cache.stats == type(cache.stats)()
+        assert cache.replay([0]).misses == 1
+
+    def test_negative_address_rejected(self):
+        cache = VectorSetAssociativeCache(GEOMETRIES["tiny"])
+        with pytest.raises(ValueError):
+            cache.replay([0, -1])
+
+    def test_empty_replay(self):
+        cache = VectorSetAssociativeCache(GEOMETRIES["tiny"])
+        delta = cache.replay([])
+        assert delta.accesses == 0
+
+
+class TestScalarArrayInput:
+    def test_scalar_replay_accepts_numpy(self):
+        """The reference engine takes the same array-native traces."""
+        spec = GEOMETRIES["tiny"]
+        rng = np.random.default_rng(29)
+        trace = rng.integers(0, 4 * spec.size_bytes, size=1000)
+        from_list = SetAssociativeCache(spec)
+        from_array = SetAssociativeCache(spec)
+        assert from_array.replay(trace) == from_list.replay(trace.tolist())
