@@ -26,6 +26,14 @@ Quick start::
 """
 
 from .apps import ALL_APPS, APPS_BY_NAME, PROXY_APPS, ProxyApp, RunResult
+from .exec import (
+    CheckpointJournal,
+    ExecutionInterrupted,
+    FaultPlan,
+    RetryPolicy,
+    RunError,
+    parse_fault_plan,
+)
 from .core import (
     GPU_MODELS,
     StudyResult,
@@ -48,8 +56,14 @@ __version__ = "1.0.0"
 __all__ = [
     "ALL_APPS",
     "APPS_BY_NAME",
+    "CheckpointJournal",
     "ExecutionContext",
+    "ExecutionInterrupted",
+    "FaultPlan",
     "GPU_MODELS",
+    "RetryPolicy",
+    "RunError",
+    "parse_fault_plan",
     "PROXY_APPS",
     "Platform",
     "Precision",

@@ -27,7 +27,9 @@ import sys
 from typing import Sequence
 
 from .apps import ALL_APPS, APPS_BY_NAME, PROXY_APPS
+from .exec import ExecutionInterrupted, RetryPolicy, parse_fault_plan
 from .core import (
+    format_table,
     bench_configs,
     decompose_transfers,
     study_records,
@@ -59,11 +61,42 @@ def _wants_telemetry(args: argparse.Namespace) -> bool:
     return bool(getattr(args, "trace", None) or getattr(args, "metrics", None))
 
 
-def _study(full: bool, workers: int = 1, cache: bool = True, telemetry: bool = False):
+def _fault_kwargs(args: argparse.Namespace) -> dict:
+    """The fault-tolerance keyword arguments selected by the CLI flags."""
+    kwargs: dict = {
+        "policy": RetryPolicy(
+            max_attempts=getattr(args, "retries", 3),
+            run_timeout=getattr(args, "run_timeout", None),
+        )
+    }
+    spec = getattr(args, "inject_faults", None)
+    if spec:
+        kwargs["faults"] = parse_fault_plan(spec, seed=getattr(args, "fault_seed", 0))
+    resume = getattr(args, "resume", None)
+    if resume:
+        kwargs["checkpoint"] = resume
+    return kwargs
+
+
+def _print_failures(failures) -> bool:
+    """Print the quarantined-run table; True if there were any."""
+    if not failures:
+        return False
+    print()
+    print(format_table(
+        ["Run", "Kind", "Attempts", "Error"],
+        [list(f.summary_row()) for f in failures],
+        title=f"Quarantined runs ({len(failures)})",
+    ))
+    return True
+
+
+def _study(full: bool, workers: int = 1, cache: bool = True, telemetry: bool = False,
+           **fault_kwargs):
     configs = None if full else bench_configs()
     return run_study(
         ALL_APPS, paper_scale=True, configs=configs, max_workers=workers,
-        use_cache=cache, telemetry=telemetry,
+        use_cache=cache, telemetry=telemetry, **fault_kwargs,
     )
 
 
@@ -189,7 +222,7 @@ def cmd_export(args: argparse.Namespace) -> None:
     print(f"wrote {len(records)} records to {out}")
 
 
-def cmd_characterize(args: argparse.Namespace) -> None:
+def cmd_characterize(args: argparse.Namespace) -> int | None:
     """Regenerate Table I through the selected replay engine.
 
     Prints the characterization table plus the executor stats (which
@@ -197,12 +230,15 @@ def cmd_characterize(args: argparse.Namespace) -> None:
     additionally runs the cache-replay benchmark and writes the
     tracked perf baseline (``BENCH_cache.json``).
     """
+    fault_kwargs = _fault_kwargs(args)
+    fault_kwargs.pop("checkpoint", None)  # per-app sweeps share no journal
     result = characterize_apps(
         PROXY_APPS,
         max_workers=args.workers,
         use_cache=not args.no_cache,
         engine=args.engine,
         telemetry=_wants_telemetry(args),
+        **fault_kwargs,
     )
     print(render_table1(result.rows))
     print()
@@ -216,9 +252,11 @@ def cmd_characterize(args: argparse.Namespace) -> None:
         print(render_cache_bench(bench))
         write_cache_bench(bench, args.bench)
         print(f"\nwrote cache-replay benchmark to {args.bench}")
+    if _print_failures(result.failures):
+        return 1
 
 
-def cmd_study(args: argparse.Namespace) -> None:
+def cmd_study(args: argparse.Namespace) -> int | None:
     """Run the comparison study through the parallel executor.
 
     Prints the Figure 8/9 speedup tables plus the executor's
@@ -226,7 +264,8 @@ def cmd_study(args: argparse.Namespace) -> None:
     cache hits).  ``--paper-scale`` uses the exact Table I problem
     sizes; the default is the reduced bench-scale matrix.
     """
-    study = _study(args.paper_scale, args.workers, not args.no_cache, _wants_telemetry(args))
+    study = _study(args.paper_scale, args.workers, not args.no_cache,
+                   _wants_telemetry(args), **_fault_kwargs(args))
     print(render_speedups(study, FIGURE_APPS, apu=True,
                           title="Figure 8: speedup over 4-core OpenMP on the APU"))
     print()
@@ -245,22 +284,32 @@ def cmd_study(args: argparse.Namespace) -> None:
     if args.out:
         write_json(study_records(study), args.out)
         print(f"\nwrote {len(study.entries)} records to {args.out}")
+    if _print_failures(study.failures):
+        return 1
 
 
-def cmd_sweep(args: argparse.Namespace) -> None:
+def cmd_sweep(args: argparse.Namespace) -> int | None:
     """Run Figure 7 frequency sweeps through the parallel executor."""
     configs = sweep_configs()
     apps = [APPS_BY_NAME[args.app]] if args.app else ALL_APPS
+    lost = False
     for app in apps:
         sweep = run_sweep(
             app, configs[app.name], max_workers=args.workers,
             use_cache=not args.no_cache, telemetry=_wants_telemetry(args),
+            **_fault_kwargs(args),
         )
         print(render_figure7(sweep))
-        print(f"classification: {sweep.classify()}")
+        if sweep.complete:
+            print(f"classification: {sweep.classify()}")
+        else:
+            print("classification: unavailable (grid points quarantined)")
         print(sweep.stats.summary())
         _write_telemetry(sweep.telemetry, args)
+        lost = _print_failures(sweep.failures) or lost
         print()
+    if lost:
+        return 1
 
 
 def cmd_profile(args: argparse.Namespace) -> None:
@@ -337,6 +386,26 @@ def _add_executor_flags(p: argparse.ArgumentParser) -> None:
                    help="disable the kernel memo cache (recompute everything)")
 
 
+def _add_fault_flags(p: argparse.ArgumentParser, resume: bool = True) -> None:
+    p.add_argument("--retries", type=int, default=3, metavar="N",
+                   help="total attempts per run before quarantine (1 disables "
+                        "retries; default 3)")
+    p.add_argument("--run-timeout", type=float, default=None, metavar="SEC",
+                   help="per-run watchdog budget in wall seconds "
+                        "(default: no watchdog)")
+    p.add_argument("--inject-faults", default=None, metavar="SPEC",
+                   help="deterministic fault injection, e.g. "
+                        "'crash:0.2,timeout:0.1' (kinds: crash, timeout, "
+                        "corrupt, poison, abort, hang, interrupt)")
+    p.add_argument("--fault-seed", type=int, default=0, metavar="N",
+                   help="seed for the fault-injection draws (same seed, "
+                        "same faults)")
+    if resume:
+        p.add_argument("--resume", default=None, metavar="FILE",
+                       help="checkpoint journal: completed runs are journaled "
+                            "here and restored instead of re-executed")
+
+
 def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--trace", default=None, metavar="FILE",
                    help="record telemetry and write a Chrome trace_event JSON "
@@ -390,6 +459,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also export the study records as JSON")
     _add_executor_flags(study)
     _add_telemetry_flags(study)
+    _add_fault_flags(study)
     char = sub.add_parser(
         "characterize",
         help="Table I through the vectorized (or scalar) replay engine")
@@ -407,12 +477,14 @@ def build_parser() -> argparse.ArgumentParser:
                            "benchmark protocol")
     _add_executor_flags(char)
     _add_telemetry_flags(char)
+    _add_fault_flags(char, resume=False)
     sweep = sub.add_parser(
         "sweep", help="Figure 7 frequency sweeps, with executor stats")
     sweep.set_defaults(func=cmd_sweep)
     sweep.add_argument("--app", choices=FIGURE_APPS, default=None)
     _add_executor_flags(sweep)
     _add_telemetry_flags(sweep)
+    _add_fault_flags(sweep)
     profile = sub.add_parser(
         "profile",
         help="run a study/sweep with telemetry: phase breakdown, "
@@ -445,8 +517,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    args.func(args)
-    return 0
+    try:
+        code = args.func(args)
+    except ExecutionInterrupted as exc:
+        print("\ninterrupted; partial progress:", file=sys.stderr)
+        print(exc.stats.summary(), file=sys.stderr)
+        resume = getattr(args, "resume", None)
+        if resume:
+            print(f"{exc.completed} completed runs journaled; rerun with "
+                  f"--resume {resume} to continue", file=sys.stderr)
+        else:
+            print("no checkpoint journal (use --resume FILE to make "
+                  "interrupted studies resumable)", file=sys.stderr)
+        return 130
+    return int(code or 0)
 
 
 if __name__ == "__main__":

@@ -24,6 +24,8 @@ from ..apps.base import ProxyApp
 from ..engine.kernel import KernelSpec
 from ..engine.trace import DEFAULT_REPLAY_ENGINE, replay_pattern
 from ..exec.executor import ExecStats
+from ..exec.faults import FaultPlan, RunError
+from ..exec.retry import RetryPolicy
 from ..hardware.device import make_dgpu_platform
 from ..hardware.specs import R9_280X, Precision
 from ..models.base import ExecutionContext
@@ -151,6 +153,14 @@ class CharacterizationResult:
     rows: tuple[AppCharacterization, ...]
     stats: ExecStats
     telemetry: Timeline | None = None
+    #: Quarantined sweep runs.  An app whose boundedness sweep lost
+    #: points it needs has no row; the failures say why.
+    failures: tuple[RunError, ...] = ()
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested app produced a row."""
+        return not self.failures
 
 
 def characterize_apps(
@@ -161,6 +171,8 @@ def characterize_apps(
     use_cache: bool = True,
     engine: str = DEFAULT_REPLAY_ENGINE,
     telemetry: bool = False,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
 ) -> CharacterizationResult:
     """Characterize several apps, with executor stats aggregated.
 
@@ -169,6 +181,11 @@ def characterize_apps(
     ``engine`` and the trace memo cache, whose hit/miss delta for the
     whole batch is folded into the returned stats.  Results are
     bit-identical for every worker count, engine and cache setting.
+
+    ``policy``/``faults`` configure the fault-tolerance layer of each
+    boundedness sweep.  An app whose sweep lost the grid points its
+    classification needs is dropped from ``rows``; the quarantined
+    runs are aggregated in ``.failures``.
     """
     from ..engine.memo import TRACE_CACHE, cache_disabled
     from .configs import bench_configs as _bench_configs
@@ -181,6 +198,7 @@ def characterize_apps(
 
     trace_before = TRACE_CACHE.snapshot()
     rows: list[AppCharacterization] = []
+    failures: list[RunError] = []
     stats: ExecStats | None = None
     with cache_disabled() if not use_cache else nullcontext():
         for app in apps:
@@ -192,9 +210,17 @@ def characterize_apps(
                 max_workers=max_workers,
                 use_cache=use_cache,
                 telemetry=telemetry,
+                policy=policy,
+                faults=faults,
             )
-            rows.append(characterize(app, configs[app.name], sweep=sweep, engine=engine))
+            failures.extend(sweep.failures)
             stats = sweep.stats if stats is None else stats.merge(sweep.stats)
+            if not sweep.complete:
+                # The 2x2 sweep grid has no redundancy: any lost point
+                # makes the boundedness slopes unmeasurable, so skip
+                # the row rather than classify from a partial grid.
+                continue
+            rows.append(characterize(app, configs[app.name], sweep=sweep, engine=engine))
     if stats is None:
         stats = ExecStats()
     # The miss-rate replays run in this process, outside the executor:
@@ -204,5 +230,5 @@ def characterize_apps(
         ExecStats(trace_hits=trace_delta.hits, trace_misses=trace_delta.misses)
     )
     return CharacterizationResult(
-        rows=tuple(rows), stats=stats, telemetry=stats.timeline,
+        rows=tuple(rows), stats=stats, telemetry=stats.timeline, failures=tuple(failures),
     )

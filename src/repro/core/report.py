@@ -110,19 +110,35 @@ def render_figure7(sweep: SweepResult) -> str:
     headers = ["mem\\core"] + [f"{c:.0f}" for c in core_clocks]
     rows = []
     for memory in memory_clocks:
-        series = sweep.series(memory)
-        rows.append([f"{memory:.0f}"] + [f"{p.normalized_performance:.2f}" for p in series])
+        # Index by clock pair so a quarantined grid point renders as a
+        # hole, not a column shift.
+        series = {p.core_mhz: p for p in sweep.series(memory)}
+        rows.append(
+            [f"{memory:.0f}"]
+            + [
+                f"{series[c].normalized_performance:.2f}" if c in series else "-"
+                for c in core_clocks
+            ]
+        )
     return format_table(headers, rows, title=f"Figure 7 ({sweep.app}): normalized performance")
 
 
 def render_speedups(study: StudyResult, apps: Iterable[str], apu: bool, title: str) -> str:
-    """One of Figures 8/9: speedup bars for every app and model."""
+    """One of Figures 8/9: speedup bars for every app and model.
+
+    Cells whose runs were quarantined (see ``StudyResult.failures``)
+    render as ``-`` rather than aborting the whole table.
+    """
     rows = []
     for app in apps:
         for precision in (Precision.SINGLE, Precision.DOUBLE):
             cells = [app, precision.value]
             for model in GPU_MODELS:
-                entry = study.get(app, model, apu, precision)
+                try:
+                    entry = study.get(app, model, apu, precision)
+                except KeyError:
+                    cells.append("-")
+                    continue
                 value = entry.kernel_speedup if app == "read-benchmark" else entry.speedup
                 cells.append(f"{value:.2f}x")
             rows.append(cells)

@@ -9,9 +9,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from pathlib import Path
+
 from ..apps.base import ProxyApp, RunResult
+from ..exec.checkpoint import CheckpointJournal
 from ..exec.executor import ExecStats, execute
+from ..exec.faults import FaultPlan, RunError
 from ..exec.plan import study_runs
+from ..exec.retry import RetryPolicy
 from ..hardware.device import make_platform
 from ..hardware.specs import Precision
 from ..models.base import ExecutionContext
@@ -61,6 +66,15 @@ class StudyResult:
     #: observational — goldens and speedup tables never read it, and
     #: entries are bit-identical with or without it.
     telemetry: Timeline | None = None
+    #: Runs that exhausted their retry budget.  A cell whose baseline
+    #: or model run failed is simply absent from ``entries``; the
+    #: failures say which and why.
+    failures: list[RunError] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested run produced an entry."""
+        return not self.failures
 
     def get(self, app: str, model: str, apu: bool, precision: Precision) -> StudyEntry:
         for entry in self.entries:
@@ -108,6 +122,9 @@ def run_study(
     max_workers: int = 1,
     use_cache: bool = True,
     telemetry: bool = False,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint: str | Path | CheckpointJournal | None = None,
 ) -> StudyResult:
     """Run the full comparison.
 
@@ -123,6 +140,13 @@ def run_study(
     cache.  Entries are bit-identical for every worker count —
     ``telemetry`` records spans/metrics on the side (``.telemetry``)
     without perturbing them.
+
+    ``policy``/``faults``/``checkpoint`` configure the fault-tolerance
+    layer (retries and watchdogs, deterministic fault injection, and
+    the resume journal); see :func:`repro.exec.execute`.  Runs that
+    exhaust their retries are quarantined: the study returns its
+    surviving entries with the losses in ``.failures`` instead of
+    raising.
     """
     resolved: dict[str, object] = {}
     for app in apps:
@@ -141,19 +165,34 @@ def run_study(
         projection=paper_scale,
     )
     outcomes, stats = execute(
-        runs, max_workers=max_workers, use_cache=use_cache, telemetry=telemetry
+        runs,
+        max_workers=max_workers,
+        use_cache=use_cache,
+        telemetry=telemetry,
+        policy=policy,
+        faults=faults,
+        checkpoint=checkpoint,
     )
 
     # Reassemble in the plan's canonical order: baseline first, then
     # one outcome per model for each (app, platform, precision) cell.
-    result = StudyResult(stats=stats, telemetry=stats.timeline)
+    # Quarantined runs come back as ``None``: a lost model run drops
+    # that one entry, a lost baseline drops its whole cell (there is
+    # nothing to normalize against).
+    result = StudyResult(stats=stats, telemetry=stats.timeline, failures=list(stats.failures))
     cursor = iter(outcomes)
     for app in apps:
         for apu in apu_values:
             for precision in precisions:
-                baseline = next(cursor).result
-                for model in models:
-                    run = next(cursor).result
+                baseline_outcome = next(cursor)
+                model_outcomes = [next(cursor) for _ in models]
+                if baseline_outcome is None:
+                    continue
+                baseline = baseline_outcome.result
+                for model, outcome in zip(models, model_outcomes):
+                    if outcome is None:
+                        continue
+                    run = outcome.result
                     result.entries.append(
                         StudyEntry(
                             app=app.name,

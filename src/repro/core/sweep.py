@@ -14,11 +14,15 @@ clock, balanced apps with both.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from pathlib import Path
 
 from ..apps.base import ProxyApp
+from ..exec.checkpoint import CheckpointJournal
 from ..exec.executor import ExecStats, execute
+from ..exec.faults import FaultPlan, RunError
 from ..exec.plan import sweep_runs
+from ..exec.retry import RetryPolicy
 from ..hardware.frequency import PAPER_CORE_SWEEP_MHZ, PAPER_MEMORY_SWEEP_MHZ
 from ..hardware.specs import Precision
 from ..obs.export import Timeline
@@ -44,6 +48,13 @@ class SweepResult:
     stats: ExecStats | None = None
     #: Merged telemetry timeline; ``None`` unless requested.
     telemetry: Timeline | None = None
+    #: Grid points lost to quarantined runs (absent from ``points``).
+    failures: list[RunError] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every requested grid point was measured."""
+        return not self.failures
 
     def series(self, memory_mhz: float) -> list[SweepPoint]:
         """One memory-frequency curve, ordered by core frequency."""
@@ -91,27 +102,53 @@ def run_sweep(
     max_workers: int = 1,
     use_cache: bool = True,
     telemetry: bool = False,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint: str | Path | CheckpointJournal | None = None,
 ) -> SweepResult:
     """Sweep one application over the (core, memory) frequency grid.
 
     Grid points are independent simulations, flattened into run
     descriptors and executed by :mod:`repro.exec` (``max_workers``
     shards them over a process pool; results are identical for every
-    worker count).
+    worker count).  ``policy``/``faults``/``checkpoint`` configure the
+    fault-tolerance layer (see :func:`repro.exec.execute`): quarantined
+    grid points are dropped from ``points`` and reported in
+    ``.failures`` instead of aborting the sweep.
     """
     runs = sweep_runs(app.name, config, precision, core_grid, memory_grid, model)
     outcomes, stats = execute(
-        runs, max_workers=max_workers, use_cache=use_cache, telemetry=telemetry
+        runs,
+        max_workers=max_workers,
+        use_cache=use_cache,
+        telemetry=telemetry,
+        policy=policy,
+        faults=faults,
+        checkpoint=checkpoint,
     )
 
     seconds_grid: dict[tuple[float, float], float] = {}
     for outcome in outcomes:
+        if outcome is None:  # quarantined: reported via failures
+            continue
         spec = outcome.spec
         # Kernel time only: Figure 7 characterizes device execution,
         # and PCIe transfer time is frequency-invariant noise here.
         seconds_grid[(spec.core_mhz, spec.memory_mhz)] = outcome.result.kernel_seconds
 
-    slowest = seconds_grid[(min(core_grid), min(memory_grid))]
+    if not seconds_grid:
+        return SweepResult(
+            app=app.name,
+            points=[],
+            stats=stats,
+            telemetry=stats.timeline,
+            failures=list(stats.failures),
+        )
+    # Normalize to the paper's anchor (slowest corner); if that exact
+    # point was quarantined, fall back to the slowest surviving point
+    # so the rest of the grid still normalizes meaningfully.
+    anchor = seconds_grid.get((min(core_grid), min(memory_grid)))
+    slowest = anchor if anchor is not None else max(seconds_grid.values())
     points = [
         SweepPoint(
             core_mhz=core,
@@ -121,4 +158,10 @@ def run_sweep(
         )
         for (core, memory), seconds in seconds_grid.items()
     ]
-    return SweepResult(app=app.name, points=points, stats=stats, telemetry=stats.timeline)
+    return SweepResult(
+        app=app.name,
+        points=points,
+        stats=stats,
+        telemetry=stats.timeline,
+        failures=list(stats.failures),
+    )

@@ -23,13 +23,42 @@ from ..engine.memo import (
     memoized_setup,
     set_cache_enabled,
 )
-from .executor import ExecStats, RunOutcome, default_workers, execute, execute_run
+from .checkpoint import CheckpointJournal
+from .executor import (
+    ExecStats,
+    ExecutionInterrupted,
+    RunOutcome,
+    default_workers,
+    execute,
+    execute_run,
+)
+from .faults import (
+    ErrorKind,
+    FaultAttempt,
+    FaultPlan,
+    RunError,
+    fault_plan_from_env,
+    parse_fault_plan,
+)
 from .plan import APU, DGPU, RunSpec, study_runs, sweep_runs
+from .retry import RetryPolicy, classify, run_with_retry, validate_result
 
 __all__ = [
     "APU",
+    "CheckpointJournal",
     "DGPU",
+    "ErrorKind",
     "ExecStats",
+    "ExecutionInterrupted",
+    "FaultAttempt",
+    "FaultPlan",
+    "RetryPolicy",
+    "RunError",
+    "classify",
+    "fault_plan_from_env",
+    "parse_fault_plan",
+    "run_with_retry",
+    "validate_result",
     "KERNEL_CACHE",
     "KernelMemoCache",
     "MemoStats",

@@ -14,14 +14,30 @@ recomputation of pure functions.
 Every outcome carries per-run wall time and the cache hit/miss delta
 its execution produced, aggregated into an :class:`ExecStats` that the
 CLI reports — the speedup of the executor itself is observable.
+
+Execution is fault tolerant.  Each run goes through the retry ladder
+of :mod:`repro.exec.retry` (classification, deterministic backoff,
+watchdog, quarantine); a broken or hung pool is respawned with only
+the in-flight specs requeued, and after repeated breakage the executor
+degrades to the in-process path instead of giving up.  Failures never
+raise out of :func:`execute` — they come back as ``None`` slots plus
+:class:`~repro.exec.faults.RunError` records in ``ExecStats.failures``,
+so a study keeps every result it managed to compute.  With a
+checkpoint journal (:mod:`repro.exec.checkpoint`) completed outcomes
+also survive a crash or Ctrl-C and are skipped on resume.
 """
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import FIRST_EXCEPTION, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import TimeoutError as FuturesTimeout
+from concurrent.futures.process import BrokenProcessPool
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 from typing import Sequence
 
 from ..apps.base import RunResult
@@ -29,8 +45,15 @@ from ..engine import memo
 from ..obs import spans as obs_spans
 from ..obs.export import Timeline, merge_run_telemetry
 from ..obs.metrics import MetricsRegistry
-from ..obs.spans import InstantEvent, RunTelemetry, SpanRecorder
+from ..obs.spans import InstantEvent, RunTelemetry, Span, SpanRecorder
+from .checkpoint import CheckpointJournal
+from .faults import ErrorKind, FaultAttempt, FaultPlan, RunError, fault_plan_from_env
 from .plan import RunSpec
+from .retry import RetryPolicy, run_with_retry
+
+#: True inside a pool worker process (set by :func:`_init_worker`);
+#: gates the fault injections that would take the whole process down.
+_POOL_WORKER = False
 
 
 @dataclass(frozen=True)
@@ -54,6 +77,10 @@ class RunOutcome:
     #: Full span/metric recording of the run; ``None`` unless the
     #: executor ran with telemetry enabled.
     telemetry: RunTelemetry | None = None
+    #: Total attempts this run took (1 = first try succeeded).
+    attempts: int = 1
+    #: The failed attempts that preceded success, oldest first.
+    retry_history: tuple[FaultAttempt, ...] = ()
 
 
 @dataclass
@@ -84,6 +111,16 @@ class ExecStats:
     limited_by: dict[str, int] = field(default_factory=dict)
     #: Merged study-wide telemetry; ``None`` unless requested.
     timeline: Timeline | None = None
+    #: Attempts beyond the first, summed over every run (worker-side
+    #: retries plus pool-level requeues).
+    retries: int = 0
+    #: Runs that exhausted their attempt budget, with full histories.
+    #: The study proceeds without them (their outcome slots are None).
+    failures: list[RunError] = field(default_factory=list)
+    #: Times a broken or hung worker pool was torn down and rebuilt.
+    pool_respawns: int = 0
+    #: Runs restored from a checkpoint journal instead of executed.
+    resumed_runs: int = 0
 
     @property
     def deduplicated_runs(self) -> int:
@@ -110,6 +147,23 @@ class ExecStats:
         """run_seconds / wall_seconds — the observable executor gain."""
         return self.run_seconds / self.wall_seconds if self.wall_seconds else 0.0
 
+    @property
+    def quarantined(self) -> int:
+        """Runs abandoned after exhausting their attempt budget."""
+        return len(self.failures)
+
+    @property
+    def attempts(self) -> int:
+        """Total run attempts made (executed runs + all retries)."""
+        return self.unique_runs + self.retries
+
+    def failure_kinds(self) -> dict[str, int]:
+        """Quarantined runs tallied by error kind."""
+        kinds: dict[str, int] = {}
+        for failure in self.failures:
+            kinds[failure.kind.value] = kinds.get(failure.kind.value, 0) + 1
+        return kinds
+
     def summary(self) -> str:
         """Human-readable report block for the CLI."""
         lines = [
@@ -134,6 +188,21 @@ class ExecStats:
                 for name in sorted(self.limited_by, key=self.limited_by.get, reverse=True)
             )
             lines.append(f"kernel launches limited by: {tally}")
+        if self.retries or self.failures or self.pool_respawns:
+            lines.append(
+                f"fault tolerance: {self.attempts} attempts over {self.unique_runs} runs "
+                f"({self.retries} retries), {self.quarantined} quarantined, "
+                f"{self.pool_respawns} pool respawns"
+            )
+            kinds = self.failure_kinds()
+            if kinds:
+                tally = ", ".join(f"{kind} {kinds[kind]}" for kind in sorted(kinds))
+                lines.append(f"failures by kind: {tally}")
+        if self.resumed_runs:
+            lines.append(
+                f"resumed from checkpoint: {self.resumed_runs} runs restored, "
+                f"{self.unique_runs - self.resumed_runs} executed"
+            )
         return "\n".join(lines)
 
     def merge(self, other: "ExecStats") -> "ExecStats":
@@ -160,10 +229,19 @@ class ExecStats:
             per_run=self.per_run + other.per_run,
             limited_by=tallies,
             timeline=self.timeline if self.timeline is not None else other.timeline,
+            retries=self.retries + other.retries,
+            failures=self.failures + other.failures,
+            pool_respawns=self.pool_respawns + other.pool_respawns,
+            resumed_runs=self.resumed_runs + other.resumed_runs,
         )
 
 
-def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
+def execute_run(
+    spec: RunSpec,
+    telemetry: bool = False,
+    faults: FaultPlan | None = None,
+    attempt: int = 0,
+) -> RunOutcome:
     """Execute one descriptor in this process.
 
     Builds a fresh platform (with the spec's clock overrides), runs
@@ -171,12 +249,21 @@ def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
     ``telemetry`` a fresh :class:`~repro.obs.spans.SpanRecorder` is
     active for the duration of the run; recording is observational
     only, so the result is bit-identical either way.
+
+    ``faults``/``attempt`` drive the deterministic chaos harness: a
+    drawn fault fires on the run's early attempts, after which the run
+    proceeds normally — the computed result never depends on the
+    attempt number, which is what keeps injected campaigns
+    bit-identical to fault-free runs.
     """
     # Lazy imports keep the exec package importable from low layers
     # and let pool workers pay the heavy app imports exactly once.
     from ..apps import APPS_BY_NAME
     from ..hardware.device import make_platform
     from ..models.base import ExecutionContext
+
+    if faults is not None and faults.active:
+        faults.apply(spec.content_key(), spec.label, attempt, in_pool_worker=_POOL_WORKER)
 
     before = memo.KERNEL_CACHE.snapshot()
     setup_before = memo.SETUP_CACHE.snapshot()
@@ -205,6 +292,10 @@ def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
     delta = memo.KERNEL_CACHE.snapshot().since(before)
     setup_delta = memo.SETUP_CACHE.snapshot().since(setup_before)
     trace_delta = memo.TRACE_CACHE.snapshot().since(trace_before)
+    if faults is not None and faults.injects("corrupt", spec.content_key(), attempt):
+        # Injected result corruption: mangle the checksum so the
+        # validation step of the retry ladder has something to catch.
+        result = replace(result, checksum=math.nan)
     return RunOutcome(
         spec=spec,
         result=result,
@@ -221,19 +312,42 @@ def execute_run(spec: RunSpec, telemetry: bool = False) -> RunOutcome:
 
 def _init_worker(use_cache: bool) -> None:
     """Pool initializer: fresh per-worker memo caches."""
+    global _POOL_WORKER
+    _POOL_WORKER = True
     memo.clear_caches()
     memo.set_cache_enabled(use_cache)
 
 
 def _shard_task(
-    shard: list[tuple[int, RunSpec]], telemetry: bool = False
-) -> list[tuple[int, RunOutcome]]:
+    shard: list[tuple[int, RunSpec]],
+    telemetry: bool = False,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    base_attempts: dict[int, int] | None = None,
+) -> list[tuple[int, "RunOutcome | RunError"]]:
     """Execute one contiguous shard of the plan in a pool worker.
 
     Contiguity matters: the plan groups one app's cells together, so a
-    worker's setup cache is hot for most of its shard.
+    worker's setup cache is hot for most of its shard.  Each run goes
+    through the retry ladder locally; a spec that exhausts its budget
+    comes back as a :class:`~repro.exec.faults.RunError` row rather
+    than poisoning the whole shard.
     """
-    return [(index, execute_run(spec, telemetry=telemetry)) for index, spec in shard]
+    policy = policy if policy is not None else RetryPolicy()
+    base_attempts = base_attempts or {}
+    return [
+        (
+            index,
+            run_with_retry(
+                spec,
+                policy,
+                faults=faults,
+                telemetry=telemetry,
+                base_attempt=base_attempts.get(index, 0),
+            ),
+        )
+        for index, spec in shard
+    ]
 
 
 def _setup_affinity(spec: RunSpec) -> tuple:
@@ -332,6 +446,22 @@ def _executor_metrics(stats: ExecStats, worker_busy: dict[int, float]) -> Metric
             help="Kernel launches by dominant limiter, study-wide.",
             limited_by=name,
         ).inc(count)
+    registry.counter(
+        "repro_run_retries_total", help="Run attempts beyond the first."
+    ).inc(stats.retries)
+    registry.counter(
+        "repro_pool_respawns_total", help="Worker pools rebuilt after breakage or hang."
+    ).inc(stats.pool_respawns)
+    registry.counter(
+        "repro_runs_resumed_total", help="Runs restored from a checkpoint journal."
+    ).inc(stats.resumed_runs)
+    kinds = stats.failure_kinds()
+    for kind in ErrorKind:
+        registry.counter(
+            "repro_run_failures_total",
+            help="Quarantined runs by error kind.",
+            kind=kind.value,
+        ).inc(kinds.get(kind.value, 0))
     for worker in sorted(worker_busy):
         busy = worker_busy[worker]
         registry.counter(
@@ -348,23 +478,61 @@ def _executor_metrics(stats: ExecStats, worker_busy: dict[int, float]) -> Metric
 
 
 def _build_timeline(
-    executed: list[RunOutcome],
-    worker_of: list[int],
+    pairs: list[tuple[RunOutcome, int]],
     shards: list[list[tuple[int, RunSpec]]],
     stats: ExecStats,
 ) -> Timeline:
     """Merge per-run recordings, in unique-run (submission) order, and
-    decorate the worker tracks with dispatch/start/stop events."""
+    decorate the worker tracks with dispatch/start/stop events plus
+    the retry/backoff/quarantine record of the run."""
     items = [
         (o.telemetry if o.telemetry is not None else RunTelemetry(label=o.spec.label), w)
-        for o, w in zip(executed, worker_of)
+        for o, w in pairs
     ]
     worker_busy: dict[int, float] = {}
-    for outcome, worker in zip(executed, worker_of):
+    for outcome, worker in pairs:
         worker_busy[worker] = worker_busy.get(worker, 0.0) + outcome.wall_seconds
     timeline = merge_run_telemetry(items, extra_metrics=_executor_metrics(stats, worker_busy))
 
-    depth = len(executed)
+    for outcome, worker in pairs:
+        track = f"worker-{worker}"
+        for record in outcome.retry_history:
+            timeline.events.append(
+                InstantEvent(
+                    name="run-retry", category="fault", track=track,
+                    sim_ts=0.0, wall_ts=0.0,
+                    args=(
+                        ("run", outcome.spec.label),
+                        ("attempt", record.attempt),
+                        ("kind", record.kind.value),
+                        ("error", record.error),
+                    ),
+                )
+            )
+            if record.backoff_seconds > 0:
+                timeline.spans.append(
+                    Span(
+                        name="retry-backoff", category="fault", track=track,
+                        sim_start=0.0, sim_end=0.0,
+                        wall_start=0.0, wall_end=record.backoff_seconds,
+                        args=(("run", outcome.spec.label), ("attempt", record.attempt)),
+                    )
+                )
+    for failure in stats.failures:
+        timeline.events.append(
+            InstantEvent(
+                name="run-quarantined", category="fault", track="worker-0",
+                sim_ts=0.0, wall_ts=0.0,
+                args=(
+                    ("run", failure.label),
+                    ("kind", failure.kind.value),
+                    ("attempts", failure.n_attempts),
+                    ("error", failure.message),
+                ),
+            )
+        )
+
+    depth = len(pairs)
     for worker, shard in enumerate(shards):
         track = f"worker-{worker}"
         timeline.events.append(
@@ -394,12 +562,65 @@ def _build_timeline(
     return timeline
 
 
+class ExecutionInterrupted(KeyboardInterrupt):
+    """Ctrl-C (or an injected interrupt) stopped a study cleanly.
+
+    Raised instead of a bare ``KeyboardInterrupt`` after the executor
+    has flushed every completed outcome to the checkpoint journal, so
+    the interrupted study's partial stats survive and the CLI can tell
+    the user how to resume.  Subclasses ``KeyboardInterrupt`` so
+    callers that do not care still see the interrupt semantics.
+    """
+
+    def __init__(
+        self,
+        stats: ExecStats,
+        completed: int,
+        checkpoint: Path | None = None,
+    ) -> None:
+        super().__init__("study execution interrupted")
+        self.stats = stats
+        self.completed = completed
+        self.checkpoint = checkpoint
+
+
+@contextmanager
+def _cache_setting(use_cache: bool):
+    """Apply the cache toggle in-process, restoring the prior state."""
+    previous = (
+        memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled, memo.TRACE_CACHE.enabled,
+    )
+    memo.set_cache_enabled(use_cache)
+    try:
+        yield
+    finally:
+        (memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled,
+         memo.TRACE_CACHE.enabled) = previous
+
+
+def _quarantine_error(spec: RunSpec, attempts: int, reason: str) -> RunError:
+    """A parent-side quarantine record (no worker traceback exists)."""
+    return RunError(
+        label=spec.label,
+        key=spec.content_key(),
+        kind=ErrorKind.POISONED,
+        message=reason,
+        attempts=tuple(
+            FaultAttempt(attempt=i, kind=ErrorKind.POISONED, error=reason)
+            for i in range(attempts)
+        ),
+    )
+
+
 def execute(
     runs: Sequence[RunSpec],
     max_workers: int = 1,
     use_cache: bool = True,
     telemetry: bool = False,
-) -> tuple[list[RunOutcome], ExecStats]:
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint: str | Path | CheckpointJournal | None = None,
+) -> tuple[list[RunOutcome | None], ExecStats]:
     """Execute descriptors, returning outcomes in submission order.
 
     ``outcomes[i]`` always corresponds to ``runs[i]``; content-equal
@@ -412,8 +633,34 @@ def execute(
     across worker counts because the merge follows submission order,
     never completion order.  Recording is purely observational: with
     or without it, results stay bit-identical.
+
+    Fault tolerance: each run goes through the retry ladder of
+    ``policy`` (default :class:`~repro.exec.retry.RetryPolicy`), and a
+    run that exhausts its budget becomes a ``None`` outcome slot plus
+    a :class:`~repro.exec.faults.RunError` in ``stats.failures`` —
+    :func:`execute` does not raise for run failures.  A broken or hung
+    pool is respawned with only the unfinished specs requeued; after
+    ``policy.max_pool_respawns`` rebuilds the remainder runs
+    in-process.  ``faults`` injects deterministic chaos (defaults to
+    the ``REPRO_INJECT_FAULTS`` environment); results stay
+    bit-identical under any transient injection.  ``checkpoint``
+    names a journal file (or an open
+    :class:`~repro.exec.checkpoint.CheckpointJournal`): completed
+    outcomes are journaled as they land and restored — not re-executed
+    — on the next call, and ``KeyboardInterrupt`` flushes the journal
+    before surfacing as :class:`ExecutionInterrupted`.
     """
     started = time.perf_counter()
+    policy = policy if policy is not None else RetryPolicy()
+    if faults is None:
+        faults = fault_plan_from_env()
+    journal: CheckpointJournal | None = None
+    if checkpoint is not None:
+        journal = (
+            checkpoint
+            if isinstance(checkpoint, CheckpointJournal)
+            else CheckpointJournal.open(checkpoint)
+        )
 
     # Content-address the descriptors: first occurrence wins the slot.
     unique: list[RunSpec] = []
@@ -427,40 +674,136 @@ def execute(
         placement.append(slot_of[key])
 
     executed: list[RunOutcome | None] = [None] * len(unique)
+    errors: dict[int, RunError] = {}
     worker_of: list[int] = [0] * len(unique)
-    if max_workers <= 1 or len(unique) <= 1:
-        workers = 1
-        shards = [list(enumerate(unique))]
-        previous = (
-            memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled, memo.TRACE_CACHE.enabled,
-        )
-        memo.set_cache_enabled(use_cache)
-        try:
-            for index, spec in enumerate(unique):
-                executed[index] = execute_run(spec, telemetry=telemetry)
-        finally:
-            (memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled,
-             memo.TRACE_CACHE.enabled) = previous
-    else:
-        workers = min(max_workers, len(unique))
-        # Contiguous shards, one per worker, snapped to setup-affinity
-        # boundaries: each app's runs stay together, so per-worker
-        # setup caches stay hot and no setup is built twice.
-        indexed = list(enumerate(unique))
-        shards = _shard_by_affinity(indexed, workers)
-        for shard_index, shard in enumerate(shards):
-            for index, _spec in shard:
-                worker_of[index] = shard_index
-        with ProcessPoolExecutor(
-            max_workers=workers, initializer=_init_worker, initargs=(use_cache,)
-        ) as pool:
-            futures = [pool.submit(_shard_task, shard, telemetry) for shard in shards]
-            wait(futures, return_when=FIRST_EXCEPTION)
-            for future in futures:
-                for index, outcome in future.result():
-                    executed[index] = outcome
+    resumed = 0
+    pool_respawns = 0
 
-    outcomes = [executed[slot] for slot in placement]  # type: ignore[misc]
+    # Restore checkpointed outcomes; only the remainder executes.
+    pending: dict[int, RunSpec] = {}
+    for index, spec in enumerate(unique):
+        restored = journal.restore(spec.content_key()) if journal is not None else None
+        if restored is not None:
+            executed[index] = restored
+            resumed += 1
+        else:
+            pending[index] = spec
+
+    def settle(index: int, payload: "RunOutcome | RunError") -> None:
+        if isinstance(payload, RunError):
+            errors[index] = payload
+        else:
+            executed[index] = payload
+            if journal is not None:
+                journal.record(payload)
+
+    def run_serially(specs: dict[int, RunSpec], base_attempts: dict[int, int]) -> None:
+        with _cache_setting(use_cache):
+            for index in sorted(specs):
+                settle(
+                    index,
+                    run_with_retry(
+                        specs[index],
+                        policy,
+                        faults=faults,
+                        telemetry=telemetry,
+                        base_attempt=base_attempts.get(index, 0),
+                    ),
+                )
+
+    shards: list[list[tuple[int, RunSpec]]] = [sorted(pending.items())]
+    workers = 1
+    interrupted = False
+    try:
+        if max_workers <= 1 or len(pending) <= 1:
+            workers = 1
+            run_serially(pending, {})
+            pending = {}
+        else:
+            workers = min(max_workers, len(pending))
+            base_attempt = {index: 0 for index in pending}
+            while pending:
+                if pool_respawns > policy.max_pool_respawns:
+                    # Graceful degradation: the pool keeps dying, so
+                    # finish the remainder in-process and keep going.
+                    run_serially(pending, base_attempt)
+                    pending = {}
+                    break
+                # Contiguous shards, one per worker, snapped to
+                # setup-affinity boundaries: each app's runs stay
+                # together, so per-worker setup caches stay hot and no
+                # setup is built twice.
+                shards = _shard_by_affinity(sorted(pending.items()), workers)
+                for shard_index, shard in enumerate(shards):
+                    for index, _spec in shard:
+                        worker_of[index] = shard_index
+                hung = False
+                pool = ProcessPoolExecutor(
+                    max_workers=len(shards), initializer=_init_worker, initargs=(use_cache,)
+                )
+                try:
+                    future_shard = {
+                        pool.submit(
+                            _shard_task,
+                            shard,
+                            telemetry,
+                            policy,
+                            faults,
+                            {index: base_attempt[index] for index, _ in shard},
+                        ): shard
+                        for shard in shards
+                    }
+                    # Parent-side watchdog: a shard retries each spec up
+                    # to max_attempts times, so its budget is the sum of
+                    # per-attempt watchdogs (plus one slot of grace).
+                    budget = None
+                    if policy.run_timeout is not None:
+                        largest = max(len(shard) for shard in shards)
+                        budget = policy.run_timeout * (largest * policy.max_attempts + 1)
+                    try:
+                        for future in as_completed(future_shard, timeout=budget):
+                            try:
+                                rows = future.result()
+                            except BrokenProcessPool:
+                                continue  # this shard's specs get requeued
+                            for index, payload in rows:
+                                settle(index, payload)
+                                pending.pop(index, None)
+                    except FuturesTimeout:
+                        # A worker is hung past any retry budget: kill
+                        # the pool and requeue whatever never landed.
+                        hung = True
+                        for process in pool._processes.values():
+                            process.terminate()
+                finally:
+                    pool.shutdown(wait=True, cancel_futures=True)
+                if not pending:
+                    break
+                # The pool broke or hung under this round's survivors:
+                # charge each a requeue attempt and quarantine specs
+                # that keep taking their pool down.
+                pool_respawns += 1
+                for index in sorted(pending):
+                    base_attempt[index] += 1
+                    if base_attempt[index] >= policy.max_attempts:
+                        spec = pending.pop(index)
+                        reason = (
+                            "worker pool "
+                            + ("hung" if hung else "broke")
+                            + f" on every attempt ({base_attempt[index]} requeues)"
+                        )
+                        errors[index] = _quarantine_error(spec, base_attempt[index], reason)
+    except KeyboardInterrupt:
+        interrupted = True
+    finally:
+        if journal is not None:
+            journal.close()
+
+    worker_retries = sum(o.attempts - 1 for o in executed if o is not None)
+    failed_retries = sum(
+        max(error.attempts[-1].attempt, len(error.attempts) - 1) if error.attempts else 0
+        for error in errors.values()
+    )
     stats = ExecStats(
         requested_runs=len(runs),
         unique_runs=len(unique),
@@ -480,8 +823,19 @@ def execute(
             if o is not None
         ],
         limited_by=_limited_by_tallies(executed),
+        retries=worker_retries + failed_retries,
+        failures=[errors[index] for index in sorted(errors)],
+        pool_respawns=pool_respawns,
+        resumed_runs=resumed,
     )
     if telemetry:
-        done = [o for o in executed if o is not None]
-        stats.timeline = _build_timeline(done, worker_of, shards, stats)
+        pairs = [(o, w) for o, w in zip(executed, worker_of) if o is not None]
+        stats.timeline = _build_timeline(pairs, shards, stats)
+    if interrupted:
+        raise ExecutionInterrupted(
+            stats=stats,
+            completed=sum(1 for o in executed if o is not None),
+            checkpoint=journal.path if journal is not None else None,
+        )
+    outcomes = [executed[slot] for slot in placement]
     return outcomes, stats

@@ -1,0 +1,272 @@
+"""Error taxonomy and deterministic fault injection for study runs.
+
+A paper-scale study is hundreds of independent simulations fanned over
+a process pool; at that scale *something* eventually goes wrong — a
+worker gets OOM-killed, a run hangs, a result comes back mangled.
+This module gives the executor a vocabulary for those events and a way
+to rehearse them:
+
+* :class:`ErrorKind` / :class:`RunError` — the classification the
+  retry layer (:mod:`repro.exec.retry`) acts on.  ``TRANSIENT`` errors
+  are retried with backoff, ``PERMANENT`` errors fail fast, and
+  ``POISONED`` runs (bad output, or specs that keep killing their
+  worker pool) are quarantined so one bad cell cannot abort the study.
+* :class:`FaultPlan` — a seeded chaos harness.  Faults are drawn per
+  run from a content-addressed hash of ``(seed, kind, spec key)``, so
+  an injection campaign is reproducible bit-for-bit: same seed, same
+  faults, on every machine and worker count.  Injected faults fire on
+  the first :attr:`FaultPlan.attempts` attempts of a drawn spec and
+  then stand down, which is what makes the core invariant testable —
+  a study under transient injection must produce results bit-identical
+  to a fault-free run.
+
+Plans come from the CLI (``--inject-faults crash:0.2,timeout:0.1``) or
+the ``REPRO_INJECT_FAULTS`` / ``REPRO_FAULT_SEED`` environment
+variables (which reach pool workers of any entry point).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import time
+from dataclasses import dataclass
+from enum import Enum
+from typing import Mapping
+
+
+class ErrorKind(str, Enum):
+    """What a run failure means for the rest of the study."""
+
+    #: Environment-induced and worth retrying: crashed/OOM-killed
+    #: worker, watchdog timeout, broken pool.
+    TRANSIENT = "transient"
+    #: Deterministic — the same spec will fail the same way again, so
+    #: retrying only wastes the budget.  Fails fast.
+    PERMANENT = "permanent"
+    #: The run produced output that fails validation, or the spec
+    #: keeps taking its worker pool down with it.  Retried cautiously,
+    #: then quarantined.
+    POISONED = "poisoned"
+
+
+class RunTimeout(TimeoutError):
+    """A run exceeded the per-run watchdog budget."""
+
+
+class ResultValidationError(RuntimeError):
+    """A run completed but its result fails sanity validation."""
+
+
+class InjectedFault(RuntimeError):
+    """Base class for faults raised by a :class:`FaultPlan`."""
+
+
+class InjectedCrash(InjectedFault):
+    """Injected transient crash (a worker dying mid-run)."""
+
+
+class InjectedPoison(InjectedFault):
+    """Injected permanent failure (a run that can never succeed)."""
+
+
+@dataclass(frozen=True)
+class FaultAttempt:
+    """One failed attempt in a run's retry history."""
+
+    attempt: int
+    kind: ErrorKind
+    error: str
+    backoff_seconds: float = 0.0
+
+
+@dataclass(frozen=True)
+class RunError:
+    """A run that exhausted its attempts, with its full history.
+
+    Carried in ``ExecStats.failures`` (and the ``failures`` field of
+    study/sweep results) instead of being raised: the study keeps its
+    completed work and reports what it lost.
+    """
+
+    label: str
+    key: str
+    kind: ErrorKind
+    message: str
+    traceback: str = ""
+    attempts: tuple[FaultAttempt, ...] = ()
+
+    @property
+    def n_attempts(self) -> int:
+        return len(self.attempts)
+
+    def summary_row(self) -> tuple[str, str, str, str]:
+        """(label, kind, attempts, message) for the CLI failure table."""
+        return (self.label, self.kind.value, str(self.n_attempts), self.message)
+
+
+#: Injectable fault kinds and what each rehearses:
+#:
+#: ``crash``     — the attempt raises (a worker segfault/OOM-kill seen
+#:                 from inside); transient, retried.
+#: ``timeout``   — the attempt trips the watchdog; transient, retried.
+#: ``corrupt``   — the attempt returns a result with a non-finite
+#:                 checksum; caught by validation, retried.
+#: ``poison``    — every attempt raises a poisoned-output error; the
+#:                 spec exhausts its retry budget and is quarantined.
+#: ``abort``     — the worker process exits hard (``os._exit``),
+#:                 breaking the pool; exercises pool respawn.  In the
+#:                 in-process path it degrades to ``crash``.
+#: ``hang``      — the worker sleeps past any watchdog; exercises the
+#:                 parent-side hung-pool recovery.  In the in-process
+#:                 path it degrades to ``timeout``.
+#: ``interrupt`` — the attempt raises ``KeyboardInterrupt``; exercises
+#:                 the Ctrl-C checkpoint-flush path deterministically.
+FAULT_KINDS = ("crash", "timeout", "corrupt", "poison", "abort", "hang", "interrupt")
+
+#: How long an injected ``hang`` sleeps in a pool worker — far past
+#: any sane watchdog, short enough that an unconfigured test suite
+#: would still terminate.
+HANG_SECONDS = 3600.0
+
+ENV_FAULTS = "REPRO_INJECT_FAULTS"
+ENV_SEED = "REPRO_FAULT_SEED"
+
+
+def _hash01(token: str) -> float:
+    """Map a token to [0, 1) through a stable content hash.
+
+    ``hashlib`` rather than ``hash()``: Python string hashing is
+    salted per process, and fault draws must agree across pool workers
+    and across runs.
+    """
+    digest = hashlib.sha256(token.encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded, per-spec fault injections (reproducible chaos).
+
+    ``rates`` maps fault kind -> probability that the kind is drawn
+    for a given run spec (stored as a sorted tuple of pairs so plans
+    are hashable and picklable into pool workers).  A drawn fault
+    fires on the first ``attempts`` attempts of that spec and then
+    stands down, so a retry budget larger than ``attempts`` always
+    recovers; raise ``attempts`` past the retry budget to rehearse
+    quarantine instead.
+    """
+
+    seed: int = 0
+    rates: tuple[tuple[str, float], ...] = ()
+    attempts: int = 1
+
+    def __post_init__(self) -> None:
+        for kind, rate in self.rates:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}: known kinds are {', '.join(FAULT_KINDS)}"
+                )
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"fault rate for {kind!r} must be in [0, 1], got {rate}")
+        if self.attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {self.attempts}")
+
+    @property
+    def active(self) -> bool:
+        return any(rate > 0 for _, rate in self.rates)
+
+    def rate(self, kind: str) -> float:
+        return dict(self.rates).get(kind, 0.0)
+
+    def drawn(self, kind: str, key: str) -> bool:
+        """Whether ``kind`` is drawn for the spec with content ``key``."""
+        rate = self.rate(kind)
+        if rate <= 0.0:
+            return False
+        return _hash01(f"{self.seed}:{kind}:{key}") < rate
+
+    def injects(self, kind: str, key: str, attempt: int) -> bool:
+        """Whether ``kind`` fires on this attempt of this spec."""
+        return attempt < self.attempts and self.drawn(kind, key)
+
+    def faults_for(self, key: str) -> tuple[str, ...]:
+        """All fault kinds drawn for one spec, in canonical order."""
+        return tuple(kind for kind in FAULT_KINDS if self.drawn(kind, key))
+
+    def spec_string(self) -> str:
+        """Round-trippable ``kind:rate,...`` form (see :func:`parse_fault_plan`)."""
+        parts = [f"{kind}:{rate:g}" for kind, rate in self.rates]
+        if self.attempts != 1:
+            parts.append(f"attempts:{self.attempts}")
+        return ",".join(parts)
+
+    def apply(self, key: str, label: str, attempt: int, in_pool_worker: bool) -> None:
+        """Raise (or hard-exit) for every process fault drawn on this attempt.
+
+        Result corruption is not raised here — it mangles the produced
+        outcome instead; the executor asks :meth:`injects` for
+        ``"corrupt"`` after the run.
+        """
+        # Poison fires on *every* attempt: it rehearses a run that can
+        # never succeed, so standing down after ``attempts`` would just
+        # let the retry ladder paper over it.
+        if self.drawn("poison", key):
+            raise InjectedPoison(f"injected permanent failure: {label}")
+        if self.injects("interrupt", key, attempt):
+            raise KeyboardInterrupt(f"injected interrupt: {label}")
+        if self.injects("abort", key, attempt):
+            if in_pool_worker:
+                os._exit(17)  # hard worker death: the pool breaks
+            raise InjectedCrash(f"injected abort (in-process, degraded to crash): {label}")
+        if self.injects("hang", key, attempt):
+            if in_pool_worker:
+                time.sleep(HANG_SECONDS)
+            raise RunTimeout(f"injected hang (in-process, degraded to timeout): {label}")
+        if self.injects("crash", key, attempt):
+            raise InjectedCrash(f"injected crash: {label} (attempt {attempt})")
+        if self.injects("timeout", key, attempt):
+            raise RunTimeout(f"injected timeout: {label} (attempt {attempt})")
+
+
+def parse_fault_plan(spec: str, seed: int = 0) -> FaultPlan:
+    """Parse ``crash:0.2,timeout:0.1[,attempts:2]`` into a plan.
+
+    Each token is ``kind:value``; kinds are the injectable
+    :data:`FAULT_KINDS` plus the pseudo-keys ``attempts`` (faulted
+    attempts per drawn spec) and ``seed``.
+    """
+    rates: dict[str, float] = {}
+    attempts = 1
+    for token in spec.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        name, sep, value = token.partition(":")
+        name = name.strip()
+        if not sep:
+            raise ValueError(f"malformed fault token {token!r}: expected kind:rate")
+        try:
+            number = float(value)
+        except ValueError:
+            raise ValueError(f"malformed fault rate in {token!r}") from None
+        if name == "attempts":
+            attempts = int(number)
+        elif name == "seed":
+            seed = int(number)
+        else:
+            rates[name] = number
+    return FaultPlan(seed=seed, rates=tuple(sorted(rates.items())), attempts=attempts)
+
+
+def fault_plan_from_env(environ: Mapping[str, str] = os.environ) -> FaultPlan | None:
+    """The ambient fault plan, if chaos was requested via environment.
+
+    This is how an injection campaign reaches pool workers and entry
+    points that do not thread a plan through explicitly.
+    """
+    spec = environ.get(ENV_FAULTS)
+    if not spec:
+        return None
+    seed = int(environ.get(ENV_SEED, "0"))
+    return parse_fault_plan(spec, seed=seed)

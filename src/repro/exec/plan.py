@@ -22,6 +22,15 @@ from ..hardware.specs import Precision
 APU = "apu"
 DGPU = "dgpu"
 
+#: Count-like config fields that must be positive when present.  The
+#: app config dataclasses validate themselves; this net also catches
+#: duck-typed configs handed straight to :class:`RunSpec`.
+_COUNT_FIELDS = (
+    "size", "reps", "iterations", "steps", "block_size",
+    "nx", "ny", "nz", "cg_iterations",
+    "n_nuclides", "n_gridpoints", "n_lookups",
+)
+
 
 @dataclass(frozen=True)
 class RunSpec:
@@ -47,6 +56,30 @@ class RunSpec:
     def __post_init__(self) -> None:
         if self.platform not in (APU, DGPU):
             raise ValueError(f"platform must be {APU!r} or {DGPU!r}, got {self.platform!r}")
+        # Fail at construction with a nameable message, not as a
+        # KeyError three layers deep inside a pool worker.
+        from ..apps import APPS_BY_NAME  # lazy: keeps the plan layer light
+
+        app = APPS_BY_NAME.get(self.app)
+        if app is None:
+            raise ValueError(
+                f"unknown app {self.app!r}: known apps are {', '.join(sorted(APPS_BY_NAME))}"
+            )
+        if self.model not in app.ports:
+            raise ValueError(
+                f"{self.app} has no {self.model!r} port: "
+                f"known models are {', '.join(sorted(app.ports))}"
+            )
+        for name in _COUNT_FIELDS:
+            value = getattr(self.config, name, None)
+            if isinstance(value, (int, float)) and not isinstance(value, bool) and value <= 0:
+                raise ValueError(
+                    f"{self.app} config field {name}={value!r} must be positive"
+                )
+        for name in ("core_mhz", "memory_mhz"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be a positive frequency, got {value!r}")
 
     @property
     def apu(self) -> bool:

@@ -63,3 +63,62 @@ class TestStudyResult:
             apu_values=(False,),
         )
         assert len(study.entries) == 3
+
+
+class TestStudyFaultTolerance:
+    def test_transient_injection_is_bit_identical(self):
+        from repro.exec import RetryPolicy, parse_fault_plan
+
+        clean = small_study()
+        chaotic = run_study(
+            (READMEM,),
+            paper_scale=False,
+            configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+            precisions=(Precision.SINGLE,),
+            policy=RetryPolicy(backoff_base=0.0),
+            faults=parse_fault_plan("crash:0.5,corrupt:0.3", seed=4),
+        )
+        assert chaotic.entries == clean.entries
+        assert chaotic.complete
+        assert chaotic.stats.retries > 0
+
+    def test_quarantined_cells_drop_entries_not_the_study(self):
+        from repro.exec import RetryPolicy, parse_fault_plan
+
+        study = run_study(
+            (READMEM,),
+            paper_scale=False,
+            configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+            precisions=(Precision.SINGLE,),
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            faults=parse_fault_plan("poison:0.4", seed=1),
+        )
+        assert not study.complete
+        assert study.failures
+        clean = small_study()
+        # Surviving entries are unchanged; lost ones are just absent.
+        assert len(study.entries) < len(clean.entries)
+        surviving = {(e.app, e.model, e.apu, e.precision) for e in study.entries}
+        for entry in clean.entries:
+            if (entry.app, entry.model, entry.apu, entry.precision) in surviving:
+                assert entry in study.entries
+
+    def test_checkpoint_resume_is_bit_identical(self, tmp_path):
+        clean = small_study()
+        path = tmp_path / "study.ck"
+        first = run_study(
+            (READMEM,),
+            paper_scale=False,
+            configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+            precisions=(Precision.SINGLE,),
+            checkpoint=path,
+        )
+        resumed = run_study(
+            (READMEM,),
+            paper_scale=False,
+            configs={"read-benchmark": ReadMemConfig(size=1 << 16)},
+            precisions=(Precision.SINGLE,),
+            checkpoint=path,
+        )
+        assert first.entries == clean.entries == resumed.entries
+        assert resumed.stats.resumed_runs == resumed.stats.unique_runs

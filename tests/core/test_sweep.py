@@ -80,3 +80,37 @@ class TestFigure7Shapes:
         at_high_core = result.get(1000.0, 480.0).normalized_performance
         at_high_core_fast_mem = result.get(1000.0, 1250.0).normalized_performance
         assert at_high_core_fast_mem > at_high_core
+
+
+class TestSweepFaultTolerance:
+    def test_transient_injection_is_bit_identical(self):
+        from repro.exec import RetryPolicy, parse_fault_plan
+
+        clean = sweep("read-benchmark")
+        chaotic = run_sweep(
+            APPS_BY_NAME["read-benchmark"],
+            sweep_configs()["read-benchmark"],
+            core_grid=CORE,
+            memory_grid=MEMORY,
+            policy=RetryPolicy(backoff_base=0.0),
+            faults=parse_fault_plan("crash:0.5,timeout:0.3", seed=2),
+        )
+        assert chaotic.points == clean.points
+        assert chaotic.complete
+
+    def test_quarantined_points_leave_holes_not_crashes(self):
+        from repro.exec import RetryPolicy, parse_fault_plan
+
+        result = run_sweep(
+            APPS_BY_NAME["read-benchmark"],
+            sweep_configs()["read-benchmark"],
+            core_grid=CORE,
+            memory_grid=MEMORY,
+            policy=RetryPolicy(max_attempts=2, backoff_base=0.0),
+            faults=parse_fault_plan("poison:0.3", seed=2),
+        )
+        assert not result.complete
+        assert 0 < len(result.points) < 9
+        assert len(result.points) + len(result.failures) == 9
+        # Surviving points still normalize against a real anchor.
+        assert all(p.normalized_performance > 0 for p in result.points)

@@ -25,6 +25,7 @@ exceeds the analytic time only through tail quantization.
 """
 
 import random
+import zlib
 
 import pytest
 
@@ -112,7 +113,7 @@ def random_device(rng: random.Random):
 
 @pytest.mark.parametrize("kind", list(AccessKind), ids=lambda k: k.value)
 def test_models_agree_on_random_specs(kind):
-    rng = random.Random(0xD1F + hash(kind.value) % 1000)
+    rng = random.Random(0xD1F + zlib.crc32(kind.value.encode()) % 1000)
     tolerance = DIFFERENTIAL_TOLERANCE[kind]
     for _ in range(N_CASES):
         spec = random_spec(rng, kind)
@@ -138,7 +139,7 @@ def test_models_agree_on_random_specs(kind):
 @pytest.mark.parametrize("kind", list(AccessKind), ids=lambda k: k.value)
 def test_hand_tuned_lowerings_agree(kind):
     """The expert lowering (what OpenCL generates) stays in band too."""
-    rng = random.Random(0xBEEF + hash(kind.value) % 1000)
+    rng = random.Random(0xBEEF + zlib.crc32(kind.value.encode()) % 1000)
     tolerance = DIFFERENTIAL_TOLERANCE[kind]
     for _ in range(N_CASES // 2):
         lowered = hand_tuned(random_spec(rng, kind))

@@ -59,6 +59,47 @@ class TestRunSpec:
             assert changed.content_key() != base.content_key(), changed
 
 
+class TestValidation:
+    """Bad descriptors fail at construction with a nameable message,
+    not as a KeyError deep inside a pool worker."""
+
+    def test_rejects_unknown_app(self):
+        with pytest.raises(ValueError, match="unknown app"):
+            spec(app="HPL")
+
+    def test_rejects_unknown_model(self):
+        with pytest.raises(ValueError, match="no 'CUDA' port"):
+            spec(model="CUDA")
+
+    def test_rejects_nonpositive_size(self):
+        class DuckConfig:  # the net catches duck-typed configs too
+            size = 0
+
+        with pytest.raises(ValueError, match="size=0 must be positive"):
+            spec(config=DuckConfig())
+
+    def test_rejects_negative_reps(self):
+        class FakeConfig:
+            size = 64
+            reps = -3
+
+        with pytest.raises(ValueError, match="reps=-3"):
+            spec(config=FakeConfig())
+
+    def test_rejects_nonpositive_clocks(self):
+        with pytest.raises(ValueError, match="core_mhz"):
+            spec(core_mhz=0.0)
+        with pytest.raises(ValueError, match="memory_mhz"):
+            spec(memory_mhz=-200.0)
+
+    def test_bool_config_fields_are_not_counts(self):
+        class FlaggedConfig:
+            size = 64
+            steps = False  # a flag, not a count
+
+        spec(config=FlaggedConfig())  # does not raise
+
+
 class TestStudyRuns:
     def test_canonical_order_baseline_first(self):
         runs = study_runs(
@@ -75,8 +116,8 @@ class TestStudyRuns:
 
     def test_cell_count(self):
         runs = study_runs(
-            app_names=["a", "b"],
-            configs={"a": CONFIG, "b": CONFIG},
+            app_names=["XSBench", "CoMD"],
+            configs={"XSBench": CONFIG, "CoMD": CONFIG},
             apu_values=(True, False),
             precisions=(Precision.SINGLE, Precision.DOUBLE),
             models=("OpenCL", "C++ AMP", "OpenACC"),

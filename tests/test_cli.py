@@ -24,6 +24,52 @@ class TestParser:
             build_parser().parse_args(["figure7", "--app", "nope"])
 
 
+class TestFaultFlags:
+    def test_study_and_sweep_take_fault_flags(self):
+        parser = build_parser()
+        args = parser.parse_args([
+            "study", "--retries", "5", "--run-timeout", "30",
+            "--inject-faults", "crash:0.2", "--fault-seed", "7",
+            "--resume", "ck.jsonl",
+        ])
+        assert args.retries == 5
+        assert args.run_timeout == 30.0
+        assert args.inject_faults == "crash:0.2"
+        assert args.fault_seed == 7
+        assert args.resume == "ck.jsonl"
+        args = parser.parse_args(["sweep", "--inject-faults", "timeout:0.1"])
+        assert args.inject_faults == "timeout:0.1"
+
+    def test_characterize_has_no_resume(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["characterize", "--resume", "x"])
+
+    def test_sweep_under_transient_injection_exits_zero(self, capsys):
+        code = main([
+            "sweep", "--app", "read-benchmark",
+            "--inject-faults", "crash:0.5", "--fault-seed", "3",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 7" in out
+        assert "retries" in out
+
+    def test_sweep_quarantine_exits_nonzero_with_table(self, capsys):
+        code = main([
+            "sweep", "--app", "read-benchmark",
+            "--inject-faults", "poison:0.3", "--fault-seed", "2",
+            "--retries", "2",
+        ])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "Quarantined runs" in out
+        assert "poisoned" in out
+
+    def test_malformed_fault_spec_raises(self):
+        with pytest.raises(ValueError, match="malformed"):
+            main(["sweep", "--app", "read-benchmark", "--inject-faults", "crash"])
+
+
 class TestExecution:
     def test_figure11(self, capsys):
         assert main(["figure11"]) == 0
