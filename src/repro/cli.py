@@ -18,6 +18,8 @@ Examples::
     repro characterize --bench BENCH_cache.json      # tracked perf baseline
     repro profile figure8 --trace t.json --metrics m.prom   # telemetry
     repro figure9 --trace t.json        # any study-backed command
+    repro serve --port 8351             # the prediction service
+    repro loadtest --spawn --bench BENCH_serve.json  # serving baseline
 """
 
 from __future__ import annotations
@@ -358,6 +360,107 @@ def cmd_profile(args: argparse.Namespace) -> None:
     _write_telemetry(timeline, args)
 
 
+def cmd_serve(args: argparse.Namespace) -> int | None:
+    """Run the prediction service until SIGTERM/SIGINT, then drain."""
+    import asyncio
+    import signal
+
+    from .serve import ServeConfig, Server
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        window_s=args.window_ms / 1e3,
+        max_batch=args.max_batch,
+        max_queue=args.max_queue,
+        deadline_s=args.deadline,
+        retries=args.retries,
+        run_timeout_s=args.run_timeout,
+    )
+
+    async def main() -> None:
+        server = Server(config)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                signal.signal(sig, lambda *_: stop.set())
+        await server.start()
+        print(f"serving on {server.url} "
+              f"(batch window {config.window_s * 1e3:g} ms, "
+              f"queue bound {config.max_queue}, deadline {config.deadline_s:g} s)")
+        print("routes: POST /v1/predict, POST /v1/study, "
+              "GET /healthz /readyz /metrics")
+        await stop.wait()
+        print("draining in-flight requests ...")
+        await server.shutdown()
+        total = sum(
+            sample.value
+            for family in server.metrics.families()
+            if family.name == "repro_serve_requests_total"
+            for sample in family.samples.values()
+        )
+        print(f"drained; served {total:g} requests")
+
+    asyncio.run(main())
+
+
+def _loadtest_bodies(args: argparse.Namespace) -> list[dict]:
+    """The query mix: one point, or a model/platform/precision rotation."""
+    from .core.study import GPU_MODELS
+
+    models = [args.model] if args.model else list(GPU_MODELS)
+    platforms = [args.platform] if args.platform else ["apu", "dgpu"]
+    precisions = [args.precision] if args.precision else ["single", "double"]
+    return [
+        {"app": args.app, "model": model, "platform": platform,
+         "precision": precision, "scale": args.scale}
+        for model in models
+        for platform in platforms
+        for precision in precisions
+    ]
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int | None:
+    """Drive a prediction server and record the serving baseline."""
+    import asyncio
+    from .serve import ServeConfig, ServerThread, run_load, write_bench
+
+    bodies = _loadtest_bodies(args)
+    spawned = None
+    if args.url:
+        url = args.url
+    else:
+        spawned = ServerThread(ServeConfig(
+            max_queue=args.max_queue, window_s=args.window_ms / 1e3,
+        )).start()
+        url = spawned.url
+        print(f"spawned ephemeral server on {url}")
+    try:
+        result = asyncio.run(run_load(
+            url,
+            bodies,
+            mode=args.mode,
+            concurrency=args.concurrency,
+            duration_s=args.duration,
+            rate=args.rate,
+            warmup=not args.cold,
+        ))
+    finally:
+        if spawned is not None:
+            spawned.stop()
+    print(f"{len(bodies)} distinct predict queries "
+          f"({'cold' if args.cold else 'warmed'}), target {url}")
+    print(result.summary())
+    if args.bench:
+        write_bench(result, args.bench)
+        print(f"\nwrote serving benchmark to {args.bench}")
+    if result.errors or not result.requests:
+        return 1
+
+
 def cmd_all(args: argparse.Namespace) -> None:
     cmd_table2(args)
     print()
@@ -415,13 +518,60 @@ def _add_telemetry_flags(p: argparse.ArgumentParser) -> None:
                         "(.json, or Prometheus text for any other suffix)")
 
 
+#: ``repro --help`` sections: every command, grouped, one line each.
+COMMAND_SECTIONS: tuple[tuple[str, tuple[tuple[str, str], ...]], ...] = (
+    ("paper artifacts", (
+        ("table1", "Table I: measured application characteristics"),
+        ("table2", "Tables II & III: platform and compiler specs"),
+        ("table4", "Table IV: SLOC per programming model, measured vs paper"),
+        ("figure7", "Figure 7: frequency-scaling grids (per app)"),
+        ("figure8", "Figure 8: APU speedups over 4-core OpenMP"),
+        ("figure9", "Figure 9: dGPU speedups over 4-core OpenMP"),
+        ("figure10", "Figure 10: relative productivity (Eq. 1)"),
+        ("figure11", "Figure 11: optimization-feature matrix"),
+        ("ablation", "transfer decomposition of one app on the dGPU"),
+        ("all", "every table and figure in sequence"),
+    )),
+    ("studies & data", (
+        ("study", "the full comparison study through the parallel executor"),
+        ("sweep", "Figure 7 frequency sweeps through the parallel executor"),
+        ("characterize", "Table I through the vectorized replay engine"),
+        ("export", "dump study (and sweep) records to JSON or CSV"),
+    )),
+    ("performance & telemetry", (
+        ("profile", "phase breakdown plus Chrome-trace/metrics artifacts"),
+        ("serve", "async HTTP prediction service over the performance model"),
+        ("loadtest", "drive a prediction server; record BENCH_serve.json"),
+    )),
+)
+
+#: One-line description per command (drives both help layers).
+COMMAND_HELP = {
+    name: blurb
+    for _section, commands in COMMAND_SECTIONS
+    for name, blurb in commands
+}
+
+
+def _command_epilog() -> str:
+    lines = ["commands:"]
+    for section, commands in COMMAND_SECTIONS:
+        lines.append(f"\n  {section}:")
+        for name, blurb in commands:
+            lines.append(f"    {name:<13} {blurb}")
+    lines.append("\nrun 'repro COMMAND --help' for the options of one command")
+    return "\n".join(lines)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of 'Exploring Parallel "
         "Programming Models for Heterogeneous Computing Systems' (IISWC 2015).",
+        epilog=_command_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    sub = parser.add_subparsers(dest="command", required=True, metavar="COMMAND")
     for name, fn, needs_full, needs_app in (
         ("table1", cmd_table1, False, False),
         ("table2", cmd_table2, False, False),
@@ -434,7 +584,7 @@ def build_parser() -> argparse.ArgumentParser:
         ("ablation", cmd_ablation, False, True),
         ("all", cmd_all, True, False),
     ):
-        p = sub.add_parser(name)
+        p = sub.add_parser(name, description=COMMAND_HELP[name])
         p.set_defaults(func=fn, full=False, app=None, chart=False,
                        workers=1, no_cache=False, trace=None, metrics=None)
         if needs_full:
@@ -449,7 +599,8 @@ def build_parser() -> argparse.ArgumentParser:
         if needs_app:
             p.add_argument("--app", choices=FIGURE_APPS, default=None)
     study = sub.add_parser(
-        "study", help="the full comparison study, with executor stats")
+        "study",
+        description=COMMAND_HELP["study"] + ", with executor stats")
     study.set_defaults(func=cmd_study)
     study.add_argument("--paper-scale", action="store_true",
                        help="use the exact Table I problem sizes (slow)")
@@ -462,7 +613,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(study)
     char = sub.add_parser(
         "characterize",
-        help="Table I through the vectorized (or scalar) replay engine")
+        description="Table I through the vectorized (or scalar) replay engine")
     char.set_defaults(func=cmd_characterize)
     char.add_argument("--engine", choices=("vector", "scalar"), default="vector",
                       help="trace-replay engine (bit-identical results; "
@@ -479,7 +630,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_flags(char)
     _add_fault_flags(char, resume=False)
     sweep = sub.add_parser(
-        "sweep", help="Figure 7 frequency sweeps, with executor stats")
+        "sweep",
+        description=COMMAND_HELP["sweep"] + ", with executor stats")
     sweep.set_defaults(func=cmd_sweep)
     sweep.add_argument("--app", choices=FIGURE_APPS, default=None)
     _add_executor_flags(sweep)
@@ -487,8 +639,8 @@ def build_parser() -> argparse.ArgumentParser:
     _add_fault_flags(sweep)
     profile = sub.add_parser(
         "profile",
-        help="run a study/sweep with telemetry: phase breakdown, "
-             "Chrome trace, metrics registry")
+        description="run a study/sweep with telemetry: phase breakdown, "
+                    "Chrome trace, metrics registry")
     profile.set_defaults(func=cmd_profile, full=False)
     profile.add_argument("target",
                          choices=("figure8", "figure9", "study", "sweep",
@@ -504,7 +656,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="rows in the top-span breakdown")
     _add_executor_flags(profile)
     _add_telemetry_flags(profile)
-    export = sub.add_parser("export")
+    export = sub.add_parser("export", description=COMMAND_HELP["export"])
     export.set_defaults(func=cmd_export, full=False, app=None)
     export.add_argument("--out", default="results.json",
                         help="output path (.json or .csv)")
@@ -512,6 +664,80 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("--sweeps", action="store_true",
                         help="include the Figure 7 sweep grids")
     _add_executor_flags(export)
+    serve = sub.add_parser(
+        "serve",
+        description="serve /v1/predict and /v1/study over the performance "
+                    "model: micro-batched, admission-controlled, "
+                    "Prometheus-instrumented; SIGTERM drains gracefully")
+    serve.set_defaults(func=cmd_serve)
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8351, metavar="N",
+                       help="listen port; 0 picks an ephemeral one "
+                            "(default 8351)")
+    serve.add_argument("--window-ms", type=float, default=2.0, metavar="MS",
+                       help="micro-batching window: how long a cold request "
+                            "waits for companions (default 2 ms)")
+    serve.add_argument("--max-batch", type=int, default=32, metavar="N",
+                       help="flush a batch early at N queued specs")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="admission bound: shed (429 + Retry-After) past "
+                            "N predictions in flight")
+    serve.add_argument("--deadline", type=float, default=30.0, metavar="SEC",
+                       help="per-request wall-clock budget; over it the "
+                            "client gets a 504")
+    serve.add_argument("--retries", type=int, default=2, metavar="N",
+                       help="engine attempts per run before a 500")
+    serve.add_argument("--run-timeout", type=float, default=None, metavar="SEC",
+                       help="per-engine-run watchdog (default: none; the "
+                            "HTTP deadline still applies)")
+    loadtest = sub.add_parser(
+        "loadtest",
+        description="drive a prediction server (an existing --url, or a "
+                    "--spawn'd loopback one) with warm predict queries and "
+                    "report throughput and latency percentiles")
+    loadtest.set_defaults(func=cmd_loadtest)
+    target = loadtest.add_mutually_exclusive_group()
+    target.add_argument("--url", default=None,
+                        help="base URL of a running server "
+                             "(e.g. http://127.0.0.1:8351)")
+    target.add_argument("--spawn", action="store_true",
+                        help="spawn a loopback server for the run "
+                             "(the default when --url is absent)")
+    loadtest.add_argument("--mode", choices=("closed", "open"),
+                          default="closed",
+                          help="closed: back-to-back per connection (capacity);"
+                               " open: fixed-rate arrivals (latency under "
+                               "offered load)")
+    loadtest.add_argument("--concurrency", type=int, default=8, metavar="N",
+                          help="client connections (default 8)")
+    loadtest.add_argument("--duration", type=float, default=3.0, metavar="SEC",
+                          help="measured window length (default 3 s)")
+    loadtest.add_argument("--rate", type=float, default=None, metavar="RPS",
+                          help="offered request rate for --mode open")
+    loadtest.add_argument("--app", choices=FIGURE_APPS, default="XSBench",
+                          help="application to query (default XSBench)")
+    loadtest.add_argument("--model", default=None,
+                          help="restrict to one programming model "
+                               "(default: rotate OpenCL/C++ AMP/OpenACC)")
+    loadtest.add_argument("--platform", choices=("apu", "dgpu"), default=None,
+                          help="restrict to one platform (default: both)")
+    loadtest.add_argument("--precision", choices=("single", "double"),
+                          default=None,
+                          help="restrict to one precision (default: both)")
+    loadtest.add_argument("--scale", choices=("bench", "paper", "sweep"),
+                          default="bench",
+                          help="problem-size preset in the query bodies")
+    loadtest.add_argument("--cold", action="store_true",
+                          help="skip the warmup pass (measure cold-cache "
+                               "behaviour)")
+    loadtest.add_argument("--max-queue", type=int, default=64, metavar="N",
+                          help="admission bound of the spawned server")
+    loadtest.add_argument("--window-ms", type=float, default=2.0, metavar="MS",
+                          help="batch window of the spawned server")
+    loadtest.add_argument("--bench", default=None, metavar="FILE",
+                          help="write the serving-perf baseline JSON "
+                               "(e.g. BENCH_serve.json)")
     return parser
 
 

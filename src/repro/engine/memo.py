@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import copy
 import functools
+import threading
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -138,6 +139,115 @@ class TraceMemoCache(KernelMemoCache):
 TRACE_CACHE = TraceMemoCache()
 
 
+class SingleFlightCache(KernelMemoCache):
+    """Thread-safe memo with single-flight coalescing of concurrent
+    identical computations.
+
+    The serving layer (:mod:`repro.serve`) memoizes whole run results
+    here: many concurrent requests for the same
+    :class:`~repro.exec.plan.RunSpec` must cost one engine run, not
+    N.  :meth:`get_or_compute` elects the first caller of an absent
+    key the *leader* — it computes while every concurrent duplicate
+    blocks on an event and is tallied as *coalesced*; once the leader
+    stores the value, followers return it without recomputing.  A
+    leader that raises wakes its followers empty-handed and the next
+    one retries, so failures are never cached.
+
+    All bookkeeping happens under one lock, making the cache safe to
+    share between an event loop and backend worker threads.  Engine
+    results are deterministic pure functions of their spec, so a
+    coalesced or cached answer is bit-identical to a fresh run.
+    """
+
+    layer = "result"
+
+    def __init__(self, enabled: bool = True) -> None:
+        super().__init__(enabled)
+        self._lock = threading.Lock()
+        self._pending: dict[tuple, threading.Event] = {}
+        self._coalesced = 0
+
+    @property
+    def coalesced(self) -> int:
+        """Calls served by waiting on an identical in-flight compute."""
+        return self._coalesced
+
+    def record_coalesced(self, count: int = 1) -> None:
+        """Tally coalesces detected by a caller's own in-flight map.
+
+        The async batcher deduplicates identical requests on the event
+        loop before they ever reach a worker thread; those joins are
+        the same single-flight event and count in the same metric.
+        """
+        with self._lock:
+            self._coalesced += count
+
+    def peek(self, key: tuple) -> tuple[bool, object]:
+        """Non-computing lookup: ``(True, value)`` on a hit (counted),
+        ``(False, None)`` otherwise (not counted as a miss — the
+        caller's follow-up :meth:`get_or_compute` does that)."""
+        if not self.enabled:
+            return False, None
+        with self._lock:
+            if key in self._values:
+                self._hits += 1
+                return True, self._values[key]
+        return False, None
+
+    def get_or_compute(self, key: tuple, compute: Callable[[], T]) -> T:
+        """Return the value for ``key``, computing it at most once
+        across all concurrent callers."""
+        if not self.enabled:
+            return compute()
+        while True:
+            with self._lock:
+                if key in self._values:
+                    self._hits += 1
+                    return self._values[key]  # type: ignore[return-value]
+                event = self._pending.get(key)
+                if event is None:
+                    event = self._pending[key] = threading.Event()
+                    self._misses += 1
+                    leader = True
+                else:
+                    self._coalesced += 1
+                    leader = False
+            if leader:
+                try:
+                    value = compute()
+                except BaseException:
+                    with self._lock:
+                        self._pending.pop(key, None)
+                    event.set()
+                    raise
+                with self._lock:
+                    self._values[key] = value
+                    self._pending.pop(key, None)
+                event.set()
+                return value
+            event.wait()
+            # Either the leader stored the value (next loop hits) or it
+            # failed (this follower re-runs the election and computes).
+
+    def snapshot(self) -> MemoStats:
+        with self._lock:
+            return MemoStats(hits=self._hits, misses=self._misses)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._values.clear()
+            self._hits = 0
+            self._misses = 0
+            self._coalesced = 0
+
+
+#: The process-global whole-run result memo the prediction service
+#: serves warm queries from.  Not toggled by :func:`set_cache_enabled`
+#: (that switch governs engine-internal recomputation purity); the
+#: server decides whether to use it.
+RESULT_CACHE = SingleFlightCache()
+
+
 class SetupMemoCache:
     """A bounded LRU memo for problem-setup builders.
 
@@ -230,6 +340,7 @@ def clear_caches() -> None:
     KERNEL_CACHE.clear()
     SETUP_CACHE.clear()
     TRACE_CACHE.clear()
+    RESULT_CACHE.clear()
 
 
 @contextmanager

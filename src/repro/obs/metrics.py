@@ -15,8 +15,15 @@ Registries are additive: per-run registries recorded in pool workers
 merge into one study-wide registry (:meth:`MetricsRegistry.merge`),
 summing counters and histogram buckets and taking the last value of
 gauges — deterministic because the executor merges in submission
-order.  Everything here is plain data (dicts, lists, floats), so a
-registry pickles across process boundaries.
+order.  Everything here is plain data (dicts, lists, floats) plus
+locks that are dropped on pickling, so a registry still crosses
+process boundaries.
+
+Instruments and registries are thread-safe: the prediction service
+mutates one registry from its event loop, its backend worker thread,
+and pool callbacks concurrently, so every update happens under a lock
+(per instrument for the hot ``inc``/``observe`` path, one registry
+lock for family/instrument creation, merging and export).
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ from __future__ import annotations
 import json
 import math
 import re
+import threading
 from typing import Iterable
 
 #: Default histogram bucket upper bounds for *seconds*-valued metrics:
@@ -68,43 +76,67 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
-class Counter:
+class _Lockable:
+    """Owns a non-picklable lock, recreated on unpickling."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+class Counter(_Lockable):
     """A monotonically increasing count (events, bytes, lookups)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self.value = 0.0
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def merge(self, other: "Counter") -> None:
-        self.value += other.value
+        with self._lock:
+            self.value += other.value
 
 
-class Gauge:
+class Gauge(_Lockable):
     """A point-in-time value (queue depth, utilization, ratio)."""
 
     def __init__(self) -> None:
+        super().__init__()
         self.value = 0.0
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def merge(self, other: "Gauge") -> None:
         # Merging run registries in submission order: last writer wins,
         # matching how a scraper would see the final state.
-        self.value = other.value
+        with self._lock:
+            self.value = other.value
 
 
-class Histogram:
+class Histogram(_Lockable):
     """Cumulative-bucket histogram with sum and count.
 
     ``buckets`` are upper bounds (le); an implicit +Inf bucket catches
@@ -112,6 +144,7 @@ class Histogram:
     """
 
     def __init__(self, buckets: tuple[float, ...] = TIME_BUCKETS_S) -> None:
+        super().__init__()
         if list(buckets) != sorted(buckets):
             raise ValueError("histogram buckets must be sorted ascending")
         self.buckets = tuple(float(b) for b in buckets)
@@ -120,34 +153,50 @@ class Histogram:
         self.count = 0
 
     def observe(self, value: float) -> None:
-        self.sum += value
-        self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.counts[i] += 1
-                return
-        self.counts[-1] += 1
+        with self._lock:
+            self.sum += value
+            self.count += 1
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    self.counts[i] += 1
+                    return
+            self.counts[-1] += 1
 
     @property
     def mean(self) -> float:
-        return self.sum / self.count if self.count else 0.0
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
 
-    def cumulative(self) -> list[tuple[float, int]]:
-        """(upper bound, cumulative count) pairs, ending at +Inf."""
+    def snapshot(self) -> tuple[list[int], float, int]:
+        """A consistent ``(counts, sum, count)`` view for exporters."""
+        with self._lock:
+            return list(self.counts), self.sum, self.count
+
+    def cumulative(self, counts: list[int] | None = None) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending at +Inf.
+
+        ``counts`` lets exporters reuse one :meth:`snapshot` for the
+        buckets and the sum/count lines, keeping them consistent under
+        concurrent observes.
+        """
+        if counts is None:
+            counts, _sum, _count = self.snapshot()
         out: list[tuple[float, int]] = []
         running = 0
-        for bound, n in zip(self.buckets, self.counts):
+        for bound, n in zip(self.buckets, counts):
             running += n
             out.append((bound, running))
-        out.append((math.inf, running + self.counts[-1]))
+        out.append((math.inf, running + counts[-1]))
         return out
 
     def merge(self, other: "Histogram") -> None:
         if self.buckets != other.buckets:
             raise ValueError("cannot merge histograms with different buckets")
-        self.counts = [a + b for a, b in zip(self.counts, other.counts)]
-        self.sum += other.sum
-        self.count += other.count
+        counts, total, count = other.snapshot()
+        with self._lock:
+            self.counts = [a + b for a, b in zip(self.counts, counts)]
+            self.sum += total
+            self.count += count
 
 
 class _Family:
@@ -175,10 +224,26 @@ class _Family:
 
 
 class MetricsRegistry:
-    """A named collection of metric families."""
+    """A named collection of metric families.
+
+    Family and instrument creation, lookup, merging and export happen
+    under one reentrant lock, so concurrent tasks/threads can mint and
+    mutate instruments while another thread scrapes an export.  The
+    lock is dropped on pickling (instruments recreate their own).
+    """
 
     def __init__(self) -> None:
         self._families: dict[str, _Family] = {}
+        self._lock = threading.RLock()
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._families)
@@ -199,12 +264,14 @@ class MetricsRegistry:
         return family
 
     def counter(self, name: str, help: str = "", **labels: str) -> Counter:
-        instrument = self._family(name, "counter", help).instrument(_label_key(labels))
+        with self._lock:
+            instrument = self._family(name, "counter", help).instrument(_label_key(labels))
         assert isinstance(instrument, Counter)
         return instrument
 
     def gauge(self, name: str, help: str = "", **labels: str) -> Gauge:
-        instrument = self._family(name, "gauge", help).instrument(_label_key(labels))
+        with self._lock:
+            instrument = self._family(name, "gauge", help).instrument(_label_key(labels))
         assert isinstance(instrument, Gauge)
         return instrument
 
@@ -215,81 +282,89 @@ class MetricsRegistry:
         buckets: tuple[float, ...] | None = None,
         **labels: str,
     ) -> Histogram:
-        instrument = self._family(name, "histogram", help, buckets).instrument(
-            _label_key(labels)
-        )
+        with self._lock:
+            instrument = self._family(name, "histogram", help, buckets).instrument(
+                _label_key(labels)
+            )
         assert isinstance(instrument, Histogram)
         return instrument
 
     def get(self, name: str, **labels: str) -> Counter | Gauge | Histogram | None:
         """Look up an existing instrument (reports, tests); no creation."""
-        family = self._families.get(name)
-        if family is None:
-            return None
-        return family.samples.get(_label_key(labels))
+        with self._lock:
+            family = self._families.get(name)
+            if family is None:
+                return None
+            return family.samples.get(_label_key(labels))
 
     def families(self) -> Iterable[_Family]:
-        return (self._families[name] for name in sorted(self._families))
+        with self._lock:
+            return [self._families[name] for name in sorted(self._families)]
 
     def merge(self, other: "MetricsRegistry") -> None:
         """Fold ``other`` into this registry (additive; in place)."""
-        for name in sorted(other._families):
-            theirs = other._families[name]
-            family = self._family(name, theirs.kind, theirs.help, theirs.buckets)
-            for key in sorted(theirs.samples):
-                family.instrument(key).merge(theirs.samples[key])  # type: ignore[arg-type]
+        with self._lock:
+            for name in sorted(other._families):
+                theirs = other._families[name]
+                family = self._family(name, theirs.kind, theirs.help, theirs.buckets)
+                for key in sorted(theirs.samples):
+                    family.instrument(key).merge(theirs.samples[key])  # type: ignore[arg-type]
 
     # -- export --------------------------------------------------------
 
     def to_json(self) -> dict:
         """Stable JSON document: one entry per family, sorted labels."""
         doc: dict[str, object] = {}
-        for family in self.families():
-            samples = []
-            for key in sorted(family.samples):
-                instrument = family.samples[key]
-                entry: dict[str, object] = {"labels": dict(key)}
-                if isinstance(instrument, Histogram):
-                    entry["count"] = instrument.count
-                    entry["sum"] = instrument.sum
-                    entry["mean"] = instrument.mean
-                    entry["buckets"] = [
-                        {"le": "+Inf" if math.isinf(b) else b, "cumulative": c}
-                        for b, c in instrument.cumulative()
-                    ]
-                else:
-                    entry["value"] = instrument.value
-                samples.append(entry)
-            doc[family.name] = {
-                "type": family.kind,
-                "help": family.help,
-                "samples": samples,
-            }
+        with self._lock:
+            for family in self.families():
+                samples = []
+                for key in sorted(family.samples):
+                    instrument = family.samples[key]
+                    entry: dict[str, object] = {"labels": dict(key)}
+                    if isinstance(instrument, Histogram):
+                        counts, total, count = instrument.snapshot()
+                        entry["count"] = count
+                        entry["sum"] = total
+                        entry["mean"] = total / count if count else 0.0
+                        entry["buckets"] = [
+                            {"le": "+Inf" if math.isinf(b) else b, "cumulative": c}
+                            for b, c in instrument.cumulative(counts)
+                        ]
+                    else:
+                        entry["value"] = instrument.value
+                    samples.append(entry)
+                doc[family.name] = {
+                    "type": family.kind,
+                    "help": family.help,
+                    "samples": samples,
+                }
         return doc
 
     def to_prometheus(self) -> str:
         """Prometheus text exposition format (version 0.0.4)."""
         lines: list[str] = []
-        for family in self.families():
-            if family.help:
-                lines.append(f"# HELP {family.name} {family.help}")
-            lines.append(f"# TYPE {family.name} {family.kind}")
-            for key in sorted(family.samples):
-                instrument = family.samples[key]
-                if isinstance(instrument, Histogram):
-                    for bound, cumulative in instrument.cumulative():
-                        labels = _format_labels(key, (("le", _format_value(bound)),))
-                        lines.append(f"{family.name}_bucket{labels} {cumulative}")
-                    lines.append(
-                        f"{family.name}_sum{_format_labels(key)} {_format_value(instrument.sum)}"
-                    )
-                    lines.append(
-                        f"{family.name}_count{_format_labels(key)} {instrument.count}"
-                    )
-                else:
-                    lines.append(
-                        f"{family.name}{_format_labels(key)} {_format_value(instrument.value)}"
-                    )
+        with self._lock:
+            for family in self.families():
+                if family.help:
+                    lines.append(f"# HELP {family.name} {family.help}")
+                lines.append(f"# TYPE {family.name} {family.kind}")
+                for key in sorted(family.samples):
+                    instrument = family.samples[key]
+                    if isinstance(instrument, Histogram):
+                        counts, total, count = instrument.snapshot()
+                        for bound, cumulative in instrument.cumulative(counts):
+                            labels = _format_labels(key, (("le", _format_value(bound)),))
+                            lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                        lines.append(
+                            f"{family.name}_sum{_format_labels(key)} {_format_value(total)}"
+                        )
+                        lines.append(
+                            f"{family.name}_count{_format_labels(key)} {count}"
+                        )
+                    else:
+                        lines.append(
+                            f"{family.name}{_format_labels(key)} {_format_value(instrument.value)}"
+                        )
         return "\n".join(lines) + "\n"
 
 

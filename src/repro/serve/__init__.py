@@ -1,0 +1,55 @@
+"""The prediction service: the paper's models as an online system.
+
+Four PRs of batch infrastructure (parallel executor, memo caches,
+telemetry, fault tolerance) answer questions like "what speedup does
+C++ AMP get for XSBench on the APU?" — but only via a full process
+launch.  This package serves the same engine over HTTP with the
+serving-stack shape the ROADMAP's north star asks for:
+
+* :mod:`repro.serve.protocol` — versioned JSON request/response
+  schemas (``/v1/predict``, ``/v1/study``, health/readiness/metrics).
+* :mod:`repro.serve.batcher` — micro-batching with single-flight
+  deduplication over the process-global result memo, dispatching to a
+  backend thread that runs the exec retry ladder.
+* :mod:`repro.serve.server` — stdlib asyncio HTTP/1.1 server with
+  bounded admission (429 + ``Retry-After``), per-request deadlines,
+  graceful drain, and Prometheus instrumentation.
+* :mod:`repro.serve.loadgen` — closed-/open-loop load generation
+  recording the ``BENCH_serve.json`` serving-perf baseline.
+
+Entry points: ``repro serve`` and ``repro loadtest``.
+"""
+
+from .batcher import BackendRunError, Batcher
+from .loadgen import LoadResult, percentile, run_load, write_bench
+from .protocol import (
+    MAX_STUDY_RUNS,
+    PROTOCOL_VERSION,
+    PredictRequest,
+    ProtocolError,
+    StudyRequest,
+    error_response,
+    predict_response,
+    study_response,
+)
+from .server import ServeConfig, Server, ServerThread
+
+__all__ = [
+    "BackendRunError",
+    "Batcher",
+    "LoadResult",
+    "MAX_STUDY_RUNS",
+    "PROTOCOL_VERSION",
+    "PredictRequest",
+    "ProtocolError",
+    "ServeConfig",
+    "Server",
+    "ServerThread",
+    "StudyRequest",
+    "error_response",
+    "percentile",
+    "predict_response",
+    "run_load",
+    "study_response",
+    "write_bench",
+]

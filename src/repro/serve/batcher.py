@@ -1,0 +1,206 @@
+"""Micro-batching bridge between the event loop and the engine.
+
+The HTTP handlers are coroutines; the engine is synchronous Python.
+The :class:`Batcher` sits between them:
+
+* **Fast path** — a spec whose result is already in the process-global
+  :data:`~repro.engine.memo.RESULT_CACHE` returns synchronously on the
+  event loop (one dict lookup, no batching window, no thread hop).
+  This is what makes warm-cache predict queries cheap enough to serve
+  hundreds per second.
+* **Single-flight** — concurrent requests for the same
+  :class:`~repro.exec.plan.RunSpec` content share one future; only the
+  first costs an engine run.  Joins are tallied in the cache's
+  ``coalesced`` counter (``repro_memo_singleflight_coalesced_total``).
+* **Micro-batching** — distinct cold specs arriving within the batch
+  window are merged into one batch and dispatched together to a
+  single backend worker thread, where each runs through the retry
+  ladder of :mod:`repro.exec.retry` (the per-run watchdog doubles as
+  the request's compute deadline) and lands in the result cache.  The
+  engine's kernel/setup/trace memo caches live in this process, so
+  every request warms them for the next.
+
+Results are deterministic pure functions of their spec, so cached,
+coalesced and computed answers are all bit-identical.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable
+
+from ..apps.base import RunResult
+from ..engine import memo
+from ..exec.faults import RunError
+from ..exec.plan import RunSpec
+from ..exec.retry import RetryPolicy, run_with_retry
+from ..obs.metrics import MetricsRegistry
+
+#: Provenance labels a served result can carry.
+COMPUTED = "computed"
+CACHED = "cache"
+COALESCED = "coalesced"
+
+
+class BackendRunError(RuntimeError):
+    """A spec exhausted its retry budget in the backend (an HTTP 500)."""
+
+    def __init__(self, error: RunError) -> None:
+        super().__init__(f"{error.label}: {error.kind.value}: {error.message}")
+        self.error = error
+
+
+class Batcher:
+    """Coalesce concurrent predictions into engine batches.
+
+    One instance belongs to one event loop.  ``window_s`` bounds how
+    long a cold request waits for companions; ``max_batch`` flushes a
+    full batch early.  All engine work runs on one dedicated backend
+    thread, so the simulator itself stays single-threaded while the
+    loop keeps serving cache hits.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 0.002,
+        max_batch: int = 32,
+        policy: RetryPolicy | None = None,
+        metrics: MetricsRegistry | None = None,
+        cache: memo.SingleFlightCache | None = None,
+    ) -> None:
+        self.window_s = window_s
+        self.max_batch = max_batch
+        self.policy = policy if policy is not None else RetryPolicy(max_attempts=2)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.cache = cache if cache is not None else memo.RESULT_CACHE
+        self._waiters: dict[str, asyncio.Future] = {}
+        self._pending: list[tuple[str, RunSpec]] = []
+        self._flush_handle: asyncio.TimerHandle | None = None
+        self._flushes: set[asyncio.Task] = set()
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-serve-engine"
+        )
+        self._closed = False
+
+    # -- public API ----------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        """Requests admitted but not yet answered (queued + in flight)."""
+        return len(self._waiters)
+
+    async def submit(self, spec: RunSpec) -> tuple[RunResult, str]:
+        """Resolve one spec to its result and provenance label."""
+        key = spec.content_key()
+        found, value = self.cache.peek(key)
+        if found:
+            return value, CACHED
+        future = self._waiters.get(key)
+        if future is not None:
+            self.cache.record_coalesced()
+            return await asyncio.shield(future), COALESCED
+        if self._closed:
+            raise RuntimeError("batcher is draining; not accepting new work")
+        loop = asyncio.get_running_loop()
+        future = loop.create_future()
+        self._waiters[key] = future
+        self._pending.append((key, spec))
+        self._schedule_flush(loop)
+        return await asyncio.shield(future), COMPUTED
+
+    async def submit_many(
+        self, specs: Iterable[RunSpec]
+    ) -> list[tuple[RunResult, str]]:
+        """Resolve a whole plan concurrently (the ``/v1/study`` path)."""
+        return list(await asyncio.gather(*(self.submit(spec) for spec in specs)))
+
+    async def drain(self) -> None:
+        """Stop accepting new work and wait for everything in flight."""
+        self._closed = True
+        if self._flush_handle is not None:
+            self._flush_handle.cancel()
+            self._flush_handle = None
+        if self._pending:
+            self._start_flush(asyncio.get_running_loop())
+        while self._flushes or self._waiters:
+            futures = list(self._waiters.values())
+            tasks = list(self._flushes)
+            await asyncio.gather(*futures, *tasks, return_exceptions=True)
+        self._executor.shutdown(wait=True)
+
+    # -- batching machinery --------------------------------------------
+
+    def _schedule_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if len(self._pending) >= self.max_batch:
+            if self._flush_handle is not None:
+                self._flush_handle.cancel()
+                self._flush_handle = None
+            self._start_flush(loop)
+        elif self._flush_handle is None:
+            self._flush_handle = loop.call_later(self.window_s, self._on_window, loop)
+
+    def _on_window(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._flush_handle = None
+        if self._pending:
+            self._start_flush(loop)
+
+    def _start_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        batch, self._pending = self._pending, []
+        task = loop.create_task(self._flush(batch))
+        self._flushes.add(task)
+        task.add_done_callback(self._flushes.discard)
+
+    async def _flush(self, batch: list[tuple[str, RunSpec]]) -> None:
+        loop = asyncio.get_running_loop()
+        self.metrics.counter(
+            "repro_serve_batches_total", help="Engine batches dispatched."
+        ).inc()
+        self.metrics.histogram(
+            "repro_serve_batch_size",
+            help="Coalesced specs per dispatched engine batch.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
+        ).observe(len(batch))
+        try:
+            rows = await loop.run_in_executor(self._executor, self._run_batch, batch)
+        except Exception as exc:
+            # The dispatch itself failed (e.g. executor torn down): no
+            # waiter may be left pending forever.
+            rows = [(key, None, exc) for key, _spec in batch]
+        for key, value, exc in rows:
+            future = self._waiters.pop(key, None)
+            if future is None or future.done():
+                continue
+            if exc is not None:
+                future.set_exception(exc)
+            else:
+                future.set_result(value)
+
+    def _run_batch(
+        self, batch: list[tuple[str, RunSpec]]
+    ) -> list[tuple[str, RunResult | None, Exception | None]]:
+        """Backend thread: run each unique spec through cache + retry."""
+        rows: list[tuple[str, RunResult | None, Exception | None]] = []
+        for key, spec in batch:
+            try:
+                value = self.cache.get_or_compute(
+                    key, lambda spec=spec: self._compute(spec)
+                )
+                rows.append((key, value, None))
+            except Exception as exc:
+                rows.append((key, None, exc))
+        return rows
+
+    def _compute(self, spec: RunSpec) -> RunResult:
+        payload = run_with_retry(spec, self.policy)
+        if isinstance(payload, RunError):
+            raise BackendRunError(payload)
+        self.metrics.counter(
+            "repro_serve_engine_runs_total", help="Engine runs computed by the backend."
+        ).inc()
+        if payload.attempts > 1:
+            self.metrics.counter(
+                "repro_serve_engine_retries_total",
+                help="Backend engine run attempts beyond the first.",
+            ).inc(payload.attempts - 1)
+        return payload.result

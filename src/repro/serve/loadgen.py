@@ -1,0 +1,279 @@
+"""Closed- and open-loop load generation for the prediction service.
+
+The serving-perf baseline lives in ``BENCH_serve.json``, next to the
+cache-replay baseline in ``BENCH_cache.json``: ``repro loadtest``
+drives a live server with raw keep-alive HTTP/1.1 over asyncio
+streams (no client library, so the generator is never the bottleneck)
+and records throughput plus p50/p95/p99 latency.
+
+Two arrival disciplines, because they answer different questions:
+
+* **closed loop** — ``concurrency`` connections issue requests
+  back-to-back.  Measures capacity: the sustained req/s the service
+  reaches when clients wait for answers.
+* **open loop** — arrivals fire on a fixed ``rate`` schedule whether
+  or not earlier requests finished, the way independent users behave.
+  Latency is measured from the *scheduled* arrival, so queueing delay
+  (and coordinated-omission bias) is included.
+
+A warmup pass issues every distinct query once before timing starts,
+so the measured numbers describe the steady warm-cache state — the
+regime the ROADMAP's "heavy traffic" north star cares about.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from urllib.parse import urlsplit
+
+#: Latency percentiles reported by the harness.
+PERCENTILES = (50.0, 95.0, 99.0)
+
+
+def percentile(sorted_samples: list[float], q: float) -> float:
+    """Nearest-rank percentile of pre-sorted samples (0 when empty)."""
+    if not sorted_samples:
+        return 0.0
+    if q <= 0:
+        return sorted_samples[0]
+    rank = max(1, -(-len(sorted_samples) * q // 100))  # ceil without floats
+    return sorted_samples[int(rank) - 1]
+
+
+@dataclass
+class LoadResult:
+    """Everything one load run measured."""
+
+    mode: str
+    duration_s: float
+    concurrency: int
+    rate: float | None
+    requests: int = 0
+    errors: int = 0
+    status_counts: dict[str, int] = field(default_factory=dict)
+    latencies_s: list[float] = field(default_factory=list)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    def latency_ms(self) -> dict[str, float]:
+        samples = sorted(self.latencies_s)
+        doc = {
+            "mean": (sum(samples) / len(samples) * 1e3) if samples else 0.0,
+            "max": samples[-1] * 1e3 if samples else 0.0,
+        }
+        for q in PERCENTILES:
+            doc[f"p{q:g}"] = percentile(samples, q) * 1e3
+        return doc
+
+    def to_json(self) -> dict:
+        return {
+            "protocol": "v1",
+            "mode": self.mode,
+            "duration_s": self.duration_s,
+            "concurrency": self.concurrency,
+            "rate_rps": self.rate,
+            "requests": self.requests,
+            "errors": self.errors,
+            "throughput_rps": self.throughput_rps,
+            "latency_ms": self.latency_ms(),
+            "status_counts": dict(sorted(self.status_counts.items())),
+        }
+
+    def summary(self) -> str:
+        latency = self.latency_ms()
+        statuses = ", ".join(
+            f"{status}: {count}" for status, count in sorted(self.status_counts.items())
+        )
+        return "\n".join([
+            f"mode: {self.mode}, concurrency: {self.concurrency}"
+            + (f", offered rate: {self.rate:g} req/s" if self.rate else ""),
+            f"requests: {self.requests} in {self.duration_s:.2f} s "
+            f"({self.throughput_rps:.0f} req/s), errors: {self.errors}",
+            f"latency: p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
+            f"p99 {latency['p99']:.2f} ms, max {latency['max']:.2f} ms",
+            f"statuses: {statuses or 'none'}",
+        ])
+
+
+def encode_request(host: str, path: str, body: dict) -> bytes:
+    payload = json.dumps(body).encode()
+    return (
+        f"POST {path} HTTP/1.1\r\n"
+        f"Host: {host}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n"
+        "Connection: keep-alive\r\n\r\n"
+    ).encode() + payload
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one Content-Length-framed HTTP response, return (status, body)."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    lines = head.decode("latin-1").split("\r\n")
+    status = int(lines[0].split(" ")[1])
+    length = 0
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        if name.strip().lower() == "content-length":
+            length = int(value.strip())
+    body = await reader.readexactly(length) if length else b""
+    return status, body
+
+
+class _Recorder:
+    def __init__(self) -> None:
+        self.samples: list[tuple[int, float]] = []
+        self.errors = 0
+
+    def fold(self, result: LoadResult) -> None:
+        for status, latency in self.samples:
+            result.requests += 1
+            result.status_counts[str(status)] = (
+                result.status_counts.get(str(status), 0) + 1
+            )
+            result.latencies_s.append(latency)
+        result.errors += self.errors
+
+
+async def _closed_worker(
+    host: str, port: int, requests: list[bytes], offset: int,
+    deadline: float, recorder: _Recorder,
+) -> None:
+    reader = writer = None
+    i = offset
+    try:
+        while time.perf_counter() < deadline:
+            if writer is None:
+                reader, writer = await asyncio.open_connection(host, port)
+            data = requests[i % len(requests)]
+            i += 1
+            started = time.perf_counter()
+            try:
+                writer.write(data)
+                await writer.drain()
+                status, _body = await _read_response(reader)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                recorder.errors += 1
+                writer.close()
+                reader = writer = None
+                continue
+            recorder.samples.append((status, time.perf_counter() - started))
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def _open_worker(
+    host: str, port: int, arrivals: "asyncio.Queue[tuple[bytes, float] | None]",
+    recorder: _Recorder,
+) -> None:
+    reader = writer = None
+    try:
+        while True:
+            item = await arrivals.get()
+            if item is None:
+                return
+            data, scheduled = item
+            try:
+                if writer is None:
+                    reader, writer = await asyncio.open_connection(host, port)
+                writer.write(data)
+                await writer.drain()
+                status, _body = await _read_response(reader)
+            except (ConnectionError, asyncio.IncompleteReadError):
+                recorder.errors += 1
+                if writer is not None:
+                    writer.close()
+                reader = writer = None
+                continue
+            # Latency from the scheduled arrival: includes queue wait.
+            recorder.samples.append((status, time.perf_counter() - scheduled))
+    finally:
+        if writer is not None:
+            writer.close()
+
+
+async def _warmup(host: str, port: int, requests: list[bytes]) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for data in requests:
+            writer.write(data)
+            await writer.drain()
+            await _read_response(reader)
+    finally:
+        writer.close()
+
+
+async def run_load(
+    url: str,
+    bodies: list[dict],
+    mode: str = "closed",
+    concurrency: int = 8,
+    duration_s: float = 3.0,
+    rate: float | None = None,
+    warmup: bool = True,
+    path: str = "/v1/predict",
+) -> LoadResult:
+    """Drive ``url`` with the given query bodies and measure.
+
+    ``bodies`` rotate round-robin across requests; with ``warmup``
+    each is issued once before the clock starts, so the measured
+    window sees only warm-cache queries.
+    """
+    if mode not in ("closed", "open"):
+        raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
+    if mode == "open" and not rate:
+        raise ValueError("open-loop mode needs a positive --rate")
+    split = urlsplit(url)
+    host, port = split.hostname or "127.0.0.1", split.port or 80
+    requests = [encode_request(f"{host}:{port}", path, body) for body in bodies]
+    if warmup:
+        await _warmup(host, port, requests)
+
+    recorders = [_Recorder() for _ in range(concurrency)]
+    started = time.perf_counter()
+    if mode == "closed":
+        deadline = started + duration_s
+        await asyncio.gather(*(
+            _closed_worker(host, port, requests, i, deadline, recorders[i])
+            for i in range(concurrency)
+        ))
+    else:
+        arrivals: asyncio.Queue = asyncio.Queue()
+        workers = [
+            asyncio.ensure_future(_open_worker(host, port, arrivals, recorders[i]))
+            for i in range(concurrency)
+        ]
+        interval = 1.0 / float(rate)
+        n = 0
+        while True:
+            scheduled = started + n * interval
+            now = time.perf_counter()
+            if scheduled >= started + duration_s:
+                break
+            if scheduled > now:
+                await asyncio.sleep(scheduled - now)
+            arrivals.put_nowait((requests[n % len(requests)], scheduled))
+            n += 1
+        for _ in workers:
+            arrivals.put_nowait(None)
+        await asyncio.gather(*workers)
+    elapsed = time.perf_counter() - started
+
+    result = LoadResult(
+        mode=mode, duration_s=elapsed, concurrency=concurrency, rate=rate
+    )
+    for recorder in recorders:
+        recorder.fold(result)
+    return result
+
+
+def write_bench(result: LoadResult, target: str | Path) -> None:
+    """Write the serving-perf baseline document."""
+    Path(target).write_text(json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n")

@@ -1,0 +1,297 @@
+"""Versioned JSON request/response schemas of the prediction service.
+
+The wire protocol is deliberately tiny and stdlib-JSON only.  Version
+``v1`` has two prediction routes plus the operational endpoints:
+
+* ``POST /v1/predict`` — one cell of the paper's matrices: an app, a
+  programming model, a platform, a precision, and optional GPU clock
+  overrides (the Figure 7/8 query shape).  The response carries the
+  simulated times, the speedup over the 4-core OpenMP baseline, and
+  per-run cache provenance.
+* ``POST /v1/study`` — a small spec matrix (apps x models x platforms
+  x precisions), answered with the same flat records ``repro study
+  --out`` exports.
+* ``GET /healthz`` / ``GET /readyz`` / ``GET /metrics`` — liveness,
+  readiness (503 while draining), and Prometheus text exposition via
+  :mod:`repro.obs.metrics`.
+
+Requests parse into frozen dataclasses that validate eagerly and
+translate themselves into the *same* :class:`~repro.exec.plan.RunSpec`
+descriptors the batch CLI builds, which is what makes HTTP responses
+bit-identical to direct :func:`~repro.core.study.run_study` output.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..apps import APPS_BY_NAME, PROXY_APPS
+from ..core.configs import bench_configs, sweep_configs
+from ..core.metrics import speedup
+from ..core.study import BASELINE_MODEL, GPU_MODELS
+from ..exec.plan import APU, DGPU, RunSpec, study_runs
+from ..hardware.specs import Precision
+
+PROTOCOL_VERSION = "v1"
+
+#: Problem-scale presets a request may name.
+SCALES = ("bench", "paper", "sweep")
+
+#: Upper bound on the run matrix one ``/v1/study`` request may expand
+#: to — admission control for a single request's cost.
+MAX_STUDY_RUNS = 64
+
+
+class ProtocolError(ValueError):
+    """A malformed or out-of-range request (an HTTP 400)."""
+
+
+def _require(doc: Mapping, field: str, default: object = None) -> object:
+    value = doc.get(field, default)
+    if value is None:
+        raise ProtocolError(f"missing required field {field!r}")
+    return value
+
+
+def _parse_app(name: object) -> str:
+    if not isinstance(name, str):
+        raise ProtocolError(f"field 'app' must be a string, got {type(name).__name__}")
+    for known in APPS_BY_NAME:
+        if known.lower() == name.lower():
+            return known
+    raise ProtocolError(
+        f"unknown app {name!r}: known apps are {', '.join(sorted(APPS_BY_NAME))}"
+    )
+
+
+def _parse_model(app: str, name: object) -> str:
+    if not isinstance(name, str):
+        raise ProtocolError(f"field 'model' must be a string, got {type(name).__name__}")
+    ports = APPS_BY_NAME[app].ports
+    for known in ports:
+        if known.lower() == name.lower():
+            return known
+    raise ProtocolError(
+        f"{app} has no {name!r} port: known models are {', '.join(sorted(ports))}"
+    )
+
+
+def _parse_platform(value: object) -> str:
+    if isinstance(value, str) and value.lower() in (APU, DGPU):
+        return value.lower()
+    raise ProtocolError(f"field 'platform' must be {APU!r} or {DGPU!r}, got {value!r}")
+
+
+def _parse_precision(value: object) -> Precision:
+    if isinstance(value, str):
+        for precision in Precision:
+            if precision.value == value.lower():
+                return precision
+    raise ProtocolError(
+        f"field 'precision' must be one of "
+        f"{', '.join(repr(p.value) for p in Precision)}, got {value!r}"
+    )
+
+
+def _parse_scale(value: object) -> str:
+    if isinstance(value, str) and value.lower() in SCALES:
+        return value.lower()
+    raise ProtocolError(
+        f"field 'scale' must be one of {', '.join(map(repr, SCALES))}, got {value!r}"
+    )
+
+
+def _parse_clock(doc: Mapping, field: str) -> float | None:
+    value = doc.get(field)
+    if value is None:
+        return None
+    if not isinstance(value, (int, float)) or isinstance(value, bool) or value <= 0:
+        raise ProtocolError(f"field {field!r} must be a positive frequency in MHz")
+    return float(value)
+
+
+def resolve_config(app: str, scale: str) -> object:
+    """The problem configuration a scale preset names for one app."""
+    if scale == "bench":
+        return bench_configs()[app]
+    if scale == "sweep":
+        return sweep_configs()[app]
+    return APPS_BY_NAME[app].paper_config()
+
+
+@dataclass(frozen=True)
+class PredictRequest:
+    """One prediction query: a single cell of the paper's matrices."""
+
+    app: str
+    model: str
+    platform: str
+    precision: Precision
+    scale: str = "bench"
+    core_mhz: float | None = None
+    memory_mhz: float | None = None
+
+    @classmethod
+    def from_json(cls, doc: object) -> "PredictRequest":
+        if not isinstance(doc, Mapping):
+            raise ProtocolError("request body must be a JSON object")
+        app = _parse_app(_require(doc, "app"))
+        return cls(
+            app=app,
+            model=_parse_model(app, _require(doc, "model")),
+            platform=_parse_platform(_require(doc, "platform")),
+            precision=_parse_precision(_require(doc, "precision")),
+            scale=_parse_scale(doc.get("scale", "bench")),
+            core_mhz=_parse_clock(doc, "core_mhz"),
+            memory_mhz=_parse_clock(doc, "memory_mhz"),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "app": self.app,
+            "model": self.model,
+            "platform": self.platform,
+            "precision": self.precision.value,
+            "scale": self.scale,
+            "core_mhz": self.core_mhz,
+            "memory_mhz": self.memory_mhz,
+        }
+
+    def specs(self) -> tuple[RunSpec, RunSpec]:
+        """The ``(baseline, model)`` descriptors answering this query.
+
+        Both are built exactly as :func:`~repro.exec.plan.study_runs`
+        builds them — same config resolution, projection mode, and no
+        clock overrides on the OpenMP baseline — so the response's
+        numbers content-address to the same cached runs the batch
+        pipeline computes.
+        """
+        config = resolve_config(self.app, self.scale)
+        baseline = RunSpec(
+            self.app, BASELINE_MODEL, self.platform, self.precision, config,
+            projection=True,
+        )
+        model = RunSpec(
+            self.app, self.model, self.platform, self.precision, config,
+            projection=True, core_mhz=self.core_mhz, memory_mhz=self.memory_mhz,
+        )
+        return baseline, model
+
+
+@dataclass(frozen=True)
+class StudyRequest:
+    """A small spec matrix: the ``/v1/study`` request body."""
+
+    apps: tuple[str, ...]
+    models: tuple[str, ...]
+    platforms: tuple[str, ...]
+    precisions: tuple[Precision, ...]
+    scale: str = "bench"
+
+    @classmethod
+    def from_json(cls, doc: object) -> "StudyRequest":
+        if not isinstance(doc, Mapping):
+            raise ProtocolError("request body must be a JSON object")
+
+        def listed(field: str, default: Sequence[object]) -> tuple[object, ...]:
+            value = doc.get(field, list(default))
+            if isinstance(value, str) or not isinstance(value, Sequence) or not value:
+                raise ProtocolError(f"field {field!r} must be a non-empty array")
+            return tuple(value)
+
+        # Defaulting to the paper's four proxy apps (not every known
+        # app) keeps the default matrix exactly at the run cap.
+        apps = tuple(
+            _parse_app(name)
+            for name in listed("apps", [app.name for app in PROXY_APPS])
+        )
+        models = tuple(
+            _parse_model(apps[0], name) for name in listed("models", GPU_MODELS)
+        )
+        for app in apps:
+            for model in models:
+                _parse_model(app, model)
+        request = cls(
+            apps=apps,
+            models=models,
+            platforms=tuple(
+                _parse_platform(p) for p in listed("platforms", (APU, DGPU))
+            ),
+            precisions=tuple(
+                _parse_precision(p)
+                for p in listed("precisions", [p.value for p in Precision])
+            ),
+            scale=_parse_scale(doc.get("scale", "bench")),
+        )
+        n_runs = len(request.runs())
+        if n_runs > MAX_STUDY_RUNS:
+            raise ProtocolError(
+                f"study matrix expands to {n_runs} runs, over the per-request "
+                f"limit of {MAX_STUDY_RUNS}; split the request"
+            )
+        return request
+
+    def to_json(self) -> dict:
+        return {
+            "apps": list(self.apps),
+            "models": list(self.models),
+            "platforms": list(self.platforms),
+            "precisions": [p.value for p in self.precisions],
+            "scale": self.scale,
+        }
+
+    @property
+    def compared_models(self) -> tuple[str, ...]:
+        """The requested models minus the baseline (it is always run)."""
+        return tuple(m for m in self.models if m != BASELINE_MODEL)
+
+    def runs(self) -> list[RunSpec]:
+        """The flattened matrix, in ``study_runs``'s canonical order."""
+        return study_runs(
+            app_names=list(self.apps),
+            configs={app: resolve_config(app, self.scale) for app in self.apps},
+            apu_values=[platform == APU for platform in self.platforms],
+            precisions=self.precisions,
+            models=list(self.compared_models),
+            baseline=BASELINE_MODEL,
+            projection=True,
+        )
+
+
+def predict_response(
+    request: PredictRequest,
+    baseline_seconds: float,
+    model_result,
+    provenance: Mapping[str, str],
+    key: str,
+) -> dict:
+    """The ``/v1/predict`` response document."""
+    return {
+        "version": PROTOCOL_VERSION,
+        "request": request.to_json(),
+        "seconds": model_result.seconds,
+        "kernel_seconds": model_result.kernel_seconds,
+        "baseline_seconds": baseline_seconds,
+        "speedup": speedup(baseline_seconds, model_result.seconds),
+        "kernel_speedup": speedup(baseline_seconds, model_result.kernel_seconds),
+        "provenance": dict(provenance),
+        "key": key,
+    }
+
+
+def study_response(request: StudyRequest, entries: list[dict], served: dict) -> dict:
+    """The ``/v1/study`` response document."""
+    return {
+        "version": PROTOCOL_VERSION,
+        "request": request.to_json(),
+        "entries": entries,
+        "served": served,
+    }
+
+
+def error_response(status: int, message: str) -> dict:
+    return {
+        "version": PROTOCOL_VERSION,
+        "error": {"status": status, "message": message},
+    }

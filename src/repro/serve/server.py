@@ -1,0 +1,517 @@
+"""The asyncio HTTP server: admission control, deadlines, drain.
+
+A deliberately small HTTP/1.1 implementation over ``asyncio`` streams
+(stdlib only — no framework): request line + headers + Content-Length
+body in, ``Content-Length``-framed JSON out, keep-alive connections.
+Three concerns live here, layered over the :class:`~repro.serve.batcher.Batcher`:
+
+* **Admission control** — at most ``max_queue`` prediction requests
+  are in the house at once; the rest are shed immediately with a 429
+  and a ``Retry-After`` hint, so overload degrades into fast, honest
+  rejections instead of collapse.
+* **Deadlines** — every prediction carries a wall-clock budget
+  (``deadline_s``); a request that cannot be answered in time gets a
+  504 while its engine run, if any, completes and warms the cache for
+  the retry.  The backend's own watchdog is the retry ladder of
+  :mod:`repro.exec.retry`.
+* **Graceful drain** — on SIGTERM/SIGINT the listener closes first,
+  in-flight requests finish (bounded by ``drain_timeout_s``), and
+  ``/readyz`` flips to 503 so an orchestrator stops routing here.
+
+Instrumentation: ``repro_serve_requests_total{route,status}``, a
+queue-depth gauge, a latency histogram per route, and the memo
+single-flight counter — all scraped from ``GET /metrics``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+from dataclasses import dataclass
+
+from ..core.metrics import speedup
+from ..engine import memo
+from ..exec.retry import RetryPolicy
+from ..obs.metrics import MetricsRegistry
+from . import protocol
+from .batcher import BackendRunError, Batcher
+
+#: Latency buckets for serving (seconds): 0.5 ms floor to a 10 s tail.
+SERVE_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+)
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 1024 * 1024
+
+_REASONS = {
+    200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
+    413: "Payload Too Large", 429: "Too Many Requests", 500: "Internal Server Error",
+    503: "Service Unavailable", 504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Everything the prediction service can be tuned with."""
+
+    host: str = "127.0.0.1"
+    port: int = 0  # 0 = ephemeral; the bound port is on Server.port
+    window_s: float = 0.002
+    max_batch: int = 32
+    #: Admission bound: predictions in flight before shedding begins.
+    max_queue: int = 64
+    #: Seconds a shed client is told to wait (the Retry-After header).
+    retry_after_s: int = 1
+    #: Per-request wall-clock budget; over it the client gets a 504.
+    deadline_s: float = 30.0
+    #: Attempts per engine run (the exec retry ladder).
+    retries: int = 2
+    #: Per-engine-run watchdog; ``None`` leaves only the HTTP deadline.
+    run_timeout_s: float | None = None
+    #: How long a drain waits for in-flight requests before giving up.
+    drain_timeout_s: float = 10.0
+
+    def policy(self) -> RetryPolicy:
+        return RetryPolicy(max_attempts=self.retries, run_timeout=self.run_timeout_s)
+
+
+@dataclass
+class _HttpRequest:
+    method: str
+    path: str
+    headers: dict[str, str]
+    body: bytes
+    keep_alive: bool = True
+
+
+class _BadRequest(Exception):
+    """Malformed HTTP; answered with a 400 and a closed connection."""
+
+
+async def _read_request(reader: asyncio.StreamReader) -> _HttpRequest | None:
+    """Parse one HTTP/1.1 request; ``None`` on clean EOF."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise _BadRequest("truncated request head")
+    except asyncio.LimitOverrunError:
+        raise _BadRequest("request head too large")
+    if len(head) > _MAX_HEADER_BYTES:
+        raise _BadRequest("request head too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise _BadRequest(f"malformed request line {lines[0]!r}")
+    method, target, version = parts
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise _BadRequest(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError:
+        raise _BadRequest(f"bad Content-Length {length_text!r}")
+    if length < 0 or length > _MAX_BODY_BYTES:
+        raise _BadRequest(f"Content-Length {length} out of range")
+    body = await reader.readexactly(length) if length else b""
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and version != "HTTP/1.0"
+    return _HttpRequest(
+        method=method, path=target, headers=headers, body=body, keep_alive=keep_alive
+    )
+
+
+def _encode_response(
+    status: int,
+    payload: dict | str,
+    keep_alive: bool,
+    extra_headers: tuple[tuple[str, str], ...] = (),
+) -> bytes:
+    if isinstance(payload, str):
+        body = payload.encode()
+        content_type = "text/plain; version=0.0.4; charset=utf-8"
+    else:
+        body = (json.dumps(payload) + "\n").encode()
+        content_type = "application/json"
+    lines = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    lines.extend(f"{name}: {value}" for name, value in extra_headers)
+    return ("\r\n".join(lines) + "\r\n\r\n").encode() + body
+
+
+class Server:
+    """The prediction service: routes, admission, deadlines, drain."""
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = MetricsRegistry()
+        self.batcher = Batcher(
+            window_s=self.config.window_s,
+            max_batch=self.config.max_batch,
+            policy=self.config.policy(),
+            metrics=self.metrics,
+        )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._active = 0
+        self._shed = 0
+        self._draining = False
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.started_at: float | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=_MAX_HEADER_BYTES,
+        )
+        self.started_at = time.time()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful drain: stop accepting, finish in-flight, close."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:
+            pass
+        await self.batcher.drain()
+        # Idle keep-alive connections never see another request: close
+        # them and wait for their handlers, so nothing dies cancelled
+        # when the loop shuts down.
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.wait(set(self._handlers), timeout=1.0)
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadRequest as exc:
+                    writer.write(_encode_response(
+                        400, protocol.error_response(400, str(exc)), keep_alive=False
+                    ))
+                    await writer.drain()
+                    self._count_request("other", 400)
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self._draining
+                started = time.perf_counter()
+                route, status, payload, extra = await self._dispatch(request)
+                self._count_request(route, status)
+                self.metrics.histogram(
+                    "repro_serve_latency_seconds",
+                    help="Request latency by route.",
+                    buckets=SERVE_LATENCY_BUCKETS,
+                    route=route,
+                ).observe(time.perf_counter() - started)
+                writer.write(_encode_response(status, payload, keep_alive, extra))
+                await writer.drain()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _count_request(self, route: str, status: int) -> None:
+        self.metrics.counter(
+            "repro_serve_requests_total",
+            help="Requests served, by route and status.",
+            route=route,
+            status=str(status),
+        ).inc()
+
+    # -- routing -------------------------------------------------------
+
+    async def _dispatch(
+        self, request: _HttpRequest
+    ) -> tuple[str, int, dict | str, tuple[tuple[str, str], ...]]:
+        """Return ``(route, status, payload, extra headers)``."""
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz":
+            return "healthz", 200, {"status": "ok"}, ()
+        if path == "/readyz":
+            if self._draining or self._server is None:
+                return "readyz", 503, {"status": "draining"}, ()
+            return "readyz", 200, {"status": "ready"}, ()
+        if path == "/metrics":
+            return "metrics", 200, self._metrics_exposition(), ()
+        if path in ("/v1/predict", "/v1/study"):
+            route = "predict" if path.endswith("predict") else "study"
+            if request.method != "POST":
+                return route, 405, protocol.error_response(
+                    405, f"{path} only accepts POST"
+                ), ()
+            return await self._admitted(route, request)
+        return "other", 404, protocol.error_response(
+            404, f"no route {path!r}; try /v1/predict, /v1/study, /healthz, "
+            "/readyz or /metrics"
+        ), ()
+
+    async def _admitted(
+        self, route: str, request: _HttpRequest
+    ) -> tuple[str, int, dict | str, tuple[tuple[str, str], ...]]:
+        """Admission control + deadline around the prediction routes."""
+        if self._draining:
+            return route, 503, protocol.error_response(503, "server is draining"), ()
+        if self._active >= self.config.max_queue:
+            self._shed += 1
+            self.metrics.counter(
+                "repro_serve_shed_total",
+                help="Requests shed by admission control.",
+                route=route,
+            ).inc()
+            return route, 429, protocol.error_response(
+                429,
+                f"admission queue full ({self.config.max_queue} in flight); "
+                "retry shortly",
+            ), (("Retry-After", str(self.config.retry_after_s)),)
+        self._active += 1
+        self._idle.clear()
+        self.metrics.gauge(
+            "repro_serve_queue_depth", help="Admitted requests in flight."
+        ).set(self._active)
+        try:
+            try:
+                doc = json.loads(request.body.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return route, 400, protocol.error_response(
+                    400, f"request body is not valid JSON: {exc}"
+                ), ()
+            handler = self._predict if route == "predict" else self._study
+            try:
+                payload = await asyncio.wait_for(
+                    handler(doc), timeout=self.config.deadline_s
+                )
+            except protocol.ProtocolError as exc:
+                return route, 400, protocol.error_response(400, str(exc)), ()
+            except asyncio.TimeoutError:
+                return route, 504, protocol.error_response(
+                    504,
+                    f"deadline of {self.config.deadline_s:g}s exceeded; the "
+                    "engine run continues and will serve a retry from cache",
+                ), ()
+            except BackendRunError as exc:
+                return route, 500, protocol.error_response(500, str(exc)), ()
+            return route, 200, payload, ()
+        finally:
+            self._active -= 1
+            self.metrics.gauge(
+                "repro_serve_queue_depth", help="Admitted requests in flight."
+            ).set(self._active)
+            if self._active == 0:
+                self._idle.set()
+
+    # -- handlers ------------------------------------------------------
+
+    async def _predict(self, doc: object) -> dict:
+        request = protocol.PredictRequest.from_json(doc)
+        baseline_spec, model_spec = request.specs()
+        (baseline, baseline_prov), (model, model_prov) = await self.batcher.submit_many(
+            [baseline_spec, model_spec]
+        )
+        return protocol.predict_response(
+            request,
+            baseline_seconds=baseline.seconds,
+            model_result=model,
+            provenance={"baseline": baseline_prov, "model": model_prov},
+            key=model_spec.content_key()[:16],
+        )
+
+    async def _study(self, doc: object) -> dict:
+        request = protocol.StudyRequest.from_json(doc)
+        runs = request.runs()
+        served = await self.batcher.submit_many(runs)
+        provenance_tally: dict[str, int] = {}
+        for _result, label in served:
+            provenance_tally[label] = provenance_tally.get(label, 0) + 1
+
+        # Reassemble exactly like run_study: baseline first, then one
+        # outcome per compared model for each (app, platform, precision).
+        entries: list[dict] = []
+        cursor = iter(served)
+        models = request.compared_models
+        for app in request.apps:
+            for platform in request.platforms:
+                for precision in request.precisions:
+                    baseline, _ = next(cursor)
+                    for model in models:
+                        result, _ = next(cursor)
+                        entries.append({
+                            "app": app,
+                            "model": model,
+                            "platform": "APU" if platform == protocol.APU else "dGPU",
+                            "precision": precision.value,
+                            "seconds": result.seconds,
+                            "kernel_seconds": result.kernel_seconds,
+                            "baseline_seconds": baseline.seconds,
+                            "speedup": speedup(baseline.seconds, result.seconds),
+                            "kernel_speedup": speedup(
+                                baseline.seconds, result.kernel_seconds
+                            ),
+                        })
+        return protocol.study_response(request, entries, provenance_tally)
+
+    # -- metrics -------------------------------------------------------
+
+    def _metrics_exposition(self) -> str:
+        """Server registry plus process-wide memo counters, one scrape."""
+        snapshot = MetricsRegistry()
+        snapshot.merge(self.metrics)
+        snapshot.counter(
+            "repro_memo_singleflight_coalesced_total",
+            help="Requests coalesced onto an identical in-flight engine run.",
+        ).inc(self.batcher.cache.coalesced)
+        stats = self.batcher.cache.snapshot()
+        snapshot.counter(
+            "repro_serve_result_cache_lookups_total",
+            help="Whole-run result cache lookups.", outcome="hit",
+        ).inc(stats.hits)
+        snapshot.counter(
+            "repro_serve_result_cache_lookups_total",
+            help="Whole-run result cache lookups.", outcome="miss",
+        ).inc(stats.misses)
+        for layer, cache in (
+            ("kernel", memo.KERNEL_CACHE),
+            ("setup", memo.SETUP_CACHE),
+            ("trace", memo.TRACE_CACHE),
+            ("result", self.batcher.cache),
+        ):
+            snapshot.gauge(
+                "repro_memo_hit_ratio", help="Memo hit ratio by cache layer.",
+                cache=layer,
+            ).set(cache.snapshot().hit_rate)
+        snapshot.gauge(
+            "repro_serve_shed_requests", help="Requests shed since start."
+        ).set(self._shed)
+        return snapshot.to_prometheus()
+
+
+# -- embedding helpers -------------------------------------------------
+
+
+async def _run_until_stopped(server: Server, stop: asyncio.Event) -> None:
+    await server.start()
+    await stop.wait()
+    await server.shutdown()
+
+
+class ServerThread:
+    """Run a :class:`Server` on a background thread with its own loop.
+
+    The load generator's ``--spawn`` mode and the test suite both need
+    a live loopback server without blocking the caller; this wraps the
+    lifecycle (start, bound-port discovery, graceful stop) behind a
+    context manager.
+    """
+
+    def __init__(self, config: ServeConfig | None = None) -> None:
+        self.server = Server(config)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._main, name="repro-serve", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=timeout):
+            raise RuntimeError("server thread failed to start in time")
+        if self._failure is not None:
+            raise RuntimeError("server thread failed to start") from self._failure
+        return self
+
+    def _main(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.server.start()
+            except BaseException as exc:
+                self._failure = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            if not self._ready.is_set():
+                self._failure = exc
+                self._ready.set()
+
+    @property
+    def url(self) -> str:
+        return self.server.url
+
+    def stop(self, timeout: float = 15.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)

@@ -1,0 +1,136 @@
+"""SingleFlightCache: thread-safe get_or_compute with coalescing."""
+
+import threading
+import time
+
+import pytest
+
+from repro.engine.memo import RESULT_CACHE, SingleFlightCache, clear_caches
+
+
+def test_get_or_compute_caches_and_counts():
+    cache = SingleFlightCache()
+    calls = []
+    assert cache.get_or_compute(("k",), lambda: calls.append(1) or 41) == 41
+    assert cache.get_or_compute(("k",), lambda: calls.append(1) or 99) == 41
+    assert len(calls) == 1
+    stats = cache.snapshot()
+    assert (stats.hits, stats.misses) == (1, 1)
+    assert cache.coalesced == 0
+
+
+def test_peek_does_not_compute_or_count_misses():
+    cache = SingleFlightCache()
+    found, value = cache.peek(("absent",))
+    assert (found, value) == (False, None)
+    assert cache.snapshot().misses == 0
+    cache.get_or_compute(("present",), lambda: "v")
+    found, value = cache.peek(("present",))
+    assert (found, value) == (True, "v")
+    assert cache.snapshot().hits == 1
+
+
+def test_disabled_cache_always_computes():
+    cache = SingleFlightCache(enabled=False)
+    calls = []
+    for _ in range(3):
+        cache.get_or_compute(("k",), lambda: calls.append(1) or 7)
+    assert len(calls) == 3
+    assert len(cache) == 0
+
+
+def test_concurrent_identical_requests_cost_one_compute():
+    cache = SingleFlightCache()
+    computes = []
+    release = threading.Event()
+    results = []
+
+    def compute():
+        computes.append(threading.get_ident())
+        release.wait(timeout=5.0)
+        return "value"
+
+    def worker():
+        results.append(cache.get_or_compute(("shared",), compute))
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for t in threads:
+        t.start()
+    # Let every follower reach the event wait before the leader finishes.
+    deadline = time.monotonic() + 5.0
+    while cache.coalesced < 7 and time.monotonic() < deadline:
+        time.sleep(0.001)
+    release.set()
+    for t in threads:
+        t.join(timeout=5.0)
+    assert results == ["value"] * 8
+    assert len(computes) == 1, "single-flight ran the compute more than once"
+    assert cache.coalesced == 7
+    stats = cache.snapshot()
+    assert stats.misses == 1 and stats.hits >= 0
+
+
+def test_failed_leader_does_not_cache_and_follower_retries():
+    cache = SingleFlightCache()
+    attempts = []
+
+    def failing():
+        attempts.append("fail")
+        raise RuntimeError("boom")
+
+    with pytest.raises(RuntimeError):
+        cache.get_or_compute(("k",), failing)
+    assert len(cache) == 0
+    # The next caller recomputes (failures are never cached).
+    assert cache.get_or_compute(("k",), lambda: "ok") == "ok"
+    assert len(attempts) == 1
+
+
+def test_follower_recovers_from_leader_failure_under_contention():
+    cache = SingleFlightCache()
+    barrier = threading.Barrier(2)
+    outcomes = []
+
+    def flaky():
+        # First compute fails; the retrying follower's compute succeeds.
+        if not outcomes:
+            outcomes.append("failed")
+            barrier.wait(timeout=5.0)
+            time.sleep(0.01)
+            raise RuntimeError("transient")
+        return "recovered"
+
+    def leader():
+        try:
+            cache.get_or_compute(("k",), flaky)
+        except RuntimeError:
+            pass
+
+    def follower():
+        barrier.wait(timeout=5.0)
+        outcomes.append(cache.get_or_compute(("k",), flaky))
+
+    t1 = threading.Thread(target=leader)
+    t2 = threading.Thread(target=follower)
+    t1.start()
+    t2.start()
+    t1.join(timeout=5.0)
+    t2.join(timeout=5.0)
+    assert outcomes[-1] == "recovered"
+
+
+def test_record_coalesced_merges_external_joins():
+    cache = SingleFlightCache()
+    cache.record_coalesced()
+    cache.record_coalesced(3)
+    assert cache.coalesced == 4
+
+
+def test_clear_resets_coalesced_and_global_cache_participates():
+    RESULT_CACHE.get_or_compute(("t", "x"), lambda: 1)
+    RESULT_CACHE.record_coalesced()
+    assert len(RESULT_CACHE) >= 1
+    clear_caches()
+    assert len(RESULT_CACHE) == 0
+    assert RESULT_CACHE.coalesced == 0
+    assert RESULT_CACHE.snapshot().lookups == 0

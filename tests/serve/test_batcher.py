@@ -1,0 +1,122 @@
+"""Micro-batching, single-flight coalescing, and drain semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.engine.memo import SingleFlightCache
+from repro.obs.metrics import MetricsRegistry
+from repro.serve import Batcher, PredictRequest
+from repro.serve.batcher import CACHED, COALESCED, COMPUTED
+
+
+def _spec(model="OpenCL", platform="apu", precision="single"):
+    request = PredictRequest.from_json({
+        "app": "XSBench", "model": model, "platform": platform,
+        "precision": precision,
+    })
+    return request.specs()[1]
+
+
+def _batcher(**kwargs):
+    kwargs.setdefault("window_s", 0.001)
+    kwargs.setdefault("metrics", MetricsRegistry())
+    kwargs.setdefault("cache", SingleFlightCache())
+    return Batcher(**kwargs)
+
+
+def test_submit_computes_then_serves_from_cache():
+    async def main():
+        batcher = _batcher()
+        spec = _spec()
+        first, prov_first = await batcher.submit(spec)
+        second, prov_second = await batcher.submit(spec)
+        await batcher.drain()
+        assert prov_first == COMPUTED
+        assert prov_second == CACHED
+        # Same cached object: bit-identity is trivially guaranteed.
+        assert second is first
+    asyncio.run(main())
+
+
+def test_concurrent_identical_submits_coalesce():
+    async def main():
+        batcher = _batcher(window_s=0.05)
+        spec = _spec()
+        outcomes = await asyncio.gather(*(batcher.submit(spec) for _ in range(5)))
+        await batcher.drain()
+        return batcher, outcomes
+    batcher, outcomes = asyncio.run(main())
+    labels = [label for _result, label in outcomes]
+    assert labels.count(COMPUTED) == 1
+    assert labels.count(COALESCED) == 4
+    assert batcher.cache.coalesced == 4
+    results = {id(result) for result, _label in outcomes}
+    assert len(results) == 1  # one engine run answered everyone
+
+
+def test_distinct_specs_merge_into_one_batch():
+    async def main():
+        batcher = _batcher(window_s=0.05)
+        specs = [_spec(model=m) for m in ("OpenCL", "C++ AMP", "OpenACC")]
+        await batcher.submit_many(specs)
+        await batcher.drain()
+        return batcher
+    batcher = asyncio.run(main())
+    batches = batcher.metrics.get("repro_serve_batches_total")
+    assert batches is not None and batches.value == 1
+    _counts, total, count = batcher.metrics.get(
+        "repro_serve_batch_size"
+    ).snapshot()
+    assert count == 1 and total == 3  # one batch of three specs
+
+
+def test_full_batch_flushes_before_window():
+    async def main():
+        batcher = _batcher(window_s=60.0, max_batch=2)
+        specs = [_spec(model=m) for m in ("OpenCL", "C++ AMP")]
+        # A 60 s window would time the test out unless max_batch flushes.
+        await asyncio.wait_for(batcher.submit_many(specs), timeout=30)
+        await batcher.drain()
+    asyncio.run(main())
+
+
+def test_backend_failure_propagates_and_is_not_cached():
+    class Boom(RuntimeError):
+        pass
+
+    async def main():
+        batcher = _batcher()
+        spec = _spec()
+        real_compute = batcher._compute
+        calls = {"n": 0}
+
+        def failing_compute(spec):
+            calls["n"] += 1
+            raise Boom("engine exploded")
+
+        batcher._compute = failing_compute
+        with pytest.raises(Boom):
+            await batcher.submit(spec)
+        # The failure must not poison the cache: a retry recomputes.
+        batcher._compute = real_compute
+        _result, label = await batcher.submit(spec)
+        await batcher.drain()
+        assert calls["n"] == 1
+        assert label == COMPUTED
+    asyncio.run(main())
+
+
+def test_drain_rejects_cold_work_but_serves_cache():
+    async def main():
+        batcher = _batcher()
+        spec = _spec()
+        await batcher.submit(spec)
+        await batcher.drain()
+        # Warm answers still work (pure cache lookup) ...
+        _result, label = await batcher.submit(spec)
+        assert label == CACHED
+        # ... but cold specs are refused.
+        with pytest.raises(RuntimeError, match="draining"):
+            await batcher.submit(_spec(model="C++ AMP"))
+    asyncio.run(main())

@@ -1,0 +1,79 @@
+"""The load generator: percentile math, both loops, the bench artifact."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import (
+    LoadResult,
+    ServeConfig,
+    ServerThread,
+    percentile,
+    run_load,
+    write_bench,
+)
+
+BODIES = [
+    {"app": "XSBench", "model": model, "platform": "apu", "precision": "single"}
+    for model in ("OpenCL", "C++ AMP")
+]
+
+
+def test_percentile_nearest_rank():
+    samples = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]
+    assert percentile(samples, 50) == 5.0
+    assert percentile(samples, 95) == 10.0
+    assert percentile(samples, 99) == 10.0
+    assert percentile(samples, 0) == 1.0
+    assert percentile([], 99) == 0.0
+    assert percentile([42.0], 50) == 42.0
+
+
+def test_load_result_summary_and_json():
+    result = LoadResult(mode="closed", duration_s=2.0, concurrency=4, rate=None)
+    result.requests = 100
+    result.status_counts = {"200": 99, "429": 1}
+    result.latencies_s = [0.001] * 100
+    doc = result.to_json()
+    assert doc["throughput_rps"] == 50.0
+    assert doc["latency_ms"]["p99"] == 1.0
+    assert doc["status_counts"] == {"200": 99, "429": 1}
+    assert "p50 1.00 ms" in result.summary()
+
+
+def test_closed_loop_against_live_server(tmp_path):
+    with ServerThread(ServeConfig(window_s=0.001)) as thread:
+        result = asyncio.run(run_load(
+            thread.url, BODIES, mode="closed", concurrency=2, duration_s=0.3,
+        ))
+    assert result.errors == 0
+    assert result.requests > 0
+    assert set(result.status_counts) == {"200"}
+    assert len(result.latencies_s) == result.requests
+    target = tmp_path / "BENCH_serve.json"
+    write_bench(result, target)
+    doc = json.loads(target.read_text())
+    assert doc["protocol"] == "v1"
+    assert doc["mode"] == "closed"
+    assert doc["throughput_rps"] > 0
+    assert set(doc["latency_ms"]) >= {"mean", "max", "p50", "p95", "p99"}
+
+
+def test_open_loop_respects_offered_rate():
+    with ServerThread(ServeConfig(window_s=0.001)) as thread:
+        result = asyncio.run(run_load(
+            thread.url, BODIES, mode="open", concurrency=4, duration_s=0.5,
+            rate=100.0,
+        ))
+    assert result.errors == 0
+    # An open loop issues ~rate * duration arrivals regardless of
+    # service speed (warm cache keeps the server well ahead here).
+    assert 30 <= result.requests <= 60
+
+
+def test_open_loop_requires_a_rate():
+    with pytest.raises(ValueError, match="rate"):
+        asyncio.run(run_load("http://127.0.0.1:1", BODIES, mode="open"))
+    with pytest.raises(ValueError, match="mode"):
+        asyncio.run(run_load("http://127.0.0.1:1", BODIES, mode="sideways"))

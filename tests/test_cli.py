@@ -91,3 +91,48 @@ class TestExecution:
         out = capsys.readouterr().out
         assert "Transfer decomposition" in out
         assert "OpenCL" in out
+
+
+class TestServeCommands:
+    def test_serve_and_loadtest_registered_with_defaults(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve"])
+        assert args.port == 8351
+        assert args.window_ms == 2.0
+        assert args.max_queue == 64
+        args = parser.parse_args(["loadtest", "--spawn", "--mode", "open",
+                                  "--rate", "200", "--bench", "B.json"])
+        assert args.rate == 200.0
+        assert args.bench == "B.json"
+
+    def test_loadtest_url_and_spawn_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["loadtest", "--url", "http://x", "--spawn"])
+
+    def test_help_groups_every_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--help"])
+        out = capsys.readouterr().out
+        for section in ("paper artifacts:", "studies & data:",
+                        "performance & telemetry:"):
+            assert section in out
+        parser = build_parser()
+        subparsers = next(
+            a for a in parser._actions
+            if isinstance(a, type(parser._subparsers._group_actions[0]))
+        )
+        # Every registered command appears in the grouped epilog.
+        for name in subparsers.choices:
+            assert f"\n    {name} " in out or f"    {name:<13}" in out
+
+    def test_loadtest_end_to_end(self, capsys, tmp_path):
+        bench = tmp_path / "BENCH_serve.json"
+        code = main([
+            "loadtest", "--spawn", "--duration", "0.3", "--concurrency", "2",
+            "--model", "OpenCL", "--platform", "apu", "--precision", "single",
+            "--bench", str(bench),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out and "p99" in out
+        assert bench.exists()
