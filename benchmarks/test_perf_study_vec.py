@@ -1,0 +1,89 @@
+"""Whole-study pricing: the columnar engine vs the scalar oracle.
+
+Runs the paper-scale comparison matrix (5 apps x 2 platforms x
+2 precisions x 4 models = 80 cells) through both engines, app by app
+from cold caches, asserts bit-identity at full problem size, and
+records the per-app and whole-matrix speedups in ``BENCH_study.json``
+(the tracked perf baseline; CI regenerates it and uploads the
+artifact).  Marked ``perf`` so a plain run can deselect it.
+
+The only wall-clock assertion is the one that must never regress: the
+columnar engine may not be *slower* than pricing cell by cell.  The
+headline ratio (>=10x on an idle machine) is recorded, not asserted —
+CI runners are too noisy to pin it.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core.study import GPU_MODELS, run_study
+from repro.engine import memo
+
+pytestmark = pytest.mark.perf
+
+BENCH_PATH = Path(
+    os.environ.get(
+        "BENCH_STUDY_OUT", Path(__file__).resolve().parent.parent / "BENCH_study.json"
+    )
+)
+
+
+def test_whole_study_columnar_speedup():
+    per_app = {}
+    totals = {"scalar": 0.0, "vector": 0.0}
+    cells = 0
+    for app in ALL_APPS:
+        seconds = {}
+        studies = {}
+        for engine in ("scalar", "vector"):
+            memo.clear_caches()
+            started = time.perf_counter()
+            studies[engine] = run_study((app,), paper_scale=True, engine=engine)
+            seconds[engine] = time.perf_counter() - started
+        # Bit-identity at full paper scale, before any timing claims.
+        assert studies["scalar"].complete and studies["vector"].complete
+        assert [e.__dict__ for e in studies["vector"].entries] == [
+            e.__dict__ for e in studies["scalar"].entries
+        ], app.name
+        cells += len(studies["scalar"].entries) + 4  # + the 4 baselines
+        per_app[app.name] = {
+            "scalar_seconds": round(seconds["scalar"], 3),
+            "vector_seconds": round(seconds["vector"], 3),
+            "speedup": round(seconds["scalar"] / seconds["vector"], 2),
+        }
+        totals["scalar"] += seconds["scalar"]
+        totals["vector"] += seconds["vector"]
+    memo.clear_caches()
+
+    doc = {
+        "matrix": {
+            "apps": [app.name for app in ALL_APPS],
+            "models": ["OpenMP", *GPU_MODELS],
+            "platforms": 2,
+            "precisions": 2,
+        },
+        "cells": cells,
+        "scalar_seconds": round(totals["scalar"], 3),
+        "vector_seconds": round(totals["vector"], 3),
+        "speedup": round(totals["scalar"] / totals["vector"], 2),
+        "per_app": per_app,
+        "identical": True,  # the assertions above gate writing this file
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
+
+    print(f"\n{'app':16s} {'scalar':>10s} {'vector':>10s} {'ratio':>7s}")
+    for name, row in per_app.items():
+        print(
+            f"{name:16s} {row['scalar_seconds']:8.2f} s {row['vector_seconds']:8.2f} s "
+            f"{row['speedup']:6.1f}x"
+        )
+    print(
+        f"{'TOTAL':16s} {totals['scalar']:8.2f} s {totals['vector']:8.2f} s "
+        f"{totals['scalar'] / totals['vector']:6.1f}x"
+    )
+    assert totals["vector"] < totals["scalar"], doc

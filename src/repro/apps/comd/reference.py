@@ -20,7 +20,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ...engine.memo import memoized_setup
+from ...engine.memo import memoized_setup, projection_stub
 from ...hardware.specs import Precision
 
 #: Reduced LJ units: epsilon = sigma = mass = 1.
@@ -145,8 +145,23 @@ def make_state(config: CoMDConfig, precision: Precision, seed: int = 11) -> CoMD
     return state
 
 
+@projection_stub(make_state)
+def _projection_state(config: CoMDConfig, precision: Precision, seed: int = 11) -> CoMDState:
+    """Schedule-capture build: a fresh real state, skipping the setup
+    cache (the build is cheaper than the LRU's deep copies, and capture
+    must not pollute — or be polluted by — cached state)."""
+    return make_state.__wrapped__(config, precision, seed)
+
+
 def bin_atoms(state: CoMDState) -> None:
     """(Re)build the padded link-cell table from current positions."""
+    if state.cell_atoms.size and np.array_equal(state.positions, state.rebin_positions):
+        # No atom has moved since the last binning: the table is a pure
+        # function of positions, so recomputing would reproduce it
+        # bit-for-bit.  Ports rebin unconditionally between epochs; in
+        # projection mode positions never change, making this the
+        # common case there.
+        return
     config = state.config
     ncx, ncy, ncz = config.cells_per_dim
     box = config.box
@@ -165,9 +180,11 @@ def bin_atoms(state: CoMDState) -> None:
     table = np.full((n_cells, max_occ), -1, dtype=np.int64)
     offsets = np.zeros(n_cells + 1, dtype=np.int64)
     np.cumsum(counts, out=offsets[1:])
-    for cell in range(n_cells):
-        members = order[offsets[cell] : offsets[cell + 1]]
-        table[cell, : len(members)] = members
+    # Scatter each atom into its cell's next free slot: the stable sort
+    # keeps members of one cell consecutive in `order`, so an atom's
+    # slot is its rank within the cell's run.
+    slot = np.arange(len(order), dtype=np.int64) - offsets[sorted_cells]
+    table[sorted_cells, slot] = order
     state.cell_atoms = table
     state.cell_count = counts.astype(np.int64)
     state.rebin_positions = state.positions.copy()

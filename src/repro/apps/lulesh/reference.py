@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ...engine.memo import memoized_setup
+from ...engine.memo import memoized_setup, projection_stub
 from ...hardware.specs import Precision
 from .kernels import SCHEDULE
 from .physics import (
@@ -45,6 +45,14 @@ def make_state(config: LuleshConfig, precision: Precision) -> LuleshState:
     """Initialise the Sedov problem at the requested precision."""
     dtype = np.dtype(np.float32 if precision is Precision.SINGLE else np.float64)
     return LuleshState(config=config, dtype=dtype)
+
+
+@projection_stub(make_state)
+def _projection_state(config: LuleshConfig, precision: Precision) -> LuleshState:
+    """Schedule-capture build: a fresh real state, skipping the setup
+    cache (initialisation is cheaper than the LRU's deep copies, and
+    capture must not pollute — or be polluted by — cached state)."""
+    return make_state.__wrapped__(config, precision)
 
 
 def run_iteration(state: LuleshState) -> None:

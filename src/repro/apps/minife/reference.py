@@ -21,7 +21,7 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from ...engine.memo import memoized_setup
+from ...engine.memo import memoized_setup, projection_stub
 from ...hardware.specs import Precision
 
 
@@ -140,6 +140,38 @@ def assemble(config: MiniFEConfig, precision: Precision) -> tuple[np.ndarray, np
         matrix.indices.astype(np.int32),
         matrix.indptr.astype(np.int64),
         rhs,
+    )
+
+
+def system_nnz(config: MiniFEConfig) -> int:
+    """Stored nonzeros of the assembled Dirichlet system, in closed form.
+
+    Boundary rows are identity (1 nonzero); an interior node couples to
+    the 27-point cube clipped to interior columns, giving
+    ``prod(3n - 5)`` interior-block entries over the
+    ``prod(n - 1)`` interior nodes of an ``nx x ny x nz`` element mesh.
+    """
+    nx, ny, nz = config.nx, config.ny, config.nz
+    interior = (nx - 1) * (ny - 1) * (nz - 1)
+    interior_block = (3 * nx - 5) * (3 * ny - 5) * (3 * nz - 5)
+    return config.n_rows - interior + interior_block
+
+
+@projection_stub(assemble)
+def _projection_system(
+    config: MiniFEConfig, precision: Precision
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shape-faithful stand-in for schedule capture: CSR arrays with
+    the real lengths/dtypes (buffer sizes are all that the ports'
+    schedules read) without assembling the matrix."""
+    dtype = np.dtype(np.float32 if precision is Precision.SINGLE else np.float64)
+    nnz = system_nnz(config)
+    n = config.n_rows
+    return (
+        np.zeros(nnz, dtype=dtype),
+        np.zeros(nnz, dtype=np.int32),
+        np.zeros(n + 1, dtype=np.int64),
+        np.zeros(n, dtype=dtype),
     )
 
 

@@ -13,7 +13,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ...engine.memo import memoized_setup
+from ...engine.memo import memoized_setup, projection_stub
 from ...hardware.specs import Precision
 
 BLOCK_SIZE = 64
@@ -54,6 +54,14 @@ def make_input(config: ReadMemConfig, precision: Precision, seed: int = 7) -> np
     dtype = np.float32 if precision is Precision.SINGLE else np.float64
     rng = np.random.default_rng(seed)
     return rng.random(config.size).astype(dtype)
+
+
+@projection_stub(make_input)
+def _projection_input(config: ReadMemConfig, precision: Precision, seed: int = 7) -> np.ndarray:
+    """Shape-faithful stand-in for schedule capture: the ports derive
+    buffer sizes and kernel specs from the array's shape/dtype only."""
+    dtype = np.float32 if precision is Precision.SINGLE else np.float64
+    return np.zeros(config.size, dtype=dtype)
 
 
 def read_serial_cpu(data: np.ndarray, out: np.ndarray, block_size: int = BLOCK_SIZE) -> None:

@@ -24,7 +24,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ...engine.memo import memoized_setup
+from ...engine.memo import memoized_setup, projection_stub
 from ...hardware.specs import Precision
 
 #: Five cross-section channels per grid point.
@@ -160,6 +160,34 @@ def make_data(config: XSBenchConfig, precision: Precision, seed: int = 23) -> XS
         material_n=np.array(MATERIAL_NUCLIDE_COUNTS, dtype=np.int32),
         lookup_energy=lookup_energy,
         lookup_material=lookup_material,
+    )
+
+
+@projection_stub(make_data)
+def _projection_data(config: XSBenchConfig, precision: Precision, seed: int = 23) -> XSBenchData:
+    """Shape-faithful stand-in for schedule capture.
+
+    Every quantity the ports' schedules read is structural — buffer
+    sizes from ``.nbytes``, chunk trip counts from ``array_split`` over
+    the lookup stream, kernel specs from the config — so zeroed arrays
+    with the real shapes/dtypes capture the identical schedule without
+    generating (or deep-copying) the 240 MB data set.
+    """
+    dtype = np.dtype(np.float32 if precision is Precision.SINGLE else np.float64)
+    nn, ng = config.n_nuclides, config.n_gridpoints
+    n_mats = len(MATERIAL_NUCLIDE_COUNTS)
+    max_n = max(MATERIAL_NUCLIDE_COUNTS)
+    return XSBenchData(
+        config=config,
+        nuclide_energy=np.zeros((nn, ng), dtype=dtype),
+        nuclide_xs=np.zeros((nn, ng, N_XS), dtype=dtype),
+        union_energy=np.zeros(config.n_union, dtype=dtype),
+        union_index=np.zeros((config.n_union, nn), dtype=np.int32),
+        material_nuclides=np.full((n_mats, max_n), -1, dtype=np.int32),
+        material_density=np.zeros((n_mats, max_n), dtype=dtype),
+        material_n=np.array(MATERIAL_NUCLIDE_COUNTS, dtype=np.int32),
+        lookup_energy=np.zeros(config.n_lookups, dtype=dtype),
+        lookup_material=np.zeros(config.n_lookups, dtype=np.int32),
     )
 
 

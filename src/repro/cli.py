@@ -94,11 +94,11 @@ def _print_failures(failures) -> bool:
 
 
 def _study(full: bool, workers: int = 1, cache: bool = True, telemetry: bool = False,
-           **fault_kwargs):
+           engine: str = "scalar", **fault_kwargs):
     configs = None if full else bench_configs()
     return run_study(
         ALL_APPS, paper_scale=True, configs=configs, max_workers=workers,
-        use_cache=cache, telemetry=telemetry, **fault_kwargs,
+        use_cache=cache, telemetry=telemetry, engine=engine, **fault_kwargs,
     )
 
 
@@ -239,6 +239,7 @@ def cmd_characterize(args: argparse.Namespace) -> int | None:
         max_workers=args.workers,
         use_cache=not args.no_cache,
         engine=args.engine,
+        run_engine=args.engine,
         telemetry=_wants_telemetry(args),
         **fault_kwargs,
     )
@@ -267,7 +268,8 @@ def cmd_study(args: argparse.Namespace) -> int | None:
     sizes; the default is the reduced bench-scale matrix.
     """
     study = _study(args.paper_scale, args.workers, not args.no_cache,
-                   _wants_telemetry(args), **_fault_kwargs(args))
+                   _wants_telemetry(args), engine=args.engine,
+                   **_fault_kwargs(args))
     print(render_speedups(study, FIGURE_APPS, apu=True,
                           title="Figure 8: speedup over 4-core OpenMP on the APU"))
     print()
@@ -299,7 +301,7 @@ def cmd_sweep(args: argparse.Namespace) -> int | None:
         sweep = run_sweep(
             app, configs[app.name], max_workers=args.workers,
             use_cache=not args.no_cache, telemetry=_wants_telemetry(args),
-            **_fault_kwargs(args),
+            engine=args.engine, **_fault_kwargs(args),
         )
         print(render_figure7(sweep))
         if sweep.complete:
@@ -376,6 +378,7 @@ def cmd_serve(args: argparse.Namespace) -> int | None:
         deadline_s=args.deadline,
         retries=args.retries,
         run_timeout_s=args.run_timeout,
+        engine=args.engine,
     )
 
     async def main() -> None:
@@ -608,6 +611,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-run wall times and cache counters")
     study.add_argument("--out", default=None,
                        help="also export the study records as JSON")
+    study.add_argument("--engine", choices=("vector", "scalar"), default="vector",
+                       help="pricing engine: 'vector' lowers the matrix into a "
+                            "spec lattice and prices all cells columnar; "
+                            "'scalar' simulates each cell (bit-identical, "
+                            "slower — the differential oracle)")
     _add_executor_flags(study)
     _add_telemetry_flags(study)
     _add_fault_flags(study)
@@ -616,8 +624,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Table I through the vectorized (or scalar) replay engine")
     char.set_defaults(func=cmd_characterize)
     char.add_argument("--engine", choices=("vector", "scalar"), default="vector",
-                      help="trace-replay engine (bit-identical results; "
-                           "vector is the fast default)")
+                      help="trace-replay and sweep-pricing engine "
+                           "(bit-identical results; vector is the fast default)")
     char.add_argument("--bench", default=None, metavar="FILE",
                       help="also run the cache-replay benchmark and write the "
                            "perf baseline JSON (e.g. BENCH_cache.json)")
@@ -634,6 +642,10 @@ def build_parser() -> argparse.ArgumentParser:
         description=COMMAND_HELP["sweep"] + ", with executor stats")
     sweep.set_defaults(func=cmd_sweep)
     sweep.add_argument("--app", choices=FIGURE_APPS, default=None)
+    sweep.add_argument("--engine", choices=("vector", "scalar"), default="vector",
+                       help="pricing engine: 'vector' prices the whole grid "
+                            "from one captured schedule; 'scalar' simulates "
+                            "every point (bit-identical)")
     _add_executor_flags(sweep)
     _add_telemetry_flags(sweep)
     _add_fault_flags(sweep)
@@ -691,6 +703,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--run-timeout", type=float, default=None, metavar="SEC",
                        help="per-engine-run watchdog (default: none; the "
                             "HTTP deadline still applies)")
+    serve.add_argument("--engine", choices=("vector", "scalar"), default="vector",
+                       help="cold-batch pricing engine: 'vector' prices each "
+                            "micro-batch window columnar; 'scalar' runs specs "
+                            "one by one (bit-identical)")
     loadtest = sub.add_parser(
         "loadtest",
         description="drive a prediction server (an existing --url, or a "

@@ -13,7 +13,7 @@ from pathlib import Path
 
 from ..apps.base import ProxyApp, RunResult
 from ..exec.checkpoint import CheckpointJournal
-from ..exec.executor import ExecStats, execute
+from ..exec.executor import ExecStats, execute_with_engine
 from ..exec.faults import FaultPlan, RunError
 from ..exec.plan import study_runs
 from ..exec.retry import RetryPolicy
@@ -125,6 +125,7 @@ def run_study(
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     checkpoint: str | Path | CheckpointJournal | None = None,
+    engine: str = "scalar",
 ) -> StudyResult:
     """Run the full comparison.
 
@@ -147,6 +148,12 @@ def run_study(
     exhaust their retries are quarantined: the study returns its
     surviving entries with the losses in ``.failures`` instead of
     raising.
+
+    ``engine`` selects how cells are priced: ``"scalar"`` simulates
+    one port per cell (the differential oracle), ``"vector"`` lowers
+    the matrix into a spec lattice and prices all cells columnar
+    (:mod:`repro.engine.study_vec`).  Entries are bit-identical either
+    way.
     """
     resolved: dict[str, object] = {}
     for app in apps:
@@ -164,7 +171,8 @@ def run_study(
         baseline=BASELINE_MODEL,
         projection=paper_scale,
     )
-    outcomes, stats = execute(
+    outcomes, stats = execute_with_engine(
+        engine,
         runs,
         max_workers=max_workers,
         use_cache=use_cache,

@@ -19,7 +19,7 @@ from pathlib import Path
 
 from ..apps.base import ProxyApp
 from ..exec.checkpoint import CheckpointJournal
-from ..exec.executor import ExecStats, execute
+from ..exec.executor import ExecStats, execute_with_engine
 from ..exec.faults import FaultPlan, RunError
 from ..exec.plan import sweep_runs
 from ..exec.retry import RetryPolicy
@@ -105,6 +105,7 @@ def run_sweep(
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     checkpoint: str | Path | CheckpointJournal | None = None,
+    engine: str = "scalar",
 ) -> SweepResult:
     """Sweep one application over the (core, memory) frequency grid.
 
@@ -115,9 +116,15 @@ def run_sweep(
     fault-tolerance layer (see :func:`repro.exec.execute`): quarantined
     grid points are dropped from ``points`` and reported in
     ``.failures`` instead of aborting the sweep.
+
+    ``engine="vector"`` prices the whole grid from one captured
+    schedule (clock overrides never change which kernels launch);
+    ``"scalar"`` simulates every point.  Points are bit-identical
+    either way.
     """
     runs = sweep_runs(app.name, config, precision, core_grid, memory_grid, model)
-    outcomes, stats = execute(
+    outcomes, stats = execute_with_engine(
+        engine,
         runs,
         max_workers=max_workers,
         use_cache=use_cache,

@@ -102,6 +102,12 @@ class KernelMemoCache:
             self._values[key] = value
             return value
 
+    def contains(self, key: tuple) -> bool:
+        """Uncounted membership probe: the follow-up :meth:`lookup`
+        does the official hit/miss accounting.  Always False when the
+        cache is disabled, so callers batch-compute everything."""
+        return self.enabled and key in self._values
+
     def snapshot(self) -> MemoStats:
         return MemoStats(hits=self._hits, misses=self._misses)
 
@@ -137,6 +143,26 @@ class TraceMemoCache(KernelMemoCache):
 
 #: The process-global cache backing ``replay_pattern``.
 TRACE_CACHE = TraceMemoCache()
+
+
+class PlanMemoCache(KernelMemoCache):
+    """Content-addressed memo for captured charge schedules.
+
+    The columnar study engine (:mod:`repro.engine.study_vec`) replays a
+    port once in *capture* mode to obtain its launch/transfer schedule
+    — a pure function of the spec's clock-independent content
+    (:meth:`repro.exec.plan.RunSpec.schedule_key`), since GPU clock
+    overrides change prices but never which kernels launch.  The
+    captured program is immutable and shared by every cell of a study
+    that differs only in clocks, so one capture prices a whole
+    frequency sweep.
+    """
+
+    layer = "plan"
+
+
+#: The process-global cache backing schedule capture.
+PLAN_CACHE = PlanMemoCache()
 
 
 class SingleFlightCache(KernelMemoCache):
@@ -307,6 +333,61 @@ class SetupMemoCache:
 SETUP_CACHE = SetupMemoCache()
 
 
+#: Registered projection stubs: (builder module, builder qualname) ->
+#: a cheap builder producing state with the real shapes/dtypes but no
+#: data.  Used only inside :func:`projection_stubs` blocks.
+PROJECTION_STUBS: dict[tuple[str, str], Callable[..., object]] = {}
+
+_STUB_STATE = threading.local()
+
+#: Cross-capture memo for stub builds.  One schedule capture exists per
+#: (app, model, platform, precision) cell, but the stub build depends
+#: only on (config, precision): without sharing, capturing a whole
+#: study rebuilds the same stub state ~20 times per app.  Shared **by
+#: reference** (no deep copies): stubs are only served in projection
+#: capture, where kernel bodies never run, so a port either leaves the
+#: state bitwise intact (CoMD's rebins recompute identical tables) or
+#: mutates only host scalars no schedule or checksum reads (LULESH's
+#: ``dt``/``time``).  Bounded LRU; cleared by :func:`clear_caches` and
+#: bypassed whenever :data:`SETUP_CACHE` is disabled (``use_cache=False``
+#: must recompute everything).
+_STUB_CACHE: "OrderedDict[tuple, object]" = OrderedDict()
+_STUB_CACHE_MAX = 8
+
+
+def projection_stub(builder: Callable[..., T]) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Register a shape-faithful stand-in for a ``memoized_setup`` builder.
+
+    Inside a :func:`projection_stubs` block the stub replaces the real
+    builder (bypassing :data:`SETUP_CACHE` and its deep copies).  A stub
+    must reproduce every array shape and dtype the port's schedule
+    depends on — kernel specs, buffer sizes and loop trip counts are
+    all shape-derived in projection mode, where kernel bodies never
+    execute — but may leave the data itself zeroed.
+    """
+
+    def register(stub: Callable[..., T]) -> Callable[..., T]:
+        PROJECTION_STUBS[(builder.__module__, builder.__qualname__)] = stub
+        return stub
+
+    return register
+
+
+@contextmanager
+def projection_stubs() -> Iterator[None]:
+    """Serve registered stubs instead of real problem builds.
+
+    Only meaningful for projection-mode schedule capture: functional
+    runs read the data and must never see stubs.
+    """
+    previous = getattr(_STUB_STATE, "active", False)
+    _STUB_STATE.active = True
+    try:
+        yield
+    finally:
+        _STUB_STATE.active = previous
+
+
 def memoized_setup(builder: Callable[..., T]) -> Callable[..., T]:
     """Back a deterministic problem builder with :data:`SETUP_CACHE`.
 
@@ -317,6 +398,25 @@ def memoized_setup(builder: Callable[..., T]) -> Callable[..., T]:
 
     @functools.wraps(builder)
     def wrapper(*args: object, **kwargs: object) -> T:
+        if getattr(_STUB_STATE, "active", False):
+            stub = PROJECTION_STUBS.get((builder.__module__, builder.__qualname__))
+            if stub is not None:
+                if not SETUP_CACHE.enabled:
+                    return stub(*args, **kwargs)
+                key = (
+                    builder.__module__,
+                    builder.__qualname__,
+                    repr(args),
+                    repr(sorted(kwargs.items())),
+                )
+                if key in _STUB_CACHE:
+                    _STUB_CACHE.move_to_end(key)
+                    return _STUB_CACHE[key]  # type: ignore[return-value]
+                value = stub(*args, **kwargs)
+                _STUB_CACHE[key] = value
+                while len(_STUB_CACHE) > _STUB_CACHE_MAX:
+                    _STUB_CACHE.popitem(last=False)
+                return value
         key = (
             builder.__module__,
             builder.__qualname__,
@@ -329,10 +429,11 @@ def memoized_setup(builder: Callable[..., T]) -> Callable[..., T]:
 
 
 def set_cache_enabled(enabled: bool) -> None:
-    """Enable or disable every memo layer (pricing, setup, trace)."""
+    """Enable or disable every memo layer (pricing, setup, trace, plan)."""
     KERNEL_CACHE.enabled = enabled
     SETUP_CACHE.enabled = enabled
     TRACE_CACHE.enabled = enabled
+    PLAN_CACHE.enabled = enabled
 
 
 def clear_caches() -> None:
@@ -340,20 +441,29 @@ def clear_caches() -> None:
     KERNEL_CACHE.clear()
     SETUP_CACHE.clear()
     TRACE_CACHE.clear()
+    PLAN_CACHE.clear()
     RESULT_CACHE.clear()
+    _STUB_CACHE.clear()
 
 
 @contextmanager
 def cache_disabled() -> Iterator[None]:
     """Force recomputation within the block (e.g. for cross-checks)."""
-    previous = (KERNEL_CACHE.enabled, SETUP_CACHE.enabled, TRACE_CACHE.enabled)
+    previous = (
+        KERNEL_CACHE.enabled, SETUP_CACHE.enabled, TRACE_CACHE.enabled,
+        PLAN_CACHE.enabled,
+    )
     KERNEL_CACHE.enabled = False
     SETUP_CACHE.enabled = False
     TRACE_CACHE.enabled = False
+    PLAN_CACHE.enabled = False
     try:
         yield
     finally:
-        KERNEL_CACHE.enabled, SETUP_CACHE.enabled, TRACE_CACHE.enabled = previous
+        (
+            KERNEL_CACHE.enabled, SETUP_CACHE.enabled, TRACE_CACHE.enabled,
+            PLAN_CACHE.enabled,
+        ) = previous
 
 
 def gpu_state_key(gpu: GPUDevice) -> tuple:

@@ -1,0 +1,250 @@
+"""Columnar kernel pricing: batched, bit-identical to ``timing.py``.
+
+The columnar study engine (:mod:`repro.engine.study_vec`) gathers the
+unique kernels of a whole study into arrays and prices them in one
+call per device state.  The arithmetic here mirrors
+:func:`repro.engine.timing.time_gpu_kernel` /
+:func:`~repro.engine.timing.time_cpu_kernel` *operation for
+operation* — same expressions, same association order, same
+float64 elementwise ops — so each batched timing is bit-identical to
+the scalar pricing of the same kernel on the same device state.  That
+identity is what lets both engines share :data:`~repro.engine.memo.KERNEL_CACHE`
+entries and is asserted by ``tests/engine/test_study_vec.py``.
+
+Two kinds of quantities appear:
+
+* **per-kernel coefficients** computed by shared scalar helpers
+  (:func:`~repro.hardware.compute_unit.occupancy`, traffic prediction,
+  :func:`~repro.engine.timing.cpu_vector_rate`) — gathered in Python,
+  exactly as the scalar path computes them;
+* **the roofline arithmetic** over those coefficient arrays — done as
+  batched NumPy float64 ops, which are IEEE-identical to the same
+  sequence of Python float ops.
+
+Every field of the returned :class:`~repro.engine.timing.KernelTiming`
+objects is converted back to a Python ``float``: values flow into the
+shared memo cache and ultimately into ``json.dumps`` (goldens,
+exports), which rejects ``np.float64`` — and the scalar engine must be
+able to consume cache entries this engine inserted.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..hardware.compute_unit import latency_hiding_factor, occupancy
+from ..hardware.device import CPUDevice, GPUDevice
+from ..hardware.specs import Precision
+from .kernel import AccessKind, KernelSpec, LoweredKernel
+from .timing import (
+    CPU_LOOP_FLOOR_S,
+    CPU_MISS_LATENCY_S,
+    GPU_KERNEL_FLOOR_S,
+    SCATTER_DRAM_LATENCY_S,
+    SCATTER_MLP,
+    SCATTER_PIPELINE_CYCLES,
+    KernelTiming,
+    cpu_stream_efficiency,
+    cpu_vector_rate,
+)
+
+
+def time_gpu_kernel_batch(
+    lowereds: Sequence[LoweredKernel],
+    gpu: GPUDevice,
+    precision: Precision,
+) -> list[KernelTiming]:
+    """Price a batch of lowered kernels on one GPU state.
+
+    Returns one :class:`KernelTiming` per input, each bit-identical to
+    ``time_gpu_kernel(lowered, gpu, precision)``.
+    """
+    if not lowereds:
+        return []
+    specs = [lowered.spec for lowered in lowereds]
+
+    occs = [
+        occupancy(
+            gpu.spec,
+            registers_per_thread=spec.registers_per_thread,
+            lds_bytes_per_workgroup=spec.lds_bytes_per_workgroup if lowered.uses_lds else 0,
+            workgroup_size=spec.workgroup_size,
+            total_work_items=spec.work_items,
+        )
+        for lowered, spec in zip(lowereds, specs)
+    ]
+    hiding = np.array([latency_hiding_factor(occ) for occ in occs])
+    useful = np.array([lowered.vector_efficiency for lowered in lowereds]) * (
+        1.0 - np.array([lowered.divergence for lowered in lowereds])
+    )
+
+    # --- compute side -------------------------------------------------
+    flops = np.array([spec.ops.flops for spec in specs])
+    flop_seconds = np.where(flops > 0, flops / (gpu.peak_flops(precision) * useful), 0.0)
+    lanes_per_cu = gpu.spec.simd_per_cu * gpu.spec.lanes_per_simd
+    issue_rate = gpu.spec.compute_units * lanes_per_cu * gpu.core_clock.hz
+    instructions = np.array([lowered.instructions for lowered in lowereds])
+    if precision is Precision.DOUBLE:
+        fp_fraction = np.minimum(0.9, flops / np.maximum(instructions, 1.0))
+        instructions = instructions * (
+            (1.0 - fp_fraction) + fp_fraction / gpu.spec.dp_rate_ratio
+        )
+    issue_seconds = instructions / (issue_rate * useful)
+    compute_seconds = np.maximum(flop_seconds, issue_seconds) / hiding
+
+    # --- memory side ----------------------------------------------------
+    l2_bytes = gpu.spec.l2_cache.size_bytes
+    dram = np.array([lowered.dram_traffic_bytes(l2_bytes) for lowered in lowereds])
+    bandwidth = np.array(
+        [
+            gpu.memory.effective_bandwidth(
+                lowered.spec.access.row_buffer_efficiency * lowered.memory_efficiency
+            )
+            for lowered in lowereds
+        ]
+    ) * 1e9
+    memory_seconds = np.where(dram != 0.0, dram / bandwidth / hiding, 0.0)
+
+    mlp_values = [SCATTER_MLP.get(spec.access.kind) for spec in specs]
+    scatter = np.array([value is not None for value in mlp_values]) & (dram != 0.0)
+    if scatter.any():
+        mlp = np.array([value if value is not None else 1.0 for value in mlp_values])
+        requests = dram / gpu.spec.l2_cache.line_bytes
+        waves = np.array([occ.wavefronts_per_cu for occ in occs], dtype=np.int64)
+        outstanding = (gpu.spec.compute_units * waves) * mlp
+        dram_latency = SCATTER_DRAM_LATENCY_S * (
+            gpu.memory.clock.default_mhz / gpu.memory.clock.current_mhz
+        )
+        latency = SCATTER_PIPELINE_CYCLES / gpu.core_clock.hz + dram_latency
+        memory_efficiency = np.array([lowered.memory_efficiency for lowered in lowereds])
+        latency_seconds = requests * latency / outstanding / memory_efficiency
+        memory_seconds = np.where(
+            scatter, np.maximum(memory_seconds, latency_seconds), memory_seconds
+        )
+
+    seconds = np.maximum(np.maximum(compute_seconds, memory_seconds), GPU_KERNEL_FLOOR_S)
+    cycles = seconds * gpu.core_clock.hz
+
+    timings: list[KernelTiming] = []
+    for i, (lowered, occ) in enumerate(zip(lowereds, occs)):
+        cell_seconds = float(seconds[i])
+        cell_compute = float(compute_seconds[i])
+        cell_memory = float(memory_seconds[i])
+        if cell_seconds == GPU_KERNEL_FLOOR_S:
+            limited_by = "floor"
+        elif cell_compute >= cell_memory:
+            limited_by = "compute"
+        else:
+            limited_by = "memory"
+        timings.append(
+            KernelTiming(
+                name=lowered.spec.name,
+                seconds=cell_seconds,
+                cycles=float(cycles[i]),
+                instructions=float(lowered.instructions),
+                dram_bytes=float(dram[i]),
+                limited_by=limited_by,
+                compute_seconds=cell_compute,
+                memory_seconds=cell_memory,
+                occupancy_waves=occ.wavefronts_per_cu,
+            )
+        )
+    return timings
+
+
+#: Access kinds whose predictable streams CPU prefetchers cover
+#: (mirrors the tuple inline in ``time_cpu_kernel``).
+_PREFETCHABLE = (AccessKind.STREAMING, AccessKind.STENCIL, AccessKind.CSR_SPMV)
+
+
+def time_cpu_kernel_batch(
+    specs: Sequence[KernelSpec],
+    cpu: CPUDevice,
+    precision: Precision,
+    threads: int = 1,
+) -> list[KernelTiming]:
+    """Price a batch of parallel loops on the host CPU.
+
+    Returns one :class:`KernelTiming` per spec, each bit-identical to
+    ``time_cpu_kernel(spec, cpu, precision, threads=threads)``.
+    """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
+    threads = min(threads, cpu.spec.cores)
+    if not specs:
+        return []
+
+    flops = np.array([spec.ops.flops for spec in specs])
+    rates = np.array([cpu_vector_rate(cpu, spec, precision, threads) for spec in specs])
+    flop_seconds = np.where(flops > 0, flops / rates, 0.0)
+    scalar_rate = threads * cpu.spec.clock_mhz * 1e6 * 2.0
+    int_ops = np.array([spec.ops.int_ops for spec in specs])
+    issue_seconds = np.where(int_ops != 0.0, int_ops / scalar_rate, 0.0)
+    compute_seconds = flop_seconds + issue_seconds
+
+    host_memory = cpu.memory_system()
+    llc_bytes = cpu.spec.llc.size_bytes
+    traffic = np.array(
+        [
+            spec.ops.total_bytes * max(spec.access.traffic_multiplier(llc_bytes), 0.05)
+            for spec in specs
+        ]
+    )
+    stream_efficiency = cpu_stream_efficiency(threads)
+    peak_bandwidth = host_memory.peak_bandwidth_at_clock()
+
+    def _bandwidth(spec: KernelSpec) -> float:
+        row_buffer = spec.access.row_buffer_efficiency
+        if spec.access.kind in _PREFETCHABLE:
+            row_buffer = max(row_buffer, 0.8)
+        return peak_bandwidth * (row_buffer * stream_efficiency) * 1e9
+
+    bandwidth = np.array([_bandwidth(spec) for spec in specs])
+    memory_seconds = np.where(traffic != 0.0, traffic / bandwidth, 0.0)
+
+    mlp_values = [SCATTER_MLP.get(spec.access.kind) for spec in specs]
+    scatter = np.array([value is not None for value in mlp_values]) & (traffic != 0.0)
+    if scatter.any():
+        requests = traffic / cpu.spec.llc.line_bytes
+        per_core_mlp = np.array(
+            [
+                1.5 if spec.access.kind is AccessKind.BINARY_SEARCH else 6.0
+                for spec in specs
+            ]
+        )
+        outstanding = threads * per_core_mlp
+        latency_seconds = requests * CPU_MISS_LATENCY_S / outstanding
+        memory_seconds = np.where(
+            scatter, np.maximum(memory_seconds, latency_seconds), memory_seconds
+        )
+
+    seconds = np.maximum(np.maximum(compute_seconds, memory_seconds), CPU_LOOP_FLOOR_S)
+    cycles = (seconds * cpu.spec.clock_mhz) * 1e6
+
+    timings: list[KernelTiming] = []
+    for i, spec in enumerate(specs):
+        cell_seconds = float(seconds[i])
+        cell_compute = float(compute_seconds[i])
+        cell_memory = float(memory_seconds[i])
+        if cell_seconds == CPU_LOOP_FLOOR_S:
+            limited_by = "floor"
+        elif cell_compute >= cell_memory:
+            limited_by = "compute"
+        else:
+            limited_by = "memory"
+        timings.append(
+            KernelTiming(
+                name=spec.name,
+                seconds=cell_seconds,
+                cycles=float(cycles[i]),
+                instructions=float(spec.instructions),
+                dram_bytes=float(traffic[i]),
+                limited_by=limited_by,
+                compute_seconds=cell_compute,
+                memory_seconds=cell_memory,
+                occupancy_waves=threads,
+            )
+        )
+    return timings

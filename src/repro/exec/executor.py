@@ -360,11 +360,35 @@ def _setup_affinity(spec: RunSpec) -> tuple:
     return (spec.app, repr(spec.config))
 
 
+def _affinity_blocks(
+    indexed: list[tuple[int, RunSpec]],
+) -> list[list[tuple[int, RunSpec]]]:
+    """Group the plan into whole setup-affinity blocks.
+
+    Blocks are keyed by :func:`_setup_affinity` and ordered by each
+    key's first appearance, with items in input order within a block.
+    Grouping — rather than cutting at consecutive-run boundaries — is
+    what makes execution order (and therefore the setup LRU's hit
+    pattern and the shard layout) invariant to how the caller shuffled
+    its specs: a permuted plan yields the same blocks, merely permuted.
+    """
+    by_key: dict[tuple, list[tuple[int, RunSpec]]] = {}
+    blocks: list[list[tuple[int, RunSpec]]] = []
+    for index, spec in indexed:
+        key = _setup_affinity(spec)
+        block = by_key.get(key)
+        if block is None:
+            block = by_key[key] = []
+            blocks.append(block)
+        block.append((index, spec))
+    return blocks
+
+
 def _shard_by_affinity(
     indexed: list[tuple[int, RunSpec]], workers: int
 ) -> list[list[tuple[int, RunSpec]]]:
-    """Split the plan into at most ``workers`` contiguous shards,
-    cutting at setup-affinity boundaries when there are enough blocks.
+    """Split the plan into at most ``workers`` shards of whole
+    setup-affinity blocks when there are enough blocks.
 
     A shard boundary inside an affinity block makes two workers build
     the identical problem setup — at paper scale that is the dominant
@@ -373,16 +397,11 @@ def _shard_by_affinity(
     parallelism wins instead: fall back to an even item split and let
     each worker rebuild the (small, in that regime) setup once.
     """
-    blocks: list[list[tuple[int, RunSpec]]] = []
-    for index, spec in indexed:
-        if blocks and _setup_affinity(blocks[-1][-1][1]) == _setup_affinity(spec):
-            blocks[-1].append((index, spec))
-        else:
-            blocks.append([(index, spec)])
-
+    blocks = _affinity_blocks(indexed)
     if len(blocks) < workers:
-        bound = -(-len(indexed) // workers)
-        return [indexed[i : i + bound] for i in range(0, len(indexed), bound)]
+        flat = [item for block in blocks for item in block]
+        bound = -(-len(flat) // workers)
+        return [flat[i : i + bound] for i in range(0, len(flat), bound)]
 
     # Greedy contiguous packing: close a shard once it holds its even
     # share of the remaining items over the remaining shards.
@@ -589,13 +608,14 @@ def _cache_setting(use_cache: bool):
     """Apply the cache toggle in-process, restoring the prior state."""
     previous = (
         memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled, memo.TRACE_CACHE.enabled,
+        memo.PLAN_CACHE.enabled,
     )
     memo.set_cache_enabled(use_cache)
     try:
         yield
     finally:
         (memo.KERNEL_CACHE.enabled, memo.SETUP_CACHE.enabled,
-         memo.TRACE_CACHE.enabled) = previous
+         memo.TRACE_CACHE.enabled, memo.PLAN_CACHE.enabled) = previous
 
 
 def _quarantine_error(spec: RunSpec, attempts: int, reason: str) -> RunError:
@@ -698,18 +718,23 @@ def execute(
                 journal.record(payload)
 
     def run_serially(specs: dict[int, RunSpec], base_attempts: dict[int, int]) -> None:
+        # Affinity-block order (not raw index order) keeps one app's
+        # cells together under the bounded setup LRU even when the
+        # caller shuffled its plan; for a canonically ordered plan the
+        # two orders coincide.
         with _cache_setting(use_cache):
-            for index in sorted(specs):
-                settle(
-                    index,
-                    run_with_retry(
-                        specs[index],
-                        policy,
-                        faults=faults,
-                        telemetry=telemetry,
-                        base_attempt=base_attempts.get(index, 0),
-                    ),
-                )
+            for block in _affinity_blocks(sorted(specs.items())):
+                for index, spec in block:
+                    settle(
+                        index,
+                        run_with_retry(
+                            spec,
+                            policy,
+                            faults=faults,
+                            telemetry=telemetry,
+                            base_attempt=base_attempts.get(index, 0),
+                        ),
+                    )
 
     shards: list[list[tuple[int, RunSpec]]] = [sorted(pending.items())]
     workers = 1
@@ -839,3 +864,52 @@ def execute(
         )
     outcomes = [executed[slot] for slot in placement]
     return outcomes, stats
+
+
+#: Engine names accepted by :func:`execute_with_engine`.
+ENGINES = ("scalar", "vector")
+
+
+def execute_with_engine(
+    engine: str,
+    runs: Sequence[RunSpec],
+    max_workers: int = 1,
+    use_cache: bool = True,
+    telemetry: bool = False,
+    policy: RetryPolicy | None = None,
+    faults: FaultPlan | None = None,
+    checkpoint: str | Path | CheckpointJournal | None = None,
+) -> tuple[list[RunOutcome | None], ExecStats]:
+    """Dispatch a run matrix to the scalar or the columnar engine.
+
+    ``"scalar"`` is :func:`execute` (one port simulation per cell — the
+    differential oracle); ``"vector"`` is
+    :func:`repro.engine.study_vec.execute_vector` (one schedule capture
+    per lattice group, all cells priced as batched array ops).  Both
+    return bit-identical outcomes; the engine choice only changes how
+    fast they are produced.
+    """
+    if engine not in ENGINES:
+        raise ValueError(f"unknown engine {engine!r}: expected one of {ENGINES}")
+    if engine == "vector":
+        # Imported lazily: study_vec itself builds on this module.
+        from ..engine.study_vec import execute_vector
+
+        return execute_vector(
+            runs,
+            max_workers=max_workers,
+            use_cache=use_cache,
+            telemetry=telemetry,
+            policy=policy,
+            faults=faults,
+            checkpoint=checkpoint,
+        )
+    return execute(
+        runs,
+        max_workers=max_workers,
+        use_cache=use_cache,
+        telemetry=telemetry,
+        policy=policy,
+        faults=faults,
+        checkpoint=checkpoint,
+    )

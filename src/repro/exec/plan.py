@@ -122,6 +122,62 @@ class RunSpec:
         ))
         return hashlib.sha256(canonical.encode()).hexdigest()
 
+    def schedule_key(self) -> tuple:
+        """Everything that shapes the launch/transfer schedule.
+
+        The content key minus the clock overrides: GPU clocks change
+        what each kernel *costs*, never which kernels launch or what
+        moves over the interconnect.  Cells sharing this key (e.g. an
+        entire frequency sweep) share one captured charge schedule in
+        the columnar engine.
+        """
+        return (
+            self.app,
+            self.model,
+            self.platform,
+            self.precision.value,
+            repr(self.config),
+            self.projection,
+        )
+
+
+@dataclass(frozen=True)
+class SpecLattice:
+    """A run matrix lowered to a table, grouped by schedule signature.
+
+    ``rows`` preserves the caller's cell order (reassembly indexes into
+    it); ``groups`` partitions the row indices by
+    :meth:`RunSpec.schedule_key`, in first-appearance order.  Each
+    group is one schedule capture in the columnar engine — its rows
+    differ at most in clock overrides.
+    """
+
+    rows: tuple[RunSpec, ...]
+    groups: tuple[tuple[tuple, tuple[int, ...]], ...]
+
+    @classmethod
+    def from_specs(cls, specs: Sequence[RunSpec]) -> "SpecLattice":
+        grouped: dict[tuple, list[int]] = {}
+        for index, spec in enumerate(specs):
+            grouped.setdefault(spec.schedule_key(), []).append(index)
+        return cls(
+            rows=tuple(specs),
+            groups=tuple((key, tuple(rows)) for key, rows in grouped.items()),
+        )
+
+    def axes(self) -> dict[str, tuple]:
+        """Distinct values per lattice axis, in first-appearance order."""
+        seen: dict[str, dict] = {
+            "app": {}, "model": {}, "platform": {}, "precision": {}, "clock": {},
+        }
+        for spec in self.rows:
+            seen["app"].setdefault(spec.app)
+            seen["model"].setdefault(spec.model)
+            seen["platform"].setdefault(spec.platform)
+            seen["precision"].setdefault(spec.precision.value)
+            seen["clock"].setdefault((spec.core_mhz, spec.memory_mhz))
+        return {axis: tuple(values) for axis, values in seen.items()}
+
 
 def study_runs(
     app_names: Sequence[str],

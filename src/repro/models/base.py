@@ -186,11 +186,86 @@ class ExecutionContext:
     precision: Precision
     counters: PerfCounters = field(default_factory=PerfCounters)
     execute_kernels: bool = True
+    #: When set (a :class:`ChargeLog`), every ``charge_*`` call records
+    #: its arguments instead of pricing — *capture mode*, used by the
+    #: columnar study engine to lift a port's schedule into arrays.
+    charge_log: "ChargeLog | None" = None
 
     @property
     def dtype(self) -> np.dtype:
         """NumPy dtype matching the run's floating-point precision."""
         return np.dtype(np.float32 if self.precision is Precision.SINGLE else np.float64)
+
+
+class ChargeLog:
+    """A port's launch/transfer schedule, captured instead of priced.
+
+    Attached to an :class:`ExecutionContext` as ``charge_log``, it turns
+    every ``charge_*`` call into an append (each returns 0.0 simulated
+    seconds, so the port's accumulators stay at zero): a run becomes a
+    flat event stream over a deduplicated atom table.  The schedule is
+    clock-independent — clocks change prices, never which kernels
+    launch — so one capture serves every clock override of the cell.
+
+    * ``atoms`` — unique priceable units: ``("gpu", LoweredKernel)``
+      after lowering, or ``("cpu", KernelSpec, threads)``.
+    * ``transfers`` — unique ``(nbytes, direction)`` copies.
+    * ``events`` — the schedule, in charge order:
+      ``(atom_index, overhead_seconds, transfer_index, counted)`` with
+      ``-1`` marking the unused index.  ``counted`` is False only where
+      the port discards the charge's return value (a copy whose cost is
+      recorded in the counters but never reaches the port's simulated
+      clock).
+    """
+
+    def __init__(self) -> None:
+        self.atoms: list[tuple] = []
+        self.transfers: list[tuple[int, str]] = []
+        self.events: list[tuple[int, float, int, bool]] = []
+        self._atom_index: dict[tuple, int] = {}
+        self._xfer_index: dict[tuple[int, str], int] = {}
+        self._lower_memo: dict[tuple, LoweredKernel] = {}
+
+    def gpu_kernel(
+        self,
+        toolchain: "Toolchain",
+        ctx: ExecutionContext,
+        spec: KernelSpec,
+        n_buffers: int,
+        mapped_bytes: int,
+    ) -> float:
+        retargeted = toolchain.profile.retarget_penalty > 0 and ctx.platform.is_apu
+        memo_key = (toolchain.profile, spec, retargeted)
+        lowered = self._lower_memo.get(memo_key)
+        if lowered is None:
+            lowered = toolchain.profile.lower(spec, retargeted=retargeted)
+            self._lower_memo[memo_key] = lowered
+        key = ("gpu", lowered.cache_key())
+        index = self._atom_index.get(key)
+        if index is None:
+            index = self._atom_index[key] = len(self.atoms)
+            self.atoms.append(("gpu", lowered))
+        overhead = toolchain.overheads.launch_cost(n_buffers, mapped_bytes)
+        self.events.append((index, overhead, -1, True))
+        return 0.0
+
+    def cpu_loop(self, toolchain: "CPUToolchain", spec: KernelSpec) -> float:
+        key = ("cpu", spec, toolchain.threads)
+        index = self._atom_index.get(key)
+        if index is None:
+            index = self._atom_index[key] = len(self.atoms)
+            self.atoms.append(("cpu", spec, toolchain.threads))
+        self.events.append((index, toolchain.region_overhead_s, -1, True))
+        return 0.0
+
+    def transfer(self, nbytes: int, direction: str, counted: bool) -> float:
+        key = (int(nbytes), direction)
+        index = self._xfer_index.get(key)
+        if index is None:
+            index = self._xfer_index[key] = len(self.transfers)
+            self.transfers.append(key)
+        self.events.append((-1, 0.0, index, counted))
+        return 0.0
 
 
 class Toolchain:
@@ -220,6 +295,8 @@ class Toolchain:
         mapped_bytes: int = 0,
     ) -> float:
         """Price one GPU kernel launch and record it; returns seconds."""
+        if ctx.charge_log is not None:
+            return ctx.charge_log.gpu_kernel(self, ctx, spec, n_buffers, mapped_bytes)
         # Hand-tuned toolchains (retarget_penalty > 0) are tuned for the
         # discrete GPU; running the same kernels on the APU pays the
         # performance-portability penalty.
@@ -261,8 +338,17 @@ class Toolchain:
             ).inc()
         return timing.seconds + overhead
 
-    def charge_transfer(self, ctx: ExecutionContext, nbytes: int, direction: str) -> float:
-        """Price one host<->device copy; free on unified memory."""
+    def charge_transfer(
+        self, ctx: ExecutionContext, nbytes: int, direction: str, counted: bool = True
+    ) -> float:
+        """Price one host<->device copy; free on unified memory.
+
+        ``counted=False`` flags call sites that discard the returned
+        seconds (the cost is recorded in the counters either way); only
+        schedule capture reads it.
+        """
+        if ctx.charge_log is not None:
+            return ctx.charge_log.transfer(nbytes, direction, counted)
         seconds = ctx.platform.interconnect.transfer(nbytes, direction)
         ctx.counters.record_transfer(nbytes, seconds, direction)
         rec = obs_spans.active()
@@ -291,6 +377,8 @@ class CPUToolchain:
 
     def charge_loop(self, ctx: ExecutionContext, spec: KernelSpec) -> float:
         """Price one parallel loop on the host; returns seconds."""
+        if ctx.charge_log is not None:
+            return ctx.charge_log.cpu_loop(self, spec)
         timing = cached_time_cpu_kernel(spec, ctx.platform.host, ctx.precision, threads=self.threads)
         ctx.counters.record_kernel(timing.record(ctx.platform.host.name))
         ctx.counters.flops += spec.ops.flops

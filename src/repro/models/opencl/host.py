@@ -117,7 +117,12 @@ class Buffer:
             self._device_array = hostbuf  # zero-copy alias
         elif hostbuf is not None and MemFlags.COPY_HOST_PTR in flags:
             self._device_array = hostbuf.copy()
-            context.toolchain.charge_transfer(context.execution, self.size, "h2d")
+            # The copy is synchronous host-side work: its cost lands in
+            # the counters but not on any command queue's clock, hence
+            # counted=False (the return value is deliberately dropped).
+            context.toolchain.charge_transfer(
+                context.execution, self.size, "h2d", counted=False
+            )
         else:
             self._device_array = (
                 np.zeros(hostbuf.shape, hostbuf.dtype) if hostbuf is not None else None

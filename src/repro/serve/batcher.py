@@ -59,6 +59,13 @@ class Batcher:
     full batch early.  All engine work runs on one dedicated backend
     thread, so the simulator itself stays single-threaded while the
     loop keeps serving cache hits.
+
+    ``engine`` picks how a flushed batch's cold specs are priced:
+    ``"vector"`` gathers the columnar-eligible ones
+    (:func:`repro.engine.study_vec.vector_eligible`) into one
+    whole-batch pricing call, with the scalar retry ladder as the
+    per-spec fallback; ``"scalar"`` runs every spec through the retry
+    ladder individually.  Results are bit-identical either way.
     """
 
     def __init__(
@@ -68,12 +75,14 @@ class Batcher:
         policy: RetryPolicy | None = None,
         metrics: MetricsRegistry | None = None,
         cache: memo.SingleFlightCache | None = None,
+        engine: str = "vector",
     ) -> None:
         self.window_s = window_s
         self.max_batch = max_batch
         self.policy = policy if policy is not None else RetryPolicy(max_attempts=2)
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.cache = cache if cache is not None else memo.RESULT_CACHE
+        self.engine = engine
         self._waiters: dict[str, asyncio.Future] = {}
         self._pending: list[tuple[str, RunSpec]] = []
         self._flush_handle: asyncio.TimerHandle | None = None
@@ -179,17 +188,67 @@ class Batcher:
     def _run_batch(
         self, batch: list[tuple[str, RunSpec]]
     ) -> list[tuple[str, RunResult | None, Exception | None]]:
-        """Backend thread: run each unique spec through cache + retry."""
+        """Backend thread: run each unique spec through cache + retry.
+
+        With the vector engine, the batch's columnar-eligible cold
+        specs are priced first as one whole-batch call; their results
+        enter the single-flight cache under the same keys, and any
+        spec the columnar path could not serve (ineligible, failed, or
+        invalid) falls through to the scalar retry ladder.
+        """
+        precomputed = self._price_columnar(batch) if self.engine == "vector" else {}
         rows: list[tuple[str, RunResult | None, Exception | None]] = []
         for key, spec in batch:
             try:
-                value = self.cache.get_or_compute(
-                    key, lambda spec=spec: self._compute(spec)
-                )
+                if key in precomputed:
+                    value = self.cache.get_or_compute(
+                        key, lambda key=key: precomputed[key]
+                    )
+                else:
+                    value = self.cache.get_or_compute(
+                        key, lambda spec=spec: self._compute(spec)
+                    )
                 rows.append((key, value, None))
             except Exception as exc:
                 rows.append((key, None, exc))
         return rows
+
+    def _price_columnar(
+        self, batch: list[tuple[str, RunSpec]]
+    ) -> dict[str, RunResult]:
+        """Columnar-price the batch's eligible cold specs in one call.
+
+        Best-effort: any failure (capture, pricing, validation) simply
+        leaves the affected specs to the scalar fallback — the batcher
+        never loses a request to the fast path.
+        """
+        from ..engine.study_vec import price_specs, vector_eligible
+        from ..exec.retry import validate_result
+
+        cold = [
+            (key, spec)
+            for key, spec in batch
+            if vector_eligible(spec) and not self.cache.contains(key)
+        ]
+        if not cold:
+            return {}
+        try:
+            results = price_specs([spec for _key, spec in cold])
+        except Exception:
+            return {}
+        priced: dict[str, RunResult] = {}
+        for (key, _spec), result in zip(cold, results):
+            try:
+                validate_result(result)
+            except Exception:
+                continue
+            priced[key] = result
+        if priced:
+            self.metrics.counter(
+                "repro_serve_columnar_specs_total",
+                help="Cold specs priced by the columnar whole-batch path.",
+            ).inc(len(priced))
+        return priced
 
     def _compute(self, spec: RunSpec) -> RunResult:
         payload = run_with_retry(spec, self.policy)

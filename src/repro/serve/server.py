@@ -73,6 +73,10 @@ class ServeConfig:
     run_timeout_s: float | None = None
     #: How long a drain waits for in-flight requests before giving up.
     drain_timeout_s: float = 10.0
+    #: Cold-batch pricing engine: ``"vector"`` prices each micro-batch
+    #: window's eligible specs as one columnar call, ``"scalar"`` runs
+    #: them through the retry ladder one by one (bit-identical).
+    engine: str = "vector"
 
     def policy(self) -> RetryPolicy:
         return RetryPolicy(max_attempts=self.retries, run_timeout=self.run_timeout_s)
@@ -164,6 +168,7 @@ class Server:
             max_batch=self.config.max_batch,
             policy=self.config.policy(),
             metrics=self.metrics,
+            engine=self.config.engine,
         )
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()

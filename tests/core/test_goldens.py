@@ -30,6 +30,14 @@ def test_figure8_figure9_speedups_match_golden(bench_study, golden):
     golden("speedup_tables", speedup_tables(bench_study))
 
 
+def test_vector_engine_matches_the_same_golden(golden):
+    """The columnar engine reproduces the committed Figure 8/9 numbers
+    from the *same* golden file — there is no separate vector golden,
+    because the engines are bit-identical by contract."""
+    study = run_study(ALL_APPS, configs=bench_configs(), engine="vector")
+    golden("speedup_tables", speedup_tables(study))
+
+
 def test_table4_sloc_matches_golden(golden):
     golden("table4_sloc", table4(ALL_APPS))
 

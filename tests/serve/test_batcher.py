@@ -86,7 +86,9 @@ def test_backend_failure_propagates_and_is_not_cached():
         pass
 
     async def main():
-        batcher = _batcher()
+        # Scalar engine: the columnar path would price this eligible
+        # spec before _compute is ever consulted.
+        batcher = _batcher(engine="scalar")
         spec = _spec()
         real_compute = batcher._compute
         calls = {"n": 0}
@@ -120,3 +122,43 @@ def test_drain_rejects_cold_work_but_serves_cache():
         with pytest.raises(RuntimeError, match="draining"):
             await batcher.submit(_spec(model="C++ AMP"))
     asyncio.run(main())
+
+
+def test_columnar_failure_falls_back_to_scalar(monkeypatch):
+    """A broken columnar path must never lose a request: the batcher
+    silently reverts the whole batch to the scalar retry ladder."""
+    import repro.engine.study_vec as study_vec
+
+    def boom(specs):
+        raise RuntimeError("injected columnar failure")
+
+    monkeypatch.setattr(study_vec, "price_specs", boom)
+
+    async def main():
+        batcher = _batcher(engine="vector")
+        result, label = await batcher.submit(_spec())
+        await batcher.drain()
+        return result, label
+
+    result, label = asyncio.run(main())
+    assert label == COMPUTED
+    assert result.seconds > 0
+
+
+def test_vector_batcher_counts_columnar_specs():
+    """Cold eligible specs are tallied by the columnar counter; a
+    scalar batcher never creates it."""
+
+    async def main(engine):
+        metrics = MetricsRegistry()
+        batcher = _batcher(metrics=metrics, engine=engine, window_s=0.05)
+        await asyncio.gather(
+            batcher.submit(_spec()), batcher.submit(_spec(model="OpenACC"))
+        )
+        await batcher.drain()
+        return metrics
+
+    vector = asyncio.run(main("vector"))
+    assert vector.counter("repro_serve_columnar_specs_total").value == 2
+    scalar = asyncio.run(main("scalar"))
+    assert scalar.counter("repro_serve_columnar_specs_total").value == 0

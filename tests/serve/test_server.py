@@ -73,6 +73,42 @@ def test_predict_provenance_progresses_to_cache(server):
     assert warm["key"] == cold["key"]
 
 
+# -- pricing engines ----------------------------------------------------
+
+
+def test_cold_study_engages_the_columnar_path():
+    """A cold ``/v1/study`` on the default (vector) engine prices its
+    misses through the whole-batch columnar call — and stays
+    bit-identical to the direct pipeline, which the tests above check
+    against the same default server."""
+    with ServerThread(ServeConfig(window_s=0.001, engine="vector")) as thread:
+        status, _headers, doc = request(thread, "POST", "/v1/study", XSBENCH_STUDY_BODY)
+        assert status == 200
+        _status, _headers, text = request(thread, "GET", "/metrics")
+        samples = parse_prometheus(text)
+        # All 16 unique cold cells (4 baselines + 12 model runs) went
+        # through the columnar path, across however many batch windows.
+        assert sum(v for _labels, v in samples["repro_serve_columnar_specs_total"]) == 16
+
+
+def test_scalar_engine_serves_identical_entries(xsbench_study):
+    """``engine="scalar"`` disables the columnar path entirely and
+    serves the same bits."""
+    with ServerThread(ServeConfig(window_s=0.001, engine="scalar")) as thread:
+        status, _headers, doc = request(thread, "POST", "/v1/study", XSBENCH_STUDY_BODY)
+        assert status == 200
+        assert len(doc["entries"]) == len(xsbench_study.entries)
+        for served in doc["entries"]:
+            entry = xsbench_study.get(
+                served["app"], served["model"], served["platform"] == "APU",
+                Precision(served["precision"]),
+            )
+            assert served["seconds"] == entry.seconds
+            assert served["speedup"] == entry.speedup
+        _status, _headers, text = request(thread, "GET", "/metrics")
+        assert "repro_serve_columnar_specs_total" not in parse_prometheus(text)
+
+
 # -- operational endpoints ---------------------------------------------
 
 
