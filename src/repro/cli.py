@@ -20,6 +20,8 @@ Examples::
     repro figure9 --trace t.json        # any study-backed command
     repro serve --port 8351             # the prediction service
     repro loadtest --spawn --bench BENCH_serve.json  # serving baseline
+    repro loadtest --breakdown          # queue wait vs engine vs serialize
+    repro benchdiff BENCH_serve.json    # SLO sentinel vs committed baseline
 """
 
 from __future__ import annotations
@@ -441,8 +443,12 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
         )).start()
         url = spawned.url
         print(f"spawned ephemeral server on {url}")
-    try:
-        result = asyncio.run(run_load(
+
+    async def measured() -> tuple:
+        from .serve.loadgen import fetch_text
+
+        before = await fetch_text(url) if args.breakdown else None
+        result = await run_load(
             url,
             bodies,
             mode=args.mode,
@@ -450,17 +456,43 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
             duration_s=args.duration,
             rate=args.rate,
             warmup=not args.cold,
-        ))
+        )
+        after = await fetch_text(url) if args.breakdown else None
+        return result, before, after
+
+    try:
+        result, before, after = asyncio.run(measured())
     finally:
         if spawned is not None:
             spawned.stop()
     print(f"{len(bodies)} distinct predict queries "
           f"({'cold' if args.cold else 'warmed'}), target {url}")
     print(result.summary())
+    if args.breakdown:
+        from .serve.loadgen import render_breakdown, segment_breakdown
+
+        print()
+        print(render_breakdown(segment_breakdown(before, after)))
     if args.bench:
         write_bench(result, args.bench)
         print(f"\nwrote serving benchmark to {args.bench}")
     if result.errors or not result.requests:
+        return 1
+
+
+def cmd_benchdiff(args: argparse.Namespace) -> int | None:
+    """Hold fresh benchmark JSON against the committed baselines."""
+    from pathlib import Path
+
+    from .core.benchdiff import compare, render
+
+    deltas = compare(
+        [Path(candidate) for candidate in args.candidates],
+        Path(args.baseline_dir),
+        scale=args.tolerance_scale,
+    )
+    print(render(deltas, scale=args.tolerance_scale))
+    if any(not delta.ok for delta in deltas):
         return 1
 
 
@@ -545,6 +577,7 @@ COMMAND_SECTIONS: tuple[tuple[str, tuple[tuple[str, str], ...]], ...] = (
         ("profile", "phase breakdown plus Chrome-trace/metrics artifacts"),
         ("serve", "async HTTP prediction service over the performance model"),
         ("loadtest", "drive a prediction server; record BENCH_serve.json"),
+        ("benchdiff", "compare fresh bench JSON against committed baselines"),
     )),
 )
 
@@ -754,6 +787,28 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--bench", default=None, metavar="FILE",
                           help="write the serving-perf baseline JSON "
                                "(e.g. BENCH_serve.json)")
+    loadtest.add_argument("--breakdown", action="store_true",
+                          help="scrape /metrics before and after the run and "
+                               "report per-segment latency percentiles (queue "
+                               "wait vs batch wait vs engine vs serialize) "
+                               "from the server's trace-segment histograms")
+    benchdiff = sub.add_parser(
+        "benchdiff",
+        description="compare freshly generated BENCH_*.json files against "
+                    "the committed baselines with per-metric tolerance "
+                    "bands; exits 1 on any regression")
+    benchdiff.set_defaults(func=cmd_benchdiff)
+    benchdiff.add_argument("candidates", nargs="+", metavar="FILE",
+                           help="candidate bench JSON files (matched to "
+                                "baselines by basename: BENCH_cache.json, "
+                                "BENCH_study.json, BENCH_serve.json)")
+    benchdiff.add_argument("--baseline-dir", default=".", metavar="DIR",
+                           help="directory holding the committed baselines "
+                                "(default: the current directory)")
+    benchdiff.add_argument("--tolerance-scale", type=float, default=1.0,
+                           metavar="X",
+                           help="widen every ratio band by X (for slow, noisy "
+                                "CI runners; correctness bands never widen)")
     return parser
 
 

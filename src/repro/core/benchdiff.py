@@ -1,0 +1,209 @@
+"""SLO sentinel: compare fresh benchmark JSON against committed baselines.
+
+The repo commits three performance contracts — ``BENCH_cache.json``
+(vectorized replay speedups), ``BENCH_study.json`` (columnar
+whole-study pricing) and ``BENCH_serve.json`` (serving throughput and
+latency).  ``repro benchdiff`` regenerates candidates (in CI, the smoke
+steps already do) and holds them against the committed numbers with
+per-metric tolerance bands, exiting non-zero on regression, so a perf
+or correctness slide fails the build instead of silently aging the
+baselines.
+
+Bands are *directional*: a speedup may only fall so far below the
+baseline, a p99 may only rise so far above it, a correctness bit
+(``identical``, ``errors == 0``) may not move at all.  Candidates may
+legitimately be much *better* (CI runners are slower and noisier than
+the machines baselines were recorded on), so the bands are wide and
+one-sided; ``--tolerance-scale`` widens them further for hostile
+environments without editing the table.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from .report import format_table
+
+#: Band semantics: ``higher`` — candidate >= baseline * (1 - tol);
+#: ``lower`` — candidate <= baseline * (1 + tol); ``equal`` — exact
+#: match; ``zero`` — candidate must be exactly 0.
+DIRECTIONS = ("higher", "lower", "equal", "zero")
+
+#: Scaled ratio tolerances cap here: a candidate worse than 20x off
+#: baseline is a regression no runner-noise argument can excuse.
+_MAX_RATIO_TOL = 0.95
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One guarded metric: a dot path into the bench JSON plus a band."""
+
+    path: str
+    direction: str
+    tolerance: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.direction not in DIRECTIONS:
+            raise ValueError(
+                f"unknown direction {self.direction!r}: expected one of {DIRECTIONS}"
+            )
+
+
+#: The committed contracts, keyed by bench file basename.
+BENCH_CHECKS: dict[str, tuple[MetricCheck, ...]] = {
+    "BENCH_cache.json": (
+        MetricCheck("replay_totals.speedup", "higher", 0.5),
+        MetricCheck("characterization.speedup", "higher", 0.5),
+        MetricCheck("characterization.trace_memo_hits", "higher", 0.5),
+    ),
+    "BENCH_study.json": (
+        MetricCheck("identical", "equal"),
+        MetricCheck("cells", "equal"),
+        MetricCheck("speedup", "higher", 0.9),
+    ),
+    "BENCH_serve.json": (
+        MetricCheck("errors", "zero"),
+        MetricCheck("throughput_rps", "higher", 0.8),
+        MetricCheck("latency_ms.p50", "lower", 4.0),
+        MetricCheck("latency_ms.p99", "lower", 4.0),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One metric's verdict."""
+
+    file: str
+    metric: str
+    baseline: object
+    candidate: object
+    bound: str
+    ok: bool
+
+    def row(self) -> list[str]:
+        return [
+            self.file,
+            self.metric,
+            _fmt(self.baseline),
+            _fmt(self.candidate),
+            self.bound,
+            "ok" if self.ok else "REGRESSION",
+        ]
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.4g}"
+
+
+def lookup(doc: object, path: str) -> object:
+    """Resolve a dot path (``latency_ms.p99``) into a JSON document."""
+    node = doc
+    for part in path.split("."):
+        if not isinstance(node, dict) or part not in node:
+            raise KeyError(path)
+        node = node[part]
+    return node
+
+
+def check_metric(
+    check: MetricCheck,
+    baseline_doc: object,
+    candidate_doc: object,
+    file: str,
+    scale: float = 1.0,
+) -> BenchDelta:
+    """Hold one candidate metric against its baseline band."""
+    try:
+        baseline = lookup(baseline_doc, check.path)
+    except KeyError:
+        return BenchDelta(file, check.path, "<missing>", "-", "baseline has no such metric", False)
+    try:
+        candidate = lookup(candidate_doc, check.path)
+    except KeyError:
+        return BenchDelta(file, check.path, baseline, "<missing>", "metric must exist", False)
+
+    if check.direction == "equal":
+        return BenchDelta(
+            file, check.path, baseline, candidate, f"== {_fmt(baseline)}",
+            candidate == baseline,
+        )
+    if check.direction == "zero":
+        return BenchDelta(file, check.path, baseline, candidate, "== 0", candidate == 0)
+
+    if not isinstance(candidate, (int, float)) or isinstance(candidate, bool):
+        return BenchDelta(
+            file, check.path, baseline, candidate, "numeric", False
+        )
+    tol = min(check.tolerance * scale, _MAX_RATIO_TOL) \
+        if check.direction == "higher" else check.tolerance * scale
+    if check.direction == "higher":
+        bound = float(baseline) * (1.0 - tol)
+        return BenchDelta(
+            file, check.path, baseline, candidate, f">= {_fmt(bound)}",
+            float(candidate) >= bound,
+        )
+    bound = float(baseline) * (1.0 + tol)
+    return BenchDelta(
+        file, check.path, baseline, candidate, f"<= {_fmt(bound)}",
+        float(candidate) <= bound,
+    )
+
+
+def compare_file(
+    candidate_path: Path,
+    baseline_dir: Path,
+    scale: float = 1.0,
+) -> list[BenchDelta]:
+    """All checks for one candidate bench file.
+
+    The baseline is the committed file of the same basename under
+    ``baseline_dir``; an unknown basename or a missing baseline is
+    itself a failing delta (the sentinel must not silently skip).
+    """
+    name = candidate_path.name
+    checks = BENCH_CHECKS.get(name)
+    if checks is None:
+        known = ", ".join(sorted(BENCH_CHECKS))
+        return [BenchDelta(name, "-", "-", "-", f"known bench files: {known}", False)]
+    baseline_path = baseline_dir / name
+    if not baseline_path.exists():
+        return [BenchDelta(name, "-", f"<no {baseline_path}>", "-", "baseline file must exist", False)]
+    baseline_doc = json.loads(baseline_path.read_text())
+    candidate_doc = json.loads(candidate_path.read_text())
+    return [
+        check_metric(check, baseline_doc, candidate_doc, name, scale)
+        for check in checks
+    ]
+
+
+def compare(
+    candidates: list[Path],
+    baseline_dir: Path,
+    scale: float = 1.0,
+) -> list[BenchDelta]:
+    deltas: list[BenchDelta] = []
+    for candidate in candidates:
+        deltas.extend(compare_file(candidate, baseline_dir, scale))
+    return deltas
+
+
+def render(deltas: list[BenchDelta], scale: float = 1.0) -> str:
+    table = format_table(
+        ["file", "metric", "baseline", "candidate", "band", "verdict"],
+        [delta.row() for delta in deltas],
+        title=f"benchdiff (tolerance scale {scale:g})",
+    )
+    regressions = [d for d in deltas if not d.ok]
+    verdict = (
+        f"{len(regressions)} regression(s) out of {len(deltas)} checks"
+        if regressions
+        else f"all {len(deltas)} checks within tolerance"
+    )
+    return table + "\n" + verdict

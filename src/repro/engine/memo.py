@@ -24,6 +24,7 @@ from __future__ import annotations
 import copy
 import functools
 import threading
+import time
 from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
@@ -32,6 +33,7 @@ from typing import Callable, Iterator, TypeVar
 from ..hardware.device import CPUDevice, GPUDevice
 from ..hardware.specs import Precision
 from ..obs import spans as obs_spans
+from ..obs import tracing as obs_tracing
 from .kernel import KernelSpec, LoweredKernel
 from .scheduler import ScheduleResult, simulate_kernel
 from .timing import KernelTiming, time_cpu_kernel, time_gpu_kernel
@@ -251,7 +253,17 @@ class SingleFlightCache(KernelMemoCache):
                     self._pending.pop(key, None)
                 event.set()
                 return value
+            ctx = obs_tracing.current()
+            wait_start = time.perf_counter()
             event.wait()
+            if ctx is not None:
+                # The follower's trace shows it waited for a leader
+                # elected elsewhere (the leader's own trace carries the
+                # compute span; this cross-trace link is the key).
+                obs_tracing.TRACER.record(
+                    "singleflight_wait", wait_start, time.perf_counter(),
+                    parent=ctx, attrs={"layer": self.layer},
+                )
             # Either the leader stored the value (next loop hits) or it
             # failed (this follower re-runs the election and computes).
 

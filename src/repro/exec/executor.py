@@ -43,7 +43,9 @@ from typing import Sequence
 from ..apps.base import RunResult
 from ..engine import memo
 from ..obs import spans as obs_spans
+from ..obs import tracing as obs_tracing
 from ..obs.export import Timeline, merge_run_telemetry
+from ..obs.logging import get_logger
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import InstantEvent, RunTelemetry, Span, SpanRecorder
 from .checkpoint import CheckpointJournal
@@ -54,6 +56,8 @@ from .retry import RetryPolicy, run_with_retry
 #: True inside a pool worker process (set by :func:`_init_worker`);
 #: gates the fault injections that would take the whole process down.
 _POOL_WORKER = False
+
+_LOG = get_logger("exec")
 
 
 @dataclass(frozen=True)
@@ -292,6 +296,32 @@ def execute_run(
     delta = memo.KERNEL_CACHE.snapshot().since(before)
     setup_delta = memo.SETUP_CACHE.snapshot().since(setup_before)
     trace_delta = memo.TRACE_CACHE.snapshot().since(trace_before)
+    trace_ctx = obs_tracing.current()
+    if trace_ctx is not None:
+        # This run is part of a distributed trace (a serve request's
+        # engine segment or a traced study).  The span id is derived
+        # from content, so the same plan yields an identical span tree
+        # at any worker count.  With a recorder the span ships home
+        # re-based in the telemetry envelope (pool workers can't reach
+        # the parent's tracer); otherwise we're in the owning process
+        # and emit directly on its clock.
+        run_span = obs_tracing.TraceSpan(
+            trace_id=trace_ctx.trace_id,
+            span_id=obs_tracing.derived_span_id(
+                trace_ctx.trace_id, trace_ctx.span_id,
+                f"run:{spec.label}", spec.content_key(),
+            ),
+            parent_id=trace_ctx.span_id,
+            name=f"run:{spec.label}",
+            kind="worker",
+            start_s=started,
+            end_s=started + wall,
+            attrs={**spec.telemetry_meta(), "attempt": attempt},
+        )
+        if recorded is not None:
+            recorded.trace_spans.append(run_span.rebased(started))
+        else:
+            obs_tracing.TRACER.emit(run_span)
     if faults is not None and faults.injects("corrupt", spec.content_key(), attempt):
         # Injected result corruption: mangle the checksum so the
         # validation step of the retry ladder has something to catch.
@@ -324,6 +354,7 @@ def _shard_task(
     policy: RetryPolicy | None = None,
     faults: FaultPlan | None = None,
     base_attempts: dict[int, int] | None = None,
+    traceparent: str | None = None,
 ) -> list[tuple[int, "RunOutcome | RunError"]]:
     """Execute one contiguous shard of the plan in a pool worker.
 
@@ -332,22 +363,34 @@ def _shard_task(
     through the retry ladder locally; a spec that exhausts its budget
     comes back as a :class:`~repro.exec.faults.RunError` row rather
     than poisoning the whole shard.
+
+    ``traceparent`` carries the caller's distributed-trace context
+    across the process boundary as its serialized header form; each
+    run's trace span rides home inside the telemetry envelope.
     """
     policy = policy if policy is not None else RetryPolicy()
     base_attempts = base_attempts or {}
-    return [
-        (
-            index,
-            run_with_retry(
-                spec,
-                policy,
-                faults=faults,
-                telemetry=telemetry,
-                base_attempt=base_attempts.get(index, 0),
-            ),
-        )
-        for index, spec in shard
-    ]
+    token = None
+    ctx = obs_tracing.parse_traceparent(traceparent)
+    if ctx is not None:
+        token = obs_tracing.push(ctx)
+    try:
+        return [
+            (
+                index,
+                run_with_retry(
+                    spec,
+                    policy,
+                    faults=faults,
+                    telemetry=telemetry,
+                    base_attempt=base_attempts.get(index, 0),
+                ),
+            )
+            for index, spec in shard
+        ]
+    finally:
+        if token is not None:
+            obs_tracing.reset(token)
 
 
 def _setup_affinity(spec: RunSpec) -> tuple:
@@ -693,6 +736,27 @@ def execute(
             unique.append(spec)
         placement.append(slot_of[key])
 
+    # Distributed tracing: when the caller established a trace context,
+    # this whole call is one "execute" span and every unique run hangs
+    # under it.  The span id derives from the plan's content keys, so
+    # the tree is identical at any worker count.  Observation only —
+    # results never depend on it.
+    parent_ctx = obs_tracing.current()
+    exec_span: obs_tracing.TraceSpan | None = None
+    exec_token = None
+    if parent_ctx is not None:
+        exec_span = obs_tracing.TRACER.start_span(
+            "execute",
+            kind="executor",
+            parent=parent_ctx,
+            span_id=obs_tracing.derived_span_id(
+                parent_ctx.trace_id, parent_ctx.span_id, "execute",
+                *sorted(slot_of),
+            ),
+            attrs={"requested": len(runs), "unique": len(unique)},
+        )
+        exec_token = obs_tracing.push(exec_span.context)
+
     executed: list[RunOutcome | None] = [None] * len(unique)
     errors: dict[int, RunError] = {}
     worker_of: list[int] = [0] * len(unique)
@@ -708,6 +772,8 @@ def execute(
             resumed += 1
         else:
             pending[index] = spec
+    if resumed:
+        _LOG.info("checkpoint-restored", runs=resumed, remaining=len(pending))
 
     def settle(index: int, payload: "RunOutcome | RunError") -> None:
         if isinstance(payload, RunError):
@@ -751,6 +817,11 @@ def execute(
                 if pool_respawns > policy.max_pool_respawns:
                     # Graceful degradation: the pool keeps dying, so
                     # finish the remainder in-process and keep going.
+                    _LOG.warning(
+                        "serial-degradation",
+                        respawns=pool_respawns,
+                        remaining=len(pending),
+                    )
                     run_serially(pending, base_attempt)
                     pending = {}
                     break
@@ -775,6 +846,9 @@ def execute(
                             policy,
                             faults,
                             {index: base_attempt[index] for index, _ in shard},
+                            exec_span.context.to_traceparent()
+                            if exec_span is not None
+                            else None,
                         ): shard
                         for shard in shards
                     }
@@ -808,6 +882,12 @@ def execute(
                 # charge each a requeue attempt and quarantine specs
                 # that keep taking their pool down.
                 pool_respawns += 1
+                _LOG.warning(
+                    "pool-respawn",
+                    respawns=pool_respawns,
+                    hung=hung,
+                    requeued=len(pending),
+                )
                 for index in sorted(pending):
                     base_attempt[index] += 1
                     if base_attempt[index] >= policy.max_attempts:
@@ -818,9 +898,12 @@ def execute(
                             + f" on every attempt ({base_attempt[index]} requeues)"
                         )
                         errors[index] = _quarantine_error(spec, base_attempt[index], reason)
+                        _LOG.warning("run-quarantined", run=spec.label, reason=reason)
     except KeyboardInterrupt:
         interrupted = True
     finally:
+        if exec_token is not None:
+            obs_tracing.reset(exec_token)
         if journal is not None:
             journal.close()
 
@@ -856,6 +939,28 @@ def execute(
     if telemetry:
         pairs = [(o, w) for o, w in zip(executed, worker_of) if o is not None]
         stats.timeline = _build_timeline(pairs, shards, stats)
+    if exec_span is not None:
+        if telemetry:
+            # Re-parent the run spans that rode home in the telemetry
+            # envelopes: each worker's spans were re-based to run-start
+            # 0, so lay them end to end on per-worker wall cursors (the
+            # same placement the merged timeline uses) inside this
+            # span's own clock.
+            cursors: dict[int, float] = {}
+            for outcome, worker in zip(executed, worker_of):
+                if outcome is None or outcome.telemetry is None:
+                    continue
+                base = exec_span.start_s + cursors.get(worker, 0.0)
+                for span in outcome.telemetry.trace_spans:
+                    obs_tracing.TRACER.emit(span.shifted(base))
+                cursors[worker] = (
+                    cursors.get(worker, 0.0) + outcome.telemetry.wall_seconds
+                )
+        exec_span.attrs["workers"] = workers
+        exec_span.attrs["failures"] = len(errors)
+        obs_tracing.TRACER.finish_span(
+            exec_span, "ok" if not errors else "error"
+        )
     if interrupted:
         raise ExecutionInterrupted(
             stats=stats,

@@ -15,6 +15,12 @@ dispatch) as an instant event.  Three layers:
 * :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (open in
   Perfetto / ``chrome://tracing``), timeline merging, and plain-text
   top-N breakdown reports.
+* :mod:`repro.obs.tracing` — request-scoped *distributed* tracing:
+  W3C-``traceparent`` trace/span ids propagated through the serve
+  tier's event loop, batcher, engine thread and pool workers, with a
+  tail-biased store of finished traces behind ``/v1/debug/traces``.
+* :mod:`repro.obs.logging` — structured JSON log records on stderr
+  plus a bounded in-process ring (``/v1/debug/logs``).
 
 Entry point: ``repro profile <figure|study>`` or the ``--trace`` /
 ``--metrics`` flags on any study-backed CLI command.
@@ -28,6 +34,7 @@ from .export import (
     write_chrome_trace,
     write_metrics,
 )
+from .logging import RING, LogRing, StructuredLogger, get_logger
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
 from .spans import (
     InstantEvent,
@@ -38,21 +45,41 @@ from .spans import (
     active,
     recording,
 )
+from .tracing import (
+    TRACER,
+    SpanContext,
+    TraceRecord,
+    TraceSpan,
+    TraceStore,
+    Tracer,
+    parse_traceparent,
+)
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "InstantEvent",
+    "LogRing",
     "MetricsRegistry",
     "NullRecorder",
+    "RING",
     "RunTelemetry",
     "Span",
+    "SpanContext",
     "SpanRecorder",
+    "StructuredLogger",
+    "TRACER",
     "Timeline",
+    "TraceRecord",
+    "TraceSpan",
+    "TraceStore",
+    "Tracer",
     "active",
     "chrome_trace",
+    "get_logger",
     "merge_run_telemetry",
+    "parse_traceparent",
     "recording",
     "top_breakdown",
     "write_chrome_trace",

@@ -32,7 +32,13 @@ import json
 import math
 import re
 import threading
+import time
 from typing import Iterable
+
+
+def _now() -> float:
+    """Exemplar timestamp source (monkeypatchable in tests)."""
+    return time.time()
 
 #: Default histogram bucket upper bounds for *seconds*-valued metrics:
 #: log-spaced from 1 µs to 10 s, the span between a kernel-launch floor
@@ -151,16 +157,24 @@ class Histogram(_Lockable):
         self.counts = [0] * (len(self.buckets) + 1)  # + the +Inf bucket
         self.sum = 0.0
         self.count = 0
+        # Bucket index -> (sorted label items, observed value, unix ts):
+        # the latest exemplar per bucket, rendered as an OpenMetrics
+        # ``# {...}`` suffix so a scrape links buckets to trace ids.
+        self.exemplars: dict[int, tuple[LabelKey, float, float]] = {}
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: dict[str, str] | None = None) -> None:
         with self._lock:
             self.sum += value
             self.count += 1
             for i, bound in enumerate(self.buckets):
                 if value <= bound:
                     self.counts[i] += 1
-                    return
-            self.counts[-1] += 1
+                    break
+            else:
+                i = len(self.buckets)
+                self.counts[-1] += 1
+            if exemplar:
+                self.exemplars[i] = (_label_key(exemplar), float(value), _now())
 
     @property
     def mean(self) -> float:
@@ -171,6 +185,11 @@ class Histogram(_Lockable):
         """A consistent ``(counts, sum, count)`` view for exporters."""
         with self._lock:
             return list(self.counts), self.sum, self.count
+
+    def exemplar_snapshot(self) -> dict[int, tuple[LabelKey, float, float]]:
+        """Per-bucket-index exemplars (bucket order, +Inf last)."""
+        with self._lock:
+            return dict(self.exemplars)
 
     def cumulative(self, counts: list[int] | None = None) -> list[tuple[float, int]]:
         """(upper bound, cumulative count) pairs, ending at +Inf.
@@ -193,10 +212,12 @@ class Histogram(_Lockable):
         if self.buckets != other.buckets:
             raise ValueError("cannot merge histograms with different buckets")
         counts, total, count = other.snapshot()
+        exemplars = other.exemplar_snapshot()
         with self._lock:
             self.counts = [a + b for a, b in zip(self.counts, counts)]
             self.sum += total
             self.count += count
+            self.exemplars.update(exemplars)
 
 
 class _Family:
@@ -352,9 +373,20 @@ class MetricsRegistry:
                     instrument = family.samples[key]
                     if isinstance(instrument, Histogram):
                         counts, total, count = instrument.snapshot()
-                        for bound, cumulative in instrument.cumulative(counts):
+                        exemplars = instrument.exemplar_snapshot()
+                        for i, (bound, cumulative) in enumerate(
+                            instrument.cumulative(counts)
+                        ):
                             labels = _format_labels(key, (("le", _format_value(bound)),))
-                            lines.append(f"{family.name}_bucket{labels} {cumulative}")
+                            line = f"{family.name}_bucket{labels} {cumulative}"
+                            exemplar = exemplars.get(i)
+                            if exemplar is not None:
+                                ex_labels, ex_value, ex_ts = exemplar
+                                line += (
+                                    f" # {_format_labels(ex_labels)}"
+                                    f" {_format_value(ex_value)} {ex_ts:.6f}"
+                                )
+                            lines.append(line)
                         lines.append(
                             f"{family.name}_sum{_format_labels(key)} {_format_value(total)}"
                         )
@@ -373,10 +405,13 @@ def parse_prometheus(text: str) -> dict[str, list[tuple[str, float]]]:
 
     Returns ``{metric_name: [(label_block, value), ...]}`` and raises
     ``ValueError`` on any line that is neither a comment nor a valid
-    sample — the CI artifact check runs on this.
+    sample — the CI artifact check runs on this.  OpenMetrics exemplar
+    suffixes (``... # {trace_id="..."} value ts``) on bucket lines are
+    accepted and ignored.
     """
     sample_re = re.compile(
-        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+([-+]?[0-9.eE+-]+|[+-]Inf|NaN)$"
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+([-+]?[0-9.eE+-]+|[+-]Inf|NaN)"
+        r"(?:\s+#\s+\{[^}]*\}\s+\S+(?:\s+\S+)?)?$"
     )
     out: dict[str, list[tuple[str, float]]] = {}
     for lineno, line in enumerate(text.splitlines(), 1):
@@ -387,6 +422,28 @@ def parse_prometheus(text: str) -> dict[str, list[tuple[str, float]]]:
             raise ValueError(f"line {lineno}: not a valid exposition sample: {line!r}")
         name, labels, value = match.groups()
         out.setdefault(name, []).append((labels or "", float(value)))
+    return out
+
+
+def parse_exemplars(text: str, metric: str) -> list[tuple[str, dict[str, str], float]]:
+    """Exemplars attached to ``metric``'s bucket lines.
+
+    Returns ``[(bucket_label_block, exemplar_labels, exemplar_value)]``
+    — how the trace-smoke check recovers a trace id from a scrape.
+    """
+    line_re = re.compile(
+        rf"^{re.escape(metric)}_bucket(\{{[^}}]*\}})?\s+\S+"
+        r"\s+#\s+\{([^}]*)\}\s+(\S+)(?:\s+\S+)?$"
+    )
+    pair_re = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+    out: list[tuple[str, dict[str, str], float]] = []
+    for line in text.splitlines():
+        match = line_re.match(line)
+        if not match:
+            continue
+        bucket_labels, exemplar_body, value = match.groups()
+        labels = {k: v for k, v in pair_re.findall(exemplar_body)}
+        out.append((bucket_labels or "", labels, float(value)))
     return out
 
 

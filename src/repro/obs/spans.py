@@ -129,6 +129,10 @@ class RunTelemetry:
     wall_seconds: float = 0.0
     #: Records not stored because the recorder hit its cap.
     dropped: int = 0
+    #: Distributed-trace spans recorded in the worker under a propagated
+    #: trace context (:mod:`repro.obs.tracing`), re-based so the run
+    #: starts at 0; the executor re-parents/shifts them on merge.
+    trace_spans: list = field(default_factory=list)
 
 
 class SpanRecorder:

@@ -13,15 +13,28 @@ serving-stack shape the ROADMAP's north star asks for:
   backend thread that runs the exec retry ladder.
 * :mod:`repro.serve.server` — stdlib asyncio HTTP/1.1 server with
   bounded admission (429 + ``Retry-After``), per-request deadlines,
-  graceful drain, and Prometheus instrumentation.
+  graceful drain, Prometheus instrumentation with trace exemplars,
+  per-request span trees (``/v1/debug/traces``), and structured logs
+  (``/v1/debug/logs``).
 * :mod:`repro.serve.loadgen` — closed-/open-loop load generation
-  recording the ``BENCH_serve.json`` serving-perf baseline.
+  recording the ``BENCH_serve.json`` serving-perf baseline, plus the
+  ``--breakdown`` per-segment latency attribution.
 
-Entry points: ``repro serve`` and ``repro loadtest``.
+Entry points: ``repro serve``, ``repro loadtest``, and
+``repro benchdiff`` (the SLO sentinel over the recorded baselines).
 """
 
 from .batcher import BackendRunError, Batcher
-from .loadgen import LoadResult, percentile, run_load, write_bench
+from .loadgen import (
+    LoadResult,
+    SegmentStats,
+    fetch_text,
+    percentile,
+    render_breakdown,
+    run_load,
+    segment_breakdown,
+    write_bench,
+)
 from .protocol import (
     MAX_STUDY_RUNS,
     PROTOCOL_VERSION,
@@ -42,14 +55,18 @@ __all__ = [
     "PROTOCOL_VERSION",
     "PredictRequest",
     "ProtocolError",
+    "SegmentStats",
     "ServeConfig",
     "Server",
     "ServerThread",
     "StudyRequest",
     "error_response",
+    "fetch_text",
     "percentile",
     "predict_response",
+    "render_breakdown",
     "run_load",
+    "segment_breakdown",
     "study_response",
     "write_bench",
 ]

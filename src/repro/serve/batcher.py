@@ -22,20 +22,41 @@ The :class:`Batcher` sits between them:
 
 Results are deterministic pure functions of their spec, so cached,
 coalesced and computed answers are all bit-identical.
+
+Tracing: each queued spec carries its request's
+:class:`~repro.obs.tracing.SpanContext` through the window and across
+the thread hop (contextvars do not follow ``run_in_executor``), so the
+batcher can attribute every microsecond a request spends here —
+``batch_wait`` (submit → batch dispatch), ``queue_wait`` (dispatch →
+the backend thread picking the spec up), ``engine`` (the compute
+itself, parenting any deeper run spans), and ``coalesced_wait`` for
+followers riding an identical in-flight spec.  All of it is
+observation-only; with no ambient context the batcher records nothing.
 """
 
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable
+from typing import Iterable, NamedTuple
 
 from ..apps.base import RunResult
 from ..engine import memo
 from ..exec.faults import RunError
 from ..exec.plan import RunSpec
 from ..exec.retry import RetryPolicy, run_with_retry
+from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
+
+
+class _BatchItem(NamedTuple):
+    """One queued cold spec plus its request's trace context."""
+
+    key: str
+    spec: RunSpec
+    ctx: tracing.SpanContext | None
+    submitted_s: float
 
 #: Provenance labels a served result can carry.
 COMPUTED = "computed"
@@ -84,7 +105,7 @@ class Batcher:
         self.cache = cache if cache is not None else memo.RESULT_CACHE
         self.engine = engine
         self._waiters: dict[str, asyncio.Future] = {}
-        self._pending: list[tuple[str, RunSpec]] = []
+        self._pending: list[_BatchItem] = []
         self._flush_handle: asyncio.TimerHandle | None = None
         self._flushes: set[asyncio.Task] = set()
         self._executor = ThreadPoolExecutor(
@@ -105,16 +126,24 @@ class Batcher:
         found, value = self.cache.peek(key)
         if found:
             return value, CACHED
+        ctx = tracing.current()
         future = self._waiters.get(key)
         if future is not None:
             self.cache.record_coalesced()
-            return await asyncio.shield(future), COALESCED
+            wait_start = time.perf_counter()
+            value = await asyncio.shield(future)
+            if ctx is not None:
+                tracing.TRACER.record(
+                    "coalesced_wait", wait_start, time.perf_counter(), parent=ctx,
+                    attrs={"key": key[:16]},
+                )
+            return value, COALESCED
         if self._closed:
             raise RuntimeError("batcher is draining; not accepting new work")
         loop = asyncio.get_running_loop()
         future = loop.create_future()
         self._waiters[key] = future
-        self._pending.append((key, spec))
+        self._pending.append(_BatchItem(key, spec, ctx, time.perf_counter()))
         self._schedule_flush(loop)
         return await asyncio.shield(future), COMPUTED
 
@@ -160,7 +189,7 @@ class Batcher:
         self._flushes.add(task)
         task.add_done_callback(self._flushes.discard)
 
-    async def _flush(self, batch: list[tuple[str, RunSpec]]) -> None:
+    async def _flush(self, batch: list[_BatchItem]) -> None:
         loop = asyncio.get_running_loop()
         self.metrics.counter(
             "repro_serve_batches_total", help="Engine batches dispatched."
@@ -170,12 +199,15 @@ class Batcher:
             help="Coalesced specs per dispatched engine batch.",
             buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0),
         ).observe(len(batch))
+        dispatched_s = time.perf_counter()
         try:
-            rows = await loop.run_in_executor(self._executor, self._run_batch, batch)
+            rows = await loop.run_in_executor(
+                self._executor, self._run_batch, batch, dispatched_s
+            )
         except Exception as exc:
             # The dispatch itself failed (e.g. executor torn down): no
             # waiter may be left pending forever.
-            rows = [(key, None, exc) for key, _spec in batch]
+            rows = [(item.key, None, exc) for item in batch]
         for key, value, exc in rows:
             future = self._waiters.pop(key, None)
             if future is None or future.done():
@@ -186,7 +218,7 @@ class Batcher:
                 future.set_result(value)
 
     def _run_batch(
-        self, batch: list[tuple[str, RunSpec]]
+        self, batch: list[_BatchItem], dispatched_s: float
     ) -> list[tuple[str, RunResult | None, Exception | None]]:
         """Backend thread: run each unique spec through cache + retry.
 
@@ -196,46 +228,85 @@ class Batcher:
         spec the columnar path could not serve (ineligible, failed, or
         invalid) falls through to the scalar retry ladder.
         """
-        precomputed = self._price_columnar(batch) if self.engine == "vector" else {}
+        tracer = tracing.TRACER
+        if self.engine == "vector":
+            precomputed, columnar_window = self._price_columnar(batch)
+        else:
+            precomputed, columnar_window = {}, None
         rows: list[tuple[str, RunResult | None, Exception | None]] = []
-        for key, spec in batch:
+        for item in batch:
+            key, spec, ctx = item.key, item.spec, item.ctx
+            picked_up_s = time.perf_counter()
+            if ctx is not None:
+                # Window wait on the loop, then executor-queue wait plus
+                # earlier batch members' compute, attributed per item.  A
+                # columnar-served item stopped waiting when the shared
+                # pricing call began — not when this loop reached it —
+                # so its queue_wait must not overlap its engine segment.
+                if key in precomputed and columnar_window is not None:
+                    waited_until = columnar_window[0]
+                else:
+                    waited_until = picked_up_s
+                tracer.record("batch_wait", item.submitted_s, dispatched_s, parent=ctx)
+                tracer.record("queue_wait", dispatched_s, waited_until, parent=ctx)
             try:
                 if key in precomputed:
                     value = self.cache.get_or_compute(
                         key, lambda key=key: precomputed[key]
                     )
+                    if ctx is not None and columnar_window is not None:
+                        tracer.record(
+                            "engine", columnar_window[0], columnar_window[1],
+                            parent=ctx, attrs={"source": "columnar"},
+                        )
                 else:
-                    value = self.cache.get_or_compute(
-                        key, lambda spec=spec: self._compute(spec)
-                    )
+                    engine_span = None
+                    if ctx is not None:
+                        engine_span = tracer.start_span(
+                            "engine", kind="segment", parent=ctx,
+                            attrs={"source": "scalar"},
+                        )
+                    with tracing.use(
+                        engine_span.context if engine_span is not None else None
+                    ):
+                        value = self.cache.get_or_compute(
+                            key, lambda spec=spec: self._compute(spec)
+                        )
+                    if engine_span is not None:
+                        tracer.finish_span(engine_span)
                 rows.append((key, value, None))
             except Exception as exc:
                 rows.append((key, None, exc))
         return rows
 
     def _price_columnar(
-        self, batch: list[tuple[str, RunSpec]]
-    ) -> dict[str, RunResult]:
+        self, batch: list[_BatchItem]
+    ) -> tuple[dict[str, RunResult], tuple[float, float] | None]:
         """Columnar-price the batch's eligible cold specs in one call.
 
         Best-effort: any failure (capture, pricing, validation) simply
         leaves the affected specs to the scalar fallback — the batcher
-        never loses a request to the fast path.
+        never loses a request to the fast path.  Returns the priced
+        results plus the wall window of the columnar call, so each
+        served request's trace carries an ``engine`` segment covering
+        the shared computation that produced its answer.
         """
         from ..engine.study_vec import price_specs, vector_eligible
         from ..exec.retry import validate_result
 
         cold = [
-            (key, spec)
-            for key, spec in batch
-            if vector_eligible(spec) and not self.cache.contains(key)
+            (item.key, item.spec)
+            for item in batch
+            if vector_eligible(item.spec) and not self.cache.contains(item.key)
         ]
         if not cold:
-            return {}
+            return {}, None
+        window_start = time.perf_counter()
         try:
             results = price_specs([spec for _key, spec in cold])
         except Exception:
-            return {}
+            return {}, None
+        window = (window_start, time.perf_counter())
         priced: dict[str, RunResult] = {}
         for (key, _spec), result in zip(cold, results):
             try:
@@ -248,7 +319,7 @@ class Batcher:
                 "repro_serve_columnar_specs_total",
                 help="Cold specs priced by the columnar whole-batch path.",
             ).inc(len(priced))
-        return priced
+        return priced, window
 
     def _compute(self, spec: RunSpec) -> RunResult:
         payload = run_with_retry(spec, self.policy)

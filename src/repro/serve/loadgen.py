@@ -19,16 +19,27 @@ Two arrival disciplines, because they answer different questions:
 A warmup pass issues every distinct query once before timing starts,
 so the measured numbers describe the steady warm-cache state — the
 regime the ROADMAP's "heavy traffic" north star cares about.
+
+``--breakdown`` closes the attribution loop: the harness scrapes the
+server's ``/metrics`` before and after the run and reports per-segment
+percentiles (queue wait vs engine time vs serialize) from the delta of
+the ``repro_serve_segment_seconds`` histograms — the *server's* own
+trace-segment accounting of exactly the requests this run issued,
+unbiased by which traces the debug ring happened to retain.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import math
+import re
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from urllib.parse import urlsplit
+
+from ..obs.metrics import parse_prometheus
 
 #: Latency percentiles reported by the harness.
 PERCENTILES = (50.0, 95.0, 99.0)
@@ -277,3 +288,147 @@ async def run_load(
 def write_bench(result: LoadResult, target: str | Path) -> None:
     """Write the serving-perf baseline document."""
     Path(target).write_text(json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n")
+
+
+# --------------------------------------------------------------------------
+# --breakdown: queue wait vs service time, from the server's own segments
+# --------------------------------------------------------------------------
+
+#: The segment histogram the breakdown reads (emitted per completed trace).
+SEGMENT_METRIC = "repro_serve_segment_seconds"
+
+_LABEL_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+async def fetch_text(url: str, path: str = "/metrics") -> str:
+    """GET a text endpoint on the server over a one-shot connection."""
+    split = urlsplit(url)
+    host, port = split.hostname or "127.0.0.1", split.port or 80
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write((
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}:{port}\r\n"
+            "Connection: close\r\n\r\n"
+        ).encode())
+        await writer.drain()
+        status, body = await _read_response(reader)
+    finally:
+        writer.close()
+    if status != 200:
+        raise RuntimeError(f"GET {path} returned {status}")
+    return body.decode()
+
+
+def _parse_labels(block: str) -> dict[str, str]:
+    return {k: v for k, v in _LABEL_PAIR_RE.findall(block)}
+
+
+def segment_series(text: str) -> dict[str, dict[str, float]]:
+    """Per-segment cumulative state from one exposition snapshot.
+
+    Returns ``{segment: {le_string: cumulative_count, "_sum": s,
+    "_count": n}}`` — the raw material two snapshots of which make a
+    windowed histogram.
+    """
+    samples = parse_prometheus(text)
+    out: dict[str, dict[str, float]] = {}
+    for labels, value in samples.get(f"{SEGMENT_METRIC}_bucket", []):
+        parsed = _parse_labels(labels)
+        segment, le = parsed.get("segment"), parsed.get("le")
+        if segment is None or le is None:
+            continue
+        out.setdefault(segment, {})[le] = value
+    for suffix in ("_sum", "_count"):
+        for labels, value in samples.get(f"{SEGMENT_METRIC}{suffix}", []):
+            segment = _parse_labels(labels).get("segment")
+            if segment is None:
+                continue
+            out.setdefault(segment, {})[suffix] = value
+    return out
+
+
+@dataclass(frozen=True)
+class SegmentStats:
+    """One segment's windowed (after - before) distribution estimate."""
+
+    segment: str
+    count: int
+    mean_ms: float
+    quantiles_ms: dict[str, float]
+
+    def row(self) -> list[str]:
+        cells = [self.segment, str(self.count), f"{self.mean_ms:.3f}"]
+        for q in PERCENTILES:
+            bound = self.quantiles_ms[f"p{q:g}"]
+            cells.append("> last bucket" if math.isinf(bound) else f"<= {bound:.3f}")
+        return cells
+
+
+def _bucket_quantile(buckets: list[tuple[float, float]], total: float, q: float) -> float:
+    """Nearest-rank quantile upper bound from cumulative bucket deltas.
+
+    Histograms only know which bucket an observation fell in, so the
+    estimate is the upper bound of the bucket holding the q-th
+    observation — an "at most" figure, honest about its resolution.
+    """
+    if total <= 0:
+        return 0.0
+    rank = math.ceil(total * q / 100.0)
+    for le, cum in buckets:
+        if cum >= rank:
+            return le
+    return math.inf
+
+
+def segment_breakdown(before: str, after: str) -> list[SegmentStats]:
+    """Windowed per-segment latency stats between two /metrics scrapes."""
+    start, end = segment_series(before), segment_series(after)
+    stats: list[SegmentStats] = []
+    for segment in sorted(end):
+        series = end[segment]
+        base = start.get(segment, {})
+        buckets = sorted(
+            (
+                (float(le), value - base.get(le, 0.0))
+                for le, value in series.items()
+                if le not in ("_sum", "_count")
+            ),
+        )
+        count = series.get("_count", 0.0) - base.get("_count", 0.0)
+        delta_sum = series.get("_sum", 0.0) - base.get("_sum", 0.0)
+        if count <= 0:
+            continue
+        quantiles = {
+            f"p{q:g}": _bucket_quantile(buckets, count, q) * 1e3
+            for q in PERCENTILES
+        }
+        stats.append(SegmentStats(
+            segment=segment,
+            count=int(count),
+            mean_ms=delta_sum / count * 1e3,
+            quantiles_ms=quantiles,
+        ))
+    # Queue-type waits first, then the service-time segments: the
+    # contrast the breakdown exists to show.
+    order = {name: i for i, name in enumerate((
+        "queue_wait", "batch_wait", "coalesced_wait", "singleflight_wait",
+        "engine", "handle", "serialize",
+    ))}
+    stats.sort(key=lambda s: (order.get(s.segment, len(order)), s.segment))
+    return stats
+
+
+def render_breakdown(stats: list[SegmentStats]) -> str:
+    """Tabulate the breakdown (plain text, aligned columns)."""
+    if not stats:
+        return "no segment observations in the measured window (is tracing enabled?)"
+    header = ["segment", "count", "mean ms"] + [f"p{q:g} ms" for q in PERCENTILES]
+    rows = [header] + [s.row() for s in stats]
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    note = ("percentiles are bucket upper bounds from the server's "
+            f"{SEGMENT_METRIC} histogram delta over the run window")
+    return "\n".join(lines + [note])

@@ -13,7 +13,14 @@ The wire protocol is deliberately tiny and stdlib-JSON only.  Version
   --out`` exports.
 * ``GET /healthz`` / ``GET /readyz`` / ``GET /metrics`` — liveness,
   readiness (503 while draining), and Prometheus text exposition via
-  :mod:`repro.obs.metrics`.
+  :mod:`repro.obs.metrics` (latency buckets carry OpenMetrics trace
+  exemplars).
+* ``GET /v1/debug/traces`` — summaries of the retained request traces
+  (tail-biased: recent, slowest, and errored), newest first; each row
+  links to ``GET /v1/debug/traces/<trace_id>``, which returns the full
+  span tree (``?format=chrome`` exports Chrome trace_event JSON).
+* ``GET /v1/debug/logs`` — the most recent structured log records
+  from the in-process ring.
 
 Requests parse into frozen dataclasses that validate eagerly and
 translate themselves into the *same* :class:`~repro.exec.plan.RunSpec`

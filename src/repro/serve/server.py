@@ -19,29 +19,52 @@ Three concerns live here, layered over the :class:`~repro.serve.batcher.Batcher`
   ``/readyz`` flips to 503 so an orchestrator stops routing here.
 
 Instrumentation: ``repro_serve_requests_total{route,status}``, a
-queue-depth gauge, a latency histogram per route, and the memo
-single-flight counter — all scraped from ``GET /metrics``.
+queue-depth gauge, a latency histogram per route *and status* (shed
+429s and deadline 504s are real latency samples too), and the memo
+single-flight counter — all scraped from ``GET /metrics``.  Every
+prediction request additionally yields a distributed trace
+(:mod:`repro.obs.tracing`): a span tree with ``handle``/``serialize``
+segments here and ``queue_wait``/``batch_wait``/``coalesced_wait``/
+``engine`` segments from the batcher, linked from the latency
+histogram by OpenMetrics exemplars and retained tail-biased behind
+``/v1/debug/traces``.  Tracing is observation-only: responses are
+bit-identical with it on or off (``ServeConfig.tracing``).
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import sys
 import threading
 import time
 from dataclasses import dataclass
 
+from .. import __version__
 from ..core.metrics import speedup
 from ..engine import memo
 from ..exec.retry import RetryPolicy
+from ..obs import logging as obs_logging
+from ..obs import tracing
+from ..obs.export import chrome_trace
 from ..obs.metrics import MetricsRegistry
 from . import protocol
 from .batcher import BackendRunError, Batcher
 
-#: Latency buckets for serving (seconds): 0.5 ms floor to a 10 s tail.
+#: Latency buckets for serving (seconds): log-1/2-decade from a 100 µs
+#: floor to a 10 s tail.  Warm predict p99 is ~2.6 ms; decade spacing
+#: put the whole warm distribution in one bucket, useless for SLO math.
 SERVE_LATENCY_BUCKETS: tuple[float, ...] = (
-    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 10.0,
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
 )
+
+#: Buckets for per-segment histograms: segments (a queue wait, one
+#: serialize) run far shorter than whole requests, so extend the floor
+#: down to 10 µs.
+SEGMENT_BUCKETS: tuple[float, ...] = (
+    0.00001, 0.000025, 0.00005,
+) + SERVE_LATENCY_BUCKETS
 
 _MAX_HEADER_BYTES = 64 * 1024
 _MAX_BODY_BYTES = 1024 * 1024
@@ -77,6 +100,9 @@ class ServeConfig:
     #: window's eligible specs as one columnar call, ``"scalar"`` runs
     #: them through the retry ladder one by one (bit-identical).
     engine: str = "vector"
+    #: Record a distributed trace per prediction request.  Purely
+    #: observational — responses are bit-identical either way.
+    tracing: bool = True
 
     def policy(self) -> RetryPolicy:
         return RetryPolicy(max_attempts=self.retries, run_timeout=self.run_timeout_s)
@@ -179,6 +205,8 @@ class Server:
         self._idle = asyncio.Event()
         self._idle.set()
         self.started_at: float | None = None
+        self.tracer = tracing.TRACER
+        self.log = obs_logging.get_logger("serve")
 
     # -- lifecycle -----------------------------------------------------
 
@@ -199,6 +227,15 @@ class Server:
             limit=_MAX_HEADER_BYTES,
         )
         self.started_at = time.time()
+        self.log.info(
+            "server-started",
+            url=self.url,
+            engine=self.config.engine,
+            window_ms=self.config.window_s * 1e3,
+            max_batch=self.config.max_batch,
+            max_queue=self.config.max_queue,
+            tracing=self.config.tracing,
+        )
 
     async def serve_forever(self) -> None:
         assert self._server is not None, "call start() first"
@@ -207,6 +244,7 @@ class Server:
     async def shutdown(self) -> None:
         """Graceful drain: stop accepting, finish in-flight, close."""
         self._draining = True
+        self.log.info("server-draining", in_flight=self._active)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -224,6 +262,7 @@ class Server:
             writer.close()
         if self._handlers:
             await asyncio.wait(set(self._handlers), timeout=1.0)
+        self.log.info("server-stopped", shed=self._shed)
 
     # -- connection handling -------------------------------------------
 
@@ -239,26 +278,69 @@ class Server:
                 try:
                     request = await _read_request(reader)
                 except _BadRequest as exc:
+                    started = time.perf_counter()
                     writer.write(_encode_response(
                         400, protocol.error_response(400, str(exc)), keep_alive=False
                     ))
                     await writer.drain()
                     self._count_request("other", 400)
+                    self._observe_latency(
+                        "other", 400, time.perf_counter() - started, None
+                    )
                     break
                 if request is None:
                     break
                 keep_alive = request.keep_alive and not self._draining
                 started = time.perf_counter()
-                route, status, payload, extra = await self._dispatch(request)
+                path = request.path.split("?", 1)[0]
+                root: tracing.TraceSpan | None = None
+                if self.config.tracing and path in ("/v1/predict", "/v1/study"):
+                    root = self.tracer.start_span(
+                        "request",
+                        kind="server",
+                        parent=tracing.parse_traceparent(
+                            request.headers.get("traceparent")
+                        ),
+                    )
+                token = None
+                try:
+                    if root is not None:
+                        handle = self.tracer.start_span(
+                            "handle", kind="segment", parent=root.context
+                        )
+                        # Ambient context is the handle span, so wait and
+                        # engine segments recorded deeper in the stack nest
+                        # under it rather than widening the root's tiling.
+                        token = tracing.push(handle.context)
+                    route, status, payload, extra = await self._dispatch(request)
+                    if root is not None:
+                        self.tracer.finish_span(handle)
+                    serialize_start = time.perf_counter()
+                    writer.write(_encode_response(status, payload, keep_alive, extra))
+                    await writer.drain()
+                    if root is not None:
+                        self.tracer.record(
+                            "serialize", serialize_start, time.perf_counter(),
+                            parent=root.context,
+                        )
+                finally:
+                    if token is not None:
+                        tracing.reset(token)
+                if root is not None:
+                    root.attrs["route"] = route
+                    root.attrs["status"] = status
+                    self.tracer.finish_span(
+                        root, "ok" if status < 500 else "error"
+                    )
+                    latency = root.duration_s
+                else:
+                    latency = time.perf_counter() - started
                 self._count_request(route, status)
-                self.metrics.histogram(
-                    "repro_serve_latency_seconds",
-                    help="Request latency by route.",
-                    buckets=SERVE_LATENCY_BUCKETS,
-                    route=route,
-                ).observe(time.perf_counter() - started)
-                writer.write(_encode_response(status, payload, keep_alive, extra))
-                await writer.drain()
+                self._observe_latency(
+                    route, status, latency, root.trace_id if root is not None else None
+                )
+                if root is not None:
+                    self._finish_trace(root, route, status)
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
@@ -281,6 +363,54 @@ class Server:
             status=str(status),
         ).inc()
 
+    def _observe_latency(
+        self, route: str, status: int, latency_s: float, trace_id: str | None
+    ) -> None:
+        """One latency sample — every response, sheds and deadline
+        misses included, with the trace id attached as an exemplar."""
+        self.metrics.histogram(
+            "repro_serve_latency_seconds",
+            help="Request latency by route and status.",
+            buckets=SERVE_LATENCY_BUCKETS,
+            route=route,
+            status=str(status),
+        ).observe(
+            latency_s,
+            exemplar={"trace_id": trace_id} if trace_id is not None else None,
+        )
+
+    def _finish_trace(self, root: tracing.TraceSpan, route: str, status: int) -> None:
+        """Seal the request's trace, feed the segment histograms, and
+        emit the structured access record."""
+        record = self.tracer.complete(
+            root.trace_id,
+            route=route,
+            status=status,
+            duration_s=root.duration_s,
+        )
+        if record is None:
+            return
+        segments = tracing.segment_durations(record.spans)
+        for segment, seconds in segments.items():
+            self.metrics.histogram(
+                "repro_serve_segment_seconds",
+                help="Per-request latency attributed to one segment.",
+                buckets=SEGMENT_BUCKETS,
+                segment=segment,
+            ).observe(seconds)
+        self.log.log(
+            "warning" if status >= 500 else "debug",
+            "request",
+            trace_id=root.trace_id,
+            route=route,
+            status=status,
+            latency_ms=round(root.duration_s * 1e3, 4),
+            segments_ms={
+                name: round(seconds * 1e3, 4)
+                for name, seconds in sorted(segments.items())
+            },
+        )
+
     # -- routing -------------------------------------------------------
 
     async def _dispatch(
@@ -296,6 +426,15 @@ class Server:
             return "readyz", 200, {"status": "ready"}, ()
         if path == "/metrics":
             return "metrics", 200, self._metrics_exposition(), ()
+        if path == "/v1/debug/traces":
+            return "debug", 200, self._trace_index(), ()
+        if path.startswith("/v1/debug/traces/"):
+            return self._trace_detail(request, path)
+        if path == "/v1/debug/logs":
+            return "debug", 200, {
+                "version": protocol.PROTOCOL_VERSION,
+                "records": obs_logging.RING.recent(200),
+            }, ()
         if path in ("/v1/predict", "/v1/study"):
             route = "predict" if path.endswith("predict") else "study"
             if request.method != "POST":
@@ -304,8 +443,8 @@ class Server:
                 ), ()
             return await self._admitted(route, request)
         return "other", 404, protocol.error_response(
-            404, f"no route {path!r}; try /v1/predict, /v1/study, /healthz, "
-            "/readyz or /metrics"
+            404, f"no route {path!r}; try /v1/predict, /v1/study, "
+            "/v1/debug/traces, /v1/debug/logs, /healthz, /readyz or /metrics"
         ), ()
 
     async def _admitted(
@@ -412,6 +551,40 @@ class Server:
                         })
         return protocol.study_response(request, entries, provenance_tally)
 
+    # -- debug: retained traces ----------------------------------------
+
+    def _trace_index(self) -> dict:
+        store = self.tracer.store
+        summaries = []
+        for record in store.records():
+            summary = record.summary()
+            summary["retained_by"] = list(store.holds(record.trace_id))
+            summary["href"] = f"/v1/debug/traces/{record.trace_id}"
+            summaries.append(summary)
+        return {
+            "version": protocol.PROTOCOL_VERSION,
+            "tracing": self.config.tracing,
+            "retained": len(summaries),
+            "traces": summaries,
+        }
+
+    def _trace_detail(
+        self, request: _HttpRequest, path: str
+    ) -> tuple[str, int, dict | str, tuple[tuple[str, str], ...]]:
+        trace_id = path.rsplit("/", 1)[1]
+        record = self.tracer.store.get(trace_id)
+        if record is None:
+            return "debug", 404, protocol.error_response(
+                404, f"no retained trace {trace_id!r}; see /v1/debug/traces"
+            ), ()
+        query = request.path.partition("?")[2]
+        if "format=chrome" in query:
+            return "debug", 200, chrome_trace(tracing.trace_timeline(record)), ()
+        doc = record.to_json()
+        doc["version"] = protocol.PROTOCOL_VERSION
+        doc["retained_by"] = list(self.tracer.store.holds(trace_id))
+        return "debug", 200, doc, ()
+
     # -- metrics -------------------------------------------------------
 
     def _metrics_exposition(self) -> str:
@@ -444,6 +617,18 @@ class Server:
         snapshot.gauge(
             "repro_serve_shed_requests", help="Requests shed since start."
         ).set(self._shed)
+        snapshot.gauge(
+            "repro_build_info",
+            help="Build identity; always 1 with the details as labels.",
+            version=__version__,
+            python=f"{sys.version_info.major}.{sys.version_info.minor}."
+            f"{sys.version_info.micro}",
+            engine=self.config.engine,
+        ).set(1)
+        snapshot.gauge(
+            "repro_serve_uptime_seconds",
+            help="Seconds since the server started accepting connections.",
+        ).set(time.time() - self.started_at if self.started_at is not None else 0.0)
         return snapshot.to_prometheus()
 
 

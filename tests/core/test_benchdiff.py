@@ -1,0 +1,154 @@
+"""The SLO sentinel: tolerance bands over the committed bench JSON."""
+
+import json
+
+import pytest
+
+from repro.core.benchdiff import (
+    BENCH_CHECKS,
+    MetricCheck,
+    check_metric,
+    compare,
+    compare_file,
+    lookup,
+    render,
+)
+
+
+def test_metric_check_validates_direction():
+    with pytest.raises(ValueError, match="unknown direction"):
+        MetricCheck("x", "sideways")
+
+
+def test_lookup_resolves_dot_paths():
+    doc = {"latency_ms": {"p99": 3.5}}
+    assert lookup(doc, "latency_ms.p99") == 3.5
+    with pytest.raises(KeyError):
+        lookup(doc, "latency_ms.p50")
+
+
+def test_higher_band_allows_the_tolerance_and_flags_below_it():
+    check = MetricCheck("speedup", "higher", 0.5)
+    baseline, fast, slow = {"speedup": 10.0}, {"speedup": 5.0}, {"speedup": 4.9}
+    assert check_metric(check, baseline, fast, "f").ok
+    assert not check_metric(check, baseline, slow, "f").ok
+    # Better than baseline is always fine.
+    assert check_metric(check, baseline, {"speedup": 99.0}, "f").ok
+
+
+def test_lower_band_allows_the_tolerance_and_flags_above_it():
+    check = MetricCheck("p99", "lower", 1.0)
+    baseline = {"p99": 10.0}
+    assert check_metric(check, baseline, {"p99": 20.0}, "f").ok
+    assert not check_metric(check, baseline, {"p99": 20.1}, "f").ok
+
+
+def test_equal_and_zero_bands_never_widen():
+    equal = MetricCheck("identical", "equal")
+    assert check_metric(equal, {"identical": True}, {"identical": True}, "f", scale=100).ok
+    assert not check_metric(equal, {"identical": True}, {"identical": False}, "f").ok
+    zero = MetricCheck("errors", "zero")
+    assert check_metric(zero, {"errors": 5}, {"errors": 0}, "f").ok
+    assert not check_metric(zero, {"errors": 0}, {"errors": 1}, "f", scale=100).ok
+
+
+def test_tolerance_scale_widens_ratio_bands_but_caps():
+    check = MetricCheck("speedup", "higher", 0.5)
+    baseline = {"speedup": 100.0}
+    assert not check_metric(check, baseline, {"speedup": 20.0}, "f").ok
+    assert check_metric(check, baseline, {"speedup": 20.0}, "f", scale=1.7).ok
+    # The cap: even huge scales keep a floor at 5% of baseline.
+    assert not check_metric(check, baseline, {"speedup": 4.0}, "f", scale=1000).ok
+
+
+def test_missing_metric_and_non_numeric_candidate_fail():
+    check = MetricCheck("speedup", "higher", 0.5)
+    assert not check_metric(check, {"speedup": 2.0}, {}, "f").ok
+    assert not check_metric(check, {}, {"speedup": 2.0}, "f").ok
+    assert not check_metric(check, {"speedup": 2.0}, {"speedup": "fast"}, "f").ok
+
+
+def test_compare_file_flags_unknown_names_and_missing_baselines(tmp_path):
+    unknown = tmp_path / "BENCH_novel.json"
+    unknown.write_text("{}")
+    deltas = compare_file(unknown, tmp_path)
+    assert len(deltas) == 1 and not deltas[0].ok
+    orphan = tmp_path / "BENCH_serve.json"
+    orphan.write_text("{}")
+    deltas = compare_file(orphan, tmp_path / "nowhere")
+    assert len(deltas) == 1 and not deltas[0].ok
+
+
+def test_compare_passes_an_identical_serve_bench(tmp_path):
+    doc = {
+        "errors": 0, "throughput_rps": 1000.0,
+        "latency_ms": {"p50": 1.0, "p99": 3.0},
+    }
+    baseline_dir = tmp_path / "base"
+    baseline_dir.mkdir()
+    (baseline_dir / "BENCH_serve.json").write_text(json.dumps(doc))
+    candidate = tmp_path / "BENCH_serve.json"
+    candidate.write_text(json.dumps(doc))
+    deltas = compare([candidate], baseline_dir)
+    assert len(deltas) == len(BENCH_CHECKS["BENCH_serve.json"])
+    assert all(delta.ok for delta in deltas)
+    assert "all 4 checks within tolerance" in render(deltas)
+
+
+def test_compare_catches_a_regression_and_render_names_it(tmp_path):
+    baseline_dir = tmp_path / "base"
+    baseline_dir.mkdir()
+    (baseline_dir / "BENCH_serve.json").write_text(json.dumps({
+        "errors": 0, "throughput_rps": 1000.0,
+        "latency_ms": {"p50": 1.0, "p99": 3.0},
+    }))
+    candidate = tmp_path / "BENCH_serve.json"
+    candidate.write_text(json.dumps({
+        "errors": 0, "throughput_rps": 100.0,  # collapsed throughput
+        "latency_ms": {"p50": 1.0, "p99": 3.0},
+    }))
+    deltas = compare([candidate], baseline_dir)
+    bad = [delta for delta in deltas if not delta.ok]
+    assert [delta.metric for delta in bad] == ["throughput_rps"]
+    assert "REGRESSION" in render(deltas)
+    assert "1 regression(s) out of 4 checks" in render(deltas)
+
+
+def test_committed_baselines_pass_against_themselves():
+    """The sentinel's identity property on the real committed files."""
+    from pathlib import Path
+
+    repo = Path(__file__).resolve().parents[2]
+    candidates = [
+        repo / name for name in BENCH_CHECKS if (repo / name).exists()
+    ]
+    assert candidates, "no committed BENCH_*.json baselines found"
+    deltas = compare(candidates, repo)
+    assert all(delta.ok for delta in deltas)
+
+
+def test_benchdiff_cli_exit_codes(tmp_path, capsys):
+    from repro.cli import main
+
+    baseline_dir = tmp_path / "base"
+    baseline_dir.mkdir()
+    doc = {
+        "errors": 0, "throughput_rps": 1000.0,
+        "latency_ms": {"p50": 1.0, "p99": 3.0},
+    }
+    (baseline_dir / "BENCH_serve.json").write_text(json.dumps(doc))
+    candidate = tmp_path / "BENCH_serve.json"
+    candidate.write_text(json.dumps(doc))
+    code = main([
+        "benchdiff", str(candidate), "--baseline-dir", str(baseline_dir),
+    ])
+    assert code == 0
+    assert "within tolerance" in capsys.readouterr().out
+
+    candidate.write_text(json.dumps({**doc, "errors": 3}))
+    code = main([
+        "benchdiff", str(candidate), "--baseline-dir", str(baseline_dir),
+        "--tolerance-scale", "10",
+    ])
+    assert code == 1
+    assert "REGRESSION" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Trace propagation through the executor: deterministic span trees
+across worker counts, and bit-identical results with tracing on or off.
+"""
+
+import pytest
+
+from repro.core.configs import sweep_configs
+from repro.engine import memo
+from repro.exec.executor import execute
+from repro.exec.plan import study_runs
+from repro.hardware.specs import Precision
+from repro.obs import tracing
+from repro.obs.tracing import (
+    SpanContext,
+    derived_span_id,
+    orphan_spans,
+    seeded_trace_id,
+    tree_signature,
+)
+
+
+def _plan():
+    return study_runs(
+        app_names=["read-benchmark", "XSBench"],
+        configs=dict(sweep_configs()),
+        apu_values=(True, False),
+        precisions=(Precision.SINGLE,),
+        models=("OpenCL",),
+        baseline="OpenMP",
+        projection=True,
+    )
+
+
+def _root_ctx(seed: str) -> SpanContext:
+    return SpanContext(
+        trace_id=seeded_trace_id(seed),
+        span_id=derived_span_id(seed, "root"),
+    )
+
+
+def _traced_execution(workers: int, seed: str = "det"):
+    """Run the plan under a seeded root context; return (spans, outcomes)."""
+    ctx = _root_ctx(seed)
+    memo.clear_caches()
+    tracing.TRACER.clear()
+    try:
+        with tracing.use(ctx):
+            outcomes, _stats = execute(_plan(), max_workers=workers, telemetry=True)
+        spans = tracing.TRACER.pending_spans(ctx.trace_id)
+    finally:
+        tracing.TRACER.clear()
+        memo.clear_caches()
+    return spans, outcomes
+
+
+def test_execute_records_a_parented_span_tree():
+    spans, outcomes = _traced_execution(workers=1)
+    exec_spans = [s for s in spans if s.name == "execute"]
+    assert len(exec_spans) == 1
+    exec_span = exec_spans[0]
+    assert exec_span.kind == "executor"
+    assert exec_span.parent_id == _root_ctx("det").span_id
+    assert exec_span.attrs["unique"] == len({o.spec.content_key() for o in outcomes})
+    run_spans = [s for s in spans if s.name.startswith("run:")]
+    assert len(run_spans) == exec_span.attrs["unique"]
+    assert all(s.parent_id == exec_span.span_id for s in run_spans)
+    assert all(s.kind == "worker" for s in run_spans)
+    assert not orphan_spans(spans)
+    # Every run span lies inside the executor span's wall window
+    # (envelope spans are re-based onto per-worker cursors).
+    for span in run_spans:
+        assert span.start_s >= exec_span.start_s - 1e-9
+        assert span.end_s <= exec_span.end_s + 1e-9
+
+
+@pytest.mark.parametrize("workers", [2, 3])
+def test_span_tree_identical_across_worker_counts(workers):
+    """Same seed + same plan => the identical span tree — ids included —
+    no matter how the plan was sharded."""
+    serial_spans, serial_outcomes = _traced_execution(workers=1)
+    parallel_spans, parallel_outcomes = _traced_execution(workers=workers)
+    assert tree_signature(parallel_spans) == tree_signature(serial_spans)
+    # And the results those spans describe are still bit-identical.
+    for a, b in zip(serial_outcomes, parallel_outcomes):
+        assert vars(a.result) == vars(b.result)
+
+
+def test_results_bit_identical_with_tracing_on_and_off():
+    plan = _plan()
+    memo.clear_caches()
+    tracing.TRACER.clear()
+    untraced, _ = execute(plan, max_workers=2, telemetry=True)
+    assert tracing.TRACER.pending_spans(seeded_trace_id("det")) == []
+    memo.clear_caches()
+    traced_spans, traced = _traced_execution(workers=2)
+    assert traced_spans  # tracing actually happened
+    for a, b in zip(untraced, traced):
+        assert vars(a.result) == vars(b.result)
+        assert a.wall_seconds > 0 and b.wall_seconds > 0
+
+
+def test_no_ambient_context_means_no_spans():
+    memo.clear_caches()
+    tracing.TRACER.clear()
+    assert tracing.current() is None
+    execute(_plan(), max_workers=1, telemetry=True)
+    assert tracing.TRACER.dropped == 0
+    assert len(tracing.TRACER._buffers) == 0
+    memo.clear_caches()

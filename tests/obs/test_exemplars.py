@@ -1,0 +1,79 @@
+"""OpenMetrics exemplars on histograms: observe, render, parse, merge."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    parse_exemplars,
+    parse_prometheus,
+)
+
+BUCKETS = (0.001, 0.01, 0.1)
+
+
+def test_observe_keeps_the_latest_exemplar_per_bucket():
+    histogram = Histogram(buckets=BUCKETS)
+    histogram.observe(0.0005, exemplar={"trace_id": "a" * 32})
+    histogram.observe(0.0007, exemplar={"trace_id": "b" * 32})
+    histogram.observe(0.05, exemplar={"trace_id": "c" * 32})
+    histogram.observe(5.0, exemplar={"trace_id": "d" * 32})  # +Inf bucket
+    histogram.observe(0.002)  # no exemplar: bucket 1 stays bare
+    snapshot = histogram.exemplar_snapshot()
+    assert set(snapshot) == {0, 2, 3}
+    labels, value, ts = snapshot[0]
+    assert labels == (("trace_id", "b" * 32),)
+    assert value == 0.0007
+    assert ts > 0
+
+
+def test_rendered_exposition_carries_exemplars_and_still_parses(monkeypatch):
+    monkeypatch.setattr(obs_metrics, "_now", lambda: 123.456)
+    registry = MetricsRegistry()
+    registry.histogram(
+        "repro_serve_latency_seconds", help="Latency.", buckets=BUCKETS,
+        route="predict", status="200",
+    ).observe(0.0005, exemplar={"trace_id": "ab" * 16})
+    text = registry.to_prometheus()
+    bucket_lines = [
+        line for line in text.splitlines()
+        if line.startswith("repro_serve_latency_seconds_bucket")
+    ]
+    with_exemplar = [line for line in bucket_lines if "#" in line]
+    assert len(with_exemplar) == 1
+    assert with_exemplar[0].endswith(f'# {{trace_id="{"ab" * 16}"}} 0.0005 123.456000')
+    assert 'le="0.001"' in with_exemplar[0]
+    # The strict parser (CI artifact check) accepts the suffix …
+    samples = parse_prometheus(text)
+    assert len(samples["repro_serve_latency_seconds_bucket"]) == 4
+    # … and the exemplar helper recovers the trace id.
+    exemplars = parse_exemplars(text, "repro_serve_latency_seconds")
+    assert len(exemplars) == 1
+    bucket_labels, exemplar_labels, value = exemplars[0]
+    assert 'le="0.001"' in bucket_labels
+    assert exemplar_labels == {"trace_id": "ab" * 16}
+    assert value == 0.0005
+
+
+def test_parse_exemplars_ignores_other_metrics_and_bare_buckets():
+    text = "\n".join([
+        'other_bucket{le="+Inf"} 1 # {trace_id="ff"} 1.0',
+        'mine_bucket{le="+Inf"} 1',
+    ])
+    assert parse_exemplars(text, "mine") == []
+
+
+def test_parse_prometheus_still_rejects_malformed_lines():
+    with pytest.raises(ValueError):
+        parse_prometheus("metric{le=1} oops")
+
+
+def test_merge_carries_exemplars_across_registries():
+    a, b = Histogram(buckets=BUCKETS), Histogram(buckets=BUCKETS)
+    a.observe(0.0005, exemplar={"trace_id": "a" * 32})
+    b.observe(0.05, exemplar={"trace_id": "b" * 32})
+    a.merge(b)
+    snapshot = a.exemplar_snapshot()
+    assert snapshot[0][0] == (("trace_id", "a" * 32),)
+    assert snapshot[2][0] == (("trace_id", "b" * 32),)

@@ -1,0 +1,90 @@
+"""Unit tests of the structured-logging layer (ring, stream, levels)."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs import logging as obs_logging
+from repro.obs.logging import LogRing, StructuredLogger, get_logger
+
+
+@pytest.fixture
+def stream():
+    """Capture the log stream at debug level for one test."""
+    captured = io.StringIO()
+    obs_logging.set_stream(captured)
+    obs_logging.set_stream_level("debug")
+    yield captured
+    obs_logging.set_stream(None)
+    obs_logging.set_stream_level("info")
+
+
+def test_records_are_json_lines_with_standard_fields(stream):
+    ring = LogRing(capacity=8)
+    log = StructuredLogger("test", ring=ring)
+    record = log.info("request", trace_id="ab" * 16, status=200, latency_ms=2.61)
+    lines = stream.getvalue().strip().splitlines()
+    assert len(lines) == 1
+    parsed = json.loads(lines[0])
+    assert parsed == record
+    assert parsed["component"] == "test"
+    assert parsed["event"] == "request"
+    assert parsed["level"] == "info"
+    assert parsed["status"] == 200
+    assert "ts" in parsed
+    assert ring.recent() == [record]
+
+
+def test_stream_level_gates_stderr_but_not_the_ring(stream):
+    ring = LogRing(capacity=8)
+    log = StructuredLogger("test", ring=ring)
+    obs_logging.set_stream_level("warning")
+    log.debug("quiet")
+    log.info("also-quiet")
+    log.error("loud")
+    assert stream.getvalue().count("\n") == 1
+    assert json.loads(stream.getvalue())["event"] == "loud"
+    # The ring sees everything regardless of the stream level.
+    assert [r["event"] for r in ring.recent()] == ["quiet", "also-quiet", "loud"]
+
+
+def test_off_level_silences_the_stream(stream):
+    obs_logging.set_stream_level("off")
+    StructuredLogger("test", ring=LogRing(4)).error("nope")
+    assert stream.getvalue() == ""
+
+
+def test_ring_is_bounded_and_recent_limits():
+    ring = LogRing(capacity=3)
+    log = StructuredLogger("test", ring=ring)
+    for i in range(10):
+        log.debug("e", i=i)
+    assert len(ring) == 3
+    assert [r["i"] for r in ring.recent()] == [7, 8, 9]
+    assert [r["i"] for r in ring.recent(2)] == [8, 9]
+    ring.clear()
+    assert ring.recent() == []
+
+
+def test_non_jsonable_fields_are_stringified(stream):
+    log = StructuredLogger("test", ring=LogRing(4))
+    record = log.info("event", path=object(), nested={"k": (1, 2)})
+    json.dumps(record)  # must round-trip
+    assert isinstance(record["path"], str)
+    assert record["nested"] == {"k": [1, 2]}
+
+
+def test_closed_stream_never_raises():
+    closed = io.StringIO()
+    closed.close()
+    obs_logging.set_stream(closed)
+    try:
+        StructuredLogger("test", ring=LogRing(4)).error("boom")
+    finally:
+        obs_logging.set_stream(None)
+
+
+def test_get_logger_is_cached_per_component():
+    assert get_logger("serve") is get_logger("serve")
+    assert get_logger("serve") is not get_logger("exec")

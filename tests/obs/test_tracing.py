@@ -1,0 +1,213 @@
+"""Unit tests of the request-tracing layer (ids, buffers, retention)."""
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.export import chrome_trace
+from repro.obs.tracing import (
+    SpanContext,
+    TraceRecord,
+    TraceSpan,
+    TraceStore,
+    Tracer,
+    children_of,
+    derived_span_id,
+    new_span_id,
+    new_trace_id,
+    orphan_spans,
+    parse_traceparent,
+    seeded_trace_id,
+    segment_durations,
+    tree_signature,
+)
+
+
+# -- identities and the traceparent wire format -------------------------
+
+
+def test_ids_have_w3c_shapes():
+    assert len(new_trace_id()) == 32
+    assert len(new_span_id()) == 16
+    int(new_trace_id(), 16)  # must be hex
+    assert new_trace_id() != new_trace_id()
+
+
+def test_traceparent_round_trip():
+    ctx = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+    header = ctx.to_traceparent()
+    assert header == f"00-{'ab' * 16}-{'cd' * 8}-01"
+    assert parse_traceparent(header) == ctx
+
+
+@pytest.mark.parametrize("header", [
+    None, "", "garbage", "00-short-short-01",
+    "00-" + "0" * 32 + "-" + "ab" * 8 + "-01",  # all-zero trace id
+    "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # all-zero span id
+    "ff-" + "ab" * 16 + "-" + "cd" * 8 + "-01",  # unknown version
+])
+def test_bad_traceparent_is_none_not_an_error(header):
+    assert parse_traceparent(header) is None
+
+
+def test_derived_ids_are_deterministic_and_distinct():
+    a = derived_span_id("trace", "parent", "run:x", "key1")
+    assert a == derived_span_id("trace", "parent", "run:x", "key1")
+    assert a != derived_span_id("trace", "parent", "run:x", "key2")
+    assert len(a) == 16
+    assert seeded_trace_id("s") == seeded_trace_id("s")
+    assert seeded_trace_id("s") != seeded_trace_id("t")
+
+
+# -- ambient context ----------------------------------------------------
+
+
+def test_context_push_reset_and_use():
+    assert tracing.current() is None
+    ctx = SpanContext(trace_id="ab" * 16, span_id="cd" * 8)
+    token = tracing.push(ctx)
+    assert tracing.current() == ctx
+    with tracing.use(None):
+        assert tracing.current() is None
+    assert tracing.current() == ctx
+    tracing.reset(token)
+    assert tracing.current() is None
+
+
+# -- tracer buffers and trace completion --------------------------------
+
+
+def test_span_lifecycle_and_complete():
+    tracer = Tracer()
+    root = tracer.start_span("request", kind="server")
+    child = tracer.start_span("handle", kind="segment", parent=root.context)
+    tracer.finish_span(child)
+    tracer.finish_span(root)
+    record = tracer.complete(root.trace_id, route="predict", status=200)
+    assert record is not None
+    assert {s.name for s in record.spans} == {"request", "handle"}
+    assert record.root.name == "request"
+    assert not orphan_spans(record.spans)
+    assert tracer.pending_spans(root.trace_id) == []
+    # Completing again finds nothing.
+    assert tracer.complete(root.trace_id) is None
+    assert tracer.store.get(root.trace_id) is record
+
+
+def test_span_contextmanager_installs_ambient_context():
+    tracer = Tracer()
+    with tracer.span("outer", kind="server") as outer:
+        assert tracing.current() == outer.context
+        with tracer.span("inner") as inner:
+            assert inner.parent_id == outer.span_id
+    assert tracing.current() is None
+    record = tracer.complete(outer.trace_id)
+    assert tree_signature(record.spans) == tree_signature([outer, inner])
+
+
+def test_buffers_are_bounded_and_evict_lru():
+    tracer = Tracer(max_buffered_traces=2, max_spans_per_trace=3)
+    ids = [f"{i:032x}" for i in range(3)]
+    for trace_id in ids:
+        for n in range(5):  # two spans over the per-trace cap
+            tracer.emit(TraceSpan(
+                trace_id=trace_id, span_id=f"{n:016x}", parent_id="",
+                name=f"s{n}",
+            ))
+    # Oldest trace evicted, and each surviving buffer is capped.
+    assert tracer.pending_spans(ids[0]) == []
+    assert len(tracer.pending_spans(ids[1])) == 3
+    assert len(tracer.pending_spans(ids[2])) == 3
+    assert tracer.dropped > 0
+
+
+# -- tail-biased retention ----------------------------------------------
+
+
+def _record(trace_id: str, duration_s: float, status: int = 200,
+            started: float = 0.0) -> TraceRecord:
+    span = TraceSpan(trace_id=trace_id, span_id="ab" * 8, parent_id="",
+                     name="request", kind="server", start_s=0.0, end_s=duration_s)
+    return TraceRecord(trace_id=trace_id, route="predict", status=status,
+                       duration_s=duration_s, started_unix=started, spans=(span,))
+
+
+def test_store_keeps_slowest_and_errors_past_the_recent_ring():
+    store = TraceStore(recent_cap=4, slow_cap=2, error_cap=2)
+    store.add(_record("slow" + "0" * 28, duration_s=9.0, started=0.0))
+    store.add(_record("err0" + "0" * 28, duration_s=0.001, status=500, started=1.0))
+    for i in range(10):
+        store.add(_record(f"{i:032x}", duration_s=0.01, started=2.0 + i))
+    # Both outlived the ring through their dedicated holds.
+    assert store.holds("slow" + "0" * 28) == ("slowest",)
+    assert store.holds("err0" + "0" * 28) == ("error",)
+    # Fresh traces sit in the ring (and the slowest-ever list as needed).
+    newest = store.records()[0]
+    assert "recent" in store.holds(newest.trace_id)
+    # Ring-evicted, unremarkable traces are gone.
+    assert store.get(f"{0:032x}") is None
+
+
+def test_store_records_are_newest_first_and_clear_empties():
+    store = TraceStore()
+    store.add(_record("a" * 32, 0.1, started=1.0))
+    store.add(_record("b" * 32, 0.1, started=2.0))
+    assert [r.trace_id for r in store.records()] == ["b" * 32, "a" * 32]
+    store.clear()
+    assert len(store) == 0
+
+
+# -- tree utilities -----------------------------------------------------
+
+
+def _span(span_id: str, parent_id: str, name: str = "s",
+          kind: str = "internal", start: float = 0.0, end: float = 1.0) -> TraceSpan:
+    return TraceSpan(trace_id="t" * 32, span_id=span_id, parent_id=parent_id,
+                     name=name, kind=kind, start_s=start, end_s=end)
+
+
+def test_children_and_orphans():
+    spans = [
+        _span("r" * 16, ""),
+        _span("c1" + "0" * 14, "r" * 16, start=0.0),
+        _span("c2" + "0" * 14, "r" * 16, start=0.5),
+        _span("g1" + "0" * 14, "c1" + "0" * 14),
+    ]
+    grouped = children_of(spans)
+    assert [s.span_id for s in grouped["r" * 16]] == ["c1" + "0" * 14, "c2" + "0" * 14]
+    assert not orphan_spans(spans)
+    # External parent (inbound traceparent) is a root, not an orphan.
+    assert not orphan_spans([_span("a" * 16, "f" * 16)])
+    # A dangling chain under a self-parented span is orphaned.
+    cyclic = [_span("a" * 16, "a" * 16), _span("b" * 16, "a" * 16)]
+    assert {s.span_id for s in orphan_spans(cyclic)} == {"a" * 16, "b" * 16}
+
+
+def test_segment_durations_union_merges_by_name():
+    spans = [
+        _span("r" * 16, "", name="request", kind="server", start=0.0, end=4.0),
+        _span("a" * 16, "r" * 16, name="queue_wait", kind="segment", start=0.0, end=1.0),
+        _span("b" * 16, "r" * 16, name="queue_wait", kind="segment", start=1.0, end=1.5),
+        _span("c" * 16, "r" * 16, name="engine", kind="segment", start=1.5, end=4.0),
+        # A second leg sharing the same engine window (coalesced batch)
+        # charges the overlap once, not twice.
+        _span("d" * 16, "r" * 16, name="engine", kind="segment", start=2.0, end=4.0),
+    ]
+    assert segment_durations(spans) == {"queue_wait": 1.5, "engine": 2.5}
+
+
+def test_record_json_and_chrome_export():
+    root = _span("r" * 16, "", name="request", kind="server", start=10.0, end=10.004)
+    seg = _span("s" * 16, "r" * 16, name="engine", kind="segment",
+                start=10.001, end=10.003)
+    record = TraceRecord(trace_id="t" * 32, route="predict", status=200,
+                         duration_s=0.004, started_unix=123.0, spans=(root, seg))
+    doc = record.to_json()
+    assert doc["trace_id"] == "t" * 32
+    assert doc["segments_ms"] == {"engine": 2.0}
+    # Span times are re-based to the root's origin.
+    assert doc["spans"][0]["start_us"] == 0.0
+    assert doc["spans"][1]["start_us"] == pytest.approx(1000.0)
+    exported = chrome_trace(tracing.trace_timeline(record))
+    names = {event["name"] for event in exported["traceEvents"]
+             if event["ph"] == "X"}
+    assert {"request", "engine"} <= names

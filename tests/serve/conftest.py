@@ -7,6 +7,7 @@ from urllib.parse import urlsplit
 import pytest
 
 from repro.engine import memo
+from repro.obs import tracing
 from repro.serve import ServeConfig, ServerThread
 
 
@@ -16,6 +17,14 @@ def fresh_result_cache():
     memo.RESULT_CACHE.clear()
     yield
     memo.RESULT_CACHE.clear()
+
+
+@pytest.fixture(autouse=True)
+def fresh_tracer():
+    """Isolate the process-global tracer (buffers + trace store)."""
+    tracing.TRACER.clear()
+    yield
+    tracing.TRACER.clear()
 
 
 @pytest.fixture
