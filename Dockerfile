@@ -1,0 +1,23 @@
+# The serve tier as a container: N shard processes behind the
+# content-hash router, sharing one persistent result store on a
+# volume so restarts (and fresh replicas) boot warm.
+FROM python:3.12-slim
+
+WORKDIR /app
+COPY pyproject.toml setup.py ./
+COPY src ./src
+RUN pip install --no-cache-dir .
+
+# Content-addressed result store; mount a volume to survive the
+# container (docker-compose.yml does).
+ENV REPRO_STORE=/data/store \
+    REPRO_SHARDS=2 \
+    REPRO_WARM=presets
+VOLUME /data/store
+
+EXPOSE 8351
+HEALTHCHECK --interval=10s --timeout=5s --start-period=120s \
+  CMD python -c "import urllib.request; urllib.request.urlopen('http://127.0.0.1:8351/readyz', timeout=4)"
+
+CMD ["sh", "-c", "exec repro serve --host 0.0.0.0 --port 8351 \
+  --shards ${REPRO_SHARDS} --store ${REPRO_STORE} --warm ${REPRO_WARM}"]

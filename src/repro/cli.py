@@ -371,6 +371,14 @@ def cmd_serve(args: argparse.Namespace) -> int | None:
 
     from .serve import ServeConfig, Server
 
+    store_path = args.store
+    if args.shards > 1 and store_path is None:
+        # A sharded tier without a shared store cannot keep its
+        # restart-warm promise; default to an ephemeral one and say so.
+        import tempfile
+
+        store_path = tempfile.mkdtemp(prefix="repro-store-")
+        print(f"no --store given; sharded tier using ephemeral store {store_path}")
     config = ServeConfig(
         host=args.host,
         port=args.port,
@@ -381,7 +389,14 @@ def cmd_serve(args: argparse.Namespace) -> int | None:
         retries=args.retries,
         run_timeout_s=args.run_timeout,
         engine=args.engine,
+        store_path=store_path,
+        warm=args.warm,
+        warm_scales=tuple(args.warm_scales.split(",")),
+        max_study_runs=args.max_study_runs,
+        max_batch_cells=args.max_batch_cells,
     )
+    if args.shards > 1:
+        return _serve_sharded(args, config)
 
     async def main() -> None:
         server = Server(config)
@@ -396,7 +411,9 @@ def cmd_serve(args: argparse.Namespace) -> int | None:
         print(f"serving on {server.url} "
               f"(batch window {config.window_s * 1e3:g} ms, "
               f"queue bound {config.max_queue}, deadline {config.deadline_s:g} s)")
-        print("routes: POST /v1/predict, POST /v1/study, "
+        if server.warm_report is not None:
+            print(server.warm_report.summary())
+        print("routes: POST /v1/predict /v1/study /v1/batch, "
               "GET /healthz /readyz /metrics")
         await stop.wait()
         print("draining in-flight requests ...")
@@ -412,20 +429,84 @@ def cmd_serve(args: argparse.Namespace) -> int | None:
     asyncio.run(main())
 
 
-def _loadtest_bodies(args: argparse.Namespace) -> list[dict]:
-    """The query mix: one point, or a model/platform/precision rotation."""
+def _serve_sharded(args: argparse.Namespace, config) -> int | None:
+    """Run the sharded tier: N shard processes behind the hash router."""
+    import asyncio
+    import signal
+
+    from .serve.shard import RouterConfig, ShardRouter, ShardSupervisor
+
+    print(f"starting {args.shards} shards "
+          f"(store {config.store_path}, warm {config.warm}) ...")
+    supervisor = ShardSupervisor(config, args.shards)
+    supervisor.start()
+    router = ShardRouter(supervisor=supervisor, config=RouterConfig(
+        host=args.host,
+        port=args.port,
+        deadline_s=args.deadline,
+        max_study_runs=args.max_study_runs,
+        max_batch_cells=args.max_batch_cells,
+    ))
+
+    async def main() -> None:
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                signal.signal(sig, lambda *_: stop.set())
+        await router.start()
+        print(f"routing on {router.url} over:")
+        for url in supervisor.urls:
+            print(f"  {url}")
+        print("routes: POST /v1/predict /v1/study /v1/batch, GET /v1/shards, "
+              "POST /v1/admin/restart, GET /healthz /readyz /metrics")
+        await stop.wait()
+        print("draining router and shards ...")
+        await router.shutdown()
+        print("tier stopped")
+
+    try:
+        asyncio.run(main())
+    finally:
+        supervisor.stop()
+
+
+def _predict_cells(args: argparse.Namespace, apps: list[str]) -> list[dict]:
+    """The cell mix: apps x models x platforms x precisions."""
     from .core.study import GPU_MODELS
 
     models = [args.model] if args.model else list(GPU_MODELS)
     platforms = [args.platform] if args.platform else ["apu", "dgpu"]
     precisions = [args.precision] if args.precision else ["single", "double"]
     return [
-        {"app": args.app, "model": model, "platform": platform,
+        {"app": app, "model": model, "platform": platform,
          "precision": precision, "scale": args.scale}
+        for app in apps
         for model in models
         for platform in platforms
         for precision in precisions
     ]
+
+
+def _loadtest_bodies(args: argparse.Namespace) -> list[dict]:
+    """The query mix for the chosen route.
+
+    ``predict`` rotates one app's cells as individual requests;
+    ``batch`` spreads the paper's proxy apps (unless ``--app`` narrows
+    it) across ``--batch-cells``-sized bulk requests.
+    """
+    if args.route == "batch":
+        from .apps import PROXY_APPS
+
+        apps = [args.app] if args.app else [app.name for app in PROXY_APPS]
+        cells = _predict_cells(args, apps)
+        size = max(1, args.batch_cells)
+        return [
+            {"cells": cells[i:i + size]} for i in range(0, len(cells), size)
+        ]
+    return _predict_cells(args, [args.app or "XSBench"])
 
 
 def cmd_loadtest(args: argparse.Namespace) -> int | None:
@@ -433,13 +514,18 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
     import asyncio
     from .serve import ServeConfig, ServerThread, run_load, write_bench
 
+    if args.shards:
+        return _loadtest_sharded(args)
+
     bodies = _loadtest_bodies(args)
+    path = "/v1/batch" if args.route == "batch" else "/v1/predict"
     spawned = None
     if args.url:
-        url = args.url
+        url = args.url if len(args.url) > 1 else args.url[0]
     else:
         spawned = ServerThread(ServeConfig(
             max_queue=args.max_queue, window_s=args.window_ms / 1e3,
+            store_path=args.store, warm=args.warm,
         )).start()
         url = spawned.url
         print(f"spawned ephemeral server on {url}")
@@ -447,7 +533,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
     async def measured() -> tuple:
         from .serve.loadgen import fetch_text
 
-        before = await fetch_text(url) if args.breakdown else None
+        scrape = url if isinstance(url, str) else url[0]
+        before = await fetch_text(scrape) if args.breakdown else None
         result = await run_load(
             url,
             bodies,
@@ -456,8 +543,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
             duration_s=args.duration,
             rate=args.rate,
             warmup=not args.cold,
+            path=path,
         )
-        after = await fetch_text(url) if args.breakdown else None
+        after = await fetch_text(scrape) if args.breakdown else None
         return result, before, after
 
     try:
@@ -465,7 +553,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
     finally:
         if spawned is not None:
             spawned.stop()
-    print(f"{len(bodies)} distinct predict queries "
+    print(f"{len(bodies)} distinct {args.route} queries "
           f"({'cold' if args.cold else 'warmed'}), target {url}")
     print(result.summary())
     if args.breakdown:
@@ -477,6 +565,97 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
         write_bench(result, args.bench)
         print(f"\nwrote serving benchmark to {args.bench}")
     if result.errors or not result.requests:
+        return 1
+
+
+def _loadtest_sharded(args: argparse.Namespace) -> int | None:
+    """Stand up a sharded tier and record the full serving baseline.
+
+    Three measurements in one pass, matching the rows of
+    ``BENCH_serve.json``: warm per-request ``/v1/predict`` capacity
+    (the historical top-level row), warm bulk ``/v1/batch`` aggregate
+    pricing throughput across all shards (``sharded``), and the
+    restart drill — gracefully bounce shard 0, then re-issue the whole
+    warm mix against the replacement and count answers that had to be
+    recomputed (``restart.cold_misses``; the store makes it 0).
+    """
+    import argparse as _argparse
+    import asyncio
+    import tempfile
+
+    from .serve import ServeConfig, run_load
+    from .serve.loadgen import post_json, write_tier_bench
+    from .serve.shard import ShardedTier
+
+    store = args.store or tempfile.mkdtemp(prefix="repro-store-")
+    predict_args = _argparse.Namespace(**{**vars(args), "route": "predict"})
+    batch_args = _argparse.Namespace(**{**vars(args), "route": "batch"})
+    predict_bodies = _loadtest_bodies(predict_args)
+    batch_bodies = _loadtest_bodies(batch_args)
+
+    tier = ShardedTier(ServeConfig(
+        max_queue=args.max_queue, window_s=args.window_ms / 1e3,
+        store_path=store, warm=args.warm,
+    ), shards=args.shards)
+    print(f"starting {args.shards}-shard tier (store {store}) ...")
+    with tier:
+        urls = tier.shard_urls
+        print(f"router {tier.url} over {', '.join(urls)}")
+
+        async def protocol_run() -> tuple:
+            legacy = await run_load(
+                urls, predict_bodies, mode=args.mode,
+                concurrency=args.concurrency, duration_s=args.duration,
+                rate=args.rate, warmup=not args.cold,
+            )
+            sharded = await run_load(
+                urls, batch_bodies, mode="closed",
+                concurrency=args.concurrency, duration_s=args.duration,
+                warmup=not args.cold, path="/v1/batch",
+            )
+            return legacy, sharded
+
+        legacy, sharded = asyncio.run(protocol_run())
+        print("\nwarm /v1/predict across shards:")
+        print(legacy.summary())
+        print("\nwarm /v1/batch across shards:")
+        print(sharded.summary())
+
+        async def restart_drill() -> dict:
+            status, doc = await post_json(
+                tier.url, "/v1/admin/restart", {"shard": 0}
+            )
+            if status != 200:
+                return {"error": doc, "cold_misses": -1, "checked": 0}
+            restarted = doc["url"]
+            checked = 0
+            tally: dict[str, int] = {}
+            for body in batch_bodies:
+                status, answer = await post_json(restarted, "/v1/batch", body)
+                if status != 200:
+                    return {"error": answer, "cold_misses": -1, "checked": checked}
+                checked += answer["count"]
+                for label, count in answer["served"].items():
+                    tally[label] = tally.get(label, 0) + count
+            return {
+                "shard": 0,
+                "restart_s": doc["restart_s"],
+                "checked": checked,
+                "cold_misses": tally.get("computed", 0),
+                "served": tally,
+            }
+
+        restart = asyncio.run(restart_drill())
+        print(f"\nrestart drill: {restart}")
+
+    if args.bench:
+        write_tier_bench(legacy, sharded, restart, args.shards, args.bench)
+        print(f"\nwrote serving benchmark to {args.bench}")
+    failed = (
+        legacy.errors or sharded.errors or not legacy.requests
+        or not sharded.requests or restart.get("cold_misses") != 0
+    )
+    if failed:
         return 1
 
 
@@ -711,9 +890,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_flags(export)
     serve = sub.add_parser(
         "serve",
-        description="serve /v1/predict and /v1/study over the performance "
-                    "model: micro-batched, admission-controlled, "
-                    "Prometheus-instrumented; SIGTERM drains gracefully")
+        description="serve /v1/predict, /v1/study and /v1/batch over the "
+                    "performance model: micro-batched, admission-controlled, "
+                    "Prometheus-instrumented; SIGTERM drains gracefully. "
+                    "--shards N runs a horizontally sharded tier over a "
+                    "shared persistent result store")
     serve.set_defaults(func=cmd_serve)
     serve.add_argument("--host", default="127.0.0.1",
                        help="bind address (default 127.0.0.1)")
@@ -740,19 +921,59 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cold-batch pricing engine: 'vector' prices each "
                             "micro-batch window columnar; 'scalar' runs specs "
                             "one by one (bit-identical)")
+    serve.add_argument("--shards", type=int, default=1, metavar="N",
+                       help="run N server processes over a shared store "
+                            "behind a content-hash router (default 1: a "
+                            "single in-process server)")
+    serve.add_argument("--store", default=None, metavar="DIR",
+                       help="persistent content-addressed result store; "
+                            "restarts boot warm from it (default: in-memory "
+                            "only; sharded tiers get an ephemeral one)")
+    serve.add_argument("--warm", choices=("none", "load", "presets"),
+                       default="load",
+                       help="boot-time warm-up: 'load' seeds memory from the "
+                            "store, 'presets' additionally pre-prices the "
+                            "reachable preset lattice (default load)")
+    serve.add_argument("--warm-scales", default="bench", metavar="LIST",
+                       help="comma-separated scale presets the 'presets' "
+                            "warm-up prices (default bench)")
+    serve.add_argument("--max-study-runs", type=int, default=None, metavar="N",
+                       help="cap on the run matrix one /v1/study may expand "
+                            "to (default 64, or REPRO_SERVE_MAX_STUDY_RUNS)")
+    serve.add_argument("--max-batch-cells", type=int, default=None, metavar="N",
+                       help="cap on cells per /v1/batch request (default "
+                            "512, or REPRO_SERVE_MAX_BATCH_CELLS)")
     loadtest = sub.add_parser(
         "loadtest",
-        description="drive a prediction server (an existing --url, or a "
-                    "--spawn'd loopback one) with warm predict queries and "
-                    "report throughput and latency percentiles")
+        description="drive a prediction server (an existing --url, a "
+                    "--spawn'd loopback one, or a --shards N tier) with warm "
+                    "queries and report throughput and latency percentiles; "
+                    "with --shards the full tier baseline is recorded "
+                    "(predict capacity, bulk cells/s, restart drill)")
     loadtest.set_defaults(func=cmd_loadtest)
     target = loadtest.add_mutually_exclusive_group()
-    target.add_argument("--url", default=None,
-                        help="base URL of a running server "
-                             "(e.g. http://127.0.0.1:8351)")
+    target.add_argument("--url", action="append", default=None, metavar="URL",
+                        help="base URL of a running server; repeat to "
+                             "round-robin over several (e.g. a tier's shards)")
     target.add_argument("--spawn", action="store_true",
                         help="spawn a loopback server for the run "
                              "(the default when --url is absent)")
+    target.add_argument("--shards", type=int, default=None, metavar="N",
+                        help="spawn an N-shard tier over a shared store and "
+                             "record the full tier baseline (predict + bulk "
+                             "+ restart drill)")
+    loadtest.add_argument("--route", choices=("predict", "batch"),
+                          default="predict",
+                          help="traffic shape: per-request /v1/predict, or "
+                               "bulk /v1/batch (throughput counts cells/s)")
+    loadtest.add_argument("--batch-cells", type=int, default=64, metavar="N",
+                          help="cells per /v1/batch request (default 64)")
+    loadtest.add_argument("--store", default=None, metavar="DIR",
+                          help="persistent result store for spawned servers "
+                               "(sharded runs default to an ephemeral one)")
+    loadtest.add_argument("--warm", choices=("none", "load", "presets"),
+                          default="load",
+                          help="warm-up mode of spawned servers (default load)")
     loadtest.add_argument("--mode", choices=("closed", "open"),
                           default="closed",
                           help="closed: back-to-back per connection (capacity);"
@@ -764,8 +985,9 @@ def build_parser() -> argparse.ArgumentParser:
                           help="measured window length (default 3 s)")
     loadtest.add_argument("--rate", type=float, default=None, metavar="RPS",
                           help="offered request rate for --mode open")
-    loadtest.add_argument("--app", choices=FIGURE_APPS, default="XSBench",
-                          help="application to query (default XSBench)")
+    loadtest.add_argument("--app", choices=FIGURE_APPS, default=None,
+                          help="application to query (default: XSBench for "
+                               "predict, every proxy app for batch)")
     loadtest.add_argument("--model", default=None,
                           help="restrict to one programming model "
                                "(default: rotate OpenCL/C++ AMP/OpenACC)")

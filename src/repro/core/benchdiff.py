@@ -68,6 +68,12 @@ BENCH_CHECKS: dict[str, tuple[MetricCheck, ...]] = {
         MetricCheck("throughput_rps", "higher", 0.8),
         MetricCheck("latency_ms.p50", "lower", 4.0),
         MetricCheck("latency_ms.p99", "lower", 4.0),
+        # The sharded-tier rows: aggregate bulk pricing throughput
+        # (cells/s over every shard) and the restart drill — a bounced
+        # shard must answer the whole warm mix without recomputing.
+        MetricCheck("sharded.errors", "zero"),
+        MetricCheck("sharded.cells_rps", "higher", 0.8),
+        MetricCheck("restart.cold_misses", "zero"),
     ),
 }
 

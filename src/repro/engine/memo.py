@@ -222,6 +222,16 @@ class SingleFlightCache(KernelMemoCache):
                 return True, self._values[key]
         return False, None
 
+    def seed(self, key: tuple, value: object) -> None:
+        """Install a value computed elsewhere (a persistent store, a
+        warm-up pass) without counting a hit or a miss.  Existing
+        entries win: a seed never replaces a value concurrent callers
+        may already have observed."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._values.setdefault(key, value)
+
     def get_or_compute(self, key: tuple, compute: Callable[[], T]) -> T:
         """Return the value for ``key``, computing it at most once
         across all concurrent callers."""

@@ -108,8 +108,14 @@ class RunSpec:
 
         Built from the repr of every field (config dataclasses repr
         all their parameters), so equal-content descriptors collide by
-        construction and object identity never matters.
+        construction and object identity never matters.  Memoized per
+        instance (every field is frozen, so the digest cannot change):
+        the serve tier keys routing, caching, and the persistent store
+        off this digest, several times per cell.
         """
+        cached = self.__dict__.get("_content_key")
+        if cached is not None:
+            return cached
         canonical = repr((
             self.app,
             self.model,
@@ -120,7 +126,9 @@ class RunSpec:
             self.core_mhz,
             self.memory_mhz,
         ))
-        return hashlib.sha256(canonical.encode()).hexdigest()
+        key = hashlib.sha256(canonical.encode()).hexdigest()
+        object.__setattr__(self, "_content_key", key)
+        return key
 
     def schedule_key(self) -> tuple:
         """Everything that shapes the launch/transfer schedule.

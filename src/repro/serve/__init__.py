@@ -7,7 +7,8 @@ launch.  This package serves the same engine over HTTP with the
 serving-stack shape the ROADMAP's north star asks for:
 
 * :mod:`repro.serve.protocol` — versioned JSON request/response
-  schemas (``/v1/predict``, ``/v1/study``, health/readiness/metrics).
+  schemas (``/v1/predict``, ``/v1/study``, ``/v1/batch``,
+  health/readiness/metrics).
 * :mod:`repro.serve.batcher` — micro-batching with single-flight
   deduplication over the process-global result memo, dispatching to a
   backend thread that runs the exec retry ladder.
@@ -16,6 +17,14 @@ serving-stack shape the ROADMAP's north star asks for:
   graceful drain, Prometheus instrumentation with trace exemplars,
   per-request span trees (``/v1/debug/traces``), and structured logs
   (``/v1/debug/logs``).
+* :mod:`repro.serve.store` — the persistent content-addressed result
+  store shared across processes (atomic writes, torn-entry tolerance,
+  cross-process single-flight), and the two-tier cache over it.
+* :mod:`repro.serve.warmup` — boot-time cache priming, so a restarted
+  tier answers its first request warm.
+* :mod:`repro.serve.shard` — the horizontally sharded tier: N server
+  processes over one store behind a content-hash router
+  (``repro serve --shards N``).
 * :mod:`repro.serve.loadgen` — closed-/open-loop load generation
   recording the ``BENCH_serve.json`` serving-perf baseline, plus the
   ``--breakdown`` per-segment latency attribution.
@@ -36,37 +45,64 @@ from .loadgen import (
     write_bench,
 )
 from .protocol import (
+    MAX_BATCH_CELLS,
     MAX_STUDY_RUNS,
     PROTOCOL_VERSION,
+    BatchRequest,
+    LimitExceeded,
     PredictRequest,
     ProtocolError,
     StudyRequest,
+    batch_response,
     error_response,
     predict_response,
     study_response,
 )
 from .server import ServeConfig, Server, ServerThread
+from .shard import (
+    RouterConfig,
+    ShardedTier,
+    ShardRouter,
+    ShardSupervisor,
+    shard_for_key,
+)
+from .store import PersistentResultCache, ResultStore
+from .warmup import WarmReport, preset_specs, warm_presets
 
 __all__ = [
     "BackendRunError",
+    "BatchRequest",
     "Batcher",
+    "LimitExceeded",
     "LoadResult",
+    "MAX_BATCH_CELLS",
     "MAX_STUDY_RUNS",
     "PROTOCOL_VERSION",
+    "PersistentResultCache",
     "PredictRequest",
     "ProtocolError",
+    "ResultStore",
+    "RouterConfig",
     "SegmentStats",
     "ServeConfig",
     "Server",
     "ServerThread",
+    "ShardRouter",
+    "ShardSupervisor",
+    "ShardedTier",
     "StudyRequest",
+    "WarmReport",
+    "batch_response",
     "error_response",
     "fetch_text",
     "percentile",
     "predict_response",
+    "preset_specs",
     "render_breakdown",
     "run_load",
     "segment_breakdown",
+    "shard_for_key",
     "study_response",
+    "warm_presets",
     "write_bench",
 ]

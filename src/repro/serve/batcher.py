@@ -39,7 +39,7 @@ from __future__ import annotations
 import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Iterable, NamedTuple
+from typing import Iterable, NamedTuple, Sequence
 
 from ..apps.base import RunResult
 from ..engine import memo
@@ -48,6 +48,7 @@ from ..exec.plan import RunSpec
 from ..exec.retry import RetryPolicy, run_with_retry
 from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
+from .store import STORED
 
 
 class _BatchItem(NamedTuple):
@@ -58,7 +59,8 @@ class _BatchItem(NamedTuple):
     ctx: tracing.SpanContext | None
     submitted_s: float
 
-#: Provenance labels a served result can carry.
+#: Provenance labels a served result can carry (``STORED`` — served
+#: from the persistent on-disk store — is defined by the store module).
 COMPUTED = "computed"
 CACHED = "cache"
 COALESCED = "coalesced"
@@ -120,12 +122,24 @@ class Batcher:
         """Requests admitted but not yet answered (queued + in flight)."""
         return len(self._waiters)
 
+    def _peek(self, key: str) -> tuple[RunResult | None, str | None]:
+        """Non-computing lookup: ``(value, provenance)`` on a hit from
+        memory or (with a persistent cache) disk, else ``(None, None)``."""
+        peek_tiered = getattr(self.cache, "peek_tiered", None)
+        if peek_tiered is not None:
+            value, source = peek_tiered(key)
+            if source is None:
+                return None, None
+            return value, CACHED if source == "memory" else STORED
+        found, value = self.cache.peek(key)
+        return (value, CACHED) if found else (None, None)
+
     async def submit(self, spec: RunSpec) -> tuple[RunResult, str]:
         """Resolve one spec to its result and provenance label."""
         key = spec.content_key()
-        found, value = self.cache.peek(key)
-        if found:
-            return value, CACHED
+        value, provenance = self._peek(key)
+        if provenance is not None:
+            return value, provenance
         ctx = tracing.current()
         future = self._waiters.get(key)
         if future is not None:
@@ -146,6 +160,56 @@ class Batcher:
         self._pending.append(_BatchItem(key, spec, ctx, time.perf_counter()))
         self._schedule_flush(loop)
         return await asyncio.shield(future), COMPUTED
+
+    async def submit_batch(
+        self, specs: Sequence[RunSpec]
+    ) -> list[tuple[RunResult, str]]:
+        """Resolve a bulk plan, bypassing the micro-batching window.
+
+        The ``/v1/batch`` path: study-shaped traffic arrives already
+        batched, so waiting ``window_s`` for companions only adds
+        latency.  Warm cells are answered from cache/store in place;
+        all cold cells are dispatched *immediately* as one engine
+        batch (columnar-priced under the vector engine).  Duplicate
+        specs — within the batch or against in-flight micro-batch
+        work — coalesce onto one computation, exactly like
+        :meth:`submit`.
+        """
+        results: list[tuple[RunResult, str] | None] = [None] * len(specs)
+        awaiting: list[tuple[int, asyncio.Future, str]] = []
+        cold: list[_BatchItem] = []
+        ctx = tracing.current()
+        loop = asyncio.get_running_loop()
+        now = time.perf_counter()
+        for index, spec in enumerate(specs):
+            key = spec.content_key()
+            value, provenance = self._peek(key)
+            if provenance is not None:
+                results[index] = (value, provenance)
+                continue
+            future = self._waiters.get(key)
+            if future is not None:
+                self.cache.record_coalesced()
+                awaiting.append((index, future, COALESCED))
+                continue
+            if self._closed:
+                raise RuntimeError("batcher is draining; not accepting new work")
+            future = loop.create_future()
+            self._waiters[key] = future
+            cold.append(_BatchItem(key, spec, ctx, now))
+            awaiting.append((index, future, COMPUTED))
+        if cold:
+            self.metrics.counter(
+                "repro_serve_bulk_batches_total",
+                help="Bulk (/v1/batch) engine batches dispatched, "
+                "bypassing the micro-batch window.",
+            ).inc()
+            task = loop.create_task(self._flush(cold))
+            self._flushes.add(task)
+            task.add_done_callback(self._flushes.discard)
+        for index, future, provenance in awaiting:
+            results[index] = (await asyncio.shield(future), provenance)
+        return results  # type: ignore[return-value]
 
     async def submit_many(
         self, specs: Iterable[RunSpec]

@@ -65,12 +65,23 @@ class LoadResult:
     rate: float | None
     requests: int = 0
     errors: int = 0
+    #: Cells priced by 2xx responses.  One ``/v1/predict`` is one
+    #: prediction; one ``/v1/batch`` of 48 cells is 48 — the unit that
+    #: makes bulk and per-request throughput comparable.
+    predictions: int = 0
+    #: Distinct target URLs the run round-robined over.
+    targets: int = 1
     status_counts: dict[str, int] = field(default_factory=dict)
     latencies_s: list[float] = field(default_factory=list)
 
     @property
     def throughput_rps(self) -> float:
         return self.requests / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def cells_rps(self) -> float:
+        """Priced cells per second — aggregate pricing throughput."""
+        return self.predictions / self.duration_s if self.duration_s else 0.0
 
     def latency_ms(self) -> dict[str, float]:
         samples = sorted(self.latencies_s)
@@ -91,7 +102,10 @@ class LoadResult:
             "rate_rps": self.rate,
             "requests": self.requests,
             "errors": self.errors,
+            "predictions": self.predictions,
+            "targets": self.targets,
             "throughput_rps": self.throughput_rps,
+            "cells_rps": self.cells_rps,
             "latency_ms": self.latency_ms(),
             "status_counts": dict(sorted(self.status_counts.items())),
         }
@@ -101,11 +115,15 @@ class LoadResult:
         statuses = ", ".join(
             f"{status}: {count}" for status, count in sorted(self.status_counts.items())
         )
+        throughput = f"{self.throughput_rps:.0f} req/s"
+        if self.predictions != self.requests:
+            throughput += f", {self.cells_rps:.0f} cells/s"
         return "\n".join([
-            f"mode: {self.mode}, concurrency: {self.concurrency}"
+            f"mode: {self.mode}, concurrency: {self.concurrency}, "
+            f"targets: {self.targets}"
             + (f", offered rate: {self.rate:g} req/s" if self.rate else ""),
             f"requests: {self.requests} in {self.duration_s:.2f} s "
-            f"({self.throughput_rps:.0f} req/s), errors: {self.errors}",
+            f"({throughput}), errors: {self.errors}",
             f"latency: p50 {latency['p50']:.2f} ms, p95 {latency['p95']:.2f} ms, "
             f"p99 {latency['p99']:.2f} ms, max {latency['max']:.2f} ms",
             f"statuses: {statuses or 'none'}",
@@ -139,21 +157,23 @@ async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
 
 class _Recorder:
     def __init__(self) -> None:
-        self.samples: list[tuple[int, float]] = []
+        self.samples: list[tuple[int, float, int]] = []
         self.errors = 0
 
     def fold(self, result: LoadResult) -> None:
-        for status, latency in self.samples:
+        for status, latency, weight in self.samples:
             result.requests += 1
             result.status_counts[str(status)] = (
                 result.status_counts.get(str(status), 0) + 1
             )
+            if 200 <= status < 300:
+                result.predictions += weight
             result.latencies_s.append(latency)
         result.errors += self.errors
 
 
 async def _closed_worker(
-    host: str, port: int, requests: list[bytes], offset: int,
+    host: str, port: int, requests: list[tuple[bytes, int]], offset: int,
     deadline: float, recorder: _Recorder,
 ) -> None:
     reader = writer = None
@@ -162,7 +182,7 @@ async def _closed_worker(
         while time.perf_counter() < deadline:
             if writer is None:
                 reader, writer = await asyncio.open_connection(host, port)
-            data = requests[i % len(requests)]
+            data, weight = requests[i % len(requests)]
             i += 1
             started = time.perf_counter()
             try:
@@ -174,14 +194,15 @@ async def _closed_worker(
                 writer.close()
                 reader = writer = None
                 continue
-            recorder.samples.append((status, time.perf_counter() - started))
+            recorder.samples.append((status, time.perf_counter() - started, weight))
     finally:
         if writer is not None:
             writer.close()
 
 
 async def _open_worker(
-    host: str, port: int, arrivals: "asyncio.Queue[tuple[bytes, float] | None]",
+    host: str, port: int,
+    arrivals: "asyncio.Queue[tuple[bytes, int, float] | None]",
     recorder: _Recorder,
 ) -> None:
     reader = writer = None
@@ -190,7 +211,7 @@ async def _open_worker(
             item = await arrivals.get()
             if item is None:
                 return
-            data, scheduled = item
+            data, weight, scheduled = item
             try:
                 if writer is None:
                     reader, writer = await asyncio.open_connection(host, port)
@@ -204,16 +225,16 @@ async def _open_worker(
                 reader = writer = None
                 continue
             # Latency from the scheduled arrival: includes queue wait.
-            recorder.samples.append((status, time.perf_counter() - scheduled))
+            recorder.samples.append((status, time.perf_counter() - scheduled, weight))
     finally:
         if writer is not None:
             writer.close()
 
 
-async def _warmup(host: str, port: int, requests: list[bytes]) -> None:
+async def _warmup(host: str, port: int, requests: list[tuple[bytes, int]]) -> None:
     reader, writer = await asyncio.open_connection(host, port)
     try:
-        for data in requests:
+        for data, _weight in requests:
             writer.write(data)
             await writer.drain()
             await _read_response(reader)
@@ -221,8 +242,16 @@ async def _warmup(host: str, port: int, requests: list[bytes]) -> None:
         writer.close()
 
 
+def _body_weight(body: dict) -> int:
+    """Cells one request prices: batch bodies weigh their cell count."""
+    cells = body.get("cells")
+    if isinstance(cells, (list, tuple)):
+        return max(1, len(cells))
+    return 1
+
+
 async def run_load(
-    url: str,
+    url: "str | list[str]",
     bodies: list[dict],
     mode: str = "closed",
     concurrency: int = 8,
@@ -231,34 +260,57 @@ async def run_load(
     warmup: bool = True,
     path: str = "/v1/predict",
 ) -> LoadResult:
-    """Drive ``url`` with the given query bodies and measure.
+    """Drive one or more targets with the query bodies and measure.
 
     ``bodies`` rotate round-robin across requests; with ``warmup``
-    each is issued once before the clock starts, so the measured
-    window sees only warm-cache queries.
+    each is issued once *per target* before the clock starts, so the
+    measured window sees only warm-cache queries.  A list of URLs
+    (e.g. a sharded tier's members) spreads the worker connections
+    round-robin across targets and reports aggregate numbers.
     """
     if mode not in ("closed", "open"):
         raise ValueError(f"mode must be 'closed' or 'open', got {mode!r}")
     if mode == "open" and not rate:
         raise ValueError("open-loop mode needs a positive --rate")
-    split = urlsplit(url)
-    host, port = split.hostname or "127.0.0.1", split.port or 80
-    requests = [encode_request(f"{host}:{port}", path, body) for body in bodies]
+    urls = [url] if isinstance(url, str) else list(url)
+    if not urls:
+        raise ValueError("need at least one target URL")
+    endpoints: list[tuple[str, int]] = []
+    for target in urls:
+        split = urlsplit(target)
+        endpoints.append((split.hostname or "127.0.0.1", split.port or 80))
+    requests_by_target = [
+        [
+            (encode_request(f"{host}:{port}", path, body), _body_weight(body))
+            for body in bodies
+        ]
+        for host, port in endpoints
+    ]
     if warmup:
-        await _warmup(host, port, requests)
+        await asyncio.gather(*(
+            _warmup(host, port, requests)
+            for (host, port), requests in zip(endpoints, requests_by_target)
+        ))
 
     recorders = [_Recorder() for _ in range(concurrency)]
     started = time.perf_counter()
     if mode == "closed":
         deadline = started + duration_s
         await asyncio.gather(*(
-            _closed_worker(host, port, requests, i, deadline, recorders[i])
+            _closed_worker(
+                *endpoints[i % len(endpoints)],
+                requests_by_target[i % len(endpoints)],
+                i, deadline, recorders[i],
+            )
             for i in range(concurrency)
         ))
     else:
-        arrivals: asyncio.Queue = asyncio.Queue()
+        queues: list[asyncio.Queue] = [asyncio.Queue() for _ in endpoints]
         workers = [
-            asyncio.ensure_future(_open_worker(host, port, arrivals, recorders[i]))
+            asyncio.ensure_future(_open_worker(
+                *endpoints[i % len(endpoints)],
+                queues[i % len(endpoints)], recorders[i],
+            ))
             for i in range(concurrency)
         ]
         interval = 1.0 / float(rate)
@@ -270,15 +322,17 @@ async def run_load(
                 break
             if scheduled > now:
                 await asyncio.sleep(scheduled - now)
-            arrivals.put_nowait((requests[n % len(requests)], scheduled))
+            data, weight = requests_by_target[n % len(endpoints)][n % len(bodies)]
+            queues[n % len(endpoints)].put_nowait((data, weight, scheduled))
             n += 1
-        for _ in workers:
-            arrivals.put_nowait(None)
+        for i, _worker in enumerate(workers):
+            queues[i % len(endpoints)].put_nowait(None)
         await asyncio.gather(*workers)
     elapsed = time.perf_counter() - started
 
     result = LoadResult(
-        mode=mode, duration_s=elapsed, concurrency=concurrency, rate=rate
+        mode=mode, duration_s=elapsed, concurrency=concurrency, rate=rate,
+        targets=len(urls),
     )
     for recorder in recorders:
         recorder.fold(result)
@@ -288,6 +342,41 @@ async def run_load(
 def write_bench(result: LoadResult, target: str | Path) -> None:
     """Write the serving-perf baseline document."""
     Path(target).write_text(json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n")
+
+
+def write_tier_bench(
+    legacy: LoadResult,
+    sharded: LoadResult,
+    restart: dict,
+    shards: int,
+    target: str | Path,
+) -> None:
+    """Write the sharded-tier serving baseline.
+
+    Top-level fields keep the historical single-row layout (the
+    ``benchdiff`` contract reads ``throughput_rps``/``latency_ms``
+    there), extended with the tier rows: ``sharded`` (aggregate bulk
+    pricing throughput over the shard set, in cells/s) and ``restart``
+    (the kill-one-shard drill — ``cold_misses`` must stay 0).
+    """
+    doc = legacy.to_json()
+    doc["sharded"] = {"shards": shards, **sharded.to_json()}
+    doc["restart"] = dict(restart)
+    Path(target).write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+async def post_json(url: str, path: str, doc: dict) -> tuple[int, dict]:
+    """POST one JSON document over a one-shot connection."""
+    split = urlsplit(url)
+    host, port = split.hostname or "127.0.0.1", split.port or 80
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        writer.write(encode_request(f"{host}:{port}", path, doc))
+        await writer.drain()
+        status, body = await _read_response(reader)
+    finally:
+        writer.close()
+    return status, json.loads(body.decode() or "null")
 
 
 # --------------------------------------------------------------------------

@@ -30,7 +30,9 @@ bit-identical to direct :func:`~repro.core.study.run_study` output.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Mapping, Sequence
 
 from ..apps import APPS_BY_NAME, PROXY_APPS
@@ -45,13 +47,61 @@ PROTOCOL_VERSION = "v1"
 #: Problem-scale presets a request may name.
 SCALES = ("bench", "paper", "sweep")
 
-#: Upper bound on the run matrix one ``/v1/study`` request may expand
-#: to — admission control for a single request's cost.
+#: Default upper bound on the run matrix one ``/v1/study`` request may
+#: expand to — admission control for a single request's cost.  The
+#: effective limit is configurable (``ServeConfig.max_study_runs`` /
+#: the ``REPRO_SERVE_MAX_STUDY_RUNS`` environment variable).
 MAX_STUDY_RUNS = 64
+
+#: Default upper bound on cells per ``/v1/batch`` request.  Bulk
+#: traffic is the endpoint's point, so the default is far above the
+#: study cap; ``ServeConfig.max_batch_cells`` /
+#: ``REPRO_SERVE_MAX_BATCH_CELLS`` override it.
+MAX_BATCH_CELLS = 512
+
+
+def _env_limit(name: str, default: int) -> int:
+    """A positive-integer limit from the environment, else ``default``."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value > 0 else default
+
+
+def max_study_runs() -> int:
+    """The effective ``/v1/study`` run cap for this process."""
+    return _env_limit("REPRO_SERVE_MAX_STUDY_RUNS", MAX_STUDY_RUNS)
+
+
+def max_batch_cells() -> int:
+    """The effective ``/v1/batch`` cell cap for this process."""
+    return _env_limit("REPRO_SERVE_MAX_BATCH_CELLS", MAX_BATCH_CELLS)
 
 
 class ProtocolError(ValueError):
     """A malformed or out-of-range request (an HTTP 400)."""
+
+
+class LimitExceeded(ProtocolError):
+    """A well-formed request over a configured size cap (an HTTP 413).
+
+    Distinct from :class:`ProtocolError` so the server can answer with
+    a payload-too-large status and a structured error naming both the
+    actual size and the limit — the client's cue to split the request,
+    not to fix it.
+    """
+
+    def __init__(self, what: str, actual: int, limit: int) -> None:
+        super().__init__(
+            f"{what} expands to {actual} runs, over the per-request limit "
+            f"of {limit}; split the request"
+        )
+        self.actual = actual
+        self.limit = limit
 
 
 def _require(doc: Mapping, field: str, default: object = None) -> object:
@@ -61,27 +111,50 @@ def _require(doc: Mapping, field: str, default: object = None) -> object:
     return value
 
 
-def _parse_app(name: object) -> str:
-    if not isinstance(name, str):
-        raise ProtocolError(f"field 'app' must be a string, got {type(name).__name__}")
+# The parse helpers sit on the bulk endpoint's per-cell hot path, so
+# the case-insensitive table scans are memoized.  Each memo is guarded
+# by an isinstance check *outside* the cached function: lru_cache would
+# raise TypeError on unhashable junk (a list where a string belongs)
+# before the lookup ran, and the client must see a ProtocolError.
+
+
+@lru_cache(maxsize=None)
+def _lookup_app(name: str) -> str | None:
     for known in APPS_BY_NAME:
         if known.lower() == name.lower():
             return known
-    raise ProtocolError(
-        f"unknown app {name!r}: known apps are {', '.join(sorted(APPS_BY_NAME))}"
-    )
+    return None
+
+
+def _parse_app(name: object) -> str:
+    if not isinstance(name, str):
+        raise ProtocolError(f"field 'app' must be a string, got {type(name).__name__}")
+    known = _lookup_app(name)
+    if known is None:
+        raise ProtocolError(
+            f"unknown app {name!r}: known apps are {', '.join(sorted(APPS_BY_NAME))}"
+        )
+    return known
+
+
+@lru_cache(maxsize=None)
+def _lookup_model(app: str, name: str) -> str | None:
+    for known in APPS_BY_NAME[app].ports:
+        if known.lower() == name.lower():
+            return known
+    return None
 
 
 def _parse_model(app: str, name: object) -> str:
     if not isinstance(name, str):
         raise ProtocolError(f"field 'model' must be a string, got {type(name).__name__}")
-    ports = APPS_BY_NAME[app].ports
-    for known in ports:
-        if known.lower() == name.lower():
-            return known
-    raise ProtocolError(
-        f"{app} has no {name!r} port: known models are {', '.join(sorted(ports))}"
-    )
+    known = _lookup_model(app, name)
+    if known is None:
+        ports = APPS_BY_NAME[app].ports
+        raise ProtocolError(
+            f"{app} has no {name!r} port: known models are {', '.join(sorted(ports))}"
+        )
+    return known
 
 
 def _parse_platform(value: object) -> str:
@@ -90,11 +163,19 @@ def _parse_platform(value: object) -> str:
     raise ProtocolError(f"field 'platform' must be {APU!r} or {DGPU!r}, got {value!r}")
 
 
+@lru_cache(maxsize=None)
+def _lookup_precision(value: str) -> Precision | None:
+    for precision in Precision:
+        if precision.value == value.lower():
+            return precision
+    return None
+
+
 def _parse_precision(value: object) -> Precision:
     if isinstance(value, str):
-        for precision in Precision:
-            if precision.value == value.lower():
-                return precision
+        precision = _lookup_precision(value)
+        if precision is not None:
+            return precision
     raise ProtocolError(
         f"field 'precision' must be one of "
         f"{', '.join(repr(p.value) for p in Precision)}, got {value!r}"
@@ -118,13 +199,44 @@ def _parse_clock(doc: Mapping, field: str) -> float | None:
     return float(value)
 
 
+@lru_cache(maxsize=None)
 def resolve_config(app: str, scale: str) -> object:
-    """The problem configuration a scale preset names for one app."""
+    """The problem configuration a scale preset names for one app.
+
+    Memoized: the configs are frozen value objects, and rebuilding the
+    preset table per request cell was the serving hot path's single
+    largest cost (the bulk endpoint resolves one config per cell).
+    """
     if scale == "bench":
         return bench_configs()[app]
     if scale == "sweep":
         return sweep_configs()[app]
     return APPS_BY_NAME[app].paper_config()
+
+
+@lru_cache(maxsize=16384)
+def _interned_spec(
+    app: str,
+    model: str,
+    platform: str,
+    precision: Precision,
+    scale: str,
+    core_mhz: float | None,
+    memory_mhz: float | None,
+) -> RunSpec:
+    """One shared :class:`RunSpec` per distinct (validated) cell.
+
+    Request cells repeat heavily in steady-state serving; interning
+    the descriptor skips re-validation *and* lets the instance-level
+    ``content_key`` memo hit across requests, collapsing the per-cell
+    routing/caching key to a dict lookup.  Safe to share: the spec and
+    its config are frozen, and every field here has already been
+    validated by the parse layer.
+    """
+    return RunSpec(
+        app, model, platform, precision, resolve_config(app, scale),
+        projection=True, core_mhz=core_mhz, memory_mhz=memory_mhz,
+    )
 
 
 @dataclass(frozen=True)
@@ -174,16 +286,20 @@ class PredictRequest:
         numbers content-address to the same cached runs the batch
         pipeline computes.
         """
-        config = resolve_config(self.app, self.scale)
-        baseline = RunSpec(
-            self.app, BASELINE_MODEL, self.platform, self.precision, config,
-            projection=True,
+        baseline = _interned_spec(
+            self.app, BASELINE_MODEL, self.platform, self.precision,
+            self.scale, None, None,
         )
-        model = RunSpec(
-            self.app, self.model, self.platform, self.precision, config,
-            projection=True, core_mhz=self.core_mhz, memory_mhz=self.memory_mhz,
+        return baseline, self.spec()
+
+    def spec(self) -> RunSpec:
+        """Just the queried cell's descriptor (no baseline) — the unit
+        ``/v1/batch`` prices.  Interned across requests: routing,
+        pricing, and the response echo all need it."""
+        return _interned_spec(
+            self.app, self.model, self.platform, self.precision,
+            self.scale, self.core_mhz, self.memory_mhz,
         )
-        return baseline, model
 
 
 @dataclass(frozen=True)
@@ -197,7 +313,7 @@ class StudyRequest:
     scale: str = "bench"
 
     @classmethod
-    def from_json(cls, doc: object) -> "StudyRequest":
+    def from_json(cls, doc: object, max_runs: int | None = None) -> "StudyRequest":
         if not isinstance(doc, Mapping):
             raise ProtocolError("request body must be a JSON object")
 
@@ -231,12 +347,10 @@ class StudyRequest:
             ),
             scale=_parse_scale(doc.get("scale", "bench")),
         )
+        limit = max_runs if max_runs is not None else max_study_runs()
         n_runs = len(request.runs())
-        if n_runs > MAX_STUDY_RUNS:
-            raise ProtocolError(
-                f"study matrix expands to {n_runs} runs, over the per-request "
-                f"limit of {MAX_STUDY_RUNS}; split the request"
-            )
+        if n_runs > limit:
+            raise LimitExceeded("study matrix", n_runs, limit)
         return request
 
     def to_json(self) -> dict:
@@ -264,6 +378,49 @@ class StudyRequest:
             baseline=BASELINE_MODEL,
             projection=True,
         )
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """A flat list of cells to price: the ``/v1/batch`` request body.
+
+    The bulk endpoint for study-shaped traffic.  Each cell carries the
+    same fields as a ``/v1/predict`` request, but the response prices
+    exactly the listed cells — no implicit baseline runs, no
+    speedups — so a client (or the shard router fanning out a
+    ``/v1/study``) controls precisely which specs are computed where.
+    Cells skip the micro-batching window and go straight to columnar
+    pricing.
+    """
+
+    cells: tuple[PredictRequest, ...]
+
+    @classmethod
+    def from_json(cls, doc: object, max_cells: int | None = None) -> "BatchRequest":
+        if not isinstance(doc, Mapping):
+            raise ProtocolError("request body must be a JSON object")
+        raw = doc.get("cells")
+        if isinstance(raw, str) or not isinstance(raw, Sequence) or not raw:
+            raise ProtocolError("field 'cells' must be a non-empty array")
+        limit = max_cells if max_cells is not None else max_batch_cells()
+        if len(raw) > limit:
+            raise LimitExceeded("cell list", len(raw), limit)
+        cells = []
+        for index, item in enumerate(raw):
+            try:
+                cells.append(PredictRequest.from_json(item))
+            except LimitExceeded:
+                raise
+            except ProtocolError as exc:
+                raise ProtocolError(f"cells[{index}]: {exc}") from exc
+        return cls(cells=tuple(cells))
+
+    def to_json(self) -> dict:
+        return {"cells": [cell.to_json() for cell in self.cells]}
+
+    def specs(self) -> list[RunSpec]:
+        """One descriptor per cell, in request order."""
+        return [cell.spec() for cell in self.cells]
 
 
 def predict_response(
@@ -294,6 +451,37 @@ def study_response(request: StudyRequest, entries: list[dict], served: dict) -> 
         "request": request.to_json(),
         "entries": entries,
         "served": served,
+    }
+
+
+def batch_response(request: BatchRequest, priced: Sequence[tuple]) -> dict:
+    """The ``/v1/batch`` response document.
+
+    ``priced`` pairs each cell's :class:`~repro.apps.base.RunResult`
+    with its provenance label, in request order.  Results echo the
+    cell plus the raw prices and the content key — enough for a caller
+    to join answers back to cells and to compute any derived metric
+    (the shard router derives study speedups this way, bit-identically
+    to ``run_study``).
+    """
+    results = []
+    for cell, (result, provenance) in zip(request.cells, priced):
+        doc = cell.to_json()
+        doc.update({
+            "seconds": result.seconds,
+            "kernel_seconds": result.kernel_seconds,
+            "key": cell.spec().content_key()[:16],
+            "provenance": provenance,
+        })
+        results.append(doc)
+    tally: dict[str, int] = {}
+    for _result, provenance in priced:
+        tally[provenance] = tally.get(provenance, 0) + 1
+    return {
+        "version": PROTOCOL_VERSION,
+        "count": len(results),
+        "results": results,
+        "served": tally,
     }
 
 

@@ -48,8 +48,9 @@ from ..obs import logging as obs_logging
 from ..obs import tracing
 from ..obs.export import chrome_trace
 from ..obs.metrics import MetricsRegistry
-from . import protocol
+from . import protocol, warmup
 from .batcher import BackendRunError, Batcher
+from .store import PersistentResultCache, ResultStore
 
 #: Latency buckets for serving (seconds): log-1/2-decade from a 100 µs
 #: floor to a 10 s tail.  Warm predict p99 is ~2.6 ms; decade spacing
@@ -72,7 +73,7 @@ _MAX_BODY_BYTES = 1024 * 1024
 _REASONS = {
     200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed",
     413: "Payload Too Large", 429: "Too Many Requests", 500: "Internal Server Error",
-    503: "Service Unavailable", 504: "Gateway Timeout",
+    502: "Bad Gateway", 503: "Service Unavailable", 504: "Gateway Timeout",
 }
 
 
@@ -103,6 +104,23 @@ class ServeConfig:
     #: Record a distributed trace per prediction request.  Purely
     #: observational — responses are bit-identical either way.
     tracing: bool = True
+    #: Root of the persistent content-addressed result store shared by
+    #: every process pointed at it; ``None`` keeps results in-memory
+    #: only (the pre-PR-8 behaviour).
+    store_path: str | None = None
+    #: Boot-time warm-up: ``"none"``, ``"load"`` (seed memory from the
+    #: store), or ``"presets"`` (load, then pre-price the reachable
+    #: preset lattice through the columnar engine).
+    warm: str = "load"
+    #: Scale presets the ``"presets"`` warm-up prices.
+    warm_scales: tuple[str, ...] = ("bench",)
+    #: This process's index within a sharded tier (``None`` standalone).
+    shard_id: int | None = None
+    #: Per-request caps; ``None`` defers to the protocol defaults and
+    #: their ``REPRO_SERVE_MAX_STUDY_RUNS`` / ``_MAX_BATCH_CELLS``
+    #: environment overrides.
+    max_study_runs: int | None = None
+    max_batch_cells: int | None = None
 
     def policy(self) -> RetryPolicy:
         return RetryPolicy(max_attempts=self.retries, run_timeout=self.run_timeout_s)
@@ -189,11 +207,22 @@ class Server:
     def __init__(self, config: ServeConfig | None = None) -> None:
         self.config = config if config is not None else ServeConfig()
         self.metrics = MetricsRegistry()
+        if self.config.warm not in warmup.WARM_MODES:
+            raise ValueError(
+                f"warm must be one of {warmup.WARM_MODES}, got {self.config.warm!r}"
+            )
+        self.store: ResultStore | None = None
+        cache = None
+        if self.config.store_path is not None:
+            self.store = ResultStore(self.config.store_path)
+            cache = PersistentResultCache(self.store)
+        self.warm_report: warmup.WarmReport | None = None
         self.batcher = Batcher(
             window_s=self.config.window_s,
             max_batch=self.config.max_batch,
             policy=self.config.policy(),
             metrics=self.metrics,
+            cache=cache,
             engine=self.config.engine,
         )
         self._server: asyncio.AbstractServer | None = None
@@ -220,6 +249,9 @@ class Server:
         return f"http://{self.config.host}:{self.port}"
 
     async def start(self) -> None:
+        # Warm up BEFORE binding: /readyz cannot answer 200 until the
+        # cache state the tier promises ("restarts serve warm") exists.
+        self._warm_up()
         self._server = await asyncio.start_server(
             self._handle_connection,
             host=self.config.host,
@@ -235,6 +267,31 @@ class Server:
             max_batch=self.config.max_batch,
             max_queue=self.config.max_queue,
             tracing=self.config.tracing,
+            shard=self.config.shard_id,
+            store=self.config.store_path,
+            warm=self.warm_report.summary() if self.warm_report else self.config.warm,
+        )
+
+    def _warm_up(self) -> None:
+        """Boot-time cache priming per ``ServeConfig.warm``."""
+        if self.config.warm == "none":
+            return
+        if self.config.warm == "load":
+            if self.store is None:
+                return
+            started = time.perf_counter()
+            loaded = warmup.load_store(self.batcher.cache, self.store)
+            self.warm_report = warmup.WarmReport(
+                total=loaded, loaded=loaded, priced=0, deferred=0,
+                wall_s=time.perf_counter() - started,
+            )
+            return
+        if self.store is not None:
+            # Pick up everything resident (clock-override sweeps etc.),
+            # then fill the preset lattice.
+            warmup.load_store(self.batcher.cache, self.store)
+        self.warm_report = warmup.warm_presets(
+            self.batcher.cache, self.store, scales=self.config.warm_scales,
         )
 
     async def serve_forever(self) -> None:
@@ -294,7 +351,9 @@ class Server:
                 started = time.perf_counter()
                 path = request.path.split("?", 1)[0]
                 root: tracing.TraceSpan | None = None
-                if self.config.tracing and path in ("/v1/predict", "/v1/study"):
+                if self.config.tracing and path in (
+                    "/v1/predict", "/v1/study", "/v1/batch"
+                ):
                     root = self.tracer.start_span(
                         "request",
                         kind="server",
@@ -435,15 +494,15 @@ class Server:
                 "version": protocol.PROTOCOL_VERSION,
                 "records": obs_logging.RING.recent(200),
             }, ()
-        if path in ("/v1/predict", "/v1/study"):
-            route = "predict" if path.endswith("predict") else "study"
+        if path in ("/v1/predict", "/v1/study", "/v1/batch"):
+            route = path.rsplit("/", 1)[1]
             if request.method != "POST":
                 return route, 405, protocol.error_response(
                     405, f"{path} only accepts POST"
                 ), ()
             return await self._admitted(route, request)
         return "other", 404, protocol.error_response(
-            404, f"no route {path!r}; try /v1/predict, /v1/study, "
+            404, f"no route {path!r}; try /v1/predict, /v1/study, /v1/batch, "
             "/v1/debug/traces, /v1/debug/logs, /healthz, /readyz or /metrics"
         ), ()
 
@@ -477,11 +536,16 @@ class Server:
                 return route, 400, protocol.error_response(
                     400, f"request body is not valid JSON: {exc}"
                 ), ()
-            handler = self._predict if route == "predict" else self._study
+            handler = {
+                "predict": self._predict, "study": self._study,
+                "batch": self._batch,
+            }[route]
             try:
                 payload = await asyncio.wait_for(
                     handler(doc), timeout=self.config.deadline_s
                 )
+            except protocol.LimitExceeded as exc:
+                return route, 413, protocol.error_response(413, str(exc)), ()
             except protocol.ProtocolError as exc:
                 return route, 400, protocol.error_response(400, str(exc)), ()
             except asyncio.TimeoutError:
@@ -517,8 +581,17 @@ class Server:
             key=model_spec.content_key()[:16],
         )
 
+    async def _batch(self, doc: object) -> dict:
+        request = protocol.BatchRequest.from_json(
+            doc, max_cells=self.config.max_batch_cells
+        )
+        served = await self.batcher.submit_batch(request.specs())
+        return protocol.batch_response(request, served)
+
     async def _study(self, doc: object) -> dict:
-        request = protocol.StudyRequest.from_json(doc)
+        request = protocol.StudyRequest.from_json(
+            doc, max_runs=self.config.max_study_runs
+        )
         runs = request.runs()
         served = await self.batcher.submit_many(runs)
         provenance_tally: dict[str, int] = {}
@@ -617,6 +690,43 @@ class Server:
         snapshot.gauge(
             "repro_serve_shed_requests", help="Requests shed since start."
         ).set(self._shed)
+        if self.store is not None:
+            stats = self.store.snapshot()
+            for outcome, count in (("hit", stats.hits), ("miss", stats.misses)):
+                snapshot.counter(
+                    "repro_store_lookups_total",
+                    help="Persistent result-store lookups.", outcome=outcome,
+                ).inc(count)
+            snapshot.counter(
+                "repro_store_writes_total",
+                help="Results durably written to the persistent store.",
+            ).inc(stats.writes)
+            snapshot.counter(
+                "repro_store_corrupt_total",
+                help="Torn or corrupt store entries tolerated on read.",
+            ).inc(stats.corrupt)
+            snapshot.counter(
+                "repro_store_lock_waits_total",
+                help="Cross-process single-flight waits on another "
+                "process's in-flight computation.",
+            ).inc(stats.lock_waits)
+        if self.warm_report is not None:
+            for field_name, value in (
+                ("loaded", self.warm_report.loaded),
+                ("priced", self.warm_report.priced),
+                ("deferred", self.warm_report.deferred),
+            ):
+                snapshot.gauge(
+                    "repro_serve_warm_results",
+                    help="Warm-up outcome by kind (loaded from store, "
+                    "priced at boot, deferred to a concurrent shard).",
+                    kind=field_name,
+                ).set(value)
+        if self.config.shard_id is not None:
+            snapshot.gauge(
+                "repro_serve_shard_id",
+                help="This process's index within the sharded tier.",
+            ).set(self.config.shard_id)
         snapshot.gauge(
             "repro_build_info",
             help="Build identity; always 1 with the details as labels.",
@@ -664,7 +774,7 @@ class ServerThread:
     def __exit__(self, *exc_info: object) -> None:
         self.stop()
 
-    def start(self, timeout: float = 10.0) -> "ServerThread":
+    def start(self, timeout: float = 60.0) -> "ServerThread":
         self._thread = threading.Thread(
             target=self._main, name="repro-serve", daemon=True
         )

@@ -1,0 +1,932 @@
+"""Horizontally sharded serve tier: hash router over shard processes.
+
+One serve process tops out at one backend engine thread.  To scale the
+tier horizontally this module runs N :class:`~repro.serve.server.Server`
+processes ("shards") over one shared persistent
+:class:`~repro.serve.store.ResultStore`, fronted by a thin asyncio
+router that speaks the same protocol on the same routes:
+
+* ``POST /v1/predict`` is forwarded whole to the shard that owns the
+  queried cell's content key (:func:`shard_for_key`), so repeat
+  queries for one spec always land on the same warm memory.
+* ``POST /v1/study`` and ``POST /v1/batch`` are *fanned out*: the
+  router expands the matrix exactly like a single server would, groups
+  the cells by owning shard, prices each group through that shard's
+  ``/v1/batch``, and reassembles the response in canonical order —
+  bit-identical to a single server's answer (and to ``run_study``),
+  because the cells, their canonical order, and the speedup arithmetic
+  are shared code, and JSON round-trips floats exactly.
+* ``GET /readyz`` aggregates: the tier is ready only when every shard
+  is.  ``GET /v1/shards`` lists the members; ``POST /v1/admin/restart``
+  gracefully bounces one (drain, then a fresh process that boots warm
+  from the store — the restart drill CI exercises).
+
+Graceful drain is preserved at both levels: the router stops
+accepting, finishes in-flight fan-outs, then SIGTERMs the shards,
+which each run their own drain.
+
+Work is partitioned by ``sha256(content) mod N``: stateless,
+deterministic across processes (no coordination), and stable under
+identical restarts.  The shared store makes ownership a *performance*
+hint rather than a correctness requirement — any shard can price any
+spec, and the first durable write wins.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import json
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from urllib.parse import urlsplit
+
+from ..core.metrics import speedup
+from ..obs import logging as obs_logging
+from ..obs.metrics import MetricsRegistry
+from . import protocol
+from .server import (
+    SERVE_LATENCY_BUCKETS,
+    ServeConfig,
+    Server,
+    _encode_response,
+    _HttpRequest,
+    _BadRequest,
+    _read_request,
+)
+
+
+def shard_for_key(key: str, shards: int) -> int:
+    """The shard index owning one content key.
+
+    The key is already a uniform sha256 hex digest, so a prefix modulo
+    is an even, deterministic partition — every process (router,
+    shard, client) computes the same owner with no coordination.
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    return int(key[:16], 16) % shards
+
+
+# -- shard worker processes --------------------------------------------
+
+
+def _shard_main(config: ServeConfig, conn) -> None:
+    """Entry point of one shard process (spawn-safe, top-level).
+
+    Boots a :class:`Server`, reports the bound port (or the boot
+    failure) through ``conn``, then serves until SIGTERM/SIGINT and
+    drains.
+    """
+
+    async def main() -> None:
+        server = Server(config)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX loops
+                signal.signal(sig, lambda *_: stop.set())
+        try:
+            await server.start()
+        except BaseException as exc:
+            conn.send({"error": f"{type(exc).__name__}: {exc}"})
+            conn.close()
+            raise
+        conn.send({"port": server.port})
+        conn.close()
+        await stop.wait()
+        await server.shutdown()
+
+    asyncio.run(main())
+
+
+@dataclass
+class _Shard:
+    """One live member of the tier, as the supervisor tracks it."""
+
+    index: int
+    process: multiprocessing.process.BaseProcess
+    port: int
+    generation: int = 0
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+
+class ShardSupervisor:
+    """Spawns, restarts, and stops the tier's shard processes.
+
+    Every shard gets the same :class:`ServeConfig` with its own
+    ``shard_id`` and an ephemeral port; the bound port travels back
+    over a pipe once the shard is warm and listening (so "started"
+    means "ready to serve warm", never "about to warm up").
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig,
+        shards: int,
+        start_timeout_s: float = 300.0,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.config = config
+        self.n_shards = shards
+        self.start_timeout_s = start_timeout_s
+        self._ctx = multiprocessing.get_context("spawn")
+        self._shards: dict[int, _Shard] = {}
+        self._lock = threading.Lock()
+        self.restarts = 0
+        self.log = obs_logging.get_logger("shard")
+
+    def start(self) -> None:
+        for index in range(self.n_shards):
+            self._shards[index] = self._spawn(index)
+        self.log.info(
+            "tier-started", shards=self.n_shards,
+            urls=[shard.url for shard in self.shards()],
+        )
+
+    def _spawn(self, index: int, generation: int = 0) -> _Shard:
+        config = dataclasses.replace(
+            self.config, host="127.0.0.1", port=0, shard_id=index
+        )
+        parent, child = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_main, args=(config, child),
+            name=f"repro-shard-{index}", daemon=True,
+        )
+        process.start()
+        child.close()
+        deadline = time.monotonic() + self.start_timeout_s
+        while not parent.poll(0.05):
+            if time.monotonic() > deadline:
+                process.terminate()
+                raise RuntimeError(
+                    f"shard {index} did not report a port within "
+                    f"{self.start_timeout_s:g}s"
+                )
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"shard {index} died during startup "
+                    f"(exit code {process.exitcode})"
+                )
+        try:
+            message = parent.recv()
+        except EOFError:
+            process.join(timeout=5.0)
+            raise RuntimeError(
+                f"shard {index} died during startup "
+                f"(exit code {process.exitcode})"
+            )
+        parent.close()
+        if "error" in message:
+            process.join(timeout=5.0)
+            raise RuntimeError(f"shard {index} failed to start: {message['error']}")
+        return _Shard(
+            index=index, process=process, port=message["port"],
+            generation=generation,
+        )
+
+    def shards(self) -> list[_Shard]:
+        with self._lock:
+            return [self._shards[i] for i in sorted(self._shards)]
+
+    @property
+    def urls(self) -> list[str]:
+        return [shard.url for shard in self.shards()]
+
+    def url_for(self, index: int) -> str:
+        with self._lock:
+            return self._shards[index].url
+
+    def restart(self, index: int) -> str:
+        """Gracefully bounce one shard; returns the replacement's URL.
+
+        The old process gets SIGTERM (its own drain), then a fresh
+        process boots against the same store — warm, if the tier runs
+        one.  Blocking; callers on an event loop run it in an executor.
+        """
+        with self._lock:
+            if index not in self._shards:
+                raise KeyError(f"no shard {index}; tier has {self.n_shards}")
+            old = self._shards[index]
+        self._stop_process(old.process)
+        replacement = self._spawn(index, generation=old.generation + 1)
+        with self._lock:
+            self._shards[index] = replacement
+            self.restarts += 1
+        self.log.info(
+            "shard-restarted", shard=index, url=replacement.url,
+            generation=replacement.generation,
+        )
+        return replacement.url
+
+    def _stop_process(self, process: multiprocessing.process.BaseProcess) -> None:
+        if process.is_alive() and process.pid is not None:
+            os.kill(process.pid, signal.SIGTERM)
+        process.join(timeout=self.config.drain_timeout_s + 10.0)
+        if process.is_alive():  # pragma: no cover - drain overran its budget
+            process.terminate()
+            process.join(timeout=5.0)
+
+    def stop(self) -> None:
+        for shard in self.shards():
+            self._stop_process(shard.process)
+        with self._lock:
+            self._shards.clear()
+
+
+# -- the router's HTTP client ------------------------------------------
+
+
+class _ShardClient:
+    """A keep-alive JSON client for one shard URL (single event loop).
+
+    Connections are pooled on a free list; a request that hits a stale
+    pooled connection retries once on a fresh one.
+    """
+
+    def __init__(self, url: str) -> None:
+        parts = urlsplit(url)
+        self.host = parts.hostname or "127.0.0.1"
+        self.port = parts.port or 80
+        self._free: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def request(
+        self, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        fresh = not self._free
+        reader, writer = await self._acquire()
+        try:
+            return await self._roundtrip(reader, writer, method, path, body)
+        except (ConnectionError, asyncio.IncompleteReadError, OSError):
+            writer.close()
+            if fresh:
+                raise
+            # The pooled connection went stale (its shard restarted, or
+            # an idle timeout): one retry on a brand-new connection.
+            reader, writer = await self._open()
+            try:
+                return await self._roundtrip(reader, writer, method, path, body)
+            except BaseException:
+                writer.close()
+                raise
+
+    async def _acquire(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        while self._free:
+            reader, writer = self._free.pop()
+            if not writer.is_closing():
+                return reader, writer
+            writer.close()
+        return await self._open()
+
+    async def _open(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(self.host, self.port)
+
+    async def _roundtrip(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        body: bytes | None,
+    ) -> tuple[int, bytes]:
+        payload = body or b""
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            f"Content-Type: application/json\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            "Connection: keep-alive\r\n\r\n"
+        )
+        writer.write(head.encode() + payload)
+        await writer.drain()
+        status_line = await reader.readline()
+        if not status_line:
+            raise ConnectionResetError("shard closed the connection")
+        status = int(status_line.split()[1])
+        length = 0
+        keep_alive = True
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+            if name.strip().lower() == "connection" and "close" in value.lower():
+                keep_alive = False
+        response = await reader.readexactly(length) if length else b""
+        if keep_alive:
+            self._free.append((reader, writer))
+        else:
+            writer.close()
+        return status, response
+
+    def close(self) -> None:
+        for _reader, writer in self._free:
+            writer.close()
+        self._free.clear()
+
+
+class ShardUnavailable(Exception):
+    """A shard could not answer (connect failure or malformed reply)."""
+
+
+# -- the router --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Tuning of the sharding front itself."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: Budget for one downstream shard call inside a fan-out.
+    deadline_s: float = 60.0
+    drain_timeout_s: float = 10.0
+    #: Per-shard ``/readyz`` probe budget for the aggregate.
+    probe_timeout_s: float = 5.0
+    #: Per-request caps, enforced at the edge before any fan-out;
+    #: ``None`` defers to the protocol defaults / env overrides.
+    max_study_runs: int | None = None
+    max_batch_cells: int | None = None
+
+
+class ShardRouter:
+    """The tier's front: one listener, N shards, same protocol.
+
+    Owns either a :class:`ShardSupervisor` (it can then restart
+    members via ``/v1/admin/restart``) or a static URL list (routing
+    over externally managed shards).
+    """
+
+    def __init__(
+        self,
+        supervisor: ShardSupervisor | None = None,
+        urls: list[str] | None = None,
+        config: RouterConfig | None = None,
+    ) -> None:
+        if (supervisor is None) == (urls is None):
+            raise ValueError("pass exactly one of supervisor= or urls=")
+        self.supervisor = supervisor
+        self._static_urls = list(urls) if urls is not None else None
+        self.config = config if config is not None else RouterConfig()
+        self.metrics = MetricsRegistry()
+        self._clients: dict[str, _ShardClient] = {}
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self._active = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._draining = False
+        self.started_at: float | None = None
+        self.log = obs_logging.get_logger("router")
+
+    # -- membership ----------------------------------------------------
+
+    @property
+    def shard_urls(self) -> list[str]:
+        if self.supervisor is not None:
+            return self.supervisor.urls
+        return list(self._static_urls or [])
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shard_urls)
+
+    def _client(self, url: str) -> _ShardClient:
+        client = self._clients.get(url)
+        if client is None:
+            client = self._clients[url] = _ShardClient(url)
+        return client
+
+    async def _call_shard(
+        self, url: str, method: str, path: str, body: bytes | None = None
+    ) -> tuple[int, bytes]:
+        try:
+            return await asyncio.wait_for(
+                self._client(url).request(method, path, body),
+                timeout=self.config.deadline_s,
+            )
+        except (ConnectionError, OSError, asyncio.TimeoutError,
+                asyncio.IncompleteReadError) as exc:
+            raise ShardUnavailable(f"shard at {url}: {type(exc).__name__}: {exc}")
+
+    async def _call_shard_json(
+        self, url: str, method: str, path: str, doc: dict | None = None
+    ) -> tuple[int, dict]:
+        body = json.dumps(doc).encode() if doc is not None else None
+        status, payload = await self._call_shard(url, method, path, body)
+        try:
+            return status, json.loads(payload.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ShardUnavailable(f"shard at {url} sent non-JSON: {exc}")
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "router not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.config.host}:{self.port}"
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port,
+        )
+        self.started_at = time.time()
+        self.log.info(
+            "router-started", url=self.url, shards=self.shard_urls,
+        )
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Drain the router, then stop the shards it supervises."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        try:
+            await asyncio.wait_for(
+                self._idle.wait(), timeout=self.config.drain_timeout_s
+            )
+        except asyncio.TimeoutError:  # pragma: no cover - drain overran
+            pass
+        for writer in list(self._connections):
+            writer.close()
+        if self._handlers:
+            await asyncio.wait(set(self._handlers), timeout=1.0)
+        for client in self._clients.values():
+            client.close()
+        if self.supervisor is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.supervisor.stop
+            )
+        self.log.info("router-stopped")
+
+    # -- connection handling -------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await _read_request(reader)
+                except _BadRequest as exc:
+                    writer.write(_encode_response(
+                        400, protocol.error_response(400, str(exc)), keep_alive=False
+                    ))
+                    await writer.drain()
+                    self._observe("other", 400, 0.0)
+                    break
+                if request is None:
+                    break
+                keep_alive = request.keep_alive and not self._draining
+                started = time.perf_counter()
+                route, status, payload = await self._dispatch(request)
+                writer.write(_encode_response(status, payload, keep_alive))
+                await writer.drain()
+                self._observe(route, status, time.perf_counter() - started)
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            if task is not None:
+                self._handlers.discard(task)
+            self._connections.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    def _observe(self, route: str, status: int, latency_s: float) -> None:
+        self.metrics.counter(
+            "repro_router_requests_total",
+            help="Requests through the shard router, by route and status.",
+            route=route, status=str(status),
+        ).inc()
+        self.metrics.histogram(
+            "repro_router_latency_seconds",
+            help="Router-side request latency (fan-out included).",
+            buckets=SERVE_LATENCY_BUCKETS,
+            route=route,
+        ).observe(latency_s)
+
+    # -- routing -------------------------------------------------------
+
+    async def _dispatch(
+        self, request: _HttpRequest
+    ) -> tuple[str, int, dict | str]:
+        path = request.path.split("?", 1)[0]
+        if path == "/healthz":
+            return "healthz", 200, {
+                "status": "ok", "role": "router", "shards": self.n_shards,
+            }
+        if path == "/readyz":
+            return await self._readyz()
+        if path == "/metrics":
+            return "metrics", 200, self._metrics_exposition()
+        if path == "/v1/shards":
+            return await self._shard_listing()
+        if path == "/v1/admin/restart":
+            if request.method != "POST":
+                return "admin", 405, protocol.error_response(
+                    405, "/v1/admin/restart only accepts POST"
+                )
+            return await self._admin_restart(request)
+        if path in ("/v1/predict", "/v1/study", "/v1/batch"):
+            route = path.rsplit("/", 1)[1]
+            if request.method != "POST":
+                return route, 405, protocol.error_response(
+                    405, f"{path} only accepts POST"
+                )
+            if self._draining:
+                return route, 503, protocol.error_response(
+                    503, "router is draining"
+                )
+            return await self._forwarded(route, request)
+        return "other", 404, protocol.error_response(
+            404, f"no route {path!r}; the router serves /v1/predict, /v1/study, "
+            "/v1/batch, /v1/shards, /v1/admin/restart, /healthz, /readyz "
+            "and /metrics"
+        )
+
+    async def _forwarded(
+        self, route: str, request: _HttpRequest
+    ) -> tuple[str, int, dict | str]:
+        self._active += 1
+        self._idle.clear()
+        try:
+            try:
+                doc = json.loads(request.body.decode() or "null")
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return route, 400, protocol.error_response(
+                    400, f"request body is not valid JSON: {exc}"
+                )
+            handler = {
+                "predict": self._predict, "study": self._study,
+                "batch": self._batch,
+            }[route]
+            try:
+                status, payload = await handler(doc)
+            except protocol.LimitExceeded as exc:
+                return route, 413, protocol.error_response(413, str(exc))
+            except protocol.ProtocolError as exc:
+                return route, 400, protocol.error_response(400, str(exc))
+            except ShardUnavailable as exc:
+                return route, 502, protocol.error_response(502, str(exc))
+            return route, status, payload
+        finally:
+            self._active -= 1
+            if self._active == 0:
+                self._idle.set()
+
+    # -- prediction routes ---------------------------------------------
+
+    async def _predict(self, doc: object) -> tuple[int, dict]:
+        """Forward the whole request to the cell's owning shard.
+
+        The shard prices baseline + model itself (both hit the shared
+        store after first touch), so the response — speedups, keys,
+        everything — is byte-for-byte what a single server would say.
+        """
+        request = protocol.PredictRequest.from_json(doc)
+        urls = self.shard_urls
+        owner = shard_for_key(request.spec().content_key(), len(urls))
+        self._count_shard_call(owner)
+        status, payload = await self._call_shard_json(
+            urls[owner], "POST", "/v1/predict", request.to_json()
+        )
+        return status, payload
+
+    async def _batch(self, doc: object) -> tuple[int, dict]:
+        request = protocol.BatchRequest.from_json(
+            doc, max_cells=self.config.max_batch_cells
+        )
+        priced = await self._fan_out(request.cells)
+        results = []
+        tally: dict[str, int] = {}
+        for cell_doc in priced:
+            provenance = cell_doc.get("provenance", "unknown")
+            tally[provenance] = tally.get(provenance, 0) + 1
+            results.append(cell_doc)
+        return 200, {
+            "version": protocol.PROTOCOL_VERSION,
+            "count": len(results),
+            "results": results,
+            "served": tally,
+        }
+
+    async def _study(self, doc: object) -> tuple[int, dict]:
+        """Expand the matrix, price it across shards, reassemble.
+
+        The cells and their canonical order come from the same
+        :meth:`StudyRequest.runs` a single server uses; the entry
+        arithmetic below is line-for-line :meth:`Server._study`.  JSON
+        serializes floats by shortest round-trip repr, so the seconds
+        that come back equal the shard's floats bit for bit, and the
+        derived speedups match a single server (and ``run_study``).
+        """
+        request = protocol.StudyRequest.from_json(
+            doc, max_runs=self.config.max_study_runs
+        )
+        runs = request.runs()
+        cells = tuple(
+            protocol.PredictRequest(
+                app=spec.app, model=spec.model, platform=spec.platform,
+                precision=spec.precision, scale=request.scale,
+            )
+            for spec in runs
+        )
+        priced = await self._fan_out(cells)
+        tally: dict[str, int] = {}
+        for cell_doc in priced:
+            provenance = cell_doc.get("provenance", "unknown")
+            tally[provenance] = tally.get(provenance, 0) + 1
+
+        entries: list[dict] = []
+        cursor = iter(priced)
+        models = request.compared_models
+        for app in request.apps:
+            for platform in request.platforms:
+                for precision in request.precisions:
+                    baseline = next(cursor)
+                    for model in models:
+                        result = next(cursor)
+                        entries.append({
+                            "app": app,
+                            "model": model,
+                            "platform": "APU" if platform == protocol.APU else "dGPU",
+                            "precision": precision.value,
+                            "seconds": result["seconds"],
+                            "kernel_seconds": result["kernel_seconds"],
+                            "baseline_seconds": baseline["seconds"],
+                            "speedup": speedup(
+                                baseline["seconds"], result["seconds"]
+                            ),
+                            "kernel_speedup": speedup(
+                                baseline["seconds"], result["kernel_seconds"]
+                            ),
+                        })
+        return 200, protocol.study_response(request, entries, tally)
+
+    async def _fan_out(
+        self, cells: tuple[protocol.PredictRequest, ...]
+    ) -> list[dict]:
+        """Price cells on their owning shards; results in cell order."""
+        urls = self.shard_urls
+        groups: dict[int, list[tuple[int, protocol.PredictRequest]]] = {}
+        for position, cell in enumerate(cells):
+            owner = shard_for_key(cell.spec().content_key(), len(urls))
+            groups.setdefault(owner, []).append((position, cell))
+
+        async def price_group(
+            owner: int, members: list[tuple[int, protocol.PredictRequest]]
+        ) -> list[tuple[int, dict]]:
+            self._count_shard_call(owner)
+            body = {"cells": [cell.to_json() for _pos, cell in members]}
+            status, payload = await self._call_shard_json(
+                urls[owner], "POST", "/v1/batch", body
+            )
+            if status != 200 or not isinstance(payload, dict):
+                message = "unexpected response"
+                if isinstance(payload, dict) and "error" in payload:
+                    message = payload["error"].get("message", message)
+                raise ShardUnavailable(
+                    f"shard {owner} answered {status} pricing "
+                    f"{len(members)} cells: {message}"
+                )
+            results = payload["results"]
+            return [
+                (position, result)
+                for (position, _cell), result in zip(members, results)
+            ]
+        self.metrics.histogram(
+            "repro_router_fanout_shards",
+            help="Shards touched per fanned-out request.",
+            buckets=(1.0, 2.0, 4.0, 8.0, 16.0, 32.0),
+        ).observe(len(groups))
+        placed = await asyncio.gather(*(
+            price_group(owner, members) for owner, members in groups.items()
+        ))
+        ordered: list[dict | None] = [None] * len(cells)
+        for group in placed:
+            for position, result in group:
+                ordered[position] = result
+        return ordered  # type: ignore[return-value]
+
+    def _count_shard_call(self, owner: int) -> None:
+        self.metrics.counter(
+            "repro_router_shard_requests_total",
+            help="Downstream calls per shard.",
+            shard=str(owner),
+        ).inc()
+
+    # -- operations ----------------------------------------------------
+
+    async def _readyz(self) -> tuple[str, int, dict]:
+        """Aggregate readiness: ready only when every shard is."""
+        if self._draining:
+            return "readyz", 503, {"status": "draining"}
+
+        async def probe(url: str) -> dict:
+            try:
+                status, _payload = await asyncio.wait_for(
+                    self._client(url).request("GET", "/readyz"),
+                    timeout=self.config.probe_timeout_s,
+                )
+                return {"url": url, "status": status}
+            except (ConnectionError, OSError, asyncio.TimeoutError,
+                    asyncio.IncompleteReadError) as exc:
+                return {"url": url, "status": 0, "error": type(exc).__name__}
+
+        probes = await asyncio.gather(*(probe(url) for url in self.shard_urls))
+        ready = all(p["status"] == 200 for p in probes)
+        return "readyz", 200 if ready else 503, {
+            "status": "ready" if ready else "degraded",
+            "shards": probes,
+        }
+
+    async def _shard_listing(self) -> tuple[str, int, dict]:
+        shards = []
+        if self.supervisor is not None:
+            for shard in self.supervisor.shards():
+                shards.append({
+                    "shard": shard.index,
+                    "url": shard.url,
+                    "pid": shard.process.pid,
+                    "alive": shard.process.is_alive(),
+                    "generation": shard.generation,
+                })
+        else:
+            for index, url in enumerate(self.shard_urls):
+                shards.append({"shard": index, "url": url})
+        return "shards", 200, {
+            "version": protocol.PROTOCOL_VERSION,
+            "count": len(shards),
+            "restarts": self.supervisor.restarts if self.supervisor else 0,
+            "shards": shards,
+        }
+
+    async def _admin_restart(
+        self, request: _HttpRequest
+    ) -> tuple[str, int, dict]:
+        """Gracefully bounce one shard (drain old, boot warm new)."""
+        if self.supervisor is None:
+            return "admin", 400, protocol.error_response(
+                400, "this router does not supervise its shards; "
+                "restart them externally"
+            )
+        try:
+            doc = json.loads(request.body.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return "admin", 400, protocol.error_response(
+                400, f"request body is not valid JSON: {exc}"
+            )
+        if not isinstance(doc, dict) or not isinstance(doc.get("shard"), int):
+            return "admin", 400, protocol.error_response(
+                400, "body must be {\"shard\": <index>}"
+            )
+        index = doc["shard"]
+        if not 0 <= index < self.supervisor.n_shards:
+            return "admin", 400, protocol.error_response(
+                400, f"no shard {index}; tier has {self.supervisor.n_shards}"
+            )
+        old_url = self.supervisor.url_for(index)
+        started = time.perf_counter()
+        new_url = await asyncio.get_running_loop().run_in_executor(
+            None, self.supervisor.restart, index
+        )
+        client = self._clients.pop(old_url, None)
+        if client is not None:
+            client.close()
+        self.metrics.counter(
+            "repro_router_restarts_total",
+            help="Shard restarts performed through /v1/admin/restart.",
+        ).inc()
+        return "admin", 200, {
+            "version": protocol.PROTOCOL_VERSION,
+            "shard": index,
+            "url": new_url,
+            "restart_s": round(time.perf_counter() - started, 3),
+        }
+
+    def _metrics_exposition(self) -> str:
+        snapshot = MetricsRegistry()
+        snapshot.merge(self.metrics)
+        snapshot.gauge(
+            "repro_router_shards", help="Shards this router fronts."
+        ).set(self.n_shards)
+        snapshot.gauge(
+            "repro_router_uptime_seconds",
+            help="Seconds since the router started accepting connections.",
+        ).set(time.time() - self.started_at if self.started_at is not None else 0.0)
+        return snapshot.to_prometheus()
+
+
+# -- embedding helper --------------------------------------------------
+
+
+class ShardedTier:
+    """Supervisor + router on a background thread, as one handle.
+
+    The sharded counterpart of :class:`~repro.serve.server.ServerThread`:
+    ``repro loadtest --shards N`` and the test suite use it to stand a
+    whole warm tier up (and tear it down) around a measurement.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        shards: int = 2,
+        router: RouterConfig | None = None,
+    ) -> None:
+        self.supervisor = ShardSupervisor(
+            config if config is not None else ServeConfig(), shards
+        )
+        self.router = ShardRouter(supervisor=self.supervisor, config=router)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._failure: BaseException | None = None
+
+    def __enter__(self) -> "ShardedTier":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def start(self, timeout: float = 330.0) -> "ShardedTier":
+        # Shards first (synchronously: their boot includes the warm-up),
+        # then the router thread.
+        self.supervisor.start()
+        self._thread = threading.Thread(
+            target=self._main, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=timeout):
+            raise RuntimeError("router thread failed to start in time")
+        if self._failure is not None:
+            self.supervisor.stop()
+            raise RuntimeError("router thread failed to start") from self._failure
+        return self
+
+    def _main(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.router.start()
+            except BaseException as exc:
+                self._failure = exc
+                self._ready.set()
+                raise
+            self._ready.set()
+            await self._stop.wait()
+            await self.router.shutdown()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # pragma: no cover - surfaced via start()
+            if not self._ready.is_set():
+                self._failure = exc
+                self._ready.set()
+
+    @property
+    def url(self) -> str:
+        return self.router.url
+
+    @property
+    def shard_urls(self) -> list[str]:
+        return self.supervisor.urls
+
+    def stop(self, timeout: float = 60.0) -> None:
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+        self.supervisor.stop()

@@ -79,11 +79,20 @@ def test_compare_file_flags_unknown_names_and_missing_baselines(tmp_path):
     assert len(deltas) == 1 and not deltas[0].ok
 
 
-def test_compare_passes_an_identical_serve_bench(tmp_path):
+def _serve_doc(**overrides) -> dict:
+    """A serve bench document covering every guarded metric."""
     doc = {
         "errors": 0, "throughput_rps": 1000.0,
         "latency_ms": {"p50": 1.0, "p99": 3.0},
+        "sharded": {"shards": 2, "errors": 0, "cells_rps": 50000.0},
+        "restart": {"shard": 0, "cold_misses": 0},
     }
+    doc.update(overrides)
+    return doc
+
+
+def test_compare_passes_an_identical_serve_bench(tmp_path):
+    doc = _serve_doc()
     baseline_dir = tmp_path / "base"
     baseline_dir.mkdir()
     (baseline_dir / "BENCH_serve.json").write_text(json.dumps(doc))
@@ -92,26 +101,36 @@ def test_compare_passes_an_identical_serve_bench(tmp_path):
     deltas = compare([candidate], baseline_dir)
     assert len(deltas) == len(BENCH_CHECKS["BENCH_serve.json"])
     assert all(delta.ok for delta in deltas)
-    assert "all 4 checks within tolerance" in render(deltas)
+    assert "all 7 checks within tolerance" in render(deltas)
 
 
 def test_compare_catches_a_regression_and_render_names_it(tmp_path):
     baseline_dir = tmp_path / "base"
     baseline_dir.mkdir()
-    (baseline_dir / "BENCH_serve.json").write_text(json.dumps({
-        "errors": 0, "throughput_rps": 1000.0,
-        "latency_ms": {"p50": 1.0, "p99": 3.0},
-    }))
+    (baseline_dir / "BENCH_serve.json").write_text(json.dumps(_serve_doc()))
     candidate = tmp_path / "BENCH_serve.json"
-    candidate.write_text(json.dumps({
-        "errors": 0, "throughput_rps": 100.0,  # collapsed throughput
-        "latency_ms": {"p50": 1.0, "p99": 3.0},
-    }))
+    candidate.write_text(json.dumps(
+        _serve_doc(throughput_rps=100.0)  # collapsed throughput
+    ))
     deltas = compare([candidate], baseline_dir)
     bad = [delta for delta in deltas if not delta.ok]
     assert [delta.metric for delta in bad] == ["throughput_rps"]
     assert "REGRESSION" in render(deltas)
-    assert "1 regression(s) out of 4 checks" in render(deltas)
+    assert "1 regression(s) out of 7 checks" in render(deltas)
+
+
+def test_compare_catches_a_restart_gone_cold(tmp_path):
+    """A bounced shard that recomputes warm traffic fails the gate."""
+    baseline_dir = tmp_path / "base"
+    baseline_dir.mkdir()
+    (baseline_dir / "BENCH_serve.json").write_text(json.dumps(_serve_doc()))
+    candidate = tmp_path / "BENCH_serve.json"
+    candidate.write_text(json.dumps(
+        _serve_doc(restart={"shard": 0, "cold_misses": 3})
+    ))
+    deltas = compare([candidate], baseline_dir)
+    bad = [delta for delta in deltas if not delta.ok]
+    assert [delta.metric for delta in bad] == ["restart.cold_misses"]
 
 
 def test_committed_baselines_pass_against_themselves():
@@ -132,10 +151,7 @@ def test_benchdiff_cli_exit_codes(tmp_path, capsys):
 
     baseline_dir = tmp_path / "base"
     baseline_dir.mkdir()
-    doc = {
-        "errors": 0, "throughput_rps": 1000.0,
-        "latency_ms": {"p50": 1.0, "p99": 3.0},
-    }
+    doc = _serve_doc()
     (baseline_dir / "BENCH_serve.json").write_text(json.dumps(doc))
     candidate = tmp_path / "BENCH_serve.json"
     candidate.write_text(json.dumps(doc))
