@@ -514,6 +514,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int | None:
     import asyncio
     from .serve import ServeConfig, ServerThread, run_load, write_bench
 
+    if args.chaos:
+        return _loadtest_chaos(args)
     if args.shards:
         return _loadtest_sharded(args)
 
@@ -648,6 +650,17 @@ def _loadtest_sharded(args: argparse.Namespace) -> int | None:
         restart = asyncio.run(restart_drill())
         print(f"\nrestart drill: {restart}")
 
+        if args.breakdown:
+            from .serve.loadgen import fetch_json, render_shard_health
+
+            try:
+                listing = asyncio.run(fetch_json(tier.url, "/v1/shards"))
+            except (OSError, RuntimeError, ValueError) as exc:
+                print(f"\nshard health unavailable: {exc}")
+            else:
+                print("\nshard health (/v1/shards):")
+                print(render_shard_health(listing))
+
     if args.bench:
         write_tier_bench(legacy, sharded, restart, args.shards, args.bench)
         print(f"\nwrote serving benchmark to {args.bench}")
@@ -656,6 +669,43 @@ def _loadtest_sharded(args: argparse.Namespace) -> int | None:
         or not sharded.requests or restart.get("cold_misses") != 0
     )
     if failed:
+        return 1
+
+
+def _loadtest_chaos(args: argparse.Namespace) -> int | None:
+    """Run the self-healing chaos drill and hold it to its invariants.
+
+    Exits non-zero on any violation: a wrong answer, an error rate
+    above 1%, a response outside the 5xx/429 failure contract, failure
+    to converge back to all-shards-healthy, a cold miss after
+    recovery, or a storm too gentle to exercise the machinery (no
+    respawn or no breaker cycle observed).
+    """
+    from .serve.chaos import (
+        DEFAULT_CHAOS_PLAN,
+        DEFAULT_CHAOS_SEED,
+        merge_chaos_row,
+        run_chaos_drill,
+    )
+
+    report = run_chaos_drill(
+        shards=args.shards or 2,
+        duration_s=args.duration,
+        concurrency=args.concurrency,
+        plan=args.chaos_plan or DEFAULT_CHAOS_PLAN,
+        seed=args.chaos_seed if args.chaos_seed is not None else DEFAULT_CHAOS_SEED,
+        store=args.store,
+        settle_timeout_s=args.settle_timeout,
+        max_queue=args.max_queue,
+        window_ms=args.window_ms,
+        echo=print,
+    )
+    print()
+    print(report.summary())
+    if args.bench:
+        merge_chaos_row(args.bench, report.row())
+        print(f"\nmerged chaos row into {args.bench}")
+    if not report.ok:
         return 1
 
 
@@ -1013,7 +1063,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="scrape /metrics before and after the run and "
                                "report per-segment latency percentiles (queue "
                                "wait vs batch wait vs engine vs serialize) "
-                               "from the server's trace-segment histograms")
+                               "from the server's trace-segment histograms; "
+                               "with --shards also prints the /v1/shards "
+                               "health table (supervision + breaker state)")
+    loadtest.add_argument("--chaos", action="store_true",
+                          help="run the self-healing chaos drill instead of a "
+                               "plain measurement: arm a seeded fault plan in "
+                               "a --shards tier (default 2), drive load with "
+                               "a bit-identity checker, then assert recovery "
+                               "(zero wrong answers, bounded errors, "
+                               "convergence, zero cold misses)")
+    loadtest.add_argument("--chaos-plan", default=None, metavar="SPEC",
+                          help="fault plan for --chaos, e.g. "
+                               "'crash:0.004,reset:0.01,slow_s:0.02' "
+                               "(default: the standard drill storm)")
+    loadtest.add_argument("--chaos-seed", type=int, default=None, metavar="N",
+                          help="deterministic seed of the --chaos fault "
+                               "schedule (default: the standard drill seed)")
+    loadtest.add_argument("--settle-timeout", type=float, default=60.0,
+                          metavar="SEC",
+                          help="max seconds to wait for all-shards-healthy "
+                               "after the --chaos storm (default 60)")
     benchdiff = sub.add_parser(
         "benchdiff",
         description="compare freshly generated BENCH_*.json files against "

@@ -74,6 +74,15 @@ BENCH_CHECKS: dict[str, tuple[MetricCheck, ...]] = {
         MetricCheck("sharded.errors", "zero"),
         MetricCheck("sharded.cells_rps", "higher", 0.8),
         MetricCheck("restart.cold_misses", "zero"),
+        # The chaos drill row: correctness and convergence are binary
+        # contracts (no tolerance arguments apply); the storm's error
+        # *rate* is bounded by the drill itself, not compared against
+        # the baseline, because the number of faults landed is a
+        # function of runner speed.
+        MetricCheck("chaos.mismatches", "zero"),
+        MetricCheck("chaos.final_mismatches", "zero"),
+        MetricCheck("chaos.cold_misses", "zero"),
+        MetricCheck("chaos.converged", "equal"),
     ),
 }
 

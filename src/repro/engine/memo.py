@@ -232,6 +232,16 @@ class SingleFlightCache(KernelMemoCache):
         with self._lock:
             self._values.setdefault(key, value)
 
+    def discard(self, key: tuple) -> None:
+        """Drop one cached value (no-op when absent).
+
+        The serve tier's chaos harness corrupts a store entry and then
+        evicts it here, forcing the next request back through the
+        store's corrupt-tolerant read path; an in-flight compute for
+        the key is unaffected and will re-populate the entry."""
+        with self._lock:
+            self._values.pop(key, None)
+
     def get_or_compute(self, key: tuple, compute: Callable[[], T]) -> T:
         """Return the value for ``key``, computing it at most once
         across all concurrent callers."""

@@ -51,6 +51,27 @@ if TYPE_CHECKING:  # circular at runtime: executor imports this module
     from .executor import RunOutcome
 
 
+def backoff_delay(
+    key: str,
+    attempt: int,
+    base: float = 0.02,
+    factor: float = 2.0,
+    cap: float = 1.0,
+) -> float:
+    """Deterministically jittered exponential backoff (seconds).
+
+    The jitter multiplier lies in [0.5, 1.0) and is a pure function of
+    ``(key, attempt)`` — two workers retrying the same key sleep the
+    same schedule, and a re-run reproduces its backoffs exactly.
+    Shared by the exec retry ladder and the shard supervisor's respawn
+    schedule, so every backoff in the system obeys one discipline.
+    """
+    if base <= 0:
+        return 0.0
+    step = min(cap, base * factor**attempt)
+    return step * (0.5 + 0.5 * _hash01(f"backoff:{key}:{attempt}"))
+
+
 @dataclass(frozen=True)
 class RetryPolicy:
     """How hard the executor fights for each run.
@@ -88,10 +109,10 @@ class RetryPolicy:
         spec would sleep the same schedule, and a re-run of the same
         study reproduces its backoffs exactly.
         """
-        if self.backoff_base <= 0:
-            return 0.0
-        step = min(self.backoff_cap, self.backoff_base * self.backoff_factor**attempt)
-        return step * (0.5 + 0.5 * _hash01(f"backoff:{key}:{attempt}"))
+        return backoff_delay(
+            key, attempt, base=self.backoff_base,
+            factor=self.backoff_factor, cap=self.backoff_cap,
+        )
 
 
 def classify(exc: BaseException) -> ErrorKind:

@@ -24,7 +24,14 @@ serving-stack shape the ROADMAP's north star asks for:
   tier answers its first request warm.
 * :mod:`repro.serve.shard` — the horizontally sharded tier: N server
   processes over one store behind a content-hash router
-  (``repro serve --shards N``).
+  (``repro serve --shards N``), self-healing via liveness supervision
+  (:mod:`repro.serve.supervise`), per-shard circuit breakers with a
+  global retry budget (:mod:`repro.serve.breaker`), and degraded local
+  pricing while an owner shard is down.
+* :mod:`repro.serve.faults` / :mod:`repro.serve.chaos` — the seeded
+  serve-layer fault injector (crash/hang/slow/reset/corrupt) and the
+  chaos drill (``repro loadtest --chaos``) that holds the tier to its
+  self-healing invariants under storm.
 * :mod:`repro.serve.loadgen` — closed-/open-loop load generation
   recording the ``BENCH_serve.json`` serving-perf baseline, plus the
   ``--breakdown`` per-segment latency attribution.
@@ -34,12 +41,18 @@ Entry points: ``repro serve``, ``repro loadtest``, and
 """
 
 from .batcher import BackendRunError, Batcher
+from .breaker import BreakerState, CircuitBreaker, RetryBudget
+from .chaos import ChaosReport, chaos_bodies, expected_responses, run_chaos_drill
+from .faults import ServeChaos, ServeFaultPlan, parse_serve_fault_plan
 from .loadgen import (
     LoadResult,
     SegmentStats,
+    fetch_json,
     fetch_text,
     percentile,
     render_breakdown,
+    render_shard_health,
+    retry_after_delay,
     run_load,
     segment_breakdown,
     write_bench,
@@ -67,12 +80,16 @@ from .shard import (
     shard_for_key,
 )
 from .store import PersistentResultCache, ResultStore
+from .supervise import ShardHealth, ShardState, SupervisionPolicy
 from .warmup import WarmReport, preset_specs, warm_presets
 
 __all__ = [
     "BackendRunError",
     "BatchRequest",
     "Batcher",
+    "BreakerState",
+    "ChaosReport",
+    "CircuitBreaker",
     "LimitExceeded",
     "LoadResult",
     "MAX_BATCH_CELLS",
@@ -82,23 +99,36 @@ __all__ = [
     "PredictRequest",
     "ProtocolError",
     "ResultStore",
+    "RetryBudget",
     "RouterConfig",
     "SegmentStats",
+    "ServeChaos",
     "ServeConfig",
+    "ServeFaultPlan",
     "Server",
     "ServerThread",
+    "ShardHealth",
     "ShardRouter",
+    "ShardState",
     "ShardSupervisor",
     "ShardedTier",
     "StudyRequest",
+    "SupervisionPolicy",
     "WarmReport",
     "batch_response",
+    "chaos_bodies",
     "error_response",
+    "expected_responses",
+    "fetch_json",
     "fetch_text",
+    "parse_serve_fault_plan",
     "percentile",
     "predict_response",
     "preset_specs",
     "render_breakdown",
+    "render_shard_health",
+    "retry_after_delay",
+    "run_chaos_drill",
     "run_load",
     "segment_breakdown",
     "shard_for_key",

@@ -1,0 +1,161 @@
+"""Circuit breakers and a retry budget for the shard router.
+
+Pure state machines on an injected clock, separated from the router so
+they can be unit-tested in microseconds:
+
+* :class:`CircuitBreaker` — one per downstream shard.  ``closed``
+  passes traffic; ``breaker_failures`` *consecutive* transport
+  failures flip it ``open`` (calls fail fast, the router serves the
+  shard's key range degraded instead of queueing on a corpse); after
+  ``reset_s`` one half-open probe is admitted, and its outcome decides
+  between re-closing and re-opening.  At most one probe is in flight
+  at a time, so a recovering shard is not greeted with a thundering
+  herd.
+* :class:`RetryBudget` — a token bucket shared by all shards: every
+  successful downstream call earns ``ratio`` tokens, every retry
+  spends one.  When the whole tier is failing, the budget drains and
+  retries stop, so the router's retry traffic cannot amplify an
+  outage (the classic retry-storm failure mode).
+
+Both run on the router's single event loop, so neither needs locks.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+from typing import Callable
+
+
+class BreakerState(str, Enum):
+    """Where one shard's breaker sits."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+#: Gauge encoding of breaker states (``repro_router_breaker_state``).
+BREAKER_STATE_VALUES = {
+    BreakerState.CLOSED: 0.0,
+    BreakerState.HALF_OPEN: 1.0,
+    BreakerState.OPEN: 2.0,
+}
+
+
+class CircuitBreaker:
+    """Per-shard failure-fast gate (single event loop; no locks).
+
+    ``on_transition(old, new)`` fires on every state change — the
+    router hangs metrics, logs and trace annotations off it.
+    """
+
+    def __init__(
+        self,
+        failures: int = 3,
+        reset_s: float = 2.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_transition: Callable[[BreakerState, BreakerState], None] | None = None,
+    ) -> None:
+        if failures < 1:
+            raise ValueError(f"failures must be >= 1, got {failures}")
+        if reset_s < 0:
+            raise ValueError(f"reset_s must be >= 0, got {reset_s}")
+        self.failures = failures
+        self.reset_s = reset_s
+        self._clock = clock
+        self.on_transition = on_transition
+        self.state = BreakerState.CLOSED
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: Times the breaker has opened, ever.
+        self.opens = 0
+
+    def allow(self) -> bool:
+        """May a call to this shard proceed right now?
+
+        Open breakers admit nothing until ``reset_s`` has elapsed,
+        then exactly one half-open probe at a time.
+        """
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self._clock() - self._opened_at < self.reset_s:
+                return False
+            self._transition(BreakerState.HALF_OPEN)
+            self._probing = True
+            return True
+        # Half-open: a single probe in flight at a time.
+        if self._probing:
+            return False
+        self._probing = True
+        return True
+
+    def record_success(self) -> None:
+        self._probing = False
+        self._consecutive = 0
+        if self.state is not BreakerState.CLOSED:
+            self._transition(BreakerState.CLOSED)
+
+    def record_failure(self) -> None:
+        self._probing = False
+        if self.state is BreakerState.HALF_OPEN:
+            self._open()
+            return
+        self._consecutive += 1
+        if self.state is BreakerState.CLOSED and self._consecutive >= self.failures:
+            self._open()
+
+    def _open(self) -> None:
+        self._opened_at = self._clock()
+        self.opens += 1
+        self._transition(BreakerState.OPEN)
+
+    def _transition(self, to: BreakerState) -> None:
+        old, self.state = self.state, to
+        if self.on_transition is not None:
+            self.on_transition(old, to)
+
+    def to_json(self) -> dict:
+        return {
+            "state": self.state.value,
+            "opens": self.opens,
+            "consecutive_failures": self._consecutive,
+        }
+
+
+class RetryBudget:
+    """Global token bucket bounding the router's retry amplification.
+
+    Starts full (``cap`` tokens) so isolated blips retry freely;
+    sustained failure drains it and the tier fails fast into the
+    degraded path instead of doubling its own load.
+    """
+
+    def __init__(self, ratio: float = 0.1, cap: float = 10.0) -> None:
+        if ratio < 0:
+            raise ValueError(f"ratio must be >= 0, got {ratio}")
+        if cap < 1:
+            raise ValueError(f"cap must be >= 1, got {cap}")
+        self.ratio = ratio
+        self.cap = cap
+        self._tokens = float(cap)
+        #: Retries declined because the bucket was empty, ever.
+        self.exhausted = 0
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def earn(self) -> None:
+        """One successful downstream call refills ``ratio`` tokens."""
+        self._tokens = min(self.cap, self._tokens + self.ratio)
+
+    def spend(self) -> bool:
+        """Take one retry token; ``False`` means do not retry."""
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        self.exhausted += 1
+        return False

@@ -39,10 +39,16 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from urllib.parse import urlsplit
 
+from ..exec.faults import _hash01
 from ..obs.metrics import parse_prometheus
 
 #: Latency percentiles reported by the harness.
 PERCENTILES = (50.0, 95.0, 99.0)
+
+#: Backstop pause when a 429 carries no (or an unparsable) Retry-After.
+DEFAULT_RETRY_AFTER_S = 0.05
+#: Longest a closed-loop worker will honor a single Retry-After for.
+MAX_RETRY_AFTER_S = 5.0
 
 
 def percentile(sorted_samples: list[float], q: float) -> float:
@@ -141,18 +147,49 @@ def encode_request(host: str, path: str, body: dict) -> bytes:
     ).encode() + payload
 
 
-async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
-    """Read one Content-Length-framed HTTP response, return (status, body)."""
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """Read one Content-Length-framed HTTP response.
+
+    Returns ``(status, headers, body)`` with header names lowercased —
+    the closed-loop worker needs ``retry-after`` back-pressure, not
+    just the status line.
+    """
     head = await reader.readuntil(b"\r\n\r\n")
     lines = head.decode("latin-1").split("\r\n")
     status = int(lines[0].split(" ")[1])
-    length = 0
+    headers: dict[str, str] = {}
     for line in lines[1:]:
-        name, _, value = line.partition(":")
-        if name.strip().lower() == "content-length":
-            length = int(value.strip())
+        name, sep, value = line.partition(":")
+        if sep:
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
     body = await reader.readexactly(length) if length else b""
-    return status, body
+    return status, headers, body
+
+
+def retry_after_delay(
+    headers: dict[str, str], token: str, fallback: float = DEFAULT_RETRY_AFTER_S
+) -> float:
+    """How long to back off after a 429, from its ``Retry-After``.
+
+    The server's hint is taken as a *minimum*, stretched by a
+    deterministic 0-50% jitter keyed on ``token`` so a fleet of
+    rejected workers does not re-dogpile the server on the same tick
+    (the retry ladder's jitter trick, anchored at 1.0x instead of
+    0.5x so no worker returns earlier than asked).  Capped at
+    :data:`MAX_RETRY_AFTER_S`; an absent or unparsable header (e.g.
+    an HTTP-date, which this harness does not speak) falls back to a
+    short fixed pause.
+    """
+    value = headers.get("retry-after")
+    try:
+        hint = float(value) if value is not None else fallback
+    except ValueError:
+        hint = fallback
+    hint = max(0.0, hint)
+    return min(MAX_RETRY_AFTER_S, hint * (1.0 + 0.5 * _hash01(token)))
 
 
 class _Recorder:
@@ -188,13 +225,21 @@ async def _closed_worker(
             try:
                 writer.write(data)
                 await writer.drain()
-                status, _body = await _read_response(reader)
+                status, headers, _body = await _read_response(reader)
             except (ConnectionError, asyncio.IncompleteReadError):
                 recorder.errors += 1
                 writer.close()
                 reader = writer = None
                 continue
             recorder.samples.append((status, time.perf_counter() - started, weight))
+            if status == 429:
+                # Honor the server's back-pressure instead of hammering
+                # a full queue; jittered so workers desynchronize, and
+                # never slept past the run deadline.
+                delay = retry_after_delay(headers, f"retry-after:{offset}:{i}")
+                remaining = deadline - time.perf_counter()
+                if remaining > 0:
+                    await asyncio.sleep(min(delay, remaining))
     finally:
         if writer is not None:
             writer.close()
@@ -217,7 +262,7 @@ async def _open_worker(
                     reader, writer = await asyncio.open_connection(host, port)
                 writer.write(data)
                 await writer.drain()
-                status, _body = await _read_response(reader)
+                status, _headers, _body = await _read_response(reader)
             except (ConnectionError, asyncio.IncompleteReadError):
                 recorder.errors += 1
                 if writer is not None:
@@ -237,7 +282,7 @@ async def _warmup(host: str, port: int, requests: list[tuple[bytes, int]]) -> No
         for data, _weight in requests:
             writer.write(data)
             await writer.drain()
-            await _read_response(reader)
+            await _read_response(reader)  # response discarded: cache priming
     finally:
         writer.close()
 
@@ -373,7 +418,7 @@ async def post_json(url: str, path: str, doc: dict) -> tuple[int, dict]:
     try:
         writer.write(encode_request(f"{host}:{port}", path, doc))
         await writer.drain()
-        status, body = await _read_response(reader)
+        status, _headers, body = await _read_response(reader)
     finally:
         writer.close()
     return status, json.loads(body.decode() or "null")
@@ -401,12 +446,18 @@ async def fetch_text(url: str, path: str = "/metrics") -> str:
             "Connection: close\r\n\r\n"
         ).encode())
         await writer.drain()
-        status, body = await _read_response(reader)
+        status, _headers, body = await _read_response(reader)
     finally:
         writer.close()
     if status != 200:
         raise RuntimeError(f"GET {path} returned {status}")
     return body.decode()
+
+
+async def fetch_json(url: str, path: str) -> dict:
+    """GET a JSON endpoint (e.g. ``/v1/shards``) over a one-shot
+    connection; raises on non-200 like :func:`fetch_text`."""
+    return json.loads(await fetch_text(url, path))
 
 
 def _parse_labels(block: str) -> dict[str, str]:
@@ -521,3 +572,35 @@ def render_breakdown(stats: list[SegmentStats]) -> str:
     note = ("percentiles are bucket upper bounds from the server's "
             f"{SEGMENT_METRIC} histogram delta over the run window")
     return "\n".join(lines + [note])
+
+
+def render_shard_health(listing: dict) -> str:
+    """Tabulate a router's ``/v1/shards`` health detail.
+
+    Shown by ``repro loadtest --breakdown`` against a sharded tier:
+    supervision state, respawn/quarantine counts, and breaker state per
+    shard member — the self-healing tier's one-glance dashboard.
+    """
+    members = listing.get("shards", [])
+    if not members:
+        return "no shard members reported by /v1/shards"
+    header = ["shard", "alive", "state", "respawns", "quarantines",
+              "breaker", "opens", "reason"]
+    rows = [header]
+    for member in members:
+        breaker = member.get("breaker", {})
+        rows.append([
+            str(member.get("shard", "?")),
+            "yes" if member.get("alive") else "NO",
+            str(member.get("state", "serving")),
+            str(member.get("respawns", 0)),
+            str(member.get("quarantines", 0)),
+            str(breaker.get("state", "closed")),
+            str(breaker.get("opens", 0)),
+            str(member.get("reason") or "-"),
+        ])
+    widths = [max(len(row[i]) for row in rows) for i in range(len(header))]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+             for row in rows]
+    lines.insert(1, "  ".join("-" * w for w in widths))
+    return "\n".join(lines)

@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
 import sys
 import threading
 import time
@@ -43,11 +44,13 @@ from dataclasses import dataclass
 from .. import __version__
 from ..core.metrics import speedup
 from ..engine import memo
+from ..exec.plan import RunSpec
 from ..exec.retry import RetryPolicy
 from ..obs import logging as obs_logging
 from ..obs import tracing
 from ..obs.export import chrome_trace
 from ..obs.metrics import MetricsRegistry
+from . import faults as serve_faults
 from . import protocol, warmup
 from .batcher import BackendRunError, Batcher
 from .store import PersistentResultCache, ResultStore
@@ -236,6 +239,13 @@ class Server:
         self.started_at: float | None = None
         self.tracer = tracing.TRACER
         self.log = obs_logging.get_logger("serve")
+        #: Seeded serve-layer chaos (inert unless armed via the
+        #: environment or ``POST /v1/admin/chaos``).
+        self.chaos = serve_faults.ServeChaos(
+            serve_faults.serve_fault_plan_from_env(), self.config.shard_id
+        )
+        self._hung = False
+        self._corrupt_pending = 0
 
     # -- lifecycle -----------------------------------------------------
 
@@ -347,9 +357,22 @@ class Server:
                     break
                 if request is None:
                     break
+                if self._hung:
+                    # An injected hang wedges the whole process —
+                    # /healthz included — exactly like a stuck event
+                    # loop would; only the supervisor's probe timeout
+                    # can see it.
+                    await asyncio.sleep(serve_faults.HANG_SECONDS)
+                    break
                 keep_alive = request.keep_alive and not self._draining
                 started = time.perf_counter()
                 path = request.path.split("?", 1)[0]
+                if path in ("/v1/predict", "/v1/study", "/v1/batch"):
+                    fault = self.chaos.next_fault()
+                    if fault is not None and not await self._inject_fault(
+                        fault, writer
+                    ):
+                        break
                 root: tracing.TraceSpan | None = None
                 if self.config.tracing and path in (
                     "/v1/predict", "/v1/study", "/v1/batch"
@@ -413,6 +436,117 @@ class Server:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):
                 pass
+
+    # -- chaos injection -----------------------------------------------
+
+    async def _inject_fault(
+        self, kind: str, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Perform one drawn fault; ``False`` ends the connection
+        without a response (reset/hang), ``True`` lets the request
+        proceed (slow/corrupt add their damage and carry on)."""
+        self.metrics.counter(
+            "repro_serve_faults_injected_total",
+            help="Serve-layer chaos faults injected, by kind.",
+            kind=kind,
+        ).inc()
+        self.log.warning(
+            "fault-injected", kind=kind, shard=self.config.shard_id,
+            ordinal=self.chaos.to_json()["ordinal"],
+        )
+        if kind == "crash":
+            # A hard process death mid-request: no drain, no goodbye —
+            # what an OOM kill looks like from outside.
+            os._exit(23)
+        if kind == "hang":
+            self._hung = True
+            await asyncio.sleep(serve_faults.HANG_SECONDS)
+            return False
+        if kind == "reset":
+            writer.close()
+            return False
+        if kind == "slow":
+            await asyncio.sleep(self.chaos.plan.slow_s)
+            return True
+        if kind == "corrupt":
+            # Damage is applied to the *requested* cell once its spec
+            # is parsed (the handlers call _consume_corrupt), so the
+            # same request immediately exercises detection + repair.
+            self._corrupt_pending += 1
+        return True
+
+    def _consume_corrupt(self, spec: RunSpec) -> None:
+        """Scribble over one store entry and evict its memory copy.
+
+        The next lookup (usually this very request) must detect the
+        damage via the store's sha256 check, treat it as a miss,
+        recompute, and durably repair the file — so an injected
+        corruption never changes an answer, only its provenance.
+        """
+        if self._corrupt_pending <= 0:
+            return
+        self._corrupt_pending -= 1
+        key = spec.content_key()
+        if self.store is not None:
+            path = self.store.path_for(key)
+            try:
+                if path.exists():
+                    path.write_bytes(b"\x00chaos-corrupt" + path.read_bytes()[:64])
+            except OSError:
+                pass
+        self.batcher.cache.discard(key)
+        self.log.warning(
+            "store-entry-corrupted", key=key[:16], shard=self.config.shard_id,
+        )
+
+    def _admin_chaos(
+        self, request: _HttpRequest
+    ) -> tuple[str, int, dict | str, tuple[tuple[str, str], ...]]:
+        """Arm or disarm the chaos plan at runtime.
+
+        Body ``{"plan": "crash:0.01,...", "seed": 42}`` arms a fresh
+        injector (ordinals restart at 0); ``{"plan": null}`` (or an
+        empty body) disarms.  The chaos drill uses this to stand the
+        storm down on surviving shards once its fault phase ends.
+        """
+        try:
+            doc = json.loads(request.body.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return "admin", 400, protocol.error_response(
+                400, f"request body is not valid JSON: {exc}"
+            ), ()
+        if doc is None:
+            doc = {}
+        if not isinstance(doc, dict):
+            return "admin", 400, protocol.error_response(
+                400, "body must be {\"plan\": <spec or null>[, \"seed\": n]}"
+            ), ()
+        spec = doc.get("plan")
+        plan = None
+        if spec:
+            if not isinstance(spec, str):
+                return "admin", 400, protocol.error_response(
+                    400, "field 'plan' must be a fault spec string or null"
+                ), ()
+            try:
+                plan = serve_faults.parse_serve_fault_plan(
+                    spec, seed=int(doc.get("seed", 0))
+                )
+            except (ValueError, TypeError) as exc:
+                return "admin", 400, protocol.error_response(400, str(exc)), ()
+        previous = self.chaos.to_json()
+        self.chaos = serve_faults.ServeChaos(plan, self.config.shard_id)
+        self.log.info(
+            "chaos-plan-swapped",
+            plan=self.chaos.plan.spec_string() or None,
+            armed=self.chaos.armed,
+            shard=self.config.shard_id,
+        )
+        return "admin", 200, {
+            "version": protocol.PROTOCOL_VERSION,
+            "previous": previous,
+            **self.chaos.to_json(),
+        }, ()
 
     def _count_request(self, route: str, status: int) -> None:
         self.metrics.counter(
@@ -494,6 +628,17 @@ class Server:
                 "version": protocol.PROTOCOL_VERSION,
                 "records": obs_logging.RING.recent(200),
             }, ()
+        if path == "/v1/admin/chaos":
+            if request.method == "GET":
+                return "admin", 200, {
+                    "version": protocol.PROTOCOL_VERSION,
+                    **self.chaos.to_json(),
+                }, ()
+            if request.method != "POST":
+                return "admin", 405, protocol.error_response(
+                    405, "/v1/admin/chaos accepts GET and POST"
+                ), ()
+            return self._admin_chaos(request)
         if path in ("/v1/predict", "/v1/study", "/v1/batch"):
             route = path.rsplit("/", 1)[1]
             if request.method != "POST":
@@ -570,6 +715,7 @@ class Server:
     async def _predict(self, doc: object) -> dict:
         request = protocol.PredictRequest.from_json(doc)
         baseline_spec, model_spec = request.specs()
+        self._consume_corrupt(model_spec)
         (baseline, baseline_prov), (model, model_prov) = await self.batcher.submit_many(
             [baseline_spec, model_spec]
         )
@@ -585,7 +731,10 @@ class Server:
         request = protocol.BatchRequest.from_json(
             doc, max_cells=self.config.max_batch_cells
         )
-        served = await self.batcher.submit_batch(request.specs())
+        specs = request.specs()
+        if specs:
+            self._consume_corrupt(specs[0])
+        served = await self.batcher.submit_batch(specs)
         return protocol.batch_response(request, served)
 
     async def _study(self, doc: object) -> dict:
@@ -593,6 +742,8 @@ class Server:
             doc, max_runs=self.config.max_study_runs
         )
         runs = request.runs()
+        if runs:
+            self._consume_corrupt(runs[0])
         served = await self.batcher.submit_many(runs)
         provenance_tally: dict[str, int] = {}
         for _result, label in served:

@@ -36,19 +36,30 @@ from __future__ import annotations
 
 import asyncio
 import dataclasses
+import http.client
 import json
 import multiprocessing
 import os
 import signal
 import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from urllib.parse import urlsplit
 
 from ..core.metrics import speedup
+from ..engine import memo
+from ..exec.faults import RunError
+from ..exec.plan import RunSpec
+from ..exec.retry import RetryPolicy, run_with_retry
 from ..obs import logging as obs_logging
+from ..obs import tracing
 from ..obs.metrics import MetricsRegistry
 from . import protocol
+from .batcher import CACHED, BackendRunError
+from .breaker import BREAKER_STATE_VALUES, BreakerState, CircuitBreaker, RetryBudget
+from .store import STORED, PersistentResultCache, ResultStore
+from .supervise import ShardHealth, ShardState, SupervisionPolicy
 from .server import (
     SERVE_LATENCY_BUCKETS,
     ServeConfig,
@@ -70,6 +81,11 @@ def shard_for_key(key: str, shards: int) -> int:
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     return int(key[:16], 16) % shards
+
+
+#: Provenance label for cells the router priced locally because their
+#: owner shard was open/quarantined (correct by content-addressing).
+DEGRADED = "degraded"
 
 
 # -- shard worker processes --------------------------------------------
@@ -120,13 +136,32 @@ class _Shard:
         return f"http://127.0.0.1:{self.port}"
 
 
+#: Gauge encoding of supervision states (``repro_shard_state``).
+_SHARD_STATE_VALUES = {
+    ShardState.SERVING: 0.0,
+    ShardState.RESPAWNING: 1.0,
+    ShardState.QUARANTINED: 2.0,
+}
+
+
 class ShardSupervisor:
-    """Spawns, restarts, and stops the tier's shard processes.
+    """Spawns, supervises, restarts, and stops the shard processes.
 
     Every shard gets the same :class:`ServeConfig` with its own
     ``shard_id`` and an ephemeral port; the bound port travels back
     over a pipe once the shard is warm and listening (so "started"
     means "ready to serve warm", never "about to warm up").
+
+    After :meth:`start`, a supervision thread runs the liveness loop of
+    :class:`~repro.serve.supervise.SupervisionPolicy`: every
+    ``probe_interval_s`` it polls each shard process *and* probes its
+    ``/healthz`` (a wedged event loop passes ``poll()`` but misses the
+    probe).  A dead or hung shard is respawned after a deterministic
+    exponential backoff; a shard that burns ``quarantine_after``
+    respawns inside ``quarantine_window_s`` is quarantined — the
+    supervisor stops feeding it spawns, the router serves its key
+    range degraded, and after ``quarantine_cooldown_s`` one probation
+    respawn decides whether it rejoins.
     """
 
     def __init__(
@@ -134,24 +169,44 @@ class ShardSupervisor:
         config: ServeConfig,
         shards: int,
         start_timeout_s: float = 300.0,
+        policy: SupervisionPolicy | None = None,
+        supervise: bool = True,
     ) -> None:
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
         self.config = config
         self.n_shards = shards
         self.start_timeout_s = start_timeout_s
+        self.policy = policy if policy is not None else SupervisionPolicy()
+        self.supervise = supervise
+        self.metrics = MetricsRegistry()
         self._ctx = multiprocessing.get_context("spawn")
         self._shards: dict[int, _Shard] = {}
+        self._health: dict[int, ShardHealth] = {
+            index: ShardHealth(index, self.policy) for index in range(shards)
+        }
+        #: Shards an admin restart currently holds; supervision ticks
+        #: skip them so the two paths never race a double-spawn.
+        self._busy: set[int] = set()
         self._lock = threading.Lock()
+        self._stop_event = threading.Event()
+        self._thread: threading.Thread | None = None
         self.restarts = 0
         self.log = obs_logging.get_logger("shard")
 
     def start(self) -> None:
         for index in range(self.n_shards):
             self._shards[index] = self._spawn(index)
+            self._export_state(index)
+        if self.supervise:
+            self._thread = threading.Thread(
+                target=self._supervise_loop, name="repro-supervise", daemon=True
+            )
+            self._thread.start()
         self.log.info(
             "tier-started", shards=self.n_shards,
             urls=[shard.url for shard in self.shards()],
+            supervised=self.supervise,
         )
 
     def _spawn(self, index: int, generation: int = 0) -> _Shard:
@@ -207,6 +262,162 @@ class ShardSupervisor:
         with self._lock:
             return self._shards[index].url
 
+    # -- supervision ---------------------------------------------------
+
+    def serving(self, index: int) -> bool:
+        """Does the supervisor believe this shard can take traffic?"""
+        health = self._health.get(index)
+        return health is None or health.state is ShardState.SERVING
+
+    def health_json(self, index: int) -> dict:
+        health = self._health.get(index)
+        return health.to_json() if health is not None else {}
+
+    def _export_state(self, index: int) -> None:
+        health = self._health[index]
+        self.metrics.gauge(
+            "repro_shard_state",
+            help="Supervision state per shard "
+            "(0 serving, 1 respawning, 2 quarantined).",
+            shard=str(index),
+        ).set(_SHARD_STATE_VALUES[health.state])
+
+    def _supervise_loop(self) -> None:
+        while not self._stop_event.wait(self.policy.probe_interval_s):
+            for index in range(self.n_shards):
+                if self._stop_event.is_set():
+                    return
+                try:
+                    self._tick(index)
+                except Exception as exc:  # pragma: no cover - must not die
+                    self.log.info(
+                        "supervise-tick-error", shard=index,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+
+    def _tick(self, index: int) -> None:
+        now = time.monotonic()
+        with self._lock:
+            if index in self._busy:
+                return
+            health = self._health[index]
+            shard = self._shards.get(index)
+        if health.state is ShardState.QUARANTINED:
+            if health.probation_due(now):
+                health.leave_quarantine(now)
+                self._export_state(index)
+                self.log.info("shard-probation", shard=index)
+            return
+        if health.state is ShardState.RESPAWNING:
+            if health.respawn_due(now):
+                self._attempt_respawn(index, health)
+            return
+        if shard is None:
+            return
+        if not shard.process.is_alive():
+            self._plan_respawn(index, health, "died")
+            return
+        if self._probe(shard):
+            health.probe_ok()
+        elif health.probe_missed():
+            self._plan_respawn(index, health, "hung")
+
+    def _probe(self, shard: _Shard) -> bool:
+        """One blocking ``/healthz`` probe (supervision thread only)."""
+        try:
+            conn = http.client.HTTPConnection(
+                "127.0.0.1", shard.port, timeout=self.policy.probe_timeout_s
+            )
+            try:
+                conn.request("GET", "/healthz")
+                response = conn.getresponse()
+                response.read()
+                return response.status == 200
+            finally:
+                conn.close()
+        except (OSError, http.client.HTTPException):
+            return False
+
+    def _plan_respawn(self, index: int, health: ShardHealth, reason: str) -> None:
+        delay = health.plan_respawn(time.monotonic(), reason)
+        self._export_state(index)
+        self.log.info(
+            "shard-unhealthy", shard=index, reason=reason,
+            respawn_in_s=round(delay, 3),
+            attempts_in_window=health.attempts_in_window(time.monotonic()),
+        )
+
+    def _attempt_respawn(self, index: int, health: ShardHealth) -> None:
+        now = time.monotonic()
+        if health.should_quarantine(now):
+            health.enter_quarantine(now)
+            self._export_state(index)
+            self.metrics.counter(
+                "repro_shard_quarantines_total",
+                help="Shards quarantined for crash-looping.",
+                shard=str(index),
+            ).inc()
+            self.log.info(
+                "shard-quarantined", shard=index,
+                attempts_in_window=health.attempts_in_window(now),
+                cooldown_s=self.policy.quarantine_cooldown_s,
+                reason=health.last_reason,
+            )
+            return
+        span = tracing.TRACER.start_span(
+            "shard_respawn", kind="internal",
+            attrs={"shard": index, "reason": health.last_reason or ""},
+        )
+        with self._lock:
+            old = self._shards.get(index)
+        if old is not None:
+            self._kill_process(old.process)
+        try:
+            replacement = self._spawn(
+                index, generation=old.generation + 1 if old is not None else 0
+            )
+        except RuntimeError as exc:
+            health.record_attempt(now, ok=False)
+            delay = health.plan_respawn(time.monotonic(), "boot-failed")
+            tracing.TRACER.finish_span(span, status="error")
+            tracing.TRACER.complete(span.trace_id, route="supervise", status=500)
+            self.metrics.counter(
+                "repro_shard_respawns_total",
+                help="Automatic shard respawns by the supervisor.",
+                shard=str(index), reason="boot-failed",
+            ).inc()
+            self.log.info(
+                "shard-respawn-failed", shard=index,
+                error=str(exc), retry_in_s=round(delay, 3),
+            )
+            return
+        with self._lock:
+            if index in self._busy:
+                # An admin restart raced us; theirs wins, ours retires.
+                self._kill_process(replacement.process)
+                return
+            self._shards[index] = replacement
+        health.record_attempt(now, ok=True)
+        self._export_state(index)
+        self.metrics.counter(
+            "repro_shard_respawns_total",
+            help="Automatic shard respawns by the supervisor.",
+            shard=str(index), reason=health.last_reason or "unknown",
+        ).inc()
+        tracing.TRACER.finish_span(span)
+        tracing.TRACER.complete(span.trace_id, route="supervise", status=200)
+        self.log.info(
+            "shard-respawned", shard=index, url=replacement.url,
+            generation=replacement.generation, respawns=health.respawns,
+            reason=health.last_reason,
+        )
+
+    def _kill_process(self, process: multiprocessing.process.BaseProcess) -> None:
+        """Hard stop: the process is dead or hung, draining is moot."""
+        if process.is_alive():
+            process.kill()
+        process.join(timeout=5.0)
+
     def restart(self, index: int) -> str:
         """Gracefully bounce one shard; returns the replacement's URL.
 
@@ -218,11 +429,20 @@ class ShardSupervisor:
             if index not in self._shards:
                 raise KeyError(f"no shard {index}; tier has {self.n_shards}")
             old = self._shards[index]
-        self._stop_process(old.process)
-        replacement = self._spawn(index, generation=old.generation + 1)
-        with self._lock:
-            self._shards[index] = replacement
-            self.restarts += 1
+            self._busy.add(index)
+        try:
+            self._stop_process(old.process)
+            replacement = self._spawn(index, generation=old.generation + 1)
+            with self._lock:
+                self._shards[index] = replacement
+                self.restarts += 1
+            health = self._health.get(index)
+            if health is not None:
+                health.reset()
+                self._export_state(index)
+        finally:
+            with self._lock:
+                self._busy.discard(index)
         self.log.info(
             "shard-restarted", shard=index, url=replacement.url,
             generation=replacement.generation,
@@ -238,6 +458,13 @@ class ShardSupervisor:
             process.join(timeout=5.0)
 
     def stop(self) -> None:
+        self._stop_event.set()
+        if self._thread is not None:
+            self._thread.join(
+                timeout=self.policy.probe_interval_s * 4
+                + self.policy.probe_timeout_s + 5.0
+            )
+            self._thread = None
         for shard in self.shards():
             self._stop_process(shard.process)
         with self._lock:
@@ -341,6 +568,62 @@ class ShardUnavailable(Exception):
     """A shard could not answer (connect failure or malformed reply)."""
 
 
+class _LocalPricer:
+    """Prices cells in the router process when their owner shard cannot.
+
+    Degraded routing leans on the tier's core invariant: results are
+    pure functions of the spec's content key, so a cell the router
+    prices locally (through the same scalar retry ladder a shard runs)
+    is bit-identical to the shard's answer.  When the tier has a
+    persistent store, the pricer shares it — warm cells are served from
+    disk instead of recomputed, and degraded computes land durably, so
+    the shard that returns from quarantine boots warm and the tier
+    converges with zero cold misses.
+    """
+
+    def __init__(
+        self, store_path: str | None, retries: int = 2, threads: int = 2
+    ) -> None:
+        self.policy = RetryPolicy(max_attempts=max(1, retries))
+        if store_path:
+            self.cache: memo.SingleFlightCache = PersistentResultCache(
+                ResultStore(store_path)
+            )
+        else:
+            self.cache = memo.SingleFlightCache()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, threads), thread_name_prefix="repro-degraded"
+        )
+
+    async def price(self, spec: RunSpec) -> tuple[object, str]:
+        """``(RunResult, provenance)`` — tier labels on a warm hit,
+        :data:`DEGRADED` for a local compute."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, self._price_sync, spec)
+
+    def _price_sync(self, spec: RunSpec) -> tuple[object, str]:
+        key = spec.content_key()
+        peek_tiered = getattr(self.cache, "peek_tiered", None)
+        if peek_tiered is not None:
+            value, source = peek_tiered(key)
+            if source is not None:
+                return value, CACHED if source == "memory" else STORED
+        else:
+            found, value = self.cache.peek(key)
+            if found:
+                return value, CACHED
+        return self.cache.get_or_compute(key, lambda: self._compute(spec)), DEGRADED
+
+    def _compute(self, spec: RunSpec) -> object:
+        payload = run_with_retry(spec, self.policy)
+        if isinstance(payload, RunError):
+            raise BackendRunError(payload)
+        return payload.result
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
 # -- the router --------------------------------------------------------
 
 
@@ -359,6 +642,23 @@ class RouterConfig:
     #: ``None`` defers to the protocol defaults / env overrides.
     max_study_runs: int | None = None
     max_batch_cells: int | None = None
+    #: Consecutive transport failures that open a shard's breaker.
+    breaker_failures: int = 3
+    #: Seconds an open breaker waits before its half-open probe.
+    breaker_reset_s: float = 2.0
+    #: Retry budget: tokens earned per successful downstream call
+    #: (each retry spends one), and the bucket's cap.
+    retry_budget_ratio: float = 0.1
+    retry_budget_cap: float = 10.0
+    #: Serve an unavailable owner's key range by pricing locally
+    #: (``False`` restores fail-fast 502s).
+    degraded: bool = True
+    #: Store for the degraded pricer; ``None`` defaults to the
+    #: supervised tier's own store (static-URL routers stay in-memory).
+    store_path: str | None = None
+    #: Retry ladder and thread pool of the degraded local pricer.
+    degraded_retries: int = 2
+    degraded_threads: int = 2
 
 
 class ShardRouter:
@@ -381,6 +681,15 @@ class ShardRouter:
         self._static_urls = list(urls) if urls is not None else None
         self.config = config if config is not None else RouterConfig()
         self.metrics = MetricsRegistry()
+        self._breakers: dict[int, CircuitBreaker] = {}
+        self._budget = RetryBudget(
+            ratio=self.config.retry_budget_ratio,
+            cap=self.config.retry_budget_cap,
+        )
+        self._pricer: _LocalPricer | None = None
+        #: Shards currently (or last known) served degraded; cleared —
+        #: and counted as a re-home — on their next direct success.
+        self._degraded_marked: set[int] = set()
         self._clients: dict[str, _ShardClient] = {}
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.StreamWriter] = set()
@@ -432,6 +741,164 @@ class ShardRouter:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise ShardUnavailable(f"shard at {url} sent non-JSON: {exc}")
 
+    # -- resilience ----------------------------------------------------
+
+    def _url_for(self, owner: int) -> str:
+        if self.supervisor is not None:
+            return self.supervisor.url_for(owner)
+        return (self._static_urls or [])[owner]
+
+    def _breaker(self, owner: int) -> CircuitBreaker:
+        breaker = self._breakers.get(owner)
+        if breaker is None:
+            def on_transition(
+                old: BreakerState, new: BreakerState, owner: int = owner
+            ) -> None:
+                self.metrics.counter(
+                    "repro_router_breaker_transitions_total",
+                    help="Breaker transitions, by shard and new state.",
+                    shard=str(owner), to=new.value,
+                ).inc()
+                self.metrics.gauge(
+                    "repro_router_breaker_state",
+                    help="Breaker state per shard "
+                    "(0 closed, 1 half-open, 2 open).",
+                    shard=str(owner),
+                ).set(BREAKER_STATE_VALUES[new])
+                self.log.info(
+                    "breaker-transition", shard=owner,
+                    previous=old.value, state=new.value,
+                )
+                ctx = tracing.current()
+                if ctx is not None:
+                    now = time.perf_counter()
+                    tracing.TRACER.record(
+                        "breaker_transition", now, now, parent=ctx,
+                        attrs={"shard": owner, "to": new.value},
+                    )
+            breaker = self._breakers[owner] = CircuitBreaker(
+                failures=self.config.breaker_failures,
+                reset_s=self.config.breaker_reset_s,
+                on_transition=on_transition,
+            )
+        return breaker
+
+    def _owner_available(self, owner: int) -> bool:
+        """Is the owner worth calling at all (supervision says so)?"""
+        return self.supervisor is None or self.supervisor.serving(owner)
+
+    async def _resilient_call(
+        self, owner: int, method: str, path: str, doc: dict | None = None
+    ) -> tuple[int, dict]:
+        """One shard call behind the owner's breaker and the global
+        retry budget: at most one budget-gated retry, fail fast when
+        the breaker is open."""
+        last_exc: ShardUnavailable | None = None
+        for attempt in range(2):
+            breaker = self._breaker(owner)
+            if not breaker.allow():
+                raise ShardUnavailable(
+                    f"shard {owner}: circuit breaker is {breaker.state.value}"
+                )
+            try:
+                result = await self._call_shard_json(
+                    self._url_for(owner), method, path, doc
+                )
+            except ShardUnavailable as exc:
+                breaker.record_failure()
+                last_exc = exc
+                if attempt == 0 and self._budget.spend():
+                    self.metrics.counter(
+                        "repro_router_retries_total",
+                        help="Downstream retries spent from the retry budget.",
+                        shard=str(owner),
+                    ).inc()
+                    continue
+                raise
+            breaker.record_success()
+            self._budget.earn()
+            if owner in self._degraded_marked:
+                self._degraded_marked.discard(owner)
+                self.metrics.counter(
+                    "repro_router_rehomed_total",
+                    help="Times routing returned to a shard after a "
+                    "spell of degraded service.",
+                    shard=str(owner),
+                ).inc()
+                self.log.info("shard-rehomed", shard=owner)
+            return result
+        raise last_exc  # pragma: no cover - loop always raises/returns
+
+    # -- degraded routing ----------------------------------------------
+
+    def _local(self) -> _LocalPricer:
+        if self._pricer is None:
+            store_path = self.config.store_path
+            if store_path is None and self.supervisor is not None:
+                store_path = self.supervisor.config.store_path
+            self._pricer = _LocalPricer(
+                store_path,
+                retries=self.config.degraded_retries,
+                threads=self.config.degraded_threads,
+            )
+        return self._pricer
+
+    def _count_degraded(self, route: str, owner: int) -> None:
+        self.metrics.counter(
+            "repro_router_degraded_total",
+            help="Requests served by the router's degraded local "
+            "pricing path, by route.",
+            route=route,
+        ).inc()
+        self._degraded_marked.add(owner)
+        self.log.info("degraded-serve", route=route, shard=owner)
+        ctx = tracing.current()
+        if ctx is not None:
+            now = time.perf_counter()
+            tracing.TRACER.record(
+                "degraded_serve", now, now, parent=ctx,
+                attrs={"route": route, "shard": owner},
+            )
+
+    async def _degraded_predict(
+        self, request: protocol.PredictRequest, owner: int
+    ) -> tuple[int, dict]:
+        self._count_degraded("predict", owner)
+        pricer = self._local()
+        baseline_spec, model_spec = request.specs()
+        (baseline, baseline_prov), (model, model_prov) = await asyncio.gather(
+            pricer.price(baseline_spec), pricer.price(model_spec)
+        )
+        return 200, protocol.predict_response(
+            request,
+            baseline_seconds=baseline.seconds,
+            model_result=model,
+            provenance={"baseline": baseline_prov, "model": model_prov},
+            key=model_spec.content_key()[:16],
+        )
+
+    async def _degraded_group(
+        self, owner: int, members: list[tuple[int, protocol.PredictRequest]]
+    ) -> list[tuple[int, dict]]:
+        """Price one fan-out group locally, shaped exactly like the
+        shard's ``/v1/batch`` results so reassembly does not care."""
+        self._count_degraded("batch", owner)
+        pricer = self._local()
+        priced = await asyncio.gather(
+            *(pricer.price(cell.spec()) for _pos, cell in members)
+        )
+        out: list[tuple[int, dict]] = []
+        for (position, cell), (result, provenance) in zip(members, priced):
+            doc = cell.to_json()
+            doc.update({
+                "seconds": result.seconds,
+                "kernel_seconds": result.kernel_seconds,
+                "key": cell.spec().content_key()[:16],
+                "provenance": provenance,
+            })
+            out.append((position, doc))
+        return out
+
     # -- lifecycle -----------------------------------------------------
 
     @property
@@ -474,6 +941,8 @@ class ShardRouter:
             await asyncio.wait(set(self._handlers), timeout=1.0)
         for client in self._clients.values():
             client.close()
+        if self._pricer is not None:
+            self._pricer.close()
         if self.supervisor is not None:
             await asyncio.get_running_loop().run_in_executor(
                 None, self.supervisor.stop
@@ -557,6 +1026,12 @@ class ShardRouter:
                     405, "/v1/admin/restart only accepts POST"
                 )
             return await self._admin_restart(request)
+        if path == "/v1/admin/chaos":
+            if request.method != "POST":
+                return "admin", 405, protocol.error_response(
+                    405, "/v1/admin/chaos only accepts POST"
+                )
+            return await self._admin_chaos(request)
         if path in ("/v1/predict", "/v1/study", "/v1/batch"):
             route = path.rsplit("/", 1)[1]
             if request.method != "POST":
@@ -570,8 +1045,8 @@ class ShardRouter:
             return await self._forwarded(route, request)
         return "other", 404, protocol.error_response(
             404, f"no route {path!r}; the router serves /v1/predict, /v1/study, "
-            "/v1/batch, /v1/shards, /v1/admin/restart, /healthz, /readyz "
-            "and /metrics"
+            "/v1/batch, /v1/shards, /v1/admin/restart, /v1/admin/chaos, "
+            "/healthz, /readyz and /metrics"
         )
 
     async def _forwarded(
@@ -598,6 +1073,9 @@ class ShardRouter:
                 return route, 400, protocol.error_response(400, str(exc))
             except ShardUnavailable as exc:
                 return route, 502, protocol.error_response(502, str(exc))
+            except BackendRunError as exc:
+                # The degraded local pricer exhausted its retry ladder.
+                return route, 500, protocol.error_response(500, str(exc))
             return route, status, payload
         finally:
             self._active -= 1
@@ -614,12 +1092,20 @@ class ShardRouter:
         everything — is byte-for-byte what a single server would say.
         """
         request = protocol.PredictRequest.from_json(doc)
-        urls = self.shard_urls
-        owner = shard_for_key(request.spec().content_key(), len(urls))
+        owner = shard_for_key(request.spec().content_key(), self.n_shards)
+        if not self._owner_available(owner):
+            if self.config.degraded:
+                return await self._degraded_predict(request, owner)
+            raise ShardUnavailable(f"shard {owner} is not serving")
         self._count_shard_call(owner)
-        status, payload = await self._call_shard_json(
-            urls[owner], "POST", "/v1/predict", request.to_json()
-        )
+        try:
+            status, payload = await self._resilient_call(
+                owner, "POST", "/v1/predict", request.to_json()
+            )
+        except ShardUnavailable:
+            if not self.config.degraded:
+                raise
+            return await self._degraded_predict(request, owner)
         return status, payload
 
     async def _batch(self, doc: object) -> tuple[int, dict]:
@@ -706,15 +1192,30 @@ class ShardRouter:
         async def price_group(
             owner: int, members: list[tuple[int, protocol.PredictRequest]]
         ) -> list[tuple[int, dict]]:
+            if not self._owner_available(owner):
+                if self.config.degraded:
+                    return await self._degraded_group(owner, members)
+                raise ShardUnavailable(f"shard {owner} is not serving")
             self._count_shard_call(owner)
             body = {"cells": [cell.to_json() for _pos, cell in members]}
-            status, payload = await self._call_shard_json(
-                urls[owner], "POST", "/v1/batch", body
-            )
+            try:
+                status, payload = await self._resilient_call(
+                    owner, "POST", "/v1/batch", body
+                )
+            except ShardUnavailable:
+                if not self.config.degraded:
+                    raise
+                return await self._degraded_group(owner, members)
             if status != 200 or not isinstance(payload, dict):
                 message = "unexpected response"
                 if isinstance(payload, dict) and "error" in payload:
                     message = payload["error"].get("message", message)
+                if self.config.degraded:
+                    self.log.info(
+                        "degraded-after-shard-error", shard=owner,
+                        status=status, message=message,
+                    )
+                    return await self._degraded_group(owner, members)
                 raise ShardUnavailable(
                     f"shard {owner} answered {status} pricing "
                     f"{len(members)} cells: {message}"
@@ -774,16 +1275,27 @@ class ShardRouter:
         shards = []
         if self.supervisor is not None:
             for shard in self.supervisor.shards():
+                breaker = self._breakers.get(shard.index)
                 shards.append({
                     "shard": shard.index,
                     "url": shard.url,
                     "pid": shard.process.pid,
                     "alive": shard.process.is_alive(),
                     "generation": shard.generation,
+                    **self.supervisor.health_json(shard.index),
+                    "breaker": breaker.to_json() if breaker is not None
+                    else {"state": BreakerState.CLOSED.value, "opens": 0,
+                          "consecutive_failures": 0},
                 })
         else:
             for index, url in enumerate(self.shard_urls):
-                shards.append({"shard": index, "url": url})
+                breaker = self._breakers.get(index)
+                shards.append({
+                    "shard": index, "url": url,
+                    "breaker": breaker.to_json() if breaker is not None
+                    else {"state": BreakerState.CLOSED.value, "opens": 0,
+                          "consecutive_failures": 0},
+                })
         return "shards", 200, {
             "version": protocol.PROTOCOL_VERSION,
             "count": len(shards),
@@ -823,6 +1335,10 @@ class ShardRouter:
         client = self._clients.pop(old_url, None)
         if client is not None:
             client.close()
+        # A manual restart is a clean slate: the fresh process deserves
+        # a closed breaker and a cleared degraded mark.
+        self._breakers.pop(index, None)
+        self._degraded_marked.discard(index)
         self.metrics.counter(
             "repro_router_restarts_total",
             help="Shard restarts performed through /v1/admin/restart.",
@@ -834,9 +1350,49 @@ class ShardRouter:
             "restart_s": round(time.perf_counter() - started, 3),
         }
 
+    async def _admin_chaos(
+        self, request: _HttpRequest
+    ) -> tuple[str, int, dict]:
+        """Broadcast a chaos plan (or the ``null`` disarm) to every
+        serving shard — the drill's arm/disarm switch."""
+        try:
+            doc = json.loads(request.body.decode() or "null")
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            return "admin", 400, protocol.error_response(
+                400, f"request body is not valid JSON: {exc}"
+            )
+        if doc is not None and not isinstance(doc, dict):
+            return "admin", 400, protocol.error_response(
+                400, "body must be a JSON object (or empty to disarm)"
+            )
+        results = []
+        for index in range(self.n_shards):
+            if not self._owner_available(index):
+                results.append({"shard": index, "status": 0,
+                                "skipped": "not serving"})
+                continue
+            try:
+                status, payload = await self._call_shard_json(
+                    self._url_for(index), "POST", "/v1/admin/chaos",
+                    doc if doc is not None else {},
+                )
+                entry = {"shard": index, "status": status}
+                if isinstance(payload, dict):
+                    entry["armed"] = payload.get("armed")
+                results.append(entry)
+            except ShardUnavailable as exc:
+                results.append({"shard": index, "status": 0,
+                                "error": str(exc)})
+        return "admin", 200, {
+            "version": protocol.PROTOCOL_VERSION,
+            "shards": results,
+        }
+
     def _metrics_exposition(self) -> str:
         snapshot = MetricsRegistry()
         snapshot.merge(self.metrics)
+        if self.supervisor is not None:
+            snapshot.merge(self.supervisor.metrics)
         snapshot.gauge(
             "repro_router_shards", help="Shards this router fronts."
         ).set(self.n_shards)
@@ -863,9 +1419,11 @@ class ShardedTier:
         config: ServeConfig | None = None,
         shards: int = 2,
         router: RouterConfig | None = None,
+        policy: SupervisionPolicy | None = None,
     ) -> None:
         self.supervisor = ShardSupervisor(
-            config if config is not None else ServeConfig(), shards
+            config if config is not None else ServeConfig(), shards,
+            policy=policy,
         )
         self.router = ShardRouter(supervisor=self.supervisor, config=router)
         self._loop: asyncio.AbstractEventLoop | None = None

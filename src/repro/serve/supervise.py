@@ -1,0 +1,212 @@
+"""Liveness supervision policy for the sharded tier.
+
+Pure decision logic, separated from the process plumbing in
+:mod:`repro.serve.shard` so it can be unit-tested with a fake clock:
+
+* :class:`SupervisionPolicy` — the tuning: probe cadence and budget,
+  how many consecutive probe misses mean "hung", the respawn backoff
+  curve, and the crash-loop quarantine window.
+* :class:`ShardHealth` — one shard's mutable supervision record: its
+  :class:`ShardState`, consecutive probe misses, the respawn-attempt
+  timestamps inside the quarantine window, and the deterministic
+  next-respawn time (:func:`~repro.exec.retry.backoff_delay`, the same
+  jittered curve the exec retry ladder sleeps).
+
+The state machine per shard::
+
+    SERVING --(process died / N probes missed)--> RESPAWNING
+    RESPAWNING --(backoff elapsed, spawn ok)-----> SERVING
+    RESPAWNING --(>= quarantine_after attempts
+                  in quarantine_window_s)--------> QUARANTINED
+    QUARANTINED --(cooldown elapsed: probation)--> RESPAWNING
+
+Quarantine is deliberately *not* terminal: after
+``quarantine_cooldown_s`` the supervisor grants one probation respawn
+(with a cleared attempt window).  A still-crashing shard runs the loop
+again and lands back in quarantine; a recovered one (the fault plan
+disarmed, the bad deploy rolled back) rejoins and the router re-homes
+its key range.  While quarantined, the range is served degraded by the
+router — correctness is never parked on the supervisor's optimism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..exec.retry import backoff_delay
+
+
+class ShardState(str, Enum):
+    """Where one shard sits in the supervision state machine."""
+
+    SERVING = "serving"
+    RESPAWNING = "respawning"
+    QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """Tuning of the liveness/respawn/quarantine loop."""
+
+    #: Seconds between supervision ticks (process poll + HTTP probe).
+    probe_interval_s: float = 0.5
+    #: Budget for one ``/healthz`` probe; a hung shard accepts the
+    #: connection and never answers, so this must be finite.
+    probe_timeout_s: float = 2.0
+    #: Consecutive missed probes before a live process is declared
+    #: hung and respawned (one miss may be a slow GC pause).
+    probe_failures: int = 2
+    #: Respawn backoff curve (deterministically jittered, shared with
+    #: the exec retry ladder).
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_cap_s: float = 2.0
+    #: Respawn attempts within ``quarantine_window_s`` that flip the
+    #: shard to QUARANTINED instead of burning more spawns.
+    quarantine_after: int = 3
+    quarantine_window_s: float = 30.0
+    #: Seconds a quarantined shard rests before one probation respawn.
+    quarantine_cooldown_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.probe_interval_s <= 0 or self.probe_timeout_s <= 0:
+            raise ValueError("probe interval and timeout must be positive")
+        if self.probe_failures < 1:
+            raise ValueError(
+                f"probe_failures must be >= 1, got {self.probe_failures}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0 or self.backoff_factor < 1:
+            raise ValueError("backoff parameters must be non-negative (factor >= 1)")
+        if self.quarantine_after < 1:
+            raise ValueError(
+                f"quarantine_after must be >= 1, got {self.quarantine_after}"
+            )
+        if self.quarantine_window_s <= 0 or self.quarantine_cooldown_s < 0:
+            raise ValueError("quarantine window must be positive, cooldown >= 0")
+
+    def respawn_delay(self, shard: int, attempt: int) -> float:
+        """Backoff before respawn ``attempt`` (0-based) of one shard."""
+        return backoff_delay(
+            f"shard:{shard}", attempt,
+            base=self.backoff_base_s, factor=self.backoff_factor,
+            cap=self.backoff_cap_s,
+        )
+
+
+class ShardHealth:
+    """One shard's supervision record (clock injected by the caller).
+
+    Not thread-safe by itself: the supervisor mutates it only from its
+    supervision thread and snapshots it under the supervisor's lock.
+    """
+
+    def __init__(self, index: int, policy: SupervisionPolicy) -> None:
+        self.index = index
+        self.policy = policy
+        self.state = ShardState.SERVING
+        #: Total respawns performed (successful spawns), ever.
+        self.respawns = 0
+        #: Times the shard entered quarantine, ever.
+        self.quarantines = 0
+        self.last_reason: str | None = None
+        self._misses = 0
+        #: Respawn-attempt timestamps inside the rolling window.
+        self._attempts: list[float] = []
+        #: When the next respawn attempt may run (backoff gate).
+        self.next_attempt_at = 0.0
+        self.quarantined_at: float | None = None
+
+    # -- probing -------------------------------------------------------
+
+    def probe_ok(self) -> None:
+        self._misses = 0
+
+    def probe_missed(self) -> bool:
+        """Record one missed probe; True when the miss budget is spent."""
+        self._misses += 1
+        return self._misses >= self.policy.probe_failures
+
+    # -- respawn accounting --------------------------------------------
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.policy.quarantine_window_s
+        self._attempts = [t for t in self._attempts if t > horizon]
+
+    def attempts_in_window(self, now: float) -> int:
+        self._prune(now)
+        return len(self._attempts)
+
+    def plan_respawn(self, now: float, reason: str) -> float:
+        """Move to RESPAWNING; returns the deterministic backoff delay.
+
+        The delay index is the number of recent attempts, so a shard
+        that keeps dying backs off 2x per attempt (up to the cap) and a
+        shard that was healthy for a full window restarts immediately.
+        """
+        attempt = self.attempts_in_window(now)
+        delay = self.policy.respawn_delay(self.index, attempt)
+        self.state = ShardState.RESPAWNING
+        self.last_reason = reason
+        self._misses = 0
+        self.next_attempt_at = now + delay
+        return delay
+
+    def respawn_due(self, now: float) -> bool:
+        return self.state is ShardState.RESPAWNING and now >= self.next_attempt_at
+
+    def record_attempt(self, now: float, ok: bool) -> None:
+        """Account one respawn attempt (spawn tried, success or not)."""
+        self._prune(now)
+        self._attempts.append(now)
+        if ok:
+            self.respawns += 1
+            self.state = ShardState.SERVING
+            self._misses = 0
+
+    def should_quarantine(self, now: float) -> bool:
+        return self.attempts_in_window(now) >= self.policy.quarantine_after
+
+    # -- quarantine ----------------------------------------------------
+
+    def enter_quarantine(self, now: float) -> None:
+        self.state = ShardState.QUARANTINED
+        self.quarantines += 1
+        self.quarantined_at = now
+        self._misses = 0
+
+    def probation_due(self, now: float) -> bool:
+        return (
+            self.state is ShardState.QUARANTINED
+            and self.quarantined_at is not None
+            and now - self.quarantined_at >= self.policy.quarantine_cooldown_s
+        )
+
+    def leave_quarantine(self, now: float) -> None:
+        """Grant the probation respawn: a fresh attempt window, so one
+        clean boot fully rehabilitates the shard."""
+        self._attempts.clear()
+        self.quarantined_at = None
+        self.state = ShardState.RESPAWNING
+        self.last_reason = "probation"
+        self.next_attempt_at = now
+
+    # -- reset / export ------------------------------------------------
+
+    def reset(self) -> None:
+        """Manual intervention (an admin restart): clean slate."""
+        self.state = ShardState.SERVING
+        self._misses = 0
+        self._attempts.clear()
+        self.next_attempt_at = 0.0
+        self.quarantined_at = None
+        self.last_reason = None
+
+    def to_json(self) -> dict:
+        return {
+            "state": self.state.value,
+            "respawns": self.respawns,
+            "quarantines": self.quarantines,
+            "quarantined": self.state is ShardState.QUARANTINED,
+            "reason": self.last_reason,
+        }

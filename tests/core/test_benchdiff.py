@@ -86,6 +86,8 @@ def _serve_doc(**overrides) -> dict:
         "latency_ms": {"p50": 1.0, "p99": 3.0},
         "sharded": {"shards": 2, "errors": 0, "cells_rps": 50000.0},
         "restart": {"shard": 0, "cold_misses": 0},
+        "chaos": {"mismatches": 0, "final_mismatches": 0,
+                  "cold_misses": 0, "converged": 1},
     }
     doc.update(overrides)
     return doc
@@ -101,7 +103,7 @@ def test_compare_passes_an_identical_serve_bench(tmp_path):
     deltas = compare([candidate], baseline_dir)
     assert len(deltas) == len(BENCH_CHECKS["BENCH_serve.json"])
     assert all(delta.ok for delta in deltas)
-    assert "all 7 checks within tolerance" in render(deltas)
+    assert "all 11 checks within tolerance" in render(deltas)
 
 
 def test_compare_catches_a_regression_and_render_names_it(tmp_path):
@@ -116,7 +118,7 @@ def test_compare_catches_a_regression_and_render_names_it(tmp_path):
     bad = [delta for delta in deltas if not delta.ok]
     assert [delta.metric for delta in bad] == ["throughput_rps"]
     assert "REGRESSION" in render(deltas)
-    assert "1 regression(s) out of 7 checks" in render(deltas)
+    assert "1 regression(s) out of 11 checks" in render(deltas)
 
 
 def test_compare_catches_a_restart_gone_cold(tmp_path):

@@ -1,0 +1,124 @@
+"""Circuit breaker and retry budget state machines, on a fake clock."""
+
+import pytest
+
+from repro.serve.breaker import (
+    BREAKER_STATE_VALUES,
+    BreakerState,
+    CircuitBreaker,
+    RetryBudget,
+)
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make(failures=3, reset_s=2.0, transitions=None):
+    clock = Clock()
+    breaker = CircuitBreaker(
+        failures=failures, reset_s=reset_s, clock=clock,
+        on_transition=(
+            (lambda old, new: transitions.append((old.value, new.value)))
+            if transitions is not None else None
+        ),
+    )
+    return breaker, clock
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failures=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_s=-1.0)
+
+
+def test_closed_tolerates_sub_threshold_failures():
+    breaker, _clock = make(failures=3)
+    for _ in range(2):
+        assert breaker.allow()
+        breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+    breaker.record_success()        # success resets the consecutive count
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.CLOSED
+
+
+def test_consecutive_failures_open_the_breaker():
+    transitions = []
+    breaker, clock = make(failures=3, transitions=transitions)
+    for _ in range(3):
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens == 1
+    assert not breaker.allow()       # fail fast
+    clock.now += 1.9
+    assert not breaker.allow()       # still inside reset_s
+    assert transitions == [("closed", "open")]
+
+
+def test_half_open_admits_one_probe_then_decides():
+    breaker, clock = make(failures=1, reset_s=2.0)
+    breaker.record_failure()
+    clock.now += 2.0
+    assert breaker.allow()           # the half-open probe
+    assert breaker.state is BreakerState.HALF_OPEN
+    assert not breaker.allow()       # no thundering herd on recovery
+    breaker.record_success()
+    assert breaker.state is BreakerState.CLOSED
+    assert breaker.allow()
+
+
+def test_failed_probe_reopens():
+    breaker, clock = make(failures=1, reset_s=2.0)
+    breaker.record_failure()
+    clock.now += 2.0
+    assert breaker.allow()
+    breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    assert breaker.opens == 2
+    assert not breaker.allow()
+    clock.now += 2.0
+    assert breaker.allow()           # probes again after another reset_s
+
+
+def test_to_json_and_gauge_encoding():
+    breaker, _clock = make(failures=2)
+    breaker.record_failure()
+    assert breaker.to_json() == {
+        "state": "closed", "opens": 0, "consecutive_failures": 1,
+    }
+    assert BREAKER_STATE_VALUES[BreakerState.CLOSED] == 0.0
+    assert BREAKER_STATE_VALUES[BreakerState.OPEN] == 2.0
+
+
+def test_retry_budget_starts_full_and_drains():
+    budget = RetryBudget(ratio=0.1, cap=3.0)
+    assert [budget.spend() for _ in range(4)] == [True, True, True, False]
+    assert budget.exhausted == 1
+    assert budget.tokens == 0.0
+
+
+def test_retry_budget_earns_back_on_success():
+    budget = RetryBudget(ratio=0.5, cap=2.0)
+    while budget.spend():
+        pass
+    budget.earn()
+    assert not budget.spend()        # half a token is not a retry
+    budget.earn()
+    assert budget.spend()
+    for _ in range(10):
+        budget.earn()
+    assert budget.tokens == 2.0      # capped
+
+
+def test_retry_budget_validation():
+    with pytest.raises(ValueError):
+        RetryBudget(ratio=-0.1)
+    with pytest.raises(ValueError):
+        RetryBudget(cap=0.5)

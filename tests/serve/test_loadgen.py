@@ -10,9 +10,11 @@ from repro.serve import (
     ServeConfig,
     ServerThread,
     percentile,
+    retry_after_delay,
     run_load,
     write_bench,
 )
+from repro.serve.loadgen import DEFAULT_RETRY_AFTER_S, MAX_RETRY_AFTER_S
 
 BODIES = [
     {"app": "XSBench", "model": model, "platform": "apu", "precision": "single"}
@@ -77,3 +79,78 @@ def test_open_loop_requires_a_rate():
         asyncio.run(run_load("http://127.0.0.1:1", BODIES, mode="open"))
     with pytest.raises(ValueError, match="mode"):
         asyncio.run(run_load("http://127.0.0.1:1", BODIES, mode="sideways"))
+
+
+# -- Retry-After back-pressure ------------------------------------------
+
+
+def test_retry_after_delay_jitters_upward_and_caps():
+    # The hint is a floor: jitter stretches it 0-50%, deterministically
+    # per token, and never returns early.
+    delays = {
+        retry_after_delay({"retry-after": "0.2"}, f"t:{n}") for n in range(20)
+    }
+    assert all(0.2 <= d <= 0.3 for d in delays)
+    assert len(delays) > 1  # workers desynchronize
+    assert retry_after_delay({"retry-after": "0.2"}, "t:0") == retry_after_delay(
+        {"retry-after": "0.2"}, "t:0"
+    )
+    assert retry_after_delay({"retry-after": "3600"}, "t") == MAX_RETRY_AFTER_S
+
+
+def test_retry_after_delay_falls_back_on_missing_or_http_date():
+    ceiling = DEFAULT_RETRY_AFTER_S * 1.5
+    assert 0.0 < retry_after_delay({}, "t") <= ceiling
+    assert 0.0 < retry_after_delay(
+        {"retry-after": "Fri, 08 Aug 2026 00:00:00 GMT"}, "t"
+    ) <= ceiling
+    assert retry_after_delay({"retry-after": "-5"}, "t") == 0.0
+
+
+def test_closed_loop_honors_retry_after_on_429():
+    """A server that always answers 429 + Retry-After must see the
+    closed loop back off, not hammer: the request count is bounded by
+    duration / hint, instead of the thousands an unthrottled loop
+    would issue."""
+    hint = 0.1
+    body = (b'{"error": {"status": 429, "message": "full"}}')
+
+    async def scenario() -> LoadResult:
+        async def handle(reader, writer):
+            try:
+                while True:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                    length = 0
+                    for line in head.decode("latin-1").split("\r\n"):
+                        name, _, value = line.partition(":")
+                        if name.strip().lower() == "content-length":
+                            length = int(value.strip())
+                    if length:
+                        await reader.readexactly(length)
+                    writer.write((
+                        "HTTP/1.1 429 Too Many Requests\r\n"
+                        f"Retry-After: {hint}\r\n"
+                        "Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body)}\r\n\r\n"
+                    ).encode() + body)
+                    await writer.drain()
+            except (asyncio.IncompleteReadError, ConnectionError):
+                pass
+            finally:
+                writer.close()
+
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await run_load(
+                f"http://127.0.0.1:{port}", BODIES, mode="closed",
+                concurrency=2, duration_s=0.5, warmup=False,
+            )
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    result = asyncio.run(scenario())
+    assert set(result.status_counts) == {"429"}
+    # 2 workers x 0.5 s / >= 0.1 s pause: ~10 requests, not thousands.
+    assert result.requests <= 2 * (int(0.5 / hint) + 2)

@@ -1,0 +1,126 @@
+"""The seeded serve-layer fault injector (pure logic; no live tier)."""
+
+import pytest
+
+from repro.serve.faults import (
+    ENV_SERVE_FAULTS,
+    ENV_SERVE_SEED,
+    SERVE_FAULT_KINDS,
+    ServeChaos,
+    ServeFaultPlan,
+    parse_serve_fault_plan,
+    serve_fault_plan_from_env,
+)
+
+
+# -- parsing ------------------------------------------------------------
+
+
+def test_parse_rates_and_pseudo_keys():
+    plan = parse_serve_fault_plan(
+        "crash:0.004,reset:0.01,slow_s:0.02,limit:7,shard:1,seed:42"
+    )
+    assert plan.rate("crash") == 0.004
+    assert plan.rate("reset") == 0.01
+    assert plan.rate("hang") == 0.0
+    assert plan.slow_s == 0.02
+    assert plan.limit == 7
+    assert plan.only_shard == 1
+    assert plan.seed == 42
+    assert plan.active
+
+
+def test_parse_round_trips_through_spec_string():
+    plan = parse_serve_fault_plan("corrupt:0.005,slow:0.01,slow_s:0.03,shard:0")
+    assert parse_serve_fault_plan(plan.spec_string(), seed=plan.seed) == plan
+
+
+def test_parse_rejects_unknown_kind_and_bad_rate():
+    with pytest.raises(ValueError, match="unknown serve fault kind"):
+        parse_serve_fault_plan("meteor:0.1")
+    with pytest.raises(ValueError, match="must be in"):
+        parse_serve_fault_plan("crash:1.5")
+    with pytest.raises(ValueError, match="malformed"):
+        parse_serve_fault_plan("crash")
+    with pytest.raises(ValueError, match="malformed"):
+        parse_serve_fault_plan("crash:lots")
+
+
+def test_empty_plan_is_inert():
+    plan = parse_serve_fault_plan("")
+    assert not plan.active
+    assert plan.draw(0, 0) is None
+
+
+# -- the draw schedule --------------------------------------------------
+
+
+def test_draws_are_deterministic_per_seed():
+    plan = parse_serve_fault_plan("crash:0.01,reset:0.05", seed=3)
+    again = parse_serve_fault_plan("crash:0.01,reset:0.05", seed=3)
+    schedule = [plan.draw(0, n) for n in range(2000)]
+    assert schedule == [again.draw(0, n) for n in range(2000)]
+    assert any(kind is not None for kind in schedule)  # storm actually lands
+
+
+def test_different_seeds_give_different_schedules():
+    a = parse_serve_fault_plan("reset:0.05", seed=1)
+    b = parse_serve_fault_plan("reset:0.05", seed=2)
+    assert [a.draw(0, n) for n in range(2000)] != [b.draw(0, n) for n in range(2000)]
+
+
+def test_only_shard_confines_the_plan():
+    plan = parse_serve_fault_plan("reset:1.0,shard:1")
+    assert plan.draw(0, 0) is None
+    assert plan.draw(1, 0) == "reset"
+    assert plan.applies_to(1) and not plan.applies_to(0)
+
+
+def test_draw_order_prefers_earlier_kinds():
+    everything = ",".join(f"{kind}:1.0" for kind in SERVE_FAULT_KINDS)
+    plan = parse_serve_fault_plan(everything)
+    assert plan.draw(0, 0) == SERVE_FAULT_KINDS[0]
+
+
+def test_rate_one_dooms_every_request():
+    plan = parse_serve_fault_plan("slow:1.0")
+    assert all(plan.draw(None, n) == "slow" for n in range(50))
+
+
+# -- ServeChaos state ---------------------------------------------------
+
+
+def test_chaos_counts_and_limit():
+    chaos = ServeChaos(parse_serve_fault_plan("reset:1.0,limit:3"), shard=0)
+    kinds = [chaos.next_fault() for _ in range(5)]
+    assert kinds == ["reset", "reset", "reset", None, None]
+    assert chaos.total_injected == 3
+    assert chaos.counts == {"reset": 3}
+    doc = chaos.to_json()
+    assert doc["armed"] and doc["ordinal"] == 5
+    assert doc["injected"] == {"reset": 3}
+
+
+def test_chaos_without_plan_is_disarmed():
+    chaos = ServeChaos(None, shard=0)
+    assert not chaos.armed
+    assert chaos.next_fault() is None
+    assert chaos.to_json()["plan"] is None
+
+
+def test_chaos_ignores_plans_for_other_shards():
+    chaos = ServeChaos(parse_serve_fault_plan("crash:1.0,shard:1"), shard=0)
+    assert not chaos.armed
+    assert chaos.next_fault() is None
+
+
+# -- environment arming -------------------------------------------------
+
+
+def test_plan_from_env(monkeypatch):
+    monkeypatch.delenv(ENV_SERVE_FAULTS, raising=False)
+    assert serve_fault_plan_from_env() is None
+    monkeypatch.setenv(ENV_SERVE_FAULTS, "crash:0.25")
+    monkeypatch.setenv(ENV_SERVE_SEED, "9")
+    plan = serve_fault_plan_from_env()
+    assert plan == ServeFaultPlan(seed=9, rates=(("crash", 0.25),))

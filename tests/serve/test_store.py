@@ -152,6 +152,44 @@ def test_stale_lock_is_broken(tmp_path):
     assert source == "computed" and value == {"n": 3}
 
 
+_DYING_LEADER_CHILD = textwrap.dedent("""
+    import os, sys
+    from repro.serve.store import ResultStore
+
+    root, key = sys.argv[1], sys.argv[2]
+    assert ResultStore(root)._try_lock(key)
+    os._exit(9)  # dies mid-compute, lock file left behind
+""")
+
+
+def test_follower_breaks_a_dead_leaders_lock_and_computes_once(tmp_path):
+    """A leader that really dies (O_EXCL lock held, process gone) must
+    not wedge the key: a follower waits out ``lock_stale_s``, breaks
+    the orphaned lock, elects itself leader, and computes exactly once.
+    """
+    key = _key("dying-leader")
+    env = {**os.environ, "PYTHONPATH": _SRC}
+    child = subprocess.run(
+        [sys.executable, "-c", _DYING_LEADER_CHILD, str(tmp_path), key],
+        env=env, timeout=120,
+    )
+    assert child.returncode == 9
+    store = ResultStore(tmp_path, lock_timeout_s=30.0, lock_stale_s=0.2)
+    assert store._lock_path(key).exists()  # the orphan is really there
+
+    calls = []
+    value, source = store.fetch_or_compute(
+        key, lambda: calls.append(1) or {"n": 42}
+    )
+    assert (value, source) == ({"n": 42}, "computed")
+    assert calls == [1]  # exactly one compute
+    assert not store._lock_path(key).exists()  # broken and released
+    value, source = store.fetch_or_compute(key, lambda: calls.append(1) or {})
+    assert (value, source) == ({"n": 42}, "store")
+    assert calls == [1]
+    assert store.snapshot().lock_waits >= 1
+
+
 _SINGLE_FLIGHT_CHILD = textwrap.dedent("""
     import os, sys, time
     from repro.serve.store import ResultStore

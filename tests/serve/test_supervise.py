@@ -1,0 +1,118 @@
+"""The supervision state machine, on a hand-driven clock."""
+
+import pytest
+
+from repro.exec.retry import backoff_delay
+from repro.serve.supervise import ShardHealth, ShardState, SupervisionPolicy
+
+FAST = SupervisionPolicy(
+    probe_interval_s=0.05,
+    probe_timeout_s=0.5,
+    probe_failures=2,
+    backoff_base_s=0.05,
+    backoff_factor=2.0,
+    backoff_cap_s=2.0,
+    quarantine_after=3,
+    quarantine_window_s=10.0,
+    quarantine_cooldown_s=5.0,
+)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        SupervisionPolicy(probe_interval_s=0.0)
+    with pytest.raises(ValueError):
+        SupervisionPolicy(probe_failures=0)
+    with pytest.raises(ValueError):
+        SupervisionPolicy(backoff_factor=0.5)
+    with pytest.raises(ValueError):
+        SupervisionPolicy(quarantine_after=0)
+    with pytest.raises(ValueError):
+        SupervisionPolicy(quarantine_window_s=0.0)
+
+
+def test_respawn_delay_is_the_shared_deterministic_curve():
+    assert FAST.respawn_delay(0, 2) == backoff_delay(
+        "shard:0", 2, base=0.05, factor=2.0, cap=2.0
+    )
+    # Jittered exponential: monotone non-decreasing envelope, capped.
+    assert FAST.respawn_delay(0, 9) <= 2.0
+    assert FAST.respawn_delay(0, 0) < FAST.respawn_delay(0, 6)
+
+
+def test_probe_miss_budget():
+    health = ShardHealth(0, FAST)
+    assert not health.probe_missed()       # one miss: maybe a GC pause
+    health.probe_ok()                      # recovery clears the count
+    assert not health.probe_missed()
+    assert health.probe_missed()           # second consecutive: hung
+
+
+def test_plan_respawn_backs_off_and_gates_on_the_clock():
+    health = ShardHealth(0, FAST)
+    delay = health.plan_respawn(100.0, "died")
+    assert health.state is ShardState.RESPAWNING
+    assert health.last_reason == "died"
+    assert delay == FAST.respawn_delay(0, 0)
+    assert not health.respawn_due(100.0 + delay / 2)
+    assert health.respawn_due(100.0 + delay)
+    health.record_attempt(100.0 + delay, ok=True)
+    assert health.state is ShardState.SERVING
+    assert health.respawns == 1
+
+
+def test_repeated_deaths_escalate_the_backoff():
+    health = ShardHealth(0, FAST)
+    now = 100.0
+    delays = []
+    for _ in range(3):
+        delays.append(health.plan_respawn(now, "died"))
+        now += delays[-1]
+        health.record_attempt(now, ok=False)
+    # Attempt index grows with the in-window attempt count.
+    assert delays == [FAST.respawn_delay(0, i) for i in range(3)]
+
+
+def test_quarantine_after_a_crash_loop_then_probation():
+    health = ShardHealth(0, FAST)
+    now = 100.0
+    for _ in range(3):
+        now += health.plan_respawn(now, "died")
+        health.record_attempt(now, ok=True)   # boots, then dies again
+    assert health.should_quarantine(now)
+    health.enter_quarantine(now)
+    assert health.state is ShardState.QUARANTINED
+    assert health.quarantines == 1
+    assert health.to_json()["quarantined"]
+
+    assert not health.probation_due(now + 4.9)
+    assert health.probation_due(now + 5.0)
+    health.leave_quarantine(now + 5.0)
+    assert health.state is ShardState.RESPAWNING
+    assert health.last_reason == "probation"
+    assert health.respawn_due(now + 5.0)      # probation runs immediately
+    # The attempt window was cleared: one clean boot rehabilitates.
+    assert health.attempts_in_window(now + 5.0) == 0
+    health.record_attempt(now + 5.0, ok=True)
+    assert health.state is ShardState.SERVING
+
+
+def test_old_attempts_age_out_of_the_window():
+    health = ShardHealth(0, FAST)
+    health.record_attempt(100.0, ok=False)
+    health.record_attempt(101.0, ok=False)
+    assert health.attempts_in_window(105.0) == 2
+    assert health.attempts_in_window(100.0 + 10.5) == 1
+    assert health.attempts_in_window(120.0) == 0
+    assert not health.should_quarantine(120.0)
+
+
+def test_manual_reset_is_a_clean_slate():
+    health = ShardHealth(0, FAST)
+    health.plan_respawn(100.0, "hung")
+    health.record_attempt(100.1, ok=False)
+    health.enter_quarantine(100.2)
+    health.reset()
+    assert health.state is ShardState.SERVING
+    assert health.attempts_in_window(100.3) == 0
+    assert health.to_json()["reason"] is None
