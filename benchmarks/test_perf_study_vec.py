@@ -21,8 +21,12 @@ from pathlib import Path
 import pytest
 
 from repro.apps import ALL_APPS
+from repro.core.configs import bench_configs
 from repro.core.study import GPU_MODELS, run_study
 from repro.engine import memo
+
+ENERGY_MODELS = ("OpenCL", "OpenACC", "OpenMP Offload")
+ENERGY_PLATFORMS = ("dgpu", "v100")
 
 pytestmark = pytest.mark.perf
 
@@ -60,6 +64,21 @@ def test_whole_study_columnar_speedup():
         totals["vector"] += seconds["vector"]
     memo.clear_caches()
 
+    # The cross-vendor energy row: simulated joules are deterministic,
+    # so the totals are exact contracts (benchdiff direction "equal"),
+    # gated on scalar/vector energy bit-identity.
+    energy = {}
+    for engine in ("scalar", "vector"):
+        memo.clear_caches()
+        energy[engine] = run_study(
+            ALL_APPS, configs=bench_configs(),
+            models=ENERGY_MODELS, platforms=ENERGY_PLATFORMS, engine=engine,
+        )
+    assert [(e.joules, e.edp) for e in energy["vector"].entries] == [
+        (e.joules, e.edp) for e in energy["scalar"].entries
+    ]
+    memo.clear_caches()
+
     doc = {
         "matrix": {
             "apps": [app.name for app in ALL_APPS],
@@ -73,6 +92,15 @@ def test_whole_study_columnar_speedup():
         "speedup": round(totals["scalar"] / totals["vector"], 2),
         "per_app": per_app,
         "identical": True,  # the assertions above gate writing this file
+        "energy": {
+            "models": list(ENERGY_MODELS),
+            "platforms": list(ENERGY_PLATFORMS),
+            "total_joules": round(
+                sum(e.joules for e in energy["scalar"].entries), 3
+            ),
+            "total_edp": round(sum(e.edp for e in energy["scalar"].entries), 6),
+            "identical": True,  # gated by the joules/edp assertion above
+        },
     }
     BENCH_PATH.write_text(json.dumps(doc, indent=2) + "\n")
 

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Protocol
 
+from ..engine import energy
 from ..engine.counters import PerfCounters
 from ..hardware.device import Platform
 from ..hardware.specs import Precision
@@ -46,6 +47,14 @@ class RunResult:
     #: A scalar derived from the numerical output, for validation.
     checksum: float
     counters: PerfCounters
+    #: Whole-run energy (``repro.engine.energy``): static platform draw
+    #: over the run plus dynamic kernel + transfer energy.
+    joules: float = 0.0
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.joules * self.seconds
 
 
 class Port(Protocol):
@@ -103,7 +112,19 @@ def make_result(
     seconds: float,
     checksum: float,
 ) -> RunResult:
-    """Assemble a :class:`RunResult` from a finished context."""
+    """Assemble a :class:`RunResult` from a finished context.
+
+    Energy closes here: the counters carry the event-by-event dynamic
+    energy (kernels, staging copies); the static platform draw is a
+    function of the run's total duration, so it is integrated at
+    assembly — identically in the columnar engine's reassembly
+    (``repro.engine.study_vec``).
+    """
+    joules = (
+        energy.static_joules(ctx.platform.idle_watts, seconds)
+        + ctx.counters.kernel_joules
+        + ctx.counters.transfer_joules
+    )
     return RunResult(
         app=app,
         model=model,
@@ -113,4 +134,5 @@ def make_result(
         kernel_seconds=ctx.counters.kernel_seconds,
         checksum=float(checksum),
         counters=ctx.counters,
+        joules=joules,
     )

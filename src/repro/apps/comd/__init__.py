@@ -6,7 +6,15 @@ kernel is >90% of runtime; Table I counts 3 (LJ) kernels.
 """
 
 from ..base import ProxyApp
-from . import port_cppamp, port_hc, port_openacc, port_opencl, port_openmp, port_serial
+from . import (
+    port_cppamp,
+    port_hc,
+    port_omp_offload,
+    port_openacc,
+    port_opencl,
+    port_openmp,
+    port_serial,
+)
 from .driver import REBIN_INTERVAL, compute_forces, epochs, run_reference
 from .kernels import ATOMS_PER_CELL, advance_position, advance_velocity, kernel_specs, lj_force
 from .reference import (
@@ -36,6 +44,7 @@ APP = ProxyApp(
         port_opencl.model_name: port_opencl.run,
         port_cppamp.model_name: port_cppamp.run,
         port_openacc.model_name: port_openacc.run,
+        port_omp_offload.model_name: port_omp_offload.run,
         port_hc.model_name: port_hc.run,
     },
 )

@@ -7,7 +7,15 @@ memory frequency (Figure 7b).
 """
 
 from ..base import ProxyApp
-from . import port_cppamp, port_hc, port_openacc, port_opencl, port_openmp, port_serial
+from . import (
+    port_cppamp,
+    port_hc,
+    port_omp_offload,
+    port_openacc,
+    port_opencl,
+    port_openmp,
+    port_serial,
+)
 from .kernels import SCHEDULE, STEPS_BY_NAME, kernel_specs
 from .physics import LuleshConfig, LuleshState, QStopError, default_config, paper_config
 from .reference import make_state, run_iteration, run_reference
@@ -26,6 +34,7 @@ APP = ProxyApp(
         port_opencl.model_name: port_opencl.run,
         port_cppamp.model_name: port_cppamp.run,
         port_openacc.model_name: port_openacc.run,
+        port_omp_offload.model_name: port_omp_offload.run,
         port_hc.model_name: port_hc.run,
     },
 )

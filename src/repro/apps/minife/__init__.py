@@ -6,7 +6,15 @@ and dot kernels.  Memory-bandwidth bound with high IPC (Table I).
 """
 
 from ..base import ProxyApp
-from . import port_cppamp, port_hc, port_openacc, port_opencl, port_openmp, port_serial
+from . import (
+    port_cppamp,
+    port_hc,
+    port_omp_offload,
+    port_openacc,
+    port_opencl,
+    port_openmp,
+    port_serial,
+)
 from .kernels import NNZ_PER_ROW, dot, kernel_specs, spmv, waxpby
 from .reference import (
     MiniFEConfig,
@@ -31,6 +39,7 @@ APP = ProxyApp(
         port_opencl.model_name: port_opencl.run,
         port_cppamp.model_name: port_cppamp.run,
         port_openacc.model_name: port_openacc.run,
+        port_omp_offload.model_name: port_omp_offload.run,
         port_hc.model_name: port_hc.run,
     },
 )

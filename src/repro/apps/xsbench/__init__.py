@@ -7,7 +7,15 @@ table makes data transfers a first-order cost on the discrete GPU.
 """
 
 from ..base import ProxyApp
-from . import port_cppamp, port_hc, port_openacc, port_opencl, port_openmp, port_serial
+from . import (
+    port_cppamp,
+    port_hc,
+    port_omp_offload,
+    port_openacc,
+    port_opencl,
+    port_openmp,
+    port_serial,
+)
 from .kernels import AVG_NUCLIDES, lookup_kernel_spec, xs_lookup
 from .reference import (
     MATERIAL_NUCLIDE_COUNTS,
@@ -35,6 +43,7 @@ APP = ProxyApp(
         port_opencl.model_name: port_opencl.run,
         port_cppamp.model_name: port_cppamp.run,
         port_openacc.model_name: port_openacc.run,
+        port_omp_offload.model_name: port_omp_offload.run,
         port_hc.model_name: port_hc.run,
     },
 )

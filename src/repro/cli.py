@@ -43,6 +43,7 @@ from .core import (
     characterize,
     characterize_apps,
     compute_productivity,
+    render_energy,
     render_figure7,
     render_figure10,
     render_figure11,
@@ -55,7 +56,9 @@ from .core import (
     run_sweep,
     sweep_configs,
 )
+from .exec.plan import PLATFORMS, platform_label
 from .hardware.specs import Precision
+from .models.registry import normalize_model_name
 from .sloc import PAPER_TABLE4, table4
 
 FIGURE_APPS = tuple(app.name for app in ALL_APPS)
@@ -96,11 +99,16 @@ def _print_failures(failures) -> bool:
 
 
 def _study(full: bool, workers: int = 1, cache: bool = True, telemetry: bool = False,
-           engine: str = "scalar", **fault_kwargs):
+           engine: str = "scalar", models=None, platforms=None, **fault_kwargs):
     configs = None if full else bench_configs()
+    matrix = {}
+    if models is not None:
+        matrix["models"] = models
+    if platforms is not None:
+        matrix["platforms"] = platforms
     return run_study(
         ALL_APPS, paper_scale=True, configs=configs, max_workers=workers,
-        use_cache=cache, telemetry=telemetry, engine=engine, **fault_kwargs,
+        use_cache=cache, telemetry=telemetry, engine=engine, **matrix, **fault_kwargs,
     )
 
 
@@ -269,15 +277,32 @@ def cmd_study(args: argparse.Namespace) -> int | None:
     cache hits).  ``--paper-scale`` uses the exact Table I problem
     sizes; the default is the reduced bench-scale matrix.
     """
+    models = (
+        tuple(normalize_model_name(m) for m in args.model) if args.model else None
+    )
+    platforms = tuple(args.platform) if args.platform else None
     study = _study(args.paper_scale, args.workers, not args.no_cache,
                    _wants_telemetry(args), engine=args.engine,
+                   models=models, platforms=platforms,
                    **_fault_kwargs(args))
-    print(render_speedups(study, FIGURE_APPS, apu=True,
-                          title="Figure 8: speedup over 4-core OpenMP on the APU"))
-    print()
-    print(render_speedups(study, FIGURE_APPS, apu=False,
-                          title="Figure 9: speedup over 4-core OpenMP on the dGPU"))
-    print()
+    if models is not None or platforms is not None:
+        # A custom matrix: render the cross-vendor energy view per
+        # platform (speedup + joules + EDP) instead of Figures 8/9.
+        from .core.study import GPU_MODELS
+
+        for platform in platforms or ("apu", "dgpu"):
+            print(render_energy(
+                study, FIGURE_APPS, models or GPU_MODELS, platform,
+                title=f"Energy/EDP on the {platform_label(platform)} "
+                      f"(speedup over 4-core OpenMP)"))
+            print()
+    else:
+        print(render_speedups(study, FIGURE_APPS, apu=True,
+                              title="Figure 8: speedup over 4-core OpenMP on the APU"))
+        print()
+        print(render_speedups(study, FIGURE_APPS, apu=False,
+                              title="Figure 9: speedup over 4-core OpenMP on the dGPU"))
+        print()
     print(study.stats.summary())
     if args.per_run:
         print()
@@ -477,7 +502,7 @@ def _predict_cells(args: argparse.Namespace, apps: list[str]) -> list[dict]:
     """The cell mix: apps x models x platforms x precisions."""
     from .core.study import GPU_MODELS
 
-    models = [args.model] if args.model else list(GPU_MODELS)
+    models = [normalize_model_name(args.model)] if args.model else list(GPU_MODELS)
     platforms = [args.platform] if args.platform else ["apu", "dgpu"]
     precisions = [args.precision] if args.precision else ["single", "double"]
     return [
@@ -873,6 +898,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print per-run wall times and cache counters")
     study.add_argument("--out", default=None,
                        help="also export the study records as JSON")
+    study.add_argument("--model", action="append", default=None, metavar="NAME",
+                       help="compare this model instead of the paper's three "
+                            "(repeatable; aliases like 'omp-offload' accepted)")
+    study.add_argument("--platform", action="append", default=None,
+                       choices=PLATFORMS,
+                       help="run on this platform selector instead of APU+dGPU "
+                            "(repeatable; 'v100' is the second-vendor device)")
     study.add_argument("--engine", choices=("vector", "scalar"), default="vector",
                        help="pricing engine: 'vector' lowers the matrix into a "
                             "spec lattice and prices all cells columnar; "
@@ -1041,8 +1073,8 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--model", default=None,
                           help="restrict to one programming model "
                                "(default: rotate OpenCL/C++ AMP/OpenACC)")
-    loadtest.add_argument("--platform", choices=("apu", "dgpu"), default=None,
-                          help="restrict to one platform (default: both)")
+    loadtest.add_argument("--platform", choices=PLATFORMS, default=None,
+                          help="restrict to one platform (default: apu+dgpu)")
     loadtest.add_argument("--precision", choices=("single", "double"),
                           default=None,
                           help="restrict to one precision (default: both)")

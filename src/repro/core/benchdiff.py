@@ -62,6 +62,12 @@ BENCH_CHECKS: dict[str, tuple[MetricCheck, ...]] = {
         MetricCheck("identical", "equal"),
         MetricCheck("cells", "equal"),
         MetricCheck("speedup", "higher", 0.9),
+        # The cross-vendor energy row: simulated joules are a pure
+        # function of the model, so the totals are exact contracts —
+        # any drift is a calibration change, not runner noise.
+        MetricCheck("energy.identical", "equal"),
+        MetricCheck("energy.total_joules", "equal"),
+        MetricCheck("energy.total_edp", "equal"),
     ),
     "BENCH_serve.json": (
         MetricCheck("errors", "zero"),

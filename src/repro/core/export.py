@@ -11,8 +11,17 @@ import json
 from pathlib import Path
 from typing import Iterable
 
-from .study import StudyResult
+from ..exec.plan import platform_label
+from .study import StudyEntry, StudyResult
 from .sweep import SweepResult
+
+
+def _entry_platform(entry: StudyEntry) -> str:
+    """Display label of an entry's platform; legacy entries (no
+    ``platform_key``) keep the two-platform APU/dGPU labels."""
+    if entry.platform_key:
+        return platform_label(entry.platform_key)
+    return "APU" if entry.apu else "dGPU"
 
 
 def study_records(study: StudyResult) -> list[dict[str, object]]:
@@ -23,13 +32,15 @@ def study_records(study: StudyResult) -> list[dict[str, object]]:
             {
                 "app": entry.app,
                 "model": entry.model,
-                "platform": "APU" if entry.apu else "dGPU",
+                "platform": _entry_platform(entry),
                 "precision": entry.precision.value,
                 "seconds": entry.seconds,
                 "kernel_seconds": entry.kernel_seconds,
                 "baseline_seconds": entry.baseline_seconds,
                 "speedup": entry.speedup,
                 "kernel_speedup": entry.kernel_speedup,
+                "joules": entry.joules,
+                "edp": entry.edp,
             }
         )
     return records
@@ -44,7 +55,7 @@ def speedup_tables(study: StudyResult) -> dict[str, dict[str, dict[str, dict[str
     """
     tables: dict[str, dict[str, dict[str, dict[str, float]]]] = {}
     for entry in study.entries:
-        platform = "APU" if entry.apu else "dGPU"
+        platform = _entry_platform(entry)
         tables.setdefault(platform, {}).setdefault(entry.precision.value, {}).setdefault(
             entry.app, {}
         )[entry.model] = entry.speedup

@@ -145,6 +145,42 @@ def render_speedups(study: StudyResult, apps: Iterable[str], apu: bool, title: s
     return format_table(["Application", "Precision"] + list(GPU_MODELS), rows, title=title)
 
 
+def render_energy(
+    study: StudyResult,
+    apps: Iterable[str],
+    models: Iterable[str],
+    platform: str,
+    title: str,
+) -> str:
+    """The energy view of one platform's study column: speedup over the
+    OpenMP baseline plus whole-run joules and energy-delay product —
+    the study the paper couldn't run (its Table II lists TDPs, but no
+    power measurements).  Quarantined cells render as ``-``.
+    """
+    rows = []
+    for app in apps:
+        for precision in (Precision.SINGLE, Precision.DOUBLE):
+            for model in models:
+                try:
+                    entry = study.get(app, model, precision=precision, platform=platform)
+                except KeyError:
+                    rows.append([app, precision.value, model, "-", "-", "-"])
+                    continue
+                rows.append([
+                    app,
+                    precision.value,
+                    model,
+                    f"{entry.speedup:.2f}x",
+                    f"{entry.joules:.4g} J",
+                    f"{entry.edp:.4g} Js",
+                ])
+    return format_table(
+        ["Application", "Precision", "Model", "Speedup", "Energy", "EDP"],
+        rows,
+        title=title,
+    )
+
+
 def render_figure10(result: ProductivityResult, apps: Iterable[str]) -> str:
     """Figure 10: productivity (Eq. 1) per app plus harmonic means."""
     rows = []

@@ -15,7 +15,7 @@ from ..apps.base import ProxyApp, RunResult
 from ..exec.checkpoint import CheckpointJournal
 from ..exec.executor import ExecStats, execute_with_engine
 from ..exec.faults import FaultPlan, RunError
-from ..exec.plan import study_runs
+from ..exec.plan import APU, DGPU, study_runs
 from ..exec.retry import RetryPolicy
 from ..hardware.device import make_platform
 from ..hardware.specs import Precision
@@ -40,6 +40,11 @@ class StudyEntry:
     seconds: float
     kernel_seconds: float
     baseline_seconds: float
+    #: Plan selector of the platform ("apu"/"dgpu"/"v100"); "" only in
+    #: hand-built legacy entries.
+    platform_key: str = ""
+    #: Whole-run energy in joules (``repro.engine.energy``).
+    joules: float = 0.0
 
     @property
     def speedup(self) -> float:
@@ -51,6 +56,11 @@ class StudyEntry:
         """Kernel-time-only speedup (used for read-benchmark, which the
         paper reports with "data-transfer times ... left out")."""
         return speedup(self.baseline_seconds, self.kernel_seconds)
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product in joule-seconds."""
+        return self.joules * self.seconds
 
 
 @dataclass
@@ -76,16 +86,32 @@ class StudyResult:
         """Whether every requested run produced an entry."""
         return not self.failures
 
-    def get(self, app: str, model: str, apu: bool, precision: Precision) -> StudyEntry:
+    def get(
+        self,
+        app: str,
+        model: str,
+        apu: bool | None = None,
+        precision: Precision | None = None,
+        platform: str | None = None,
+    ) -> StudyEntry:
+        """Look one entry up by platform selector or legacy ``apu`` bool.
+
+        ``platform`` (a plan selector: "apu"/"dgpu"/"v100") is the
+        general form; ``apu`` remains for two-platform callers.
+        """
         for entry in self.entries:
-            if (
-                entry.app == app
-                and entry.model == model
-                and entry.apu == apu
-                and entry.precision == precision
-            ):
-                return entry
-        raise KeyError(f"no entry for {app}/{model}/{'APU' if apu else 'dGPU'}/{precision.value}")
+            if entry.app != app or entry.model != model:
+                continue
+            if precision is not None and entry.precision != precision:
+                continue
+            if platform is not None:
+                if entry.platform_key != platform:
+                    continue
+            elif apu is not None and entry.apu != apu:
+                continue
+            return entry
+        where = platform if platform is not None else ("APU" if apu else "dGPU")
+        raise KeyError(f"no entry for {app}/{model}/{where}/{precision and precision.value}")
 
     def speedups(self, app: str, apu: bool, precision: Precision) -> dict[str, float]:
         """Model -> speedup for one app/platform/precision (one subplot
@@ -117,6 +143,7 @@ def run_study(
     apu_values: tuple[bool, ...] = (True, False),
     precisions: tuple[Precision, ...] = (Precision.SINGLE, Precision.DOUBLE),
     models: tuple[str, ...] = GPU_MODELS,
+    platforms: tuple[str, ...] | None = None,
     paper_scale: bool = True,
     configs: dict[str, object] | None = None,
     max_workers: int = 1,
@@ -154,7 +181,13 @@ def run_study(
     the matrix into a spec lattice and prices all cells columnar
     (:mod:`repro.engine.study_vec`).  Entries are bit-identical either
     way.
+
+    ``platforms`` names plan selectors directly ("apu"/"dgpu"/"v100") —
+    the general, cross-vendor form; when given it supersedes the legacy
+    ``apu_values`` pair.
     """
+    if platforms is None:
+        platforms = tuple(APU if apu else DGPU for apu in apu_values)
     resolved: dict[str, object] = {}
     for app in apps:
         if configs and app.name in configs:
@@ -165,11 +198,12 @@ def run_study(
     runs = study_runs(
         app_names=[app.name for app in apps],
         configs=resolved,
-        apu_values=apu_values,
+        apu_values=None,
         precisions=precisions,
         models=models,
         baseline=BASELINE_MODEL,
         projection=paper_scale,
+        platforms=platforms,
     )
     outcomes, stats = execute_with_engine(
         engine,
@@ -190,7 +224,7 @@ def run_study(
     result = StudyResult(stats=stats, telemetry=stats.timeline, failures=list(stats.failures))
     cursor = iter(outcomes)
     for app in apps:
-        for apu in apu_values:
+        for platform in platforms:
             for precision in precisions:
                 baseline_outcome = next(cursor)
                 model_outcomes = [next(cursor) for _ in models]
@@ -206,11 +240,13 @@ def run_study(
                             app=app.name,
                             model=model,
                             platform=run.platform,
-                            apu=apu,
+                            apu=platform == APU,
                             precision=precision,
                             seconds=run.seconds,
                             kernel_seconds=run.kernel_seconds,
                             baseline_seconds=baseline.seconds,
+                            platform_key=platform,
+                            joules=getattr(run, "joules", 0.0),
                         )
                     )
     return result

@@ -22,6 +22,8 @@ class KernelRecord:
     dram_bytes: float
     limited_by: str
     device: str
+    #: Dynamic switching energy of the launch (``repro.engine.energy``).
+    joules: float = 0.0
 
 
 @dataclass
@@ -40,6 +42,12 @@ class PerfCounters:
     bytes_to_host: int = 0
     kernel_launches: int = 0
     transfers: int = 0
+    #: Dynamic energy integrated over the charge timeline
+    #: (``repro.engine.energy``): kernel switching energy and staging
+    #: link energy.  Static (idle) energy is added per run when the
+    #: result is assembled — it depends on total duration, not events.
+    kernel_joules: float = 0.0
+    transfer_joules: float = 0.0
     kernels: list[KernelRecord] = field(default_factory=list)
 
     @property
@@ -71,10 +79,14 @@ class PerfCounters:
         self.instructions += record.instructions
         self.dram_bytes += record.dram_bytes
         self.kernel_launches += 1
+        self.kernel_joules += record.joules
 
-    def record_transfer(self, nbytes: int, seconds: float, direction: str) -> None:
+    def record_transfer(
+        self, nbytes: int, seconds: float, direction: str, joules: float = 0.0
+    ) -> None:
         self.transfer_seconds += seconds
         self.transfers += 1
+        self.transfer_joules += joules
         if direction == "h2d":
             self.bytes_to_device += nbytes
         else:
@@ -95,6 +107,8 @@ class PerfCounters:
             bytes_to_host=self.bytes_to_host + other.bytes_to_host,
             kernel_launches=self.kernel_launches + other.kernel_launches,
             transfers=self.transfers + other.transfers,
+            kernel_joules=self.kernel_joules + other.kernel_joules,
+            transfer_joules=self.transfer_joules + other.transfer_joules,
         )
         merged.kernels = self.kernels + other.kernels
         return merged

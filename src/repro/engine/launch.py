@@ -70,6 +70,13 @@ CPPAMP_APU = RuntimeOverheads(kernel_launch_s=5e-6, per_buffer_s=0.2e-6)
 OPENACC_DGPU = RuntimeOverheads(kernel_launch_s=15e-6, per_buffer_s=1.5e-6)
 OPENACC_APU = RuntimeOverheads(kernel_launch_s=15e-6, per_buffer_s=1.5e-6)
 
+#: OpenMP target-offload runtime (libomptarget and its vendor
+#: equivalents): every ``target`` construct resolves mappings against
+#: the device data environment and dispatches through a generic
+#: plugin layer — heavier per launch than the PGI OpenACC runtime.
+OMP_OFFLOAD_DGPU = RuntimeOverheads(kernel_launch_s=22e-6, per_buffer_s=2.0e-6)
+OMP_OFFLOAD_APU = RuntimeOverheads(kernel_launch_s=22e-6, per_buffer_s=2.0e-6)
+
 #: OpenMP parallel-region fork/join on the 4-core host.
 OPENMP_REGION_S = 4e-6
 

@@ -52,7 +52,7 @@ from typing import Sequence
 import numpy as np
 
 from ..apps.base import RunResult
-from ..engine import memo
+from ..engine import energy, memo
 from ..engine.counters import PerfCounters
 from ..engine.timing import KernelTiming
 from ..engine.timing_vec import time_cpu_kernel_batch, time_gpu_kernel_batch
@@ -73,7 +73,9 @@ from ..models.base import ChargeLog, ExecutionContext
 #: Models whose simulated clock is a single left-fold of ``charge_*``
 #: returns.  Heterogeneous Compute is excluded: its CPU and GPU queues
 #: accumulate separately and the run time is their makespan.
-VECTOR_MODELS = frozenset({"OpenMP", "Serial", "OpenCL", "C++ AMP", "OpenACC"})
+VECTOR_MODELS = frozenset(
+    {"OpenMP", "Serial", "OpenCL", "C++ AMP", "OpenACC", "OpenMP Offload"}
+)
 
 
 def vector_eligible(spec: RunSpec) -> bool:
@@ -126,12 +128,12 @@ def capture_program(spec: RunSpec) -> ChargeProgram:
     problem setups, so capture cost is the port's host logic only.
     """
     from ..apps import APPS_BY_NAME
-    from ..hardware.device import make_platform
+    from ..hardware.device import platform_for
 
     app = APPS_BY_NAME[spec.app]
     log = ChargeLog()
     ctx = ExecutionContext(
-        platform=make_platform(apu=spec.apu),
+        platform=platform_for(spec.platform),
         precision=spec.precision,
         execute_kernels=False,
         charge_log=log,
@@ -199,9 +201,9 @@ def price_cell(program: ChargeProgram, spec: RunSpec) -> RunResult:
     uses, so hits, misses and stored values are interchangeable with
     scalar runs.
     """
-    from ..hardware.device import make_platform
+    from ..hardware.device import platform_for
 
-    platform = make_platform(apu=spec.apu)
+    platform = platform_for(spec.platform)
     if spec.core_mhz is not None:
         platform.gpu.core_clock.set(spec.core_mhz)
     if spec.memory_mhz is not None:
@@ -246,12 +248,16 @@ def price_cell(program: ChargeProgram, spec: RunSpec) -> RunResult:
 
     # --- folds (bit-identical reconstruction) -------------------------
     atom_seconds = np.array([t.seconds for t in timings] + [0.0])
-    transfer_seconds = np.array(
-        [
-            platform.interconnect.transfer(nbytes, direction)
-            for nbytes, direction in program.transfers
-        ]
-        + [0.0]
+    xfer_seconds = [
+        platform.interconnect.transfer(nbytes, direction)
+        for nbytes, direction in program.transfers
+    ]
+    transfer_seconds = np.array(xfer_seconds + [0.0])
+    # Per-transfer energy through the same scalar helper, on the same
+    # Python floats, as ``Toolchain.charge_transfer``.
+    link_w = platform.interconnect.spec.active_w
+    xfer_joules = np.array(
+        [energy.transfer_joules(link_w, s) for s in xfer_seconds] + [0.0]
     )
     # The port's clock: each counted charge contributes its return
     # value (kernel seconds + overhead as one add, then the fold add —
@@ -281,6 +287,8 @@ def price_cell(program: ChargeProgram, spec: RunSpec) -> RunResult:
     flops = _accumulate(atom_flops[katoms])
     launch_overhead = _accumulate(program.kernel_overheads)
     transfer_total = _accumulate(transfer_seconds[program.transfer_events])
+    kernel_joules = _accumulate(np.array([t.joules for t in timings] + [0.0])[katoms])
+    transfer_joules = _accumulate(xfer_joules[program.transfer_events])
 
     records = [
         timing.record(gpu.name if atom[0] == "gpu" else host.name)
@@ -299,7 +307,15 @@ def price_cell(program: ChargeProgram, spec: RunSpec) -> RunResult:
         bytes_to_host=program.bytes_to_host,
         kernel_launches=len(katoms),
         transfers=len(program.transfer_events),
+        kernel_joules=kernel_joules,
+        transfer_joules=transfer_joules,
         kernels=[records[i] for i in katoms],
+    )
+    # Same three-term addition sequence as ``apps.base.make_result``.
+    joules = (
+        energy.static_joules(platform.idle_watts, seconds)
+        + counters.kernel_joules
+        + counters.transfer_joules
     )
     return RunResult(
         app=program.app,
@@ -310,6 +326,7 @@ def price_cell(program: ChargeProgram, spec: RunSpec) -> RunResult:
         kernel_seconds=kernel_seconds,
         checksum=program.checksum,
         counters=counters,
+        joules=joules,
     )
 
 

@@ -24,6 +24,7 @@ from ..hardware.compute_unit import latency_hiding_factor, occupancy
 from ..hardware.device import CPUDevice, GPUDevice
 from ..hardware.specs import Precision
 from .counters import KernelRecord
+from .energy import clock_power_scale, kernel_joules
 from .kernel import AccessKind, KernelSpec, LoweredKernel
 
 #: Floor on any kernel execution: pipeline ramp, drain and bookkeeping.
@@ -67,6 +68,8 @@ class KernelTiming:
     compute_seconds: float
     memory_seconds: float
     occupancy_waves: int
+    #: Dynamic switching energy of the launch (``repro.engine.energy``).
+    joules: float = 0.0
 
     def record(self, device: str) -> KernelRecord:
         return KernelRecord(
@@ -77,6 +80,7 @@ class KernelTiming:
             dram_bytes=self.dram_bytes,
             limited_by=self.limited_by,
             device=device,
+            joules=self.joules,
         )
 
 
@@ -155,6 +159,12 @@ def time_gpu_kernel(
         compute_seconds=compute_seconds,
         memory_seconds=memory_seconds,
         occupancy_waves=occ.wavefronts_per_cu,
+        joules=kernel_joules(
+            gpu.spec.power,
+            seconds,
+            compute_seconds,
+            clock_power_scale(gpu.core_clock.current_mhz, gpu.core_clock.default_mhz),
+        ),
     )
 
 
@@ -249,4 +259,10 @@ def time_cpu_kernel(
         compute_seconds=compute_seconds,
         memory_seconds=memory_seconds,
         occupancy_waves=threads,
+        joules=kernel_joules(
+            cpu.spec.power,
+            seconds,
+            compute_seconds,
+            share=threads / cpu.spec.cores,
+        ),
     )

@@ -37,6 +37,7 @@ import numpy as np
 from ..hardware.compute_unit import latency_hiding_factor, occupancy
 from ..hardware.device import CPUDevice, GPUDevice
 from ..hardware.specs import Precision
+from .energy import clock_power_scale, kernel_joules
 from .kernel import AccessKind, KernelSpec, LoweredKernel
 from .timing import (
     CPU_LOOP_FLOOR_S,
@@ -127,6 +128,11 @@ def time_gpu_kernel_batch(
     seconds = np.maximum(np.maximum(compute_seconds, memory_seconds), GPU_KERNEL_FLOOR_S)
     cycles = seconds * gpu.core_clock.hz
 
+    # Energy is scalar-helper arithmetic on the *final* per-cell floats
+    # (same call, same arguments as the scalar path) — bit-identity by
+    # construction, not by re-derivation.
+    power_scale = clock_power_scale(gpu.core_clock.current_mhz, gpu.core_clock.default_mhz)
+
     timings: list[KernelTiming] = []
     for i, (lowered, occ) in enumerate(zip(lowereds, occs)):
         cell_seconds = float(seconds[i])
@@ -149,6 +155,7 @@ def time_gpu_kernel_batch(
                 compute_seconds=cell_compute,
                 memory_seconds=cell_memory,
                 occupancy_waves=occ.wavefronts_per_cu,
+                joules=kernel_joules(gpu.spec.power, cell_seconds, cell_compute, power_scale),
             )
         )
     return timings
@@ -222,6 +229,7 @@ def time_cpu_kernel_batch(
 
     seconds = np.maximum(np.maximum(compute_seconds, memory_seconds), CPU_LOOP_FLOOR_S)
     cycles = (seconds * cpu.spec.clock_mhz) * 1e6
+    thread_share = threads / cpu.spec.cores
 
     timings: list[KernelTiming] = []
     for i, spec in enumerate(specs):
@@ -245,6 +253,9 @@ def time_cpu_kernel_batch(
                 compute_seconds=cell_compute,
                 memory_seconds=cell_memory,
                 occupancy_waves=threads,
+                joules=kernel_joules(
+                    cpu.spec.power, cell_seconds, cell_compute, share=thread_share
+                ),
             )
         )
     return timings

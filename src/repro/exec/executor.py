@@ -263,7 +263,7 @@ def execute_run(
     # Lazy imports keep the exec package importable from low layers
     # and let pool workers pay the heavy app imports exactly once.
     from ..apps import APPS_BY_NAME
-    from ..hardware.device import make_platform
+    from ..hardware.device import platform_for
     from ..models.base import ExecutionContext
 
     if faults is not None and faults.active:
@@ -274,7 +274,7 @@ def execute_run(
     trace_before = memo.TRACE_CACHE.snapshot()
     started = time.perf_counter()
     app = APPS_BY_NAME[spec.app]
-    platform = make_platform(apu=spec.apu)
+    platform = platform_for(spec.platform)
     if spec.core_mhz is not None:
         platform.gpu.core_clock.set(spec.core_mhz)
     if spec.memory_mhz is not None:

@@ -21,6 +21,17 @@ from ..hardware.specs import Precision
 #: Platform selector values for :attr:`RunSpec.platform`.
 APU = "apu"
 DGPU = "dgpu"
+V100 = "v100"
+PLATFORMS = (APU, DGPU, V100)
+
+#: Report label per selector ("APU"/"dGPU"/"V100"); the serve tier and
+#: the study assembler must agree on these for bit-identical entries.
+PLATFORM_LABELS = {APU: "APU", DGPU: "dGPU", V100: "V100"}
+
+
+def platform_label(platform: str) -> str:
+    """Human-readable study label for a platform selector."""
+    return PLATFORM_LABELS[platform]
 
 #: Count-like config fields that must be positive when present.  The
 #: app config dataclasses validate themselves; this net also catches
@@ -54,8 +65,11 @@ class RunSpec:
     memory_mhz: float | None = None
 
     def __post_init__(self) -> None:
-        if self.platform not in (APU, DGPU):
-            raise ValueError(f"platform must be {APU!r} or {DGPU!r}, got {self.platform!r}")
+        if self.platform not in PLATFORMS:
+            raise ValueError(
+                f"platform must be one of {', '.join(map(repr, PLATFORMS))}, "
+                f"got {self.platform!r}"
+            )
         # Fail at construction with a nameable message, not as a
         # KeyError three layers deep inside a pool worker.
         from ..apps import APPS_BY_NAME  # lazy: keeps the plan layer light
@@ -190,23 +204,29 @@ class SpecLattice:
 def study_runs(
     app_names: Sequence[str],
     configs: dict[str, object],
-    apu_values: Iterable[bool],
+    apu_values: Iterable[bool] | None,
     precisions: Iterable[Precision],
     models: Sequence[str],
     baseline: str,
     projection: bool,
+    platforms: Sequence[str] | None = None,
 ) -> list[RunSpec]:
     """Flatten one comparison study into descriptors.
 
     The order is the study's canonical nested-loop order — app, then
     platform, then precision, with the baseline preceding the models of
     each cell — so callers can zip the outcomes back into entries.
+
+    ``platforms`` names selectors directly (the general form, required
+    for V100); ``apu_values`` is the legacy two-platform spelling and is
+    ignored when ``platforms`` is given.
     """
+    if platforms is None:
+        platforms = tuple(APU if apu else DGPU for apu in (apu_values or ()))
     runs: list[RunSpec] = []
     for name in app_names:
         config = configs[name]
-        for apu in apu_values:
-            platform = APU if apu else DGPU
+        for platform in platforms:
             for precision in precisions:
                 runs.append(RunSpec(name, baseline, platform, precision, config, projection))
                 for model in models:

@@ -18,8 +18,11 @@ from .specs import (
     A10_7850K_CPU,
     A10_7850K_GPU,
     HSA_UNIFIED,
+    NVLINK2,
     PCIE3_X16,
     R9_280X,
+    TESLA_V100,
+    XEON_GOLD_HOST,
     CPUSpec,
     GPUSpec,
     Precision,
@@ -51,9 +54,10 @@ class CPUDevice:
 
     def memory_system(self) -> MemorySystem:
         """Host DRAM; the clock is fixed (the paper only sweeps the GPU)."""
-        clock = ClockDomain(name="host-memory", default_mhz=1066.0, min_mhz=1066.0, max_mhz=1066.0)
+        mhz = self.spec.memory_clock_mhz
+        clock = ClockDomain(name="host-memory", default_mhz=mhz, min_mhz=mhz, max_mhz=mhz)
         return MemorySystem(
-            technology=A10_7850K_GPU.memory_technology,
+            technology=self.spec.memory_technology,
             peak_bandwidth_gbps=self.spec.peak_bandwidth_gbps,
             clock=clock,
             capacity_bytes=self.spec.system_memory_bytes,
@@ -120,11 +124,19 @@ class Platform:
     host: CPUDevice
     gpu: GPUDevice
     interconnect: Interconnect
+    #: Platform selector this instance was built from (``repro.exec.plan``
+    #: constants: "apu" / "dgpu" / "v100").
+    key: str = ""
 
     @property
     def is_apu(self) -> bool:
         """True when CPU and GPU share one coherent memory (no staging)."""
         return self.interconnect.is_unified
+
+    @property
+    def idle_watts(self) -> float:
+        """Static draw of the whole platform (host + accelerator)."""
+        return self.host.spec.power.idle_w + self.gpu.spec.power.idle_w
 
     def fresh(self) -> "Platform":
         """A new platform instance with default clocks and empty logs.
@@ -132,6 +144,8 @@ class Platform:
         Experiments mutate clocks and transfer logs; sweeps use this to
         start from a clean platform each time.
         """
+        if self.key:
+            return platform_for(self.key)
         return make_platform(apu=self.is_apu)
 
 
@@ -142,6 +156,7 @@ def make_dgpu_platform() -> Platform:
         host=CPUDevice(spec=A10_7850K_CPU),
         gpu=GPUDevice(spec=R9_280X),
         interconnect=Interconnect(spec=PCIE3_X16),
+        key="dgpu",
     )
 
 
@@ -152,7 +167,38 @@ def make_apu_platform() -> Platform:
         host=CPUDevice(spec=A10_7850K_CPU),
         gpu=GPUDevice(spec=A10_7850K_GPU),
         interconnect=Interconnect(spec=HSA_UNIFIED),
+        key="apu",
     )
+
+
+def make_v100_platform() -> Platform:
+    """Xeon host + NVIDIA Tesla V100 over NVLink (the second vendor)."""
+    return Platform(
+        name="V100 (NVIDIA Tesla V100)",
+        host=CPUDevice(spec=XEON_GOLD_HOST),
+        gpu=GPUDevice(spec=TESLA_V100),
+        interconnect=Interconnect(spec=NVLINK2),
+        key="v100",
+    )
+
+
+#: Selector -> factory; keys match ``repro.exec.plan.APU/DGPU/V100``.
+PLATFORM_FACTORIES = {
+    "apu": make_apu_platform,
+    "dgpu": make_dgpu_platform,
+    "v100": make_v100_platform,
+}
+
+
+def platform_for(key: str) -> Platform:
+    """Build a fresh platform from its plan selector string."""
+    try:
+        factory = PLATFORM_FACTORIES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown platform {key!r}: expected one of {sorted(PLATFORM_FACTORIES)}"
+        ) from None
+    return factory()
 
 
 def make_platform(apu: bool) -> Platform:

@@ -19,6 +19,8 @@ class MemoryTechnology(Enum):
 
     GDDR5 = "GDDR5"
     DDR3 = "DDR3"
+    DDR4 = "DDR4"
+    HBM2 = "HBM2"
 
 
 class Precision(Enum):
@@ -30,6 +32,27 @@ class Precision(Enum):
     @property
     def bytes_per_element(self) -> int:
         return 4 if self is Precision.SINGLE else 8
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Electrical envelope of one device, for the energy model.
+
+    ``idle_w`` is the static (leakage + always-on) draw the device pays
+    for every second it is powered, whatever it runs.  ``peak_dynamic_w``
+    is the *additional* switching power at nominal clock under full
+    utilisation; the energy model scales it quadratically with the core
+    clock ratio and linearly with achieved utilisation
+    (``repro.engine.energy``).  Idle + peak dynamic approximates the
+    board TDP.
+    """
+
+    idle_w: float
+    peak_dynamic_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.peak_dynamic_w < 0:
+            raise ValueError("power draws must be non-negative")
 
 
 @dataclass(frozen=True)
@@ -75,6 +98,7 @@ class GPUSpec:
     l2_cache: CacheSpec = field(
         default_factory=lambda: CacheSpec(size_bytes=768 * 1024, line_bytes=64, ways=16)
     )
+    power: PowerSpec = field(default_factory=lambda: PowerSpec(idle_w=0.0, peak_dynamic_w=0.0))
 
     def __post_init__(self) -> None:
         expected_sp = self.compute_units * self.simd_per_cu * self.lanes_per_simd
@@ -98,9 +122,12 @@ class CPUSpec:
     system_memory_bytes: int
     peak_bandwidth_gbps: float
     dp_rate_ratio: float = 0.5
+    memory_technology: MemoryTechnology = MemoryTechnology.DDR3
+    memory_clock_mhz: float = 1066.0
     llc: CacheSpec = field(
         default_factory=lambda: CacheSpec(size_bytes=4 * 1024 * 1024, line_bytes=64, ways=16)
     )
+    power: PowerSpec = field(default_factory=lambda: PowerSpec(idle_w=0.0, peak_dynamic_w=0.0))
 
     @property
     def peak_sp_gflops(self) -> float:
@@ -119,6 +146,9 @@ class InterconnectSpec:
     name: str
     bandwidth_gbps: float  # effective, not theoretical
     latency_s: float  # per-transfer fixed cost (driver + DMA setup)
+    #: Power the link + DMA engines draw while a transfer is in flight
+    #: (0 for unified memory: there is no staging copy to power).
+    active_w: float = 0.0
 
 
 #: AMD Radeon R9 280X (Tahiti, GCN 1.0) — Table II column 1.
@@ -136,6 +166,7 @@ R9_280X = GPUSpec(
     peak_bandwidth_gbps=258.0,
     peak_sp_gflops=3800.0,
     dp_rate_ratio=0.25,
+    power=PowerSpec(idle_w=45.0, peak_dynamic_w=205.0),  # 250 W board TDP
 )
 
 #: The 8-CU integrated GPU of the AMD A10-7850K (Kaveri) — Table II column 2.
@@ -157,6 +188,7 @@ A10_7850K_GPU = GPUSpec(
     peak_sp_gflops=738.0,
     dp_rate_ratio=1.0 / 16.0,
     l2_cache=CacheSpec(size_bytes=512 * 1024, line_bytes=64, ways=16),
+    power=PowerSpec(idle_w=10.0, peak_dynamic_w=40.0),  # GPU share of the 95 W APU
 )
 
 #: Host processor for both platforms — 4 Steamroller cores at 3.7 GHz.
@@ -168,13 +200,65 @@ A10_7850K_CPU = CPUSpec(
     flops_per_lane_per_cycle=2.0,  # FMA
     system_memory_bytes=32 * 1024**3,
     peak_bandwidth_gbps=33.0,
+    power=PowerSpec(idle_w=10.0, peak_dynamic_w=35.0),  # CPU share of the 95 W APU
+)
+
+#: NVIDIA Tesla V100 (Volta, SXM2) — the second-vendor device the 2015
+#: paper could not include.  80 SMs; Volta pairs each SM's 64 FP32 cores
+#: as 4 processing blocks of 16 lanes with 32-wide warps, which maps
+#: onto the simulator's CU/SIMD/lane organisation directly.  15.7 SP
+#: TFLOPS = 5120 x 2 x 1.53 GHz boost; HBM2 at 900 GB/s.  Per-compiler
+#: behaviour on this device (Clang/XL/GCC/Cray OpenMP target offload)
+#: lives in ``repro.models.omp_offload``.
+TESLA_V100 = GPUSpec(
+    name="NVIDIA Tesla V100 (SXM2 16GB)",
+    compute_units=80,
+    stream_processors=5120,
+    core_clock_mhz=1530.0,
+    core_clock_range_mhz=(500.0, 1530.0),
+    memory_clock_mhz=877.0,  # HBM2
+    memory_clock_range_mhz=(400.0, 877.0),
+    memory_technology=MemoryTechnology.HBM2,
+    device_memory_bytes=16 * 1024**3,
+    local_memory_bytes=96 * 1024,  # unified shared mem/L1 carve-out per SM
+    peak_bandwidth_gbps=900.0,
+    peak_sp_gflops=15667.0,
+    dp_rate_ratio=0.5,
+    wavefront_size=32,
+    max_wavefronts_per_cu=64,
+    l2_cache=CacheSpec(size_bytes=6 * 1024 * 1024, line_bytes=64, ways=16),
+    power=PowerSpec(idle_w=50.0, peak_dynamic_w=250.0),  # 300 W SXM2 TDP
+)
+
+#: Host processor of the V100 node — a Skylake-SP Xeon class part
+#: (AVX-512: 16 SP lanes, 2 FMA pipes).
+XEON_GOLD_HOST = CPUSpec(
+    name="Intel Xeon Gold 6148 (host)",
+    cores=20,
+    clock_mhz=2400.0,
+    simd_width_sp=16,
+    flops_per_lane_per_cycle=2.0,  # FMA
+    system_memory_bytes=192 * 1024**3,
+    peak_bandwidth_gbps=128.0,
+    memory_technology=MemoryTechnology.DDR4,
+    memory_clock_mhz=1333.0,  # DDR4-2666
+    llc=CacheSpec(size_bytes=27 * 1024 * 1024, line_bytes=64, ways=11),
+    power=PowerSpec(idle_w=45.0, peak_dynamic_w=105.0),  # 150 W TDP
 )
 
 #: PCIe 3.0 x16 as achieved by the Catalyst v14.6 runtime (effective).
-PCIE3_X16 = InterconnectSpec(name="PCIe 3.0 x16", bandwidth_gbps=8.0, latency_s=20e-6)
+PCIE3_X16 = InterconnectSpec(
+    name="PCIe 3.0 x16", bandwidth_gbps=8.0, latency_s=20e-6, active_w=10.0
+)
 
 #: Zero-copy unified memory of the APU (HSA): no staging transfers.
 HSA_UNIFIED = InterconnectSpec(name="HSA unified memory", bandwidth_gbps=float("inf"), latency_s=0.0)
+
+#: NVLink 2.0 host link of an SXM2 V100 node (effective host<->device
+#: bandwidth over a single 3-brick link, CUDA runtime launch latency).
+NVLINK2 = InterconnectSpec(
+    name="NVLink 2.0", bandwidth_gbps=45.0, latency_s=10e-6, active_w=15.0
+)
 
 
 def table2_rows() -> list[dict[str, str]]:

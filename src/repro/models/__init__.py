@@ -10,9 +10,11 @@ One subpackage/module per model of the study:
 * :mod:`repro.models.openmp` / :mod:`repro.models.serial` — the CPU
   baselines.
 * :mod:`repro.models.hc` — Section VII's Heterogeneous Compute.
+* :mod:`repro.models.omp_offload` — OpenMP target offload, the
+  second-vendor directive model of the V100 study family.
 """
 
-from . import cppamp, openacc, opencl
+from . import cppamp, omp_offload, openacc, opencl
 from .base import (
     Capability,
     CompilerProfile,
@@ -22,8 +24,18 @@ from .base import (
     TransferPolicy,
 )
 from .hc import HC_PROFILE, HCRuntime
+from .omp_offload import OMP_OFFLOAD_PROFILE, OpenMPOffload
 from .openmp import OpenMP
-from .registry import GPU_MODEL_NAMES, PROFILES, CompilerEntry, profile_for, table3_rows
+from .registry import (
+    GPU_MODEL_NAMES,
+    MODEL_ALIASES,
+    PROFILES,
+    CompilerEntry,
+    normalize_model_name,
+    omp_offload_rows,
+    profile_for,
+    table3_rows,
+)
 from .serial import SerialCPU
 
 __all__ = [
@@ -35,12 +47,18 @@ __all__ = [
     "GPU_MODEL_NAMES",
     "HC_PROFILE",
     "HCRuntime",
+    "MODEL_ALIASES",
+    "OMP_OFFLOAD_PROFILE",
     "OpenMP",
+    "OpenMPOffload",
     "PROFILES",
     "SerialCPU",
     "Toolchain",
     "TransferPolicy",
     "cppamp",
+    "normalize_model_name",
+    "omp_offload",
+    "omp_offload_rows",
     "openacc",
     "opencl",
     "profile_for",

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..engine import energy
 from ..engine.counters import PerfCounters
 from ..engine.kernel import KernelSpec, LoweredKernel
 from ..engine.launch import RuntimeOverheads
@@ -37,7 +38,9 @@ from ..obs import spans as obs_spans
 
 
 def _platform_track(ctx: "ExecutionContext") -> str:
-    """Track-name prefix of the context's platform ("apu"/"dgpu")."""
+    """Track-name prefix of the context's platform ("apu"/"dgpu"/"v100")."""
+    if ctx.platform.key:
+        return ctx.platform.key
     return "apu" if ctx.platform.is_apu else "dgpu"
 
 
@@ -350,7 +353,8 @@ class Toolchain:
         if ctx.charge_log is not None:
             return ctx.charge_log.transfer(nbytes, direction, counted)
         seconds = ctx.platform.interconnect.transfer(nbytes, direction)
-        ctx.counters.record_transfer(nbytes, seconds, direction)
+        joules = energy.transfer_joules(ctx.platform.interconnect.spec.active_w, seconds)
+        ctx.counters.record_transfer(nbytes, seconds, direction, joules=joules)
         rec = obs_spans.active()
         if rec is not None:
             plat = _platform_track(ctx)

@@ -1,0 +1,27 @@
+"""Simulated OpenMP target offload (the second-vendor directive model).
+
+Usage mirrors directive-annotated C::
+
+    omp = OpenMPOffload(ctx)
+    with omp.target_data(to=[a], from_=[out]):
+        omp.target_teams_loop(
+            kernel_func, spec,
+            arrays=[a, out], writes=[out],
+            num_teams=n // 64, thread_limit=64,
+        )
+"""
+
+from .compiler import (
+    DEFAULT_OMP_COMPILER,
+    OMP_OFFLOAD_PROFILE,
+    OMP_OFFLOAD_PROFILES,
+)
+from .omp import OmpTargetError, OpenMPOffload
+
+__all__ = [
+    "DEFAULT_OMP_COMPILER",
+    "OMP_OFFLOAD_PROFILE",
+    "OMP_OFFLOAD_PROFILES",
+    "OmpTargetError",
+    "OpenMPOffload",
+]

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from .base import CompilerProfile
 from .cppamp.compiler import CPPAMP_PROFILE
 from .hc import HC_PROFILE
+from .omp_offload.compiler import OMP_OFFLOAD_PROFILE
 from .openacc.compiler import OPENACC_PROFILE
 from .opencl.compiler import OPENCL_PROFILE
 
@@ -24,7 +25,43 @@ PROFILES: dict[str, CompilerProfile] = {
     CPPAMP_PROFILE.name: CPPAMP_PROFILE,
     OPENACC_PROFILE.name: OPENACC_PROFILE,
     HC_PROFILE.name: HC_PROFILE,
+    OMP_OFFLOAD_PROFILE.name: OMP_OFFLOAD_PROFILE,
 }
+
+#: CLI/API spellings of the canonical model names.  Keys are matched
+#: after lowercasing and collapsing ``_`` to ``-``; canonical names
+#: themselves always pass through :func:`normalize_model_name`.
+MODEL_ALIASES: dict[str, str] = {
+    "opencl": "OpenCL",
+    "cl": "OpenCL",
+    "c++-amp": "C++ AMP",
+    "c++amp": "C++ AMP",
+    "cppamp": "C++ AMP",
+    "amp": "C++ AMP",
+    "openacc": "OpenACC",
+    "acc": "OpenACC",
+    "openmp": "OpenMP",
+    "omp": "OpenMP",
+    "serial": "Serial",
+    "hc": "Heterogeneous Compute",
+    "heterogeneous-compute": "Heterogeneous Compute",
+    "omp-offload": "OpenMP Offload",
+    "openmp-offload": "OpenMP Offload",
+    "omp-target": "OpenMP Offload",
+    "target": "OpenMP Offload",
+}
+
+
+def normalize_model_name(name: str) -> str:
+    """Resolve a CLI/API spelling to the canonical model name.
+
+    Canonical names ("OpenCL", "OpenMP Offload", ...) pass through
+    unchanged; known aliases ("omp-offload", "cppamp", ...) resolve
+    case-insensitively; anything else is returned as-is so the
+    registry/port lookup can raise its usual error.
+    """
+    key = name.strip().lower().replace("_", "-").replace(" ", "-")
+    return MODEL_ALIASES.get(key, name)
 
 
 @dataclass(frozen=True)
@@ -41,6 +78,18 @@ def table3_rows() -> list[CompilerEntry]:
         CompilerEntry(model="OpenCL", compiler=OPENCL_PROFILE.version),
         CompilerEntry(model="C++ AMP", compiler=CPPAMP_PROFILE.version),
         CompilerEntry(model="OpenACC", compiler=OPENACC_PROFILE.version),
+    ]
+
+
+def omp_offload_rows() -> list[CompilerEntry]:
+    """The second-vendor analogue of Table III: the OpenMP-offload
+    toolchains of the V100 family (Davis et al.'s compiler spread),
+    which the paper's table predates."""
+    from .omp_offload.compiler import OMP_OFFLOAD_PROFILES
+
+    return [
+        CompilerEntry(model=f"OpenMP Offload [{key}]", compiler=profile.version)
+        for key, profile in sorted(OMP_OFFLOAD_PROFILES.items())
     ]
 
 

@@ -39,8 +39,9 @@ from ..apps import APPS_BY_NAME, PROXY_APPS
 from ..core.configs import bench_configs, sweep_configs
 from ..core.metrics import speedup
 from ..core.study import BASELINE_MODEL, GPU_MODELS
-from ..exec.plan import APU, DGPU, RunSpec, study_runs
+from ..exec.plan import APU, DGPU, PLATFORMS, RunSpec, study_runs
 from ..hardware.specs import Precision
+from ..models.registry import normalize_model_name
 
 PROTOCOL_VERSION = "v1"
 
@@ -139,6 +140,7 @@ def _parse_app(name: object) -> str:
 
 @lru_cache(maxsize=None)
 def _lookup_model(app: str, name: str) -> str | None:
+    name = normalize_model_name(name)
     for known in APPS_BY_NAME[app].ports:
         if known.lower() == name.lower():
             return known
@@ -158,9 +160,11 @@ def _parse_model(app: str, name: object) -> str:
 
 
 def _parse_platform(value: object) -> str:
-    if isinstance(value, str) and value.lower() in (APU, DGPU):
+    if isinstance(value, str) and value.lower() in PLATFORMS:
         return value.lower()
-    raise ProtocolError(f"field 'platform' must be {APU!r} or {DGPU!r}, got {value!r}")
+    raise ProtocolError(
+        f"field 'platform' must be one of {', '.join(map(repr, PLATFORMS))}, got {value!r}"
+    )
 
 
 @lru_cache(maxsize=None)
@@ -372,11 +376,12 @@ class StudyRequest:
         return study_runs(
             app_names=list(self.apps),
             configs={app: resolve_config(app, self.scale) for app in self.apps},
-            apu_values=[platform == APU for platform in self.platforms],
+            apu_values=None,
             precisions=self.precisions,
             models=list(self.compared_models),
             baseline=BASELINE_MODEL,
             projection=True,
+            platforms=list(self.platforms),
         )
 
 
@@ -439,6 +444,10 @@ def predict_response(
         "baseline_seconds": baseline_seconds,
         "speedup": speedup(baseline_seconds, model_result.seconds),
         "kernel_speedup": speedup(baseline_seconds, model_result.kernel_seconds),
+        # getattr: results can come off disk from a store written
+        # before the energy model existed.
+        "joules": getattr(model_result, "joules", 0.0),
+        "edp": getattr(model_result, "joules", 0.0) * model_result.seconds,
         "provenance": dict(provenance),
         "key": key,
     }
@@ -470,6 +479,8 @@ def batch_response(request: BatchRequest, priced: Sequence[tuple]) -> dict:
         doc.update({
             "seconds": result.seconds,
             "kernel_seconds": result.kernel_seconds,
+            "joules": getattr(result, "joules", 0.0),
+            "edp": getattr(result, "joules", 0.0) * result.seconds,
             "key": cell.spec().content_key()[:16],
             "provenance": provenance,
         })

@@ -44,7 +44,7 @@ from dataclasses import dataclass
 from .. import __version__
 from ..core.metrics import speedup
 from ..engine import memo
-from ..exec.plan import RunSpec
+from ..exec.plan import RunSpec, platform_label
 from ..exec.retry import RetryPolicy
 from ..obs import logging as obs_logging
 from ..obs import tracing
@@ -763,7 +763,7 @@ class Server:
                         entries.append({
                             "app": app,
                             "model": model,
-                            "platform": "APU" if platform == protocol.APU else "dGPU",
+                            "platform": platform_label(platform),
                             "precision": precision.value,
                             "seconds": result.seconds,
                             "kernel_seconds": result.kernel_seconds,
@@ -772,6 +772,8 @@ class Server:
                             "kernel_speedup": speedup(
                                 baseline.seconds, result.kernel_seconds
                             ),
+                            "joules": getattr(result, "joules", 0.0),
+                            "edp": getattr(result, "joules", 0.0) * result.seconds,
                         })
         return protocol.study_response(request, entries, provenance_tally)
 

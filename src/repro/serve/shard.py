@@ -50,7 +50,7 @@ from urllib.parse import urlsplit
 from ..core.metrics import speedup
 from ..engine import memo
 from ..exec.faults import RunError
-from ..exec.plan import RunSpec
+from ..exec.plan import RunSpec, platform_label
 from ..exec.retry import RetryPolicy, run_with_retry
 from ..obs import logging as obs_logging
 from ..obs import tracing
@@ -1165,7 +1165,7 @@ class ShardRouter:
                         entries.append({
                             "app": app,
                             "model": model,
-                            "platform": "APU" if platform == protocol.APU else "dGPU",
+                            "platform": platform_label(platform),
                             "precision": precision.value,
                             "seconds": result["seconds"],
                             "kernel_seconds": result["kernel_seconds"],
@@ -1176,6 +1176,10 @@ class ShardRouter:
                             "kernel_speedup": speedup(
                                 baseline["seconds"], result["kernel_seconds"]
                             ),
+                            # getattr-equivalent: a pre-energy shard may
+                            # omit the field from its batch response.
+                            "joules": result.get("joules", 0.0),
+                            "edp": result.get("joules", 0.0) * result["seconds"],
                         })
         return 200, protocol.study_response(request, entries, tally)
 

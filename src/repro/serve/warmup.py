@@ -30,7 +30,7 @@ from dataclasses import dataclass
 
 from ..apps import ALL_APPS
 from ..engine.memo import SingleFlightCache
-from ..exec.plan import APU, DGPU, RunSpec
+from ..exec.plan import PLATFORMS, RunSpec
 from ..exec.retry import RetryPolicy, run_with_retry, validate_result
 from ..hardware.specs import Precision
 from .protocol import SCALES, resolve_config
@@ -62,8 +62,12 @@ def preset_specs(scales: tuple[str, ...] = ("bench",)) -> list[RunSpec]:
     """The reachable preset lattice, deduplicated, in a stable order.
 
     Exactly the specs a ``/v1/predict`` or ``/v1/batch`` cell can name
-    without clock overrides: every port of every app, both platforms,
-    both precisions, for each requested scale preset.
+    without clock overrides: every port of every app, every platform
+    selector (APU, dGPU, V100), both precisions, for each requested
+    scale preset.  The order is append-only across releases *within a
+    scale*: new platforms extend the innermost loops, so a store warmed
+    by an older build stays a prefix-compatible subset — its keys keep
+    hitting, and only the new cells are priced.
     """
     for scale in scales:
         if scale not in SCALES:
@@ -74,7 +78,7 @@ def preset_specs(scales: tuple[str, ...] = ("bench",)) -> list[RunSpec]:
         for app in ALL_APPS:
             config = resolve_config(app.name, scale)
             for model in app.ports:
-                for platform in (APU, DGPU):
+                for platform in PLATFORMS:
                     for precision in Precision:
                         spec = RunSpec(
                             app.name, model, platform, precision, config,

@@ -42,6 +42,44 @@ def test_table4_sloc_matches_golden(golden):
     golden("table4_sloc", table4(ALL_APPS))
 
 
+def test_cross_vendor_energy_matches_golden(golden):
+    """The second-vendor study family: every app through the directive
+    models on the dGPU and the V100, with whole-run energy and EDP —
+    the numbers behind 'a study the paper couldn't run'."""
+    study = run_study(
+        ALL_APPS,
+        configs=bench_configs(),
+        models=("OpenCL", "OpenACC", "OpenMP Offload"),
+        platforms=("dgpu", "v100"),
+    )
+    table: dict = {}
+    for e in study.entries:
+        cell = {"speedup": e.speedup, "joules": e.joules, "edp": e.edp}
+        table.setdefault(e.platform_key, {}).setdefault(
+            e.precision.value, {}
+        ).setdefault(e.app, {})[e.model] = cell
+    golden("cross_vendor_energy", table)
+
+
+def test_cross_vendor_energy_vector_engine_matches_the_same_golden(golden):
+    """The columnar engine reproduces the committed cross-vendor
+    energy numbers from the same golden file."""
+    study = run_study(
+        ALL_APPS,
+        configs=bench_configs(),
+        models=("OpenCL", "OpenACC", "OpenMP Offload"),
+        platforms=("dgpu", "v100"),
+        engine="vector",
+    )
+    table: dict = {}
+    for e in study.entries:
+        cell = {"speedup": e.speedup, "joules": e.joules, "edp": e.edp}
+        table.setdefault(e.platform_key, {}).setdefault(
+            e.precision.value, {}
+        ).setdefault(e.app, {})[e.model] = cell
+    golden("cross_vendor_energy", table)
+
+
 def test_speedup_tables_cover_full_matrix(bench_study):
     """Shape guard, independent of the stored numbers: every platform,
     precision, app and model appears, so a silently shrunken study

@@ -1,0 +1,153 @@
+"""The energy model: unit laws, result-level invariants, and the
+scalar/vector differential for energy and EDP."""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.core.configs import bench_configs
+from repro.core.study import run_study
+from repro.engine.energy import (
+    IDLE_ACTIVITY_FLOOR,
+    clock_power_scale,
+    energy_delay_product,
+    kernel_joules,
+    static_joules,
+    transfer_joules,
+)
+from repro.exec.plan import PLATFORMS
+from repro.hardware.device import platform_for
+from repro.hardware.specs import TESLA_V100, Precision
+
+APP_NAMES = tuple(app.name for app in ALL_APPS)
+
+
+# -- unit laws ----------------------------------------------------------
+
+
+class TestKernelJoules:
+    def test_zero_seconds_is_zero_energy(self):
+        assert kernel_joules(TESLA_V100.power, 0.0, 0.0) == 0.0
+
+    def test_full_utilisation_draws_peak_dynamic(self):
+        joules = kernel_joules(TESLA_V100.power, 2.0, 2.0)
+        assert joules == pytest.approx(TESLA_V100.power.peak_dynamic_w * 2.0)
+
+    def test_idle_activity_floor(self):
+        """A stalled kernel (zero busy time) still draws the activity
+        floor — clock trees and schedulers don't gate off."""
+        joules = kernel_joules(TESLA_V100.power, 1.0, 0.0)
+        assert joules == pytest.approx(
+            TESLA_V100.power.peak_dynamic_w * IDLE_ACTIVITY_FLOOR
+        )
+
+    def test_monotone_in_utilisation(self):
+        lo = kernel_joules(TESLA_V100.power, 1.0, 0.2)
+        hi = kernel_joules(TESLA_V100.power, 1.0, 0.8)
+        assert lo < hi
+
+    def test_utilisation_clamped(self):
+        capped = kernel_joules(TESLA_V100.power, 1.0, 5.0)
+        assert capped == pytest.approx(TESLA_V100.power.peak_dynamic_w)
+
+    def test_monotone_in_clock_scale(self):
+        """Dynamic power follows the f^2 proxy: downclocking saves
+        energy per second, upclocking costs it."""
+        scales = [clock_power_scale(mhz, 1530.0) for mhz in (500.0, 1000.0, 1530.0)]
+        joules = [kernel_joules(TESLA_V100.power, 1.0, 1.0, s) for s in scales]
+        assert joules == sorted(joules)
+        assert scales[-1] == 1.0
+
+    def test_share_scales_linearly(self):
+        full = kernel_joules(TESLA_V100.power, 1.0, 1.0, share=1.0)
+        half = kernel_joules(TESLA_V100.power, 1.0, 1.0, share=0.5)
+        assert half == pytest.approx(full / 2.0)
+
+
+class TestHelpers:
+    def test_transfer_joules(self):
+        assert transfer_joules(15.0, 2.0) == 30.0
+
+    def test_static_joules(self):
+        assert static_joules(95.0, 2.0) == 190.0
+
+    def test_edp(self):
+        assert energy_delay_product(10.0, 0.5) == 5.0
+
+    def test_clock_power_scale_guards_zero_nominal(self):
+        assert clock_power_scale(1000.0, 0.0) == 1.0
+
+
+# -- result-level invariants --------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def cross_vendor_study():
+    """Every app x every GPU model x all three platforms (bench scale)."""
+    return run_study(
+        ALL_APPS,
+        configs=bench_configs(),
+        models=("OpenCL", "C++ AMP", "OpenACC", "OpenMP Offload"),
+        platforms=PLATFORMS,
+    )
+
+
+def test_energy_at_least_static_draw(cross_vendor_study):
+    """Whole-run energy can never drop below the platform's idle draw
+    integrated over the run: dynamic terms only add."""
+    for entry in cross_vendor_study.entries:
+        idle_w = platform_for(entry.platform_key).idle_watts
+        assert entry.joules >= static_joules(idle_w, entry.seconds)
+        assert entry.edp == entry.joules * entry.seconds
+
+
+def test_every_cell_has_positive_energy(cross_vendor_study):
+    assert cross_vendor_study.complete
+    for entry in cross_vendor_study.entries:
+        assert entry.joules > 0.0
+        assert entry.edp > 0.0
+
+
+def test_matrix_covers_all_platforms(cross_vendor_study):
+    seen = {e.platform_key for e in cross_vendor_study.entries}
+    assert seen == set(PLATFORMS)
+    apps = {e.app for e in cross_vendor_study.entries}
+    assert apps == set(APP_NAMES)
+
+
+def test_downclocking_saves_energy_per_second():
+    """Figure 7's knob, energy view: halving the V100 core clock cuts
+    dynamic power ~4x, so per-kernel joules per second must drop."""
+    from repro.apps.readmem import ReadMemConfig
+    from repro.exec.executor import execute
+    from repro.exec.plan import RunSpec
+
+    config = ReadMemConfig(size=1 << 18)
+    nominal = RunSpec("read-benchmark", "OpenMP Offload", "v100",
+                      Precision.SINGLE, config, projection=True)
+    slow = RunSpec("read-benchmark", "OpenMP Offload", "v100",
+                   Precision.SINGLE, config, projection=True,
+                   core_mhz=765.0, memory_mhz=877.0)
+    (a, b), _stats = execute([nominal, slow], use_cache=False)
+    assert a.result.counters.kernel_joules / a.result.seconds > \
+        b.result.counters.kernel_joules / b.result.seconds
+
+
+# -- scalar/vector differential -----------------------------------------
+
+
+def test_energy_bit_identical_between_engines(cross_vendor_study):
+    """The tentpole acceptance bar: joules and EDP (not just seconds)
+    agree bit-for-bit between the scalar oracle and the columnar
+    engine, across every app, model and platform."""
+    vector = run_study(
+        ALL_APPS,
+        configs=bench_configs(),
+        models=("OpenCL", "C++ AMP", "OpenACC", "OpenMP Offload"),
+        platforms=PLATFORMS,
+        engine="vector",
+    )
+    assert [e.__dict__ for e in vector.entries] == \
+        [e.__dict__ for e in cross_vendor_study.entries]
+    for v, s in zip(vector.entries, cross_vendor_study.entries):
+        assert v.joules == s.joules
+        assert v.edp == s.edp
